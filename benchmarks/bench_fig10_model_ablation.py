@@ -1,0 +1,24 @@
+"""F10 — process-model order × adaptivity ablation on GPS mobility.
+
+Reproduction claim: the constant-velocity model matches vehicle dynamics
+best (fewest messages at every δ); the random-walk model is badly wrong;
+online adaptation recovers part of the gap for mis-specified orders while
+costing little when the order is already right — the "which procedure do
+you cache" design question made quantitative.
+"""
+
+from repro.experiments import fig10_model_ablation
+
+
+def test_fig10_model_ablation(benchmark, record_result):
+    fig = benchmark.pedantic(
+        lambda: fig10_model_ablation(n_ticks=10_000), rounds=1, iterations=1
+    )
+    _, xs, series = fig.panels[0]
+    mid = len(xs) // 2  # the default-delta column
+    # Velocity model dominates both other orders.
+    assert series["order2"][mid] < series["order1"][mid]
+    assert series["order2"][mid] <= series["order3"][mid] * 1.1
+    # Adaptation on the right model costs little (< 15%).
+    assert series["order2_adaptive"][mid] < 1.15 * series["order2"][mid]
+    record_result("F10_model_ablation", fig.render())

@@ -1,0 +1,29 @@
+"""F4 — messages vs precision bound δ on synthetic streams (W1–W3).
+
+Reproduction claim: message volume decays polynomially in δ for every
+gated policy; the dual-Kalman scheme dominates the static dead-band cache
+on structured streams and matches it on the pure random walk (where no
+model can help), mirroring the paper's synthetic-stream study.
+"""
+
+from repro.experiments import fig4_messages_vs_delta_synthetic
+
+
+def test_fig4_delta_sweep_synthetic(benchmark, record_result):
+    fig = benchmark.pedantic(
+        lambda: fig4_messages_vs_delta_synthetic(n_ticks=10_000),
+        rounds=1,
+        iterations=1,
+    )
+    assert len(fig.panels) == 3
+    for title, xs, series in fig.panels:
+        dkf = series["dual_kalman"]
+        band = series["dead_band"]
+        # Monotone decay in delta for the paper's scheme.
+        assert all(a >= b for a, b in zip(dkf, dkf[1:])), title
+        # Never worse than dead-band by more than noise.
+        assert all(d <= b * 1.15 + 5 for d, b in zip(dkf, band)), title
+    # Sinusoid panel: model-based caching wins by multiples.
+    _, _, sine = fig.panels[2]
+    assert sine["dead_band"][2] > 2.0 * sine["dual_kalman"][2]
+    record_result("F4_delta_sweep_synthetic", fig.render())

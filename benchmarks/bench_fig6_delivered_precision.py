@@ -1,0 +1,26 @@
+"""F6 — delivered precision vs the contract.
+
+Reproduction claim: every gated policy's worst-case served error stays at
+or below δ for every δ (the protocol enforces the bound by construction),
+while a periodic static cache spending the *same number of messages* as the
+dead-band blows far past it — precision guarantees are what distinguish
+the filtering approach from ad-hoc refresh heuristics.
+"""
+
+from repro.experiments import fig6_delivered_precision
+
+
+def test_fig6_delivered_precision(benchmark, record_result):
+    fig = benchmark.pedantic(
+        lambda: fig6_delivered_precision(n_ticks=10_000), rounds=1, iterations=1
+    )
+    for title, xs, series in fig.panels:
+        for i, delta in enumerate(xs):
+            for name, ys in series.items():
+                if name.startswith("periodic"):
+                    continue
+                assert ys[i] <= delta + 1e-9, (title, name, delta)
+        # The periodic cache violates at least one bound per panel.
+        periodic = series["periodic max_err"]
+        assert any(p > d for p, d in zip(periodic, xs)), title
+    record_result("F6_delivered_precision", fig.render())

@@ -1,0 +1,15 @@
+"""T1 — workload inventory (DESIGN.md experiment index).
+
+Regenerates the statistical characterization of the eight canonical
+workloads the rest of the evaluation runs on.
+"""
+
+from repro.experiments import table1_workloads
+
+
+def test_table1_workloads(benchmark, record_result):
+    table = benchmark.pedantic(
+        lambda: table1_workloads(n_ticks=10_000), rounds=1, iterations=1
+    )
+    assert len(table.rows) == 8
+    record_result("T1_workloads", table.render())

@@ -1,0 +1,22 @@
+"""T3 — continuous-query answers from cached procedures.
+
+Reproduction claim: windowed aggregates computed entirely from the
+server-side cached procedures differ from the same aggregates over the raw
+measurements by less than the propagated (interval-arithmetic) bound, with
+zero violations — approximate answers with guarantees, the reason the
+precision contract matters to query processing.
+"""
+
+from repro.experiments import table3_query_precision
+
+
+def test_table3_query_precision(benchmark, record_result):
+    table = benchmark.pedantic(
+        lambda: table3_query_precision(n_ticks=10_000), rounds=1, iterations=1
+    )
+    assert len(table.rows) == 12  # 2 workloads x 2 deltas x 3 aggregates
+    for row in table.rows:
+        max_err, bound, violations = row[3], row[4], row[5]
+        assert violations == 0
+        assert max_err <= bound + 1e-9
+    record_result("T3_query_precision", table.render())

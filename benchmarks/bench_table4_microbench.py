@@ -1,0 +1,71 @@
+"""T4 — CPU micro-costs of the protocol's hot path.
+
+Real pytest-benchmark timings (multiple rounds) for the per-tick
+primitives: a Kalman predict+update cycle, a suppression decision at the
+source, one full dual-Kalman policy tick, and one windowed-aggregate push.
+These bound the per-tick CPU a deployment pays for the bandwidth savings.
+"""
+
+import numpy as np
+
+from repro.core.precision import AbsoluteBound
+from repro.core.session import DualKalmanPolicy
+from repro.core.source import SourceAgent
+from repro.dsms.aggregates import MeanAggregate
+from repro.dsms.tuples import StreamTuple
+from repro.dsms.windows import SlidingWindow
+from repro.kalman.filter import KalmanFilter
+from repro.kalman.models import constant_velocity, planar, random_walk
+from repro.streams.base import Reading
+from repro.streams.synthetic import RandomWalkStream
+
+
+def test_kalman_step_scalar(benchmark):
+    kf = KalmanFilter(random_walk(process_noise=1.0, measurement_sigma=0.5))
+    z = np.array([1.0])
+    benchmark(kf.step, z)
+
+
+def test_kalman_step_planar_cv(benchmark):
+    kf = KalmanFilter(planar(constant_velocity()))
+    z = np.array([1.0, 2.0])
+    benchmark(kf.step, z)
+
+
+def test_source_suppression_decision(benchmark):
+    model = random_walk(process_noise=1.0, measurement_sigma=0.5)
+    source = SourceAgent("s", model, AbsoluteBound(1e9))
+    source.process(Reading(t=0.0, value=0.0))
+    reading = Reading(t=1.0, value=0.0)
+    benchmark(source.process, reading)
+
+
+def test_full_policy_tick(benchmark):
+    model = random_walk(process_noise=1.0, measurement_sigma=0.5)
+    policy = DualKalmanPolicy(model, AbsoluteBound(2.0))
+    readings = RandomWalkStream(step_sigma=1.0, measurement_sigma=0.5, seed=1).take(
+        10_000
+    )
+    it = iter(readings)
+
+    def tick():
+        nonlocal it
+        try:
+            reading = next(it)
+        except StopIteration:
+            it = iter(readings)
+            reading = next(it)
+        policy.tick(reading)
+
+    benchmark(tick)
+
+
+def test_sliding_window_push(benchmark):
+    window = SlidingWindow(128, MeanAggregate())
+    counter = {"t": 0.0}
+
+    def push():
+        counter["t"] += 1.0
+        window.push(StreamTuple(t=counter["t"], stream_id="s", value=counter["t"] % 7))
+
+    benchmark(push)

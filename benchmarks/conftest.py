@@ -1,0 +1,29 @@
+"""Shared fixtures for the benchmark harness.
+
+Each benchmark regenerates one table or figure of the reproduced evaluation
+(see DESIGN.md's experiment index).  The rendered ASCII output — the
+repository's equivalent of the paper's plot — is printed and also written
+to ``benchmarks/results/<experiment>.txt`` so it survives pytest's output
+capture and can be diffed across runs.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+
+@pytest.fixture
+def record_result():
+    """Write a rendered experiment to benchmarks/results/ and echo it."""
+
+    def _record(experiment_id: str, text: str) -> None:
+        RESULTS_DIR.mkdir(exist_ok=True)
+        path = RESULTS_DIR / f"{experiment_id}.txt"
+        path.write_text(text + "\n")
+        print(f"\n{text}\n[written to {path}]")
+
+    return _record

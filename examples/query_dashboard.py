@@ -1,0 +1,78 @@
+"""Continuous-query dashboard over precision-bounded cached streams.
+
+Three temperature sensors stream through the dual-Kalman protocol into a
+stream server.  A dashboard runs continuous queries against the *cached*
+values only — a sliding average in Fahrenheit, a sliding peak, an alert
+filter, and a cross-sensor differential — and every answer carries a sound
+error bar propagated from the per-sensor precision bounds.
+
+Run:  python examples/query_dashboard.py
+"""
+
+from repro import AbsoluteBound, StreamServer, kalman, streams
+from repro.core import SourceAgent
+from repro.dsms import ContinuousQuery, QueryEngine
+
+TICKS = 3_000
+DELTA_C = 0.5  # per-sensor bound, degrees Celsius
+WINDOW = 60
+
+model = kalman.constant_velocity(process_noise=1e-6, measurement_sigma=0.32)
+bound = AbsoluteBound(DELTA_C)
+
+server = StreamServer()
+sources = {}
+feeds = {}
+for room, seed in (("lobby", 1), ("server-room", 2), ("roof", 3)):
+    server.register(room, model)
+    sources[room] = SourceAgent(room, model, bound)
+    feeds[room] = streams.TemperatureSensor(
+        mean=18.0 + 4.0 * seed, seed=seed
+    ).take(TICKS)
+
+engine = QueryEngine(server, bounds={room: DELTA_C for room in sources})
+avg_f = engine.register(
+    ContinuousQuery("lobby", name="lobby_avg_F")
+    .map_linear(9 / 5, 32.0)  # C -> F
+    .window("mean", size=WINDOW)
+)
+peak = engine.register(
+    ContinuousQuery("server-room", name="server_room_peak").window("max", size=WINDOW)
+)
+hot = engine.register(
+    ContinuousQuery("server-room", name="overheat_alerts").above(32.0)
+)
+differential = engine.register_join(
+    "roof", "lobby", combine="sub", name="roof_minus_lobby"
+)
+
+print("Query plan:")
+print(engine.plan())
+print()
+
+for tick in range(TICKS):
+    for room, source in sources.items():
+        decision = source.process(feeds[room][tick])
+        server.advance(room, list(decision.messages))
+    engine.on_tick(float(tick))
+
+total_msgs = sum(s.updates_sent for s in sources.values())
+print(
+    f"{TICKS} ticks x {len(sources)} sensors = {TICKS * len(sources)} readings, "
+    f"{total_msgs} messages "
+    f"({100 * (1 - total_msgs / (TICKS * len(sources))):.1f}% suppressed)\n"
+)
+
+for result in (avg_f, peak, differential):
+    latest = result.latest()
+    print(
+        f"{result.name:18s} latest = {latest.value:8.2f} ± {latest.bound:.3f} "
+        f"({len(result.outputs)} outputs)"
+    )
+print(f"{'overheat_alerts':18s} fired {len(hot.outputs)} times (> 32.0 °C)")
+
+print(
+    "\nEvery answer above was computed without touching a sensor: queries "
+    "read the cached\nprocedures, and the ± column is the interval-arithmetic "
+    "propagation of each sensor's ±{:.1f} °C contract.".format(DELTA_C)
+)

@@ -1,0 +1,48 @@
+"""Quickstart: precision-bounded stream suppression in ~30 lines.
+
+A noisy random-walk sensor streams to a server.  We require the server's
+view to stay within delta = 2.0 of every reading, and compare what that
+contract costs under classic dead-band caching versus the dual-Kalman
+scheme.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro import AbsoluteBound, DualKalmanPolicy, kalman, streams
+from repro.baselines import DeadBandPolicy
+
+TICKS = 5_000
+DELTA = 3.0
+
+# A drifting signal observed through significant sensor noise: the regime
+# where filtering (not just caching) pays.
+stream = streams.RandomWalkStream(step_sigma=0.5, measurement_sigma=2.0, seed=7)
+readings = stream.take(TICKS)
+
+bound = AbsoluteBound(DELTA)
+model = kalman.random_walk(process_noise=0.25, measurement_sigma=2.0)
+
+policies = {
+    "dead-band (static cache)": DeadBandPolicy(bound),
+    "dual Kalman (cached procedure)": DualKalmanPolicy(model, bound),
+}
+
+print(f"{TICKS} ticks, precision bound ±{DELTA}\n")
+for name, policy in policies.items():
+    worst = 0.0
+    for reading in readings:
+        outcome = policy.tick(reading)
+        if outcome.estimate is not None:
+            worst = max(worst, abs(float(outcome.estimate[0]) - reading.scalar()))
+    sent = policy.stats.total_messages
+    print(
+        f"{name:32s} {sent:5d} messages "
+        f"({100 * (1 - sent / TICKS):5.1f}% suppressed), "
+        f"worst served error {worst:.3f}"
+    )
+
+print(
+    "\nBoth policies honour the bound; the Kalman cache honours it with "
+    "fewer messages\nbecause it predicts the signal and filters the sensor "
+    "noise instead of chasing it."
+)

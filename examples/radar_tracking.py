@@ -1,0 +1,75 @@
+"""Nonlinear sensors: precision-bounded suppression with an EKF.
+
+A shore radar observes a vessel as (range, bearing) — a *nonlinear*
+function of its position.  The dual-filter idea needs determinism, not
+linearity: both endpoints mirror an extended Kalman filter linearized at
+the shared state, and the source stays silent while the radar prediction
+holds to ±10 m in range and ±0.01 rad in bearing.
+
+Run:  python examples/radar_tracking.py
+"""
+
+import numpy as np
+
+from repro.baselines import DeadBandPolicy, DeadReckoningPolicy
+from repro.core import EkfSuppressionPolicy, RangeBearingBound, VectorBound
+from repro.experiments.runner import run_policy
+from repro.kalman import constant_velocity, planar, range_bearing, wrap_angle
+from repro.streams import GpsTrajectory, RangeBearingObserver
+
+TICKS = 5_000
+STATION = (-2000.0, -2000.0)
+DELTA_RANGE_M = 10.0
+DELTA_BEARING_RAD = 0.01
+
+# The vessel's true track, observed only through the radar.
+vessel = GpsTrajectory(cruise_speed=10.0, gps_sigma=0.0, seed=11)
+radar = RangeBearingObserver(
+    vessel, station=STATION, range_sigma=2.0, bearing_sigma=0.002, seed=3
+)
+readings = radar.take(TICKS)
+
+# Linear motion model, nonlinear measurement, per-axis sensor noise.
+model = planar(
+    constant_velocity(process_noise=1.0, measurement_sigma=1.0)
+).with_measurement_noise(np.diag([2.0**2, 0.002**2]))
+
+policies = {
+    "EKF dual filter": EkfSuppressionPolicy(
+        model, range_bearing(STATION), RangeBearingBound(DELTA_RANGE_M, DELTA_BEARING_RAD)
+    ),
+    "dead-band cache": DeadBandPolicy(
+        VectorBound(np.array([DELTA_RANGE_M, DELTA_BEARING_RAD]))
+    ),
+    "dead-reckoning": DeadReckoningPolicy(
+        VectorBound(np.array([DELTA_RANGE_M, DELTA_BEARING_RAD]))
+    ),
+}
+
+print(
+    f"Radar tracking, {TICKS} ticks, bound ±{DELTA_RANGE_M:g} m range / "
+    f"±{DELTA_BEARING_RAD:g} rad bearing\n"
+)
+for name, policy in policies.items():
+    result = run_policy(readings, policy)
+    worst_range = worst_bearing = 0.0
+    for i, reading in enumerate(readings):
+        if not np.isnan(result.served[i, 0]) and reading.value is not None:
+            worst_range = max(
+                worst_range, abs(result.served[i, 0] - reading.value[0])
+            )
+            worst_bearing = max(
+                worst_bearing,
+                abs(wrap_angle(float(result.served[i, 1] - reading.value[1]))),
+            )
+    print(
+        f"{name:18s} {result.messages:5d} messages "
+        f"({100 * result.suppression_ratio:5.1f}% suppressed), "
+        f"worst err: {worst_range:5.2f} m / {worst_bearing:.4f} rad"
+    )
+
+print(
+    "\nThe EKF mirrors deterministically on both endpoints, so the same "
+    "suppression protocol\nthat works for linear sensors extends to "
+    "nonlinear ones — with the same hard bound."
+)

@@ -1,0 +1,69 @@
+"""Sensor network under a message budget: the max-precision dual problem.
+
+A building's sensor fleet mixes calm and volatile feeds.  The uplink can
+carry a fixed number of messages per tick in total; the resource manager
+probes each stream's rate-vs-precision curve, then allocates per-sensor
+precision bounds to spend the budget where precision is cheapest.
+
+Run:  python examples/sensor_budget.py
+"""
+
+import numpy as np
+
+from repro import ManagedStream, StreamResourceManager, kalman, streams
+from repro.streams import record
+
+PROBE_TICKS = 1_000
+RUN_TICKS = 4_000
+BUDGET = 0.5  # messages per tick across the whole fleet
+
+fleet = []
+# Four vibration sensors of very different volatility...
+for i, sigma in enumerate((0.1, 0.4, 1.5, 4.0)):
+    stream = streams.RandomWalkStream(
+        step_sigma=sigma, measurement_sigma=0.25 * sigma, seed=10 + i
+    )
+    fleet.append(
+        ManagedStream(
+            stream_id=f"vibration-{i}",
+            recording=record(stream, PROBE_TICKS + RUN_TICKS),
+            model=kalman.random_walk(
+                process_noise=sigma**2, measurement_sigma=0.25 * sigma
+            ),
+        )
+    )
+# ...plus two mean-reverting pressure sensors.
+for i, sigma in enumerate((2.0, 6.0)):
+    stream = streams.OrnsteinUhlenbeckStream(
+        theta=0.05, stationary_sigma=sigma, measurement_sigma=0.2, seed=20 + i
+    )
+    kick_var = sigma**2 * (1.0 - np.exp(-0.1))
+    fleet.append(
+        ManagedStream(
+            stream_id=f"pressure-{i}",
+            recording=record(stream, PROBE_TICKS + RUN_TICKS),
+            model=kalman.random_walk(process_noise=kick_var, measurement_sigma=0.2),
+        )
+    )
+
+manager = StreamResourceManager(fleet, probe_ticks=PROBE_TICKS)
+curves = manager.probe()
+print("Fitted rate curves (messages/tick = a * delta^-b):")
+for member, curve in zip(fleet, curves):
+    print(f"  {member.stream_id:12s} a={curve.a:8.4f}  b={curve.b:5.2f}")
+
+print(f"\nBudget: {BUDGET:g} messages/tick across {len(fleet)} sensors\n")
+print(f"{'allocator':14s} {'norm. error':>12s} {'achieved rate':>14s}   per-sensor deltas")
+scales = np.array(manager.scales)
+for method in ("uniform", "equal_rate", "waterfilling"):
+    result = manager.run(BUDGET, method=method, run_ticks=RUN_TICKS)
+    errors = np.array([r.mean_abs_error for r in result.reports])
+    normalized = float(np.mean(errors / scales))
+    deltas = ", ".join(f"{d:.2f}" for d in result.allocation.deltas)
+    print(f"{method:14s} {normalized:12.3f} {result.total_rate:14.3f}   [{deltas}]")
+
+print(
+    "\nUniform bounds waste the budget polishing calm sensors; waterfilling "
+    "equalizes the\nmarginal message cost of precision and delivers several "
+    "times less normalized error."
+)

@@ -1,0 +1,32 @@
+"""Baseline suppression policies the paper's scheme is compared against."""
+
+from repro.baselines.ar import ArPolicy, ArPredictor, fit_ar
+from repro.baselines.base import (
+    MirroredPredictorPolicy,
+    PeriodicPolicy,
+    Predictor,
+    SuppressionPolicy,
+    TickOutcome,
+)
+from repro.baselines.dead_band import DeadBandPolicy
+from repro.baselines.dead_reckoning import DeadReckoningPolicy, LinearExtrapolationPredictor
+from repro.baselines.ewma import EwmaPolicy, HoltPredictor
+from repro.baselines.static_cache import LastValuePredictor, periodic_cache
+
+__all__ = [
+    "SuppressionPolicy",
+    "TickOutcome",
+    "Predictor",
+    "MirroredPredictorPolicy",
+    "PeriodicPolicy",
+    "periodic_cache",
+    "LastValuePredictor",
+    "DeadBandPolicy",
+    "LinearExtrapolationPredictor",
+    "DeadReckoningPolicy",
+    "HoltPredictor",
+    "EwmaPolicy",
+    "ArPredictor",
+    "ArPolicy",
+    "fit_ar",
+]

@@ -1,0 +1,24 @@
+"""Shared suppression-policy machinery (re-exported).
+
+The interface itself lives in :mod:`repro.core.policy_base` because the
+core package's own :class:`~repro.core.session.DualKalmanPolicy` implements
+it; baselines import it from here for readability — a baseline is defined
+entirely by its :class:`Predictor` plugged into
+:class:`MirroredPredictorPolicy`.
+"""
+
+from repro.core.policy_base import (
+    MirroredPredictorPolicy,
+    PeriodicPolicy,
+    Predictor,
+    SuppressionPolicy,
+    TickOutcome,
+)
+
+__all__ = [
+    "TickOutcome",
+    "SuppressionPolicy",
+    "Predictor",
+    "MirroredPredictorPolicy",
+    "PeriodicPolicy",
+]

@@ -1,0 +1,28 @@
+"""Dead-band (approximate caching) baseline.
+
+The strongest classical comparator: the server caches the last transmitted
+value; the source transmits whenever the fresh measurement deviates from
+that cached value by more than the bound (Olston et al.'s approximate
+caching, also known as a dead-band or delta filter in SCADA systems).
+
+It enforces the same precision contract as the dual-Kalman scheme but
+predicts with a constant — so it pays one message per δ-sized excursion of
+the *value*, while a model-based cache pays one per δ-sized excursion of the
+*prediction error*.  On trending or periodic streams that difference is the
+whole story.
+"""
+
+from __future__ import annotations
+
+from repro.baselines.base import MirroredPredictorPolicy
+from repro.baselines.static_cache import LastValuePredictor
+from repro.core.precision import PrecisionBound
+
+__all__ = ["DeadBandPolicy"]
+
+
+class DeadBandPolicy(MirroredPredictorPolicy):
+    """Value-gated static cache with a hard precision bound."""
+
+    def __init__(self, bound: PrecisionBound):
+        super().__init__(LastValuePredictor(), bound, name="dead_band")

@@ -1,0 +1,65 @@
+"""Linear dead-reckoning baseline.
+
+The classical moving-object protocol: on each transmission the server
+receives the current value, forms a velocity from the last two transmitted
+values, and extrapolates linearly until the next transmission.  Great on
+clean trends, brittle on noise — the velocity estimate is a finite
+difference of two *noisy* measurements, so sensor noise is amplified by
+``1/Δticks`` and blindly extrapolated.  That brittleness is precisely the
+motivation for a filter-based predictor.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.baselines.base import MirroredPredictorPolicy, Predictor
+from repro.core.precision import PrecisionBound
+
+__all__ = ["LinearExtrapolationPredictor", "DeadReckoningPolicy"]
+
+
+class LinearExtrapolationPredictor(Predictor):
+    """Extrapolates from the last two observed values at their observed ticks.
+
+    Velocity = (z_b - z_a) / (tick_b - tick_a); prediction = z_b +
+    velocity * ticks_since_b.  With a single observation the prediction is
+    constant (degenerates to last-value).
+    """
+
+    def __init__(self) -> None:
+        self._prev: np.ndarray | None = None
+        self._prev_age = 0  # ticks between the two retained observations
+        self._last: np.ndarray | None = None
+        self._since_last = 0  # ticks elapsed since the newest observation
+
+    def predict(self) -> np.ndarray | None:
+        if self._last is None:
+            return None
+        steps = self._since_last + 1
+        if self._prev is None or self._prev_age == 0:
+            return self._last.copy()
+        velocity = (self._last - self._prev) / self._prev_age
+        return self._last + velocity * steps
+
+    def observe(self, z: np.ndarray) -> None:
+        z = np.asarray(z, dtype=float).copy()
+        if self._last is not None:
+            self._prev = self._last
+            self._prev_age = self._since_last + 1
+        self._last = z
+        self._since_last = 0
+
+    def coast(self) -> None:
+        if self._last is not None:
+            self._since_last += 1
+
+    def describe(self) -> str:
+        return "linear dead-reckoning"
+
+
+class DeadReckoningPolicy(MirroredPredictorPolicy):
+    """Gated linear extrapolation with a hard precision bound."""
+
+    def __init__(self, bound: PrecisionBound):
+        super().__init__(LinearExtrapolationPredictor(), bound, name="dead_reckoning")

@@ -1,0 +1,81 @@
+"""Holt linear-trend (double-EWMA) baseline.
+
+A cheap heuristic "dynamic procedure": the server maintains an
+exponentially-smoothed level and trend, extrapolating ``level + k * trend``
+between transmissions.  Unlike dead-reckoning it damps measurement noise,
+and unlike a Kalman filter its gains are fixed constants chosen a priori —
+it cannot trade responsiveness against smoothing as the stream changes.
+Sits between dead-band and the Kalman scheme in the evaluation, isolating
+how much of the Kalman win comes from *having a model* versus from having
+an *optimal, adaptive* one.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.baselines.base import MirroredPredictorPolicy, Predictor
+from repro.core.precision import PrecisionBound
+from repro.errors import ConfigurationError
+
+__all__ = ["HoltPredictor", "EwmaPolicy"]
+
+
+class HoltPredictor(Predictor):
+    """Holt's linear exponential smoothing with fixed gains.
+
+    Args:
+        alpha: Level smoothing gain in (0, 1].
+        beta: Trend smoothing gain in [0, 1].  ``beta=0`` disables the
+            trend, giving plain EWMA.
+    """
+
+    def __init__(self, alpha: float = 0.5, beta: float = 0.2):
+        if not 0.0 < alpha <= 1.0:
+            raise ConfigurationError(f"alpha must be in (0,1], got {alpha!r}")
+        if not 0.0 <= beta <= 1.0:
+            raise ConfigurationError(f"beta must be in [0,1], got {beta!r}")
+        self.alpha = float(alpha)
+        self.beta = float(beta)
+        self._level: np.ndarray | None = None
+        self._trend: np.ndarray | None = None
+        self._since_last = 0
+
+    def predict(self) -> np.ndarray | None:
+        if self._level is None:
+            return None
+        steps = self._since_last + 1
+        assert self._trend is not None
+        return self._level + self._trend * steps
+
+    def observe(self, z: np.ndarray) -> None:
+        z = np.asarray(z, dtype=float)
+        if self._level is None:
+            self._level = z.copy()
+            self._trend = np.zeros_like(z)
+            self._since_last = 0
+            return
+        # The last smoothing happened `gap` ticks ago; extrapolate the
+        # state to "now" first so the update applies at the right horizon.
+        gap = self._since_last + 1
+        assert self._trend is not None
+        projected = self._level + self._trend * gap
+        new_level = self.alpha * z + (1.0 - self.alpha) * projected
+        observed_trend = (new_level - self._level) / gap
+        self._trend = self.beta * observed_trend + (1.0 - self.beta) * self._trend
+        self._level = new_level
+        self._since_last = 0
+
+    def coast(self) -> None:
+        if self._level is not None:
+            self._since_last += 1
+
+    def describe(self) -> str:
+        return f"Holt (α={self.alpha:g}, β={self.beta:g})"
+
+
+class EwmaPolicy(MirroredPredictorPolicy):
+    """Gated Holt smoothing with a hard precision bound."""
+
+    def __init__(self, bound: PrecisionBound, alpha: float = 0.5, beta: float = 0.2):
+        super().__init__(HoltPredictor(alpha=alpha, beta=beta), bound, name="ewma")

@@ -1,0 +1,47 @@
+"""Last-value (static-data) caching baselines.
+
+Two variants of the "traditional" approach the paper argues against:
+
+* :class:`LastValuePredictor` + the mirrored gate = the *dead-band* filter
+  of :mod:`repro.baselines.dead_band` (value-gated static cache).
+* :func:`periodic_cache` = time-gated static cache with no precision
+  guarantee (see :class:`repro.baselines.base.PeriodicPolicy`).
+
+The predictor lives here so the dead-band module can stay focused on the
+policy-level constructor.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.baselines.base import PeriodicPolicy, Predictor
+
+__all__ = ["LastValuePredictor", "periodic_cache"]
+
+
+class LastValuePredictor(Predictor):
+    """Predicts "nothing changed": the last transmitted value, forever.
+
+    This is exactly what a static cache serves between refreshes.
+    """
+
+    def __init__(self) -> None:
+        self._last: np.ndarray | None = None
+
+    def predict(self) -> np.ndarray | None:
+        return None if self._last is None else self._last.copy()
+
+    def observe(self, z: np.ndarray) -> None:
+        self._last = np.asarray(z, dtype=float).copy()
+
+    def coast(self) -> None:
+        pass  # a static value does not evolve
+
+    def describe(self) -> str:
+        return "last-value cache"
+
+
+def periodic_cache(interval: int) -> PeriodicPolicy:
+    """Time-gated static cache: refresh every ``interval`` ticks."""
+    return PeriodicPolicy(interval)

@@ -1,0 +1,253 @@
+"""Adaptation of the cached procedure to sensor noise and time variance.
+
+The source sees every raw measurement, so it is the natural place to learn
+the stream's current statistics.  It runs a *shadow filter* — a private
+Kalman filter updated with every measurement, independent of suppression —
+and feeds innovation-based estimators
+(:class:`~repro.kalman.adaptive_noise.MeasurementNoiseEstimator`,
+:class:`~repro.kalman.adaptive_noise.ProcessNoiseScaler`) from it.
+
+Three safeguards keep adaptation from hurting the very objective it serves
+(fewer messages):
+
+* **Damped commits** — innovation-based estimation is a fixed-point
+  iteration whose full steps oscillate; each switch moves only a fraction
+  of the suggested step.
+* **Outlier exclusion** — shadow innovations beyond a chi-square gate are
+  treated as spikes: the shadow updates with inflated R and the sample is
+  withheld from the estimators, so heavy-tailed glitches don't inflate the
+  learned covariances.
+* **Rate guard with rollback** — statistical consistency is a proxy; the
+  objective is the message rate.  After every committed switch the policy
+  compares the observed rate before and after; if the switch made things
+  worse it is rolled back (as another ModelSwitch) and adaptation goes
+  quiet for a burn-in period.  This bounds the damage of adapting under
+  structural model misspecification, where chasing NIS consistency can
+  ratchet the process noise up without end.
+
+When a change survives the guards the source ships it as a
+:class:`~repro.core.protocol.ModelSwitch` so both replicas adopt the new
+procedure at the same tick; *proposing* here never mutates the replicas.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+
+import numpy as np
+from scipy import stats
+
+from repro.errors import ConfigurationError
+from repro.kalman.adaptive_noise import MeasurementNoiseEstimator, ProcessNoiseScaler
+from repro.kalman.filter import KalmanFilter
+from repro.kalman.models import ProcessModel
+
+__all__ = ["AdaptationPolicy"]
+
+
+class AdaptationPolicy:
+    """Guarded online estimation of R and Q for the cached model.
+
+    Args:
+        model: The model both replicas start from.
+        adapt_r: Learn the measurement-noise covariance online.
+        adapt_q: Learn a process-noise scale online.
+        rel_threshold: Minimum relative change (Frobenius for R, ratio-from-1
+            for the Q scale) before a switch is proposed.
+        cooldown: Ticks that must pass between committed switches; also the
+            window over which the rate guard compares before/after rates.
+        window: Innovation window length for both estimators.
+        damping: Fraction of the estimator's suggested step taken per switch.
+        outlier_gate_p: Two-sided chi-square probability for excluding
+            shadow innovations from the estimators (None disables).
+        rate_guard: Roll back a switch whose post-switch message rate
+            exceeds the pre-switch rate by more than ``rate_margin``.
+        rate_margin: Relative slack before a rollback triggers.  The
+            default 0 demands strict improvement: a neutral switch is
+            rolled back about half the time (it was useless anyway), while
+            genuinely rate-reducing switches survive reliably.
+        burn_in: Ticks adaptation stays quiet after the first rollback;
+            doubles after every subsequent rollback (exponential backoff),
+            so structurally-misspecified models stop paying a recurring
+            probe tax.
+    """
+
+    def __init__(
+        self,
+        model: ProcessModel,
+        adapt_r: bool = True,
+        adapt_q: bool = True,
+        rel_threshold: float = 0.5,
+        cooldown: int = 200,
+        window: int = 128,
+        damping: float = 0.5,
+        outlier_gate_p: float | None = 0.999,
+        rate_guard: bool = True,
+        rate_margin: float = 0.0,
+        burn_in: int = 1000,
+    ):
+        if rel_threshold <= 0:
+            raise ConfigurationError(
+                f"rel_threshold must be positive, got {rel_threshold!r}"
+            )
+        if cooldown < 1:
+            raise ConfigurationError(f"cooldown must be >= 1, got {cooldown!r}")
+        if not 0.0 < damping <= 1.0:
+            raise ConfigurationError(f"damping must be in (0,1], got {damping!r}")
+        if rate_margin < 0:
+            raise ConfigurationError(f"rate_margin must be >= 0, got {rate_margin!r}")
+        if burn_in < 0:
+            raise ConfigurationError(f"burn_in must be >= 0, got {burn_in!r}")
+        if not (adapt_r or adapt_q):
+            raise ConfigurationError("at least one of adapt_r/adapt_q must be enabled")
+        self.model = model
+        self.adapt_r = adapt_r
+        self.adapt_q = adapt_q
+        self.rel_threshold = float(rel_threshold)
+        self.cooldown = int(cooldown)
+        self.damping = float(damping)
+        self.rate_guard = rate_guard
+        self.rate_margin = float(rate_margin)
+        self.burn_in = int(burn_in)
+        self.shadow = KalmanFilter(model)
+        self._gate = (
+            float(stats.chi2.ppf(outlier_gate_p, model.dim_z))
+            if outlier_gate_p is not None
+            else None
+        )
+        self._r_estimator = (
+            MeasurementNoiseEstimator(model.dim_z, window=window) if adapt_r else None
+        )
+        self._q_scaler = ProcessNoiseScaler(model.dim_z, window=window) if adapt_q else None
+        self._ticks_since_switch = cooldown  # allow an early first switch
+        self.switches: list[tuple[int, dict]] = []
+        self.rollbacks: list[int] = []
+        self._tick = 0
+        # Rate-guard state.
+        self._sent_window: deque[bool] = deque(maxlen=cooldown)
+        self._pre_switch_rate: float | None = None
+        self._undo_change: dict | None = None
+        self._guard_pending = False
+        self._quiet_until = 0
+        self._burn_factor = 1
+
+    # ------------------------------------------------------------------
+    # Per-tick feeds (called by the source agent)
+    # ------------------------------------------------------------------
+    def observe(self, z: np.ndarray) -> None:
+        """Feed one raw measurement into the shadow filter and estimators."""
+        self.shadow.predict()
+        is_outlier = False
+        if self._gate is not None:
+            h, r = self.shadow.model.H, self.shadow.model.R
+            y = np.atleast_1d(np.asarray(z, dtype=float)) - h @ self.shadow.x
+            s = h @ self.shadow.P @ h.T + r
+            is_outlier = float(y @ np.linalg.solve(s, y)) > self._gate
+        if is_outlier:
+            # Keep the shadow from chasing the spike and withhold the
+            # corrupted innovation from the estimators.
+            self.shadow.update(z, R=self.shadow.model.R * 100.0)
+        else:
+            self.shadow.update(z)
+            if self._r_estimator is not None:
+                self._r_estimator.observe(self.shadow)
+            if self._q_scaler is not None:
+                self._q_scaler.observe(self.shadow)
+        self._tick += 1
+        self._ticks_since_switch += 1
+
+    def coast(self) -> None:
+        """Advance the shadow filter over a dropped tick."""
+        self.shadow.predict()
+        self._tick += 1
+        self._ticks_since_switch += 1
+
+    def note_sent(self, sent: bool) -> None:
+        """Record whether the protocol transmitted this tick (rate guard)."""
+        self._sent_window.append(sent)
+
+    # ------------------------------------------------------------------
+    # Proposal logic
+    # ------------------------------------------------------------------
+    def _current_rate(self) -> float:
+        if not self._sent_window:
+            return 0.0
+        return float(np.mean(self._sent_window))
+
+    def propose(self) -> dict | None:
+        """A ``ModelSwitch.change`` dict, or ``None`` if nothing warrants one.
+
+        Rollbacks take precedence; then R changes (a wrong R contaminates
+        the innovation statistics the Q scaler relies on); then Q changes.
+        """
+        # Evaluate the rate guard exactly one cooldown after a switch.
+        if (
+            self._guard_pending
+            and self._ticks_since_switch >= self.cooldown
+            and len(self._sent_window) == self.cooldown
+        ):
+            self._guard_pending = False
+            post = self._current_rate()
+            pre = self._pre_switch_rate if self._pre_switch_rate is not None else post
+            slack = self.rate_margin * max(pre, 1.0 / self.cooldown)
+            if self.rate_guard and self._undo_change is not None and post > pre + slack:
+                undo = self._undo_change
+                self._undo_change = None
+                self._quiet_until = self._tick + self.burn_in * self._burn_factor
+                self._burn_factor *= 2
+                self.rollbacks.append(self._tick)
+                return undo
+            self._undo_change = None
+        if self._tick < self._quiet_until:
+            return None
+        if self._ticks_since_switch < self.cooldown:
+            return None
+        if self._r_estimator is not None and self._r_estimator.ready():
+            suggestion = self._r_estimator.suggestion()
+            current = self.model.R
+            # Damped step toward the suggestion (fixed-point stabilization).
+            proposal = current + self.damping * (suggestion - current)
+            denom = max(float(np.linalg.norm(current)), 1e-12)
+            rel = float(np.linalg.norm(proposal - current)) / denom
+            if rel > self.rel_threshold:
+                return {"R": proposal.tolist()}
+        if self._q_scaler is not None and self._q_scaler.ready():
+            scale = float(self._q_scaler.suggestion() ** self.damping)
+            if scale > 1.0 + self.rel_threshold or scale < 1.0 / (1.0 + self.rel_threshold):
+                return {"Q_scale": scale}
+        return None
+
+    def commit(self, change: dict) -> None:
+        """Adopt a proposed change locally after it has been shipped.
+
+        Updates the shadow filter's model, restarts the estimator windows
+        (their statistics were computed under the old model), arms the
+        cooldown, and captures the inverse change for the rate guard.
+        """
+        undo: dict = {}
+        if "R" in change:
+            undo["R"] = self.model.R.tolist()
+            self.model = self.model.with_measurement_noise(
+                np.asarray(change["R"], dtype=float)
+            )
+        if "Q_scale" in change:
+            undo["Q_scale"] = 1.0 / float(change["Q_scale"])
+            self.model = self.model.with_process_noise(
+                self.model.Q * float(change["Q_scale"])
+            )
+        self.shadow.swap_model(self.model)
+        if self._r_estimator is not None:
+            self._r_estimator.reset()
+        if self._q_scaler is not None:
+            self._q_scaler.reset()
+        is_rollback = bool(self.rollbacks) and self.rollbacks[-1] == self._tick
+        if is_rollback:
+            # Never guard a rollback — that would ping-pong the model.
+            self._undo_change = None
+            self._guard_pending = False
+        else:
+            self._pre_switch_rate = self._current_rate()
+            self._undo_change = undo
+            self._guard_pending = True
+        self._ticks_since_switch = 0
+        self.switches.append((self._tick, dict(change)))

@@ -1,0 +1,129 @@
+"""Server-side fusion of multiple sensors observing the same phenomenon.
+
+When several independent sources stream the same latent quantity (three
+thermometers in one room, two radars on one vessel), the server holds one
+cached procedure per source.  Fusion combines their current estimates by
+inverse-variance weighting — the minimum-variance unbiased combination for
+independent Gaussian estimates — so the fused view is *better than any
+single stream's* without a single extra message: each source keeps its own
+suppression loop, and the variances the server needs are exactly the
+cached filters' own measurement variances, which it already maintains.
+
+This is a read-side feature: no protocol change, no coordination between
+sources.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.server import StreamServer
+from repro.errors import ConfigurationError, QueryError
+
+__all__ = ["FusedEstimate", "fuse", "FusedView"]
+
+
+@dataclass(frozen=True)
+class FusedEstimate:
+    """An inverse-variance-weighted combination of per-stream estimates.
+
+    Attributes:
+        value: Fused value per axis.
+        variance: Variance of the fused value per axis (diagonal only —
+            fusion treats streams as independent).
+        contributing: Stream ids that had data and entered the combination.
+    """
+
+    value: np.ndarray
+    variance: np.ndarray
+    contributing: tuple[str, ...]
+
+    @property
+    def std(self) -> np.ndarray:
+        """Standard deviation per axis."""
+        return np.sqrt(self.variance)
+
+
+def fuse(
+    values: list[np.ndarray],
+    variances: list[np.ndarray],
+    labels: list[str] | None = None,
+) -> FusedEstimate:
+    """Inverse-variance fusion of independent per-axis estimates.
+
+    Args:
+        values: One ``(dim,)`` estimate per source.
+        variances: Matching per-axis variances (diagonals).
+        labels: Optional source names recorded on the result.
+
+    Returns:
+        The minimum-variance combination: weights ``w_i = 1/var_i``
+        normalized per axis; fused variance ``1 / sum_i (1/var_i)``.
+    """
+    if not values:
+        raise ConfigurationError("nothing to fuse")
+    if len(values) != len(variances):
+        raise ConfigurationError("values and variances must align")
+    stacked = np.stack([np.atleast_1d(np.asarray(v, dtype=float)) for v in values])
+    var = np.stack([np.atleast_1d(np.asarray(v, dtype=float)) for v in variances])
+    if var.shape != stacked.shape:
+        raise ConfigurationError(
+            f"variance shape {var.shape} does not match values {stacked.shape}"
+        )
+    if np.any(var <= 0):
+        raise ConfigurationError("variances must be positive")
+    weights = 1.0 / var
+    fused_var = 1.0 / np.sum(weights, axis=0)
+    fused_val = fused_var * np.sum(weights * stacked, axis=0)
+    names = tuple(labels) if labels is not None else tuple(f"s{i}" for i in range(len(values)))
+    return FusedEstimate(value=fused_val, variance=fused_var, contributing=names)
+
+
+class FusedView:
+    """A live fused estimate over several of a server's cached streams.
+
+    The per-stream variance used for weighting is the replica's current
+    measurement variance (``H P H' + R``), which grows while a stream
+    coasts — so a stream that has been silent for a long time naturally
+    loses weight relative to one that was just refreshed.
+
+    Args:
+        server: The stream server holding the cached procedures.
+        stream_ids: Streams observing the same latent quantity (must share
+            measurement dimension).
+    """
+
+    def __init__(self, server: StreamServer, stream_ids: list[str]):
+        if len(stream_ids) < 2:
+            raise ConfigurationError("fusion needs at least two streams")
+        self.server = server
+        self.stream_ids = list(stream_ids)
+        # Validate registration eagerly; dimension agreement is checked per
+        # read because streams may warm up at different times.
+        for sid in stream_ids:
+            server.state(sid)
+
+    def current(self) -> FusedEstimate:
+        """Fuse whatever streams currently have data.
+
+        Raises:
+            QueryError: If no stream has produced data yet.
+        """
+        values, variances, labels = [], [], []
+        for sid in self.stream_ids:
+            snapshot = self.server.snapshot(sid)
+            if snapshot.value is None:
+                continue
+            values.append(snapshot.value)
+            variances.append(np.clip(np.diag(snapshot.variance), 1e-12, None))
+            labels.append(sid)
+        if not values:
+            raise QueryError("no fused stream has data yet")
+        dims = {v.shape[0] for v in values}
+        if len(dims) != 1:
+            raise ConfigurationError(
+                f"fused streams disagree on dimension: {sorted(dims)}"
+            )
+        return fuse(values, variances, labels)

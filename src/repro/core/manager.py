@@ -1,0 +1,415 @@
+"""Fleet-level resource management: probe, fit, allocate, run.
+
+Implements the paper's second optimization mode — *maximize precision under
+a resource constraint* — over a fleet of heterogeneous streams:
+
+1. **Probe**: run a short prefix of each stream at a few candidate bounds
+   and record message rates.
+2. **Fit**: a :class:`~repro.core.allocation.RateCurve` per stream.
+3. **Allocate**: per-stream bounds from the chosen allocator for the
+   requested total message budget.
+4. **Run**: the main phase with the allocated bounds, accounting messages
+   and server-side error per stream.
+
+Streams are replayed from recordings so every allocation strategy faces the
+exact same data (paired comparison).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.core.adaptive import AdaptationPolicy
+from repro.core.allocation import (
+    Allocation,
+    RateCurve,
+    allocate_equal_rate,
+    allocate_scipy,
+    allocate_uniform,
+    allocate_waterfilling,
+)
+from repro.core.precision import AbsoluteBound
+from repro.core.session import DualKalmanPolicy
+from repro.errors import AllocationError, ConfigurationError
+from repro.kalman.models import ProcessModel
+from repro.streams.base import Reading
+from repro.streams.replay import RecordedStream
+
+__all__ = [
+    "ManagedStream",
+    "StreamReport",
+    "FleetResult",
+    "EpochReport",
+    "DynamicFleetResult",
+    "StreamResourceManager",
+]
+
+_ALLOCATORS = {
+    "uniform": allocate_uniform,
+    "equal_rate": allocate_equal_rate,
+    "waterfilling": allocate_waterfilling,
+    "scipy": allocate_scipy,
+}
+
+
+@dataclass
+class ManagedStream:
+    """One fleet member: its recorded data, model, and importance weight."""
+
+    stream_id: str
+    recording: RecordedStream
+    model: ProcessModel
+    weight: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.weight <= 0:
+            raise ConfigurationError(
+                f"weight must be positive, got {self.weight!r} for {self.stream_id!r}"
+            )
+
+
+@dataclass(frozen=True)
+class StreamReport:
+    """Per-stream outcome of the main phase."""
+
+    stream_id: str
+    delta: float
+    messages: int
+    ticks: int
+    mean_abs_error: float
+    max_abs_error: float
+
+    @property
+    def message_rate(self) -> float:
+        """Messages per tick actually spent."""
+        return self.messages / self.ticks if self.ticks else 0.0
+
+
+@dataclass
+class FleetResult:
+    """Fleet-wide outcome for one (budget, allocator) cell."""
+
+    method: str
+    budget: float
+    allocation: Allocation
+    reports: list[StreamReport] = field(default_factory=list)
+
+    @property
+    def total_messages(self) -> int:
+        """Messages the whole fleet actually sent."""
+        return sum(r.messages for r in self.reports)
+
+    @property
+    def total_rate(self) -> float:
+        """Actual fleet message rate (messages per tick)."""
+        ticks = self.reports[0].ticks if self.reports else 0
+        return self.total_messages / ticks if ticks else 0.0
+
+    def mean_error(self, weights: np.ndarray | None = None) -> float:
+        """Weighted mean of per-stream mean absolute errors."""
+        errors = np.array([r.mean_abs_error for r in self.reports])
+        w = np.ones_like(errors) if weights is None else np.asarray(weights, float)
+        return float(np.sum(w * errors) / np.sum(w))
+
+
+@dataclass(frozen=True)
+class EpochReport:
+    """One epoch of a dynamic run: what was allocated and what it cost."""
+
+    epoch: int
+    deltas: np.ndarray
+    messages: int
+    ticks: int
+    mean_abs_errors: np.ndarray  # per stream, NaN where no truth
+
+    @property
+    def rate(self) -> float:
+        """Fleet message rate during this epoch."""
+        return self.messages / self.ticks if self.ticks else 0.0
+
+
+@dataclass
+class DynamicFleetResult:
+    """Outcome of a dynamic (re-allocating) fleet run."""
+
+    method: str
+    budget: float
+    epochs: list[EpochReport] = field(default_factory=list)
+
+    @property
+    def total_messages(self) -> int:
+        """Messages across all epochs."""
+        return sum(e.messages for e in self.epochs)
+
+    def error_series(self, scales: np.ndarray | None = None) -> list[float]:
+        """Per-epoch mean error, optionally normalized by stream scales."""
+        out = []
+        for e in self.epochs:
+            errors = e.mean_abs_errors
+            if scales is not None:
+                errors = errors / scales
+            out.append(float(np.nanmean(errors)))
+        return out
+
+    def rate_series(self) -> list[float]:
+        """Per-epoch fleet message rate."""
+        return [e.rate for e in self.epochs]
+
+
+class StreamResourceManager:
+    """Probe/fit/allocate/run controller for a fleet of streams.
+
+    Args:
+        streams: Fleet members (recordings must all be at least
+            ``probe_ticks + run_ticks`` long).
+        probe_deltas_rel: Probe bounds *relative to each stream's scale*
+            (the std-dev of its one-tick changes), so heterogeneous fleets
+            probe sensible ranges.  The grid should overlap the bounds the
+            allocator will pick: power-law fits extrapolate poorly from the
+            saturated small-delta regime into the sparse large-delta one.
+        probe_ticks: Prefix length used for probing.
+        adaptive: Whether main-phase policies carry online adaptation.
+    """
+
+    def __init__(
+        self,
+        streams: list[ManagedStream],
+        probe_deltas_rel: tuple[float, ...] = (0.5, 1.0, 2.0, 4.0, 8.0),
+        probe_ticks: int = 1000,
+        adaptive: bool = False,
+    ):
+        if not streams:
+            raise ConfigurationError("the fleet must contain at least one stream")
+        ids = [s.stream_id for s in streams]
+        if len(set(ids)) != len(ids):
+            raise ConfigurationError(f"duplicate stream ids in fleet: {ids}")
+        if len(probe_deltas_rel) < 2:
+            raise ConfigurationError("need at least two probe deltas")
+        self.streams = streams
+        self.probe_deltas_rel = probe_deltas_rel
+        self.probe_ticks = probe_ticks
+        self.adaptive = adaptive
+        self._curves: list[RateCurve] | None = None
+        self._scales: list[float] | None = None
+
+    # ------------------------------------------------------------------
+    # Phase 1-2: probe and fit
+    # ------------------------------------------------------------------
+    def probe(self) -> list[RateCurve]:
+        """Measure rate curves on each stream's probe prefix (cached)."""
+        if self._curves is not None:
+            return self._curves
+        curves: list[RateCurve] = []
+        scales: list[float] = []
+        for managed in self.streams:
+            readings = managed.recording.readings[: self.probe_ticks]
+            if len(readings) < self.probe_ticks:
+                raise ConfigurationError(
+                    f"stream {managed.stream_id!r} too short for probing "
+                    f"({len(readings)} < {self.probe_ticks})"
+                )
+            scale = _stream_scale(readings)
+            scales.append(scale)
+            deltas, rates = [], []
+            for rel in self.probe_deltas_rel:
+                delta = rel * scale
+                policy = self._make_policy(managed.model, delta)
+                sent = sum(policy.tick(r).sent for r in readings)
+                deltas.append(delta)
+                # Zero-message probes break the log fit; floor at one
+                # message over the probe window.
+                rates.append(max(sent, 1) / len(readings))
+            curves.append(RateCurve.fit(np.array(deltas), np.array(rates)))
+        self._curves = curves
+        self._scales = scales
+        return curves
+
+    @property
+    def scales(self) -> list[float]:
+        """Per-stream measurement scales discovered during probing."""
+        if self._scales is None:
+            self.probe()
+        assert self._scales is not None
+        return self._scales
+
+    # ------------------------------------------------------------------
+    # Phase 3: allocate
+    # ------------------------------------------------------------------
+    def allocate(self, budget: float, method: str = "waterfilling") -> Allocation:
+        """Per-stream bounds for a fleet-wide message budget (msgs/tick)."""
+        try:
+            allocator = _ALLOCATORS[method]
+        except KeyError:
+            raise AllocationError(
+                f"unknown allocation method {method!r}; "
+                f"expected one of {sorted(_ALLOCATORS)}"
+            ) from None
+        curves = self.probe()
+        if method in ("waterfilling", "scipy"):
+            # Weight imprecision by stream importance and normalize by scale
+            # so a degree of temperature and a metre of position compare.
+            weights = np.array(
+                [s.weight / max(sc, 1e-12) for s, sc in zip(self.streams, self.scales)]
+            )
+            return allocator(curves, budget, weights=weights)
+        return allocator(curves, budget)
+
+    # ------------------------------------------------------------------
+    # Phase 4: run
+    # ------------------------------------------------------------------
+    def run(
+        self,
+        budget: float,
+        method: str = "waterfilling",
+        run_ticks: int | None = None,
+    ) -> FleetResult:
+        """Execute the main phase under the allocated bounds."""
+        allocation = self.allocate(budget, method)
+        result = FleetResult(method=method, budget=budget, allocation=allocation)
+        for managed, delta in zip(self.streams, allocation.deltas):
+            readings = managed.recording.readings[self.probe_ticks :]
+            if run_ticks is not None:
+                readings = readings[:run_ticks]
+            if not readings:
+                raise ConfigurationError(
+                    f"stream {managed.stream_id!r} has no readings left for the "
+                    "main phase; record more ticks"
+                )
+            policy = self._make_policy(managed.model, float(delta))
+            abs_errors = []
+            for reading in readings:
+                outcome = policy.tick(reading)
+                if outcome.estimate is not None and reading.truth is not None:
+                    abs_errors.append(
+                        float(np.max(np.abs(outcome.estimate - reading.truth)))
+                    )
+            result.reports.append(
+                StreamReport(
+                    stream_id=managed.stream_id,
+                    delta=float(delta),
+                    messages=policy.stats.total_messages,
+                    ticks=len(readings),
+                    mean_abs_error=float(np.mean(abs_errors)) if abs_errors else np.nan,
+                    max_abs_error=float(np.max(abs_errors)) if abs_errors else np.nan,
+                )
+            )
+        return result
+
+    # ------------------------------------------------------------------
+    # Dynamic mode: re-anchor curves and re-allocate every epoch
+    # ------------------------------------------------------------------
+    def run_dynamic(
+        self,
+        budget: float,
+        method: str = "waterfilling",
+        epoch_ticks: int = 1000,
+        anchor_gamma: float = 0.5,
+    ) -> DynamicFleetResult:
+        """Run the main phase in epochs, re-allocating between them.
+
+        After each epoch the observed (δ, rate) point re-anchors the
+        stream's rate curve: the elasticity ``b`` (stable across regimes)
+        is kept from probing, while the level ``a`` is updated in log
+        space with smoothing ``anchor_gamma`` — so a stream that turns
+        volatile pulls budget toward itself within an epoch or two.
+
+        Filters persist across epochs (only the bound changes), matching a
+        live deployment where re-allocation must not reset stream state.
+
+        Args:
+            budget: Fleet-wide message budget (messages per tick).
+            method: Allocator name (see :meth:`allocate`).
+            epoch_ticks: Epoch length; the main phase runs as many whole
+                epochs as the recordings allow.
+            anchor_gamma: Log-space smoothing toward each epoch's observed
+                rate point (0 = never adapt, 1 = jump to the observation).
+        """
+        if epoch_ticks < 10:
+            raise ConfigurationError(f"epoch_ticks must be >= 10, got {epoch_ticks!r}")
+        if not 0.0 <= anchor_gamma <= 1.0:
+            raise ConfigurationError(
+                f"anchor_gamma must be in [0,1], got {anchor_gamma!r}"
+            )
+        curves = list(self.probe())
+        n_epochs = min(
+            (len(m.recording.readings) - self.probe_ticks) // epoch_ticks
+            for m in self.streams
+        )
+        if n_epochs < 1:
+            raise ConfigurationError(
+                "recordings too short for even one epoch after probing"
+            )
+        policies = {
+            m.stream_id: self._make_policy(m.model, 1.0) for m in self.streams
+        }
+        result = DynamicFleetResult(method=method, budget=budget)
+        allocator = _ALLOCATORS.get(method)
+        if allocator is None:
+            raise AllocationError(
+                f"unknown allocation method {method!r}; "
+                f"expected one of {sorted(_ALLOCATORS)}"
+            )
+        weights = np.array(
+            [m.weight / max(sc, 1e-12) for m, sc in zip(self.streams, self.scales)]
+        )
+        for epoch in range(n_epochs):
+            if method in ("waterfilling", "scipy"):
+                allocation = allocator(curves, budget, weights=weights)
+            else:
+                allocation = allocator(curves, budget)
+            start = self.probe_ticks + epoch * epoch_ticks
+            errors = np.full(len(self.streams), np.nan)
+            messages = 0
+            for k, (managed, delta) in enumerate(
+                zip(self.streams, allocation.deltas)
+            ):
+                policy = policies[managed.stream_id]
+                policy.source.bound = AbsoluteBound(float(delta))
+                before = policy.stats.total_messages
+                abs_errors = []
+                for reading in managed.recording.readings[start : start + epoch_ticks]:
+                    outcome = policy.tick(reading)
+                    if outcome.estimate is not None and reading.truth is not None:
+                        abs_errors.append(
+                            float(np.max(np.abs(outcome.estimate - reading.truth)))
+                        )
+                sent = policy.stats.total_messages - before
+                messages += sent
+                if abs_errors:
+                    errors[k] = float(np.mean(abs_errors))
+                # Re-anchor the curve level to the observed rate point.
+                observed_rate = max(sent, 1) / epoch_ticks
+                anchored_a = observed_rate * float(delta) ** curves[k].b
+                new_a = float(
+                    np.exp(
+                        (1.0 - anchor_gamma) * np.log(curves[k].a)
+                        + anchor_gamma * np.log(anchored_a)
+                    )
+                )
+                curves[k] = RateCurve(a=new_a, b=curves[k].b)
+            result.epochs.append(
+                EpochReport(
+                    epoch=epoch,
+                    deltas=allocation.deltas.copy(),
+                    messages=messages,
+                    ticks=epoch_ticks,
+                    mean_abs_errors=errors,
+                )
+            )
+        return result
+
+    def _make_policy(self, model: ProcessModel, delta: float) -> DualKalmanPolicy:
+        adaptation = AdaptationPolicy(model) if self.adaptive else None
+        return DualKalmanPolicy(model, AbsoluteBound(delta), adaptation=adaptation)
+
+
+def _stream_scale(readings: list[Reading]) -> float:
+    """A robust per-stream scale: the std-dev of one-tick value changes."""
+    vals = np.array([r.value[0] for r in readings if r.value is not None])
+    if vals.size < 2:
+        return 1.0
+    diffs = np.diff(vals)
+    scale = float(np.std(diffs))
+    return scale if scale > 1e-12 else 1.0

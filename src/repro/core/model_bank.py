@@ -1,0 +1,173 @@
+"""Online model selection from a bank of candidate procedures.
+
+Parameter adaptation (:mod:`repro.core.adaptive`) tunes Q and R inside one
+model class; the model bank switches *between* classes — e.g. from a
+constant-velocity model to a harmonic oscillator once a stream reveals
+periodicity.
+
+Selection criterion: the thing being minimized is *communication*, so each
+candidate is scored by the communication it would cause.  The bank runs a
+virtual suppression loop per candidate at the source — a private replica
+driven by the same gate the protocol uses (predict; transmit-and-update on
+violation; coast otherwise) — and counts each candidate's would-be
+transmissions over a sliding window.  One-step likelihoods are a poor
+proxy here: a mis-matched model can look fine one step ahead yet drift
+badly over the multi-tick coasts that suppression actually relies on.
+
+Switches ship as ``ModelSwitch({"model": spec})`` messages, so candidates
+must share state and measurement dimensions with the deployed model (the
+replica swaps models in place, keeping its state estimate).
+
+The selector implements the same duck-typed interface as
+:class:`~repro.core.adaptive.AdaptationPolicy` (``observe`` / ``coast`` /
+``note_sent`` / ``propose`` / ``commit``), so it plugs into
+:class:`~repro.core.source.SourceAgent` unchanged.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+
+import numpy as np
+
+from repro.core.precision import PrecisionBound
+from repro.core.replica import FilterReplica
+from repro.errors import ConfigurationError, DimensionError
+from repro.kalman.models import ProcessModel
+
+__all__ = ["ModelBankSelector"]
+
+
+class ModelBankSelector:
+    """Send-count-gated selection among same-dimension candidate models.
+
+    Args:
+        candidates: The bank; the first entry is the initially deployed
+            model and should equal the model the replicas start from.
+        bound: The precision contract the protocol enforces; the virtual
+            suppression loops use the same gate.
+        window: Ticks over which would-be transmissions are counted.
+        rel_margin: Required relative send-count advantage of a challenger
+            (e.g. 0.2 = at least 20 % fewer sends).  Hysteresis against
+            churn.
+        min_advantage: Required absolute send-count advantage within the
+            window; filters out noise when counts are tiny.
+        cooldown: Minimum ticks between switches (must cover a window).
+    """
+
+    def __init__(
+        self,
+        candidates: list[ProcessModel],
+        bound: PrecisionBound,
+        window: int = 512,
+        rel_margin: float = 0.2,
+        min_advantage: int = 5,
+        cooldown: int = 512,
+    ):
+        if len(candidates) < 2:
+            raise ConfigurationError("the bank needs at least two candidate models")
+        dims = {(m.dim_x, m.dim_z) for m in candidates}
+        if len(dims) != 1:
+            raise DimensionError(
+                f"all candidates must share dimensions; got {sorted(dims)}"
+            )
+        if window < 8:
+            raise ConfigurationError(f"window must be >= 8, got {window!r}")
+        if rel_margin <= 0:
+            raise ConfigurationError(f"rel_margin must be positive, got {rel_margin!r}")
+        if min_advantage < 1:
+            raise ConfigurationError(
+                f"min_advantage must be >= 1, got {min_advantage!r}"
+            )
+        if cooldown < window:
+            raise ConfigurationError(
+                f"cooldown ({cooldown}) must cover at least one window ({window})"
+            )
+        self.candidates = list(candidates)
+        self.bound = bound
+        self.window = window
+        self.rel_margin = float(rel_margin)
+        self.min_advantage = int(min_advantage)
+        self.cooldown = int(cooldown)
+        self.current_index = 0
+        self._replicas = [FilterReplica(m) for m in candidates]
+        self._warm = [False] * len(candidates)
+        self._sends: list[deque[bool]] = [deque(maxlen=window) for _ in candidates]
+        self._ticks_since_switch = 0
+        self._tick = 0
+        self.switches: list[tuple[int, str]] = []
+
+    @property
+    def model(self) -> ProcessModel:
+        """The currently deployed candidate."""
+        return self.candidates[self.current_index]
+
+    # ------------------------------------------------------------------
+    # SourceAgent adaptation interface
+    # ------------------------------------------------------------------
+    def observe(self, z: np.ndarray) -> None:
+        """Advance every virtual suppression loop with the measurement."""
+        for i, replica in enumerate(self._replicas):
+            if not self._warm[i]:
+                replica.apply_update(z)
+                self._warm[i] = True
+                self._sends[i].append(True)
+                continue
+            prediction = replica.predicted_value()
+            if self.bound.violated(prediction, z):
+                replica.apply_update(z)
+                self._sends[i].append(True)
+            else:
+                replica.coast()
+                self._sends[i].append(False)
+        self._tick += 1
+        self._ticks_since_switch += 1
+
+    def coast(self) -> None:
+        """Advance every virtual loop over a dropped tick."""
+        for i, replica in enumerate(self._replicas):
+            if self._warm[i]:
+                replica.coast()
+                self._sends[i].append(False)
+        self._tick += 1
+        self._ticks_since_switch += 1
+
+    def note_sent(self, sent: bool) -> None:
+        """Part of the adaptation interface; the bank scores its own virtual
+        loops, so the deployed loop's outcomes are not needed."""
+
+    def send_counts(self) -> list[int]:
+        """Windowed would-be transmission count per candidate."""
+        return [sum(q) for q in self._sends]
+
+    def propose(self) -> dict | None:
+        """A full-model switch when a challenger clearly transmits less."""
+        if self._ticks_since_switch < self.cooldown:
+            return None
+        if any(len(q) < self.window for q in self._sends):
+            return None
+        counts = self.send_counts()
+        incumbent = counts[self.current_index]
+        best = int(np.argmin(counts))
+        if best == self.current_index:
+            return None
+        advantage = incumbent - counts[best]
+        if advantage < self.min_advantage:
+            return None
+        if advantage < self.rel_margin * max(incumbent, 1):
+            return None
+        return {"model": self.candidates[best].spec()}
+
+    def commit(self, change: dict) -> None:
+        """Adopt the switch locally (the source has already shipped it)."""
+        spec = change.get("model")
+        if spec is None:
+            raise ConfigurationError("model bank can only commit full-model switches")
+        for i, candidate in enumerate(self.candidates):
+            if candidate.spec() == spec:
+                self.current_index = i
+                break
+        else:
+            raise ConfigurationError("committed model is not in the bank")
+        self._ticks_since_switch = 0
+        self.switches.append((self._tick, self.model.name))

@@ -1,0 +1,175 @@
+"""Shared suppression-policy machinery.
+
+Every policy in the evaluation — the paper's dual-Kalman scheme and all
+baselines — exposes the same tiny interface so the experiment harness can
+run them interchangeably: feed one :class:`~repro.streams.base.Reading` per
+tick, get back the server-side estimate and whether a message was sent.
+
+Baselines follow the *mirrored predictor* pattern, which is the same
+protocol skeleton the dual-Kalman scheme uses: a deterministic predictor is
+replicated on source and server; the source gates on the deviation between
+the predictor's one-step-ahead value and the fresh measurement; a violation
+ships the measurement, which both sides fold in identically.  A policy's
+entire identity is therefore its :class:`Predictor`.
+
+The precision contract every gated policy enforces: at every tick with a
+measurement, the served value deviates from that measurement by at most the
+bound's tolerance (at update ticks the measurement itself is served, making
+the deviation zero).  This holds by construction and is property-tested.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.precision import PrecisionBound
+from repro.core.protocol import HEADER_BYTES
+from repro.errors import ConfigurationError
+from repro.network.stats import CommunicationStats
+from repro.streams.base import Reading
+
+__all__ = [
+    "TickOutcome",
+    "SuppressionPolicy",
+    "Predictor",
+    "MirroredPredictorPolicy",
+    "PeriodicPolicy",
+]
+
+
+@dataclass(frozen=True)
+class TickOutcome:
+    """What the server serves for one tick, and what it cost.
+
+    Attributes:
+        estimate: The value the server would answer a query with, or ``None``
+            if the policy has never received any data.
+        sent: Whether the source transmitted this tick.
+    """
+
+    estimate: np.ndarray | None
+    sent: bool
+
+
+class SuppressionPolicy(ABC):
+    """A (source gate, server cache) pair driven one tick at a time."""
+
+    #: Short identifier used in result tables.
+    name: str = "policy"
+
+    def __init__(self) -> None:
+        self.stats = CommunicationStats()
+
+    @abstractmethod
+    def tick(self, reading: Reading) -> TickOutcome:
+        """Process one stream tick and return the server-side outcome."""
+
+    def describe(self) -> str:
+        """Human-readable description for reports."""
+        return self.name
+
+    def _record_update(self, dim: int) -> None:
+        """Account one measurement-update message of the given dimension."""
+        self.stats.record_send("update", HEADER_BYTES + 8 * dim)
+
+
+class Predictor(ABC):
+    """A deterministic one-step-ahead predictor, mirrorable across endpoints.
+
+    The contract: ``predict()`` must depend only on the sequence of
+    ``observe``/``coast`` calls so far, never on randomness or wall-clock,
+    so that source and server instances stay in lock-step.
+    """
+
+    @abstractmethod
+    def predict(self) -> np.ndarray | None:
+        """Predicted value for the upcoming tick (None before any data)."""
+
+    @abstractmethod
+    def observe(self, z: np.ndarray) -> None:
+        """Advance one tick, folding in a transmitted measurement."""
+
+    @abstractmethod
+    def coast(self) -> None:
+        """Advance one tick with no measurement (it was suppressed/dropped)."""
+
+    def describe(self) -> str:
+        """Human-readable description for reports."""
+        return type(self).__name__
+
+
+class MirroredPredictorPolicy(SuppressionPolicy):
+    """The generic gated protocol around any :class:`Predictor`.
+
+    Per tick with measurement ``z``:
+
+    1. ``pred = predictor.predict()`` — what the server will serve if we
+       stay silent.
+    2. If there is no prediction yet, or the bound rejects ``pred`` vs
+       ``z``: send ``z`` (both mirrored predictors ``observe`` it) and serve
+       ``z`` exactly.
+    3. Otherwise suppress: predictors ``coast`` and the server serves
+       ``pred``.
+
+    Dropped ticks coast unconditionally and serve the prediction.
+    """
+
+    def __init__(self, predictor: Predictor, bound: PrecisionBound, name: str | None = None):
+        super().__init__()
+        self.predictor = predictor
+        self.bound = bound
+        if name is not None:
+            self.name = name
+        self.ticks = 0
+
+    def tick(self, reading: Reading) -> TickOutcome:
+        pred = self.predictor.predict()
+        self.ticks += 1
+        if reading.value is None:
+            self.predictor.coast()
+            return TickOutcome(estimate=pred, sent=False)
+        z = reading.value
+        if pred is None or self.bound.violated(pred, z):
+            self.predictor.observe(z)
+            self._record_update(z.shape[0])
+            return TickOutcome(estimate=z.copy(), sent=True)
+        self.predictor.coast()
+        return TickOutcome(estimate=pred, sent=False)
+
+    def describe(self) -> str:
+        return f"{self.name} [{self.predictor.describe()}; {self.bound.describe()}]"
+
+
+class PeriodicPolicy(SuppressionPolicy):
+    """Classic static caching: refresh every ``interval`` ticks, no gate.
+
+    The paper's "caching static data which can soon become stale": between
+    refreshes the server serves the last shipped value unchanged.  Offers
+    *no* precision guarantee; included to quantify what the guarantee costs.
+    """
+
+    name = "periodic"
+
+    def __init__(self, interval: int):
+        super().__init__()
+        if interval < 1:
+            raise ConfigurationError(f"interval must be >= 1, got {interval!r}")
+        self.interval = interval
+        self._cached: np.ndarray | None = None
+        self._ticks_since_send = 0
+
+    def tick(self, reading: Reading) -> TickOutcome:
+        refresh_due = self._cached is None or self._ticks_since_send >= self.interval
+        if reading.value is not None and refresh_due:
+            self._cached = reading.value.copy()
+            self._ticks_since_send = 1
+            self._record_update(reading.value.shape[0])
+            return TickOutcome(estimate=self._cached, sent=True)
+        self._ticks_since_send += 1
+        return TickOutcome(estimate=self._cached, sent=False)
+
+    def describe(self) -> str:
+        return f"periodic refresh every {self.interval} ticks (no precision bound)"

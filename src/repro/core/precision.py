@@ -1,0 +1,145 @@
+"""Precision bounds: the user-facing accuracy contract.
+
+A precision bound decides whether a server-side prediction is still "good
+enough" for the true reading.  The suppression protocol evaluates the bound
+at the *source* (which knows both the prediction and the truth), so the
+contract is enforced exactly: whenever the prediction would violate the
+bound, an update is sent instead.
+
+Three bound families cover the paper's use cases: absolute error (sensor
+readings, positions), relative error (rates, counts), and per-component
+vector bounds (mixed-unit states).  Multi-dimensional values can be gated
+by the max-norm (every component within δ) or the L2 norm (Euclidean
+distance within δ — natural for GPS positions).
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+
+__all__ = ["PrecisionBound", "AbsoluteBound", "RelativeBound", "VectorBound"]
+
+
+class PrecisionBound(ABC):
+    """Decides whether ``predicted`` is an acceptable answer for ``actual``."""
+
+    @abstractmethod
+    def error(self, predicted: np.ndarray, actual: np.ndarray) -> float:
+        """The bound's error measure between prediction and truth."""
+
+    @abstractmethod
+    def tolerance(self, actual: np.ndarray) -> float:
+        """The maximum acceptable error at this actual value."""
+
+    def violated(self, predicted: np.ndarray, actual: np.ndarray) -> bool:
+        """True when the prediction is *not* acceptable."""
+        return self.error(predicted, actual) > self.tolerance(actual)
+
+    def margin(self, predicted: np.ndarray, actual: np.ndarray) -> float:
+        """Slack before violation (negative once violated)."""
+        return self.tolerance(actual) - self.error(predicted, actual)
+
+    @abstractmethod
+    def describe(self) -> str:
+        """Human-readable description used in reports."""
+
+
+def _norm(diff: np.ndarray, norm: str) -> float:
+    if norm == "max":
+        return float(np.max(np.abs(diff)))
+    if norm == "l2":
+        return float(np.linalg.norm(diff))
+    raise ConfigurationError(f"unknown norm {norm!r}; expected 'max' or 'l2'")
+
+
+class AbsoluteBound(PrecisionBound):
+    """``error <= delta`` in the chosen norm.
+
+    Args:
+        delta: Maximum tolerated deviation (same units as the stream).
+        norm: ``"max"`` (componentwise) or ``"l2"`` (Euclidean).
+    """
+
+    def __init__(self, delta: float, norm: str = "max"):
+        if delta <= 0:
+            raise ConfigurationError(f"delta must be positive, got {delta!r}")
+        _norm(np.zeros(1), norm)  # validate norm name eagerly
+        self.delta = float(delta)
+        self.norm = norm
+
+    def error(self, predicted: np.ndarray, actual: np.ndarray) -> float:
+        return _norm(np.asarray(predicted) - np.asarray(actual), self.norm)
+
+    def tolerance(self, actual: np.ndarray) -> float:
+        return self.delta
+
+    def describe(self) -> str:
+        return f"|err|_{self.norm} <= {self.delta:g}"
+
+    def scaled(self, factor: float) -> "AbsoluteBound":
+        """A new bound with delta scaled by ``factor`` (used by allocators)."""
+        return AbsoluteBound(self.delta * factor, self.norm)
+
+
+class RelativeBound(PrecisionBound):
+    """``error <= fraction * |actual|``, floored for values near zero.
+
+    Args:
+        fraction: Allowed relative error, e.g. ``0.05`` for 5 %.
+        floor: Absolute tolerance used when ``|actual|`` is tiny, preventing
+            a zero-crossing stream from demanding infinite precision.
+        norm: Norm for multi-dimensional values.
+    """
+
+    def __init__(self, fraction: float, floor: float = 1e-9, norm: str = "max"):
+        if fraction <= 0:
+            raise ConfigurationError(f"fraction must be positive, got {fraction!r}")
+        if floor <= 0:
+            raise ConfigurationError(f"floor must be positive, got {floor!r}")
+        _norm(np.zeros(1), norm)
+        self.fraction = float(fraction)
+        self.floor = float(floor)
+        self.norm = norm
+
+    def error(self, predicted: np.ndarray, actual: np.ndarray) -> float:
+        return _norm(np.asarray(predicted) - np.asarray(actual), self.norm)
+
+    def tolerance(self, actual: np.ndarray) -> float:
+        scale = _norm(np.asarray(actual), self.norm)
+        return max(self.fraction * scale, self.floor)
+
+    def describe(self) -> str:
+        return f"|err| <= {self.fraction:.1%} of value (floor {self.floor:g})"
+
+
+class VectorBound(PrecisionBound):
+    """Independent absolute tolerance per component.
+
+    Violated when *any* component exceeds its tolerance; the reported error
+    is the worst component's error expressed in units of its tolerance,
+    making the violation test ``error > 1``.
+    """
+
+    def __init__(self, deltas: np.ndarray):
+        deltas = np.atleast_1d(np.asarray(deltas, dtype=float))
+        if np.any(deltas <= 0):
+            raise ConfigurationError("all per-component deltas must be positive")
+        self.deltas = deltas
+
+    def error(self, predicted: np.ndarray, actual: np.ndarray) -> float:
+        diff = np.abs(np.asarray(predicted) - np.asarray(actual))
+        if diff.shape != self.deltas.shape:
+            raise ConfigurationError(
+                f"value shape {diff.shape} does not match deltas {self.deltas.shape}"
+            )
+        return float(np.max(diff / self.deltas))
+
+    def tolerance(self, actual: np.ndarray) -> float:
+        return 1.0
+
+    def describe(self) -> str:
+        return f"per-component |err| <= {np.array2string(self.deltas, precision=3)}"

@@ -1,0 +1,124 @@
+"""Caching dynamic procedures versus caching static data.
+
+The paper's framing made concrete: a *static* cache stores the last value a
+source pushed; a *procedure* cache stores a little program — here, a Kalman
+filter — that can keep answering (and even forecast ahead) "without the
+clients' involvement".  :class:`ProcedureCache` is the forecast-capable
+query surface the examples and the DSMS use on top of
+:class:`~repro.core.server.StreamServer`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.server import StreamServer
+from repro.errors import QueryError
+
+__all__ = ["Forecast", "ProcedureCache", "StaticValueCache"]
+
+
+@dataclass(frozen=True)
+class Forecast:
+    """A k-step-ahead prediction with its standard deviation per axis."""
+
+    steps_ahead: int
+    value: np.ndarray
+    std: np.ndarray
+
+
+class ProcedureCache:
+    """Forecast-capable read API over a server's cached filters.
+
+    The cached procedure is the filter; asking it about the future is a pure
+    server-side computation — no message to any source is needed, which is
+    exactly the resource win the paper describes.
+    """
+
+    def __init__(self, server: StreamServer):
+        self.server = server
+
+    def current(self, stream_id: str) -> Forecast:
+        """The served value right now (0 steps ahead)."""
+        return self.forecast(stream_id, steps=0)
+
+    def forecast(self, stream_id: str, steps: int) -> Forecast:
+        """Predict ``steps`` ticks ahead with uncertainty.
+
+        Raises:
+            QueryError: If the stream has no data yet or ``steps`` < 0.
+        """
+        if steps < 0:
+            raise QueryError(f"steps must be non-negative, got {steps}")
+        state = self.server.state(stream_id)
+        snapshot = state.snapshot()
+        if snapshot.value is None:
+            raise QueryError(f"stream {stream_id!r} has no data yet")
+        kf = state.replica.filter
+        if steps == 0:
+            value = snapshot.value
+            cov = snapshot.variance
+        else:
+            # Propagate mean and covariance forward without mutating state.
+            x, p = kf.x.copy(), kf.P.copy()
+            f, q = kf.model.F, kf.model.Q
+            for _ in range(steps):
+                x = f @ x
+                p = f @ p @ f.T + q
+            h, r = kf.model.H, kf.model.R
+            value = h @ x
+            cov = h @ p @ h.T + r
+        std = np.sqrt(np.clip(np.diag(cov), 0.0, None))
+        return Forecast(steps_ahead=steps, value=value, std=std)
+
+    def horizon_within(self, stream_id: str, tolerance: float, max_steps: int = 10_000) -> int:
+        """How many steps ahead the forecast std stays within ``tolerance``.
+
+        A direct measure of how long the server could keep answering if the
+        source went silent — the "procedure quality" of the cache.
+        """
+        if tolerance <= 0:
+            raise QueryError(f"tolerance must be positive, got {tolerance!r}")
+        for steps in range(max_steps + 1):
+            if float(np.max(self.forecast(stream_id, steps).std)) > tolerance:
+                return max(0, steps - 1)
+        return max_steps
+
+
+class StaticValueCache:
+    """The traditional cache: a value and its age, nothing else.
+
+    Provided for the contrast the paper draws; its "forecast" is the stored
+    value regardless of horizon, and its staleness grows without bound.
+    """
+
+    def __init__(self) -> None:
+        self._value: np.ndarray | None = None
+        self._age = 0
+
+    def store(self, value: np.ndarray) -> None:
+        """Replace the cached value and reset its age."""
+        self._value = np.atleast_1d(np.asarray(value, dtype=float)).copy()
+        self._age = 0
+
+    def tick(self) -> None:
+        """One tick passes; the cached value only gets staler."""
+        if self._value is not None:
+            self._age += 1
+
+    @property
+    def age(self) -> int:
+        """Ticks since the last store."""
+        return self._age
+
+    def read(self) -> np.ndarray:
+        """The cached value (whatever its age).
+
+        Raises:
+            QueryError: If nothing has ever been stored.
+        """
+        if self._value is None:
+            raise QueryError("static cache is empty")
+        return self._value.copy()

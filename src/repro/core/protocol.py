@@ -1,0 +1,129 @@
+"""Wire protocol between a stream source and the server.
+
+Three message types suffice for the dual-filter scheme:
+
+* :class:`MeasurementUpdate` — the common case.  Carries the raw measurement
+  for one tick; both replicas apply the identical Kalman update, so the
+  payload is tiny (one float per measurement dimension plus a tick stamp).
+* :class:`ModelSwitch` — ships a change to the *procedure* being cached:
+  a new measurement-noise matrix, a process-noise scale, or a whole new
+  model spec.  This is what makes the cache dynamic in the paper's sense.
+* :class:`Resync` — full state snapshot (mean + covariance).  Recovery path
+  for lossy channels and filter divergence; expensive, rare.
+
+Sizes are computed from the logical wire encoding (8-byte floats, 4-byte
+ints) rather than Python object sizes, so communication-overhead numbers
+reflect what a real deployment would pay.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.errors import ProtocolError
+
+__all__ = [
+    "MeasurementUpdate",
+    "ModelSwitch",
+    "Resync",
+    "ProtocolMessage",
+    "HEADER_BYTES",
+]
+
+#: Logical header on every message: stream id (4), sequence number (4),
+#: tick (4), message kind tag (1, padded to 4).
+HEADER_BYTES = 16
+
+
+@dataclass(frozen=True)
+class MeasurementUpdate:
+    """A raw measurement forwarded because prediction violated the bound.
+
+    ``outlier`` marks measurements the source judged to be isolated spikes;
+    the server serves them exactly (the precision contract is unconditional)
+    but folds them into the filter with inflated measurement noise so a
+    one-tick glitch barely moves the cached procedure.
+    """
+
+    stream_id: str
+    seq: int
+    tick: int
+    z: np.ndarray
+    outlier: bool = False
+
+    kind: str = field(default="update", init=False)
+
+    def __post_init__(self) -> None:
+        object.__setattr__(
+            self, "z", np.atleast_1d(np.asarray(self.z, dtype=float)).copy()
+        )
+
+    def payload_bytes(self) -> int:
+        """Header plus one 8-byte float per dimension plus the outlier flag."""
+        return HEADER_BYTES + 8 * int(self.z.shape[0]) + 1
+
+
+@dataclass(frozen=True)
+class ModelSwitch:
+    """An adaptation of the cached procedure's parameters.
+
+    ``change`` is one of:
+
+    * ``{"R": [[...]]}`` — replace the measurement-noise covariance;
+    * ``{"Q_scale": s}`` — multiply the process-noise covariance by ``s``;
+    * ``{"model": spec}`` — swap the full model (same state dimension).
+    """
+
+    stream_id: str
+    seq: int
+    tick: int
+    change: dict
+
+    kind: str = field(default="model_switch", init=False)
+
+    def __post_init__(self) -> None:
+        allowed = {"R", "Q_scale", "model"}
+        keys = set(self.change)
+        if not keys or not keys <= allowed:
+            raise ProtocolError(
+                f"model switch must carry a subset of {sorted(allowed)}, got {sorted(keys)}"
+            )
+
+    def payload_bytes(self) -> int:
+        """Header plus the JSON-encoded change description."""
+        return HEADER_BYTES + len(json.dumps(self.change).encode())
+
+
+@dataclass(frozen=True)
+class Resync:
+    """Full filter-state snapshot: mean, covariance, and update counter."""
+
+    stream_id: str
+    seq: int
+    tick: int
+    x: np.ndarray
+    P: np.ndarray
+
+    kind: str = field(default="resync", init=False)
+
+    def __post_init__(self) -> None:
+        x = np.asarray(self.x, dtype=float).reshape(-1).copy()
+        P = np.asarray(self.P, dtype=float).copy()
+        if P.shape != (x.shape[0], x.shape[0]):
+            raise ProtocolError(
+                f"P shape {P.shape} does not match state dimension {x.shape[0]}"
+            )
+        object.__setattr__(self, "x", x)
+        object.__setattr__(self, "P", P)
+
+    def payload_bytes(self) -> int:
+        """Header plus the packed mean and (symmetric) covariance."""
+        n = int(self.x.shape[0])
+        # Symmetric covariance needs only the upper triangle on the wire.
+        return HEADER_BYTES + 8 * (n + n * (n + 1) // 2)
+
+
+ProtocolMessage = MeasurementUpdate | ModelSwitch | Resync

@@ -1,0 +1,140 @@
+"""The shared filter replica evolved in lock-step on both endpoints.
+
+The correctness of the dual-filter scheme rests on one invariant: after the
+same sequence of (coast | update | model-switch | resync) operations, the
+source-side and server-side replicas hold bit-identical state.  This class
+is the single implementation both endpoints run, so the invariant reduces
+to "both endpoints saw the same operation sequence" — which the protocol
+guarantees on an ideal channel and restores via resync on lossy ones.
+"""
+
+from __future__ import annotations
+
+import hashlib
+
+import numpy as np
+
+from repro.core.protocol import ModelSwitch, Resync
+from repro.errors import ProtocolError
+from repro.kalman.filter import KalmanFilter
+from repro.kalman.models import ProcessModel, model_from_spec
+
+__all__ = ["FilterReplica"]
+
+
+class FilterReplica:
+    """A deterministic Kalman filter plus a tick counter.
+
+    Operations:
+
+    * :meth:`coast` — advance one tick on the model alone (suppressed tick);
+    * :meth:`apply_update` — advance one tick and fold in a measurement;
+    * :meth:`apply_model_switch` — change the cached procedure's parameters;
+    * :meth:`apply_resync` — overwrite state from a snapshot.
+
+    ``coast``/``apply_update`` both advance the tick; exactly one of them
+    must run per stream tick on each endpoint.
+    """
+
+    def __init__(
+        self,
+        model: ProcessModel,
+        warm_start: np.ndarray | None = None,
+        robust_inflation: float = 1e4,
+    ):
+        if warm_start is not None:
+            x0 = np.zeros(model.dim_x)
+            x0[: model.dim_z] = np.atleast_1d(np.asarray(warm_start, dtype=float))
+            self.filter = KalmanFilter(model, x0=x0)
+        else:
+            self.filter = KalmanFilter(model)
+        if robust_inflation <= 1.0:
+            raise ProtocolError(
+                f"robust_inflation must exceed 1, got {robust_inflation!r}"
+            )
+        self.robust_inflation = float(robust_inflation)
+        self.tick = 0
+
+    @property
+    def model(self) -> ProcessModel:
+        """The process model currently cached."""
+        return self.filter.model
+
+    def predicted_value(self) -> np.ndarray:
+        """What the server would answer for the *next* tick, pre-advance.
+
+        This is the quantity the suppression test compares against the true
+        reading: the one-step-ahead measurement prediction.
+        """
+        return self.filter.predicted_measurement(steps=1)
+
+    def current_value(self) -> np.ndarray:
+        """The server's answer for the current tick (after coast/update)."""
+        return self.filter.measurement_estimate()
+
+    def current_uncertainty(self) -> np.ndarray:
+        """Covariance of the current answer (grows while coasting)."""
+        return self.filter.measurement_variance()
+
+    def coast(self) -> np.ndarray:
+        """Advance one tick without a measurement; returns the new estimate."""
+        self.filter.predict()
+        self.tick += 1
+        return self.current_value()
+
+    def apply_update(self, z: np.ndarray, outlier: bool = False) -> np.ndarray:
+        """Advance one tick and apply the measurement; returns the estimate.
+
+        An ``outlier``-flagged update runs with ``R`` inflated by
+        ``robust_inflation``: the spike is served exactly (the precision
+        contract is unconditional) but barely moves the cached procedure.
+        The flag travels in the :class:`~repro.core.protocol.MeasurementUpdate`
+        message, so both replicas take the identical branch.
+        """
+        self.filter.predict()
+        override = self.model.R * self.robust_inflation if outlier else None
+        self.filter.update(z, R=override)
+        self.tick += 1
+        return self.current_value()
+
+    def apply_model_switch(self, msg: ModelSwitch) -> None:
+        """Apply a procedure change; both endpoints must apply identically."""
+        change = msg.change
+        if "model" in change:
+            new_model = model_from_spec(change["model"])
+            self.filter.swap_model(new_model)
+        if "R" in change:
+            r = np.asarray(change["R"], dtype=float)
+            self.filter.swap_model(self.model.with_measurement_noise(r))
+        if "Q_scale" in change:
+            scale = float(change["Q_scale"])
+            if scale <= 0:
+                raise ProtocolError(f"Q_scale must be positive, got {scale!r}")
+            self.filter.swap_model(self.model.with_process_noise(self.model.Q * scale))
+
+    def apply_resync(self, msg: Resync) -> None:
+        """Overwrite filter state from a snapshot and re-align the tick."""
+        self.filter.set_state(msg.x, msg.P)
+        self.tick = msg.tick
+
+    def snapshot(self, stream_id: str, seq: int) -> Resync:
+        """Produce a resync message capturing the current state."""
+        return Resync(
+            stream_id=stream_id,
+            seq=seq,
+            tick=self.tick,
+            x=self.filter.x,
+            P=self.filter.P,
+        )
+
+    def fingerprint(self) -> str:
+        """Order-stable hash of (tick, mean, covariance) for desync checks."""
+        h = hashlib.sha256()
+        h.update(str(self.tick).encode())
+        h.update(np.ascontiguousarray(self.filter.x).tobytes())
+        h.update(np.ascontiguousarray(self.filter.P).tobytes())
+        return h.hexdigest()[:16]
+
+    def state_equals(self, other: "FilterReplica", atol: float = 1e-9) -> bool:
+        """Replica agreement check used by tests and desync monitors."""
+        return self.tick == other.tick and self.filter.state_equals(other.filter, atol)

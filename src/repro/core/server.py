@@ -1,0 +1,162 @@
+"""The server side: per-stream cached procedures and the query surface.
+
+The server never talks back to sources (the protocol is one-way).  Each
+registered stream owns a :class:`ServerStreamState` holding the filter
+replica; per tick the server applies whatever arrived on the channel and
+otherwise lets the cached procedure coast.  Queries — both ad-hoc ``value``
+lookups and the continuous queries of :mod:`repro.dsms` — read the served
+value, which is exact at update ticks and model-predicted in between.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.protocol import MeasurementUpdate, ModelSwitch, Resync
+from repro.core.replica import FilterReplica
+from repro.errors import ProtocolError
+from repro.kalman.models import ProcessModel
+
+__all__ = ["ServerStreamState", "StreamServer", "StreamSnapshot"]
+
+
+@dataclass(frozen=True)
+class StreamSnapshot:
+    """Queryable view of one stream at the current tick.
+
+    Attributes:
+        value: Served value (``None`` before any data has arrived).
+        variance: Predicted-measurement covariance — the server's own
+            confidence, which grows while coasting and collapses on updates.
+        tick: Server-side tick counter.
+        fresh: True when the value came from a measurement this tick.
+    """
+
+    value: np.ndarray | None
+    variance: np.ndarray | None
+    tick: int
+    fresh: bool
+
+
+class ServerStreamState:
+    """Cached dynamic procedure for one stream."""
+
+    def __init__(
+        self,
+        stream_id: str,
+        model: ProcessModel,
+        robust_inflation: float = 1e4,
+    ):
+        self.stream_id = stream_id
+        self.replica = FilterReplica(model, robust_inflation=robust_inflation)
+        self._warm = False
+        self._served: np.ndarray | None = None
+        self._fresh = False
+        self._last_seq = 0
+
+    def advance(self, deliveries: list) -> StreamSnapshot:
+        """Apply one tick's worth of arrivals; coast if no update came.
+
+        Args:
+            deliveries: Protocol messages that arrived this tick, in arrival
+                order.
+
+        Returns:
+            The snapshot queries should see for this tick.
+        """
+        fresh: list = []
+        for message in deliveries:
+            if message.stream_id != self.stream_id:
+                raise ProtocolError(
+                    f"message for stream {message.stream_id!r} delivered to "
+                    f"{self.stream_id!r}"
+                )
+            if message.seq <= self._last_seq:
+                # Duplicate or reordered stale message; the protocol is
+                # idempotent only forward, so drop it.
+                continue
+            self._last_seq = message.seq
+            fresh.append(message)
+        got_update = any(isinstance(m, MeasurementUpdate) for m in fresh)
+        # Lock-step rule: the source performed exactly one tick operation
+        # (update or coast) *before* emitting any model switch or resync, so
+        # on a tick with no measurement update the server must coast — with
+        # the pre-switch model — before applying the remaining messages.
+        if not got_update and self._warm:
+            self._served = self.replica.coast()
+        for message in fresh:
+            if isinstance(message, MeasurementUpdate):
+                self.replica.apply_update(message.z, outlier=message.outlier)
+                self._served = message.z.copy()
+                self._warm = True
+            elif isinstance(message, ModelSwitch):
+                self.replica.apply_model_switch(message)
+            elif isinstance(message, Resync):
+                self.replica.apply_resync(message)
+                self._served = self.replica.current_value()
+                self._warm = True
+            else:
+                raise ProtocolError(f"unknown message type {type(message).__name__}")
+        self._fresh = got_update
+        return self.snapshot()
+
+    def snapshot(self) -> StreamSnapshot:
+        """Current queryable view without advancing time."""
+        if not self._warm:
+            return StreamSnapshot(value=None, variance=None, tick=0, fresh=False)
+        return StreamSnapshot(
+            value=None if self._served is None else self._served.copy(),
+            variance=self.replica.current_uncertainty(),
+            tick=self.replica.tick,
+            fresh=self._fresh,
+        )
+
+
+class StreamServer:
+    """Holds every registered stream's cached procedure.
+
+    This is the component a DSMS embeds: continuous queries pull their
+    inputs from :meth:`value` / :meth:`snapshot` instead of from raw
+    arrivals, which is what decouples query load from stream volume.
+    """
+
+    def __init__(self) -> None:
+        self._streams: dict[str, ServerStreamState] = {}
+
+    def register(
+        self,
+        stream_id: str,
+        model: ProcessModel,
+        robust_inflation: float = 1e4,
+    ) -> ServerStreamState:
+        """Register a stream; model and robust config must match the source's."""
+        if stream_id in self._streams:
+            raise ProtocolError(f"stream {stream_id!r} already registered")
+        state = ServerStreamState(stream_id, model, robust_inflation=robust_inflation)
+        self._streams[stream_id] = state
+        return state
+
+    def stream_ids(self) -> list[str]:
+        """All registered stream identifiers, in registration order."""
+        return list(self._streams)
+
+    def state(self, stream_id: str) -> ServerStreamState:
+        """The per-stream state object (raises for unknown ids)."""
+        try:
+            return self._streams[stream_id]
+        except KeyError:
+            raise ProtocolError(f"unknown stream {stream_id!r}") from None
+
+    def advance(self, stream_id: str, deliveries: list) -> StreamSnapshot:
+        """Advance one stream by one tick with the given arrivals."""
+        return self.state(stream_id).advance(deliveries)
+
+    def value(self, stream_id: str) -> np.ndarray | None:
+        """Served value of a stream right now (``None`` pre-warm-up)."""
+        return self.state(stream_id).snapshot().value
+
+    def snapshot(self, stream_id: str) -> StreamSnapshot:
+        """Full queryable view of a stream right now."""
+        return self.state(stream_id).snapshot()

@@ -1,0 +1,199 @@
+"""End-to-end dual-Kalman sessions.
+
+Two entry points:
+
+* :class:`DualKalmanPolicy` — the paper's scheme packaged behind the common
+  :class:`~repro.baselines.base.SuppressionPolicy` interface, assuming an
+  ideal (instant, lossless) channel.  This is what the comparative
+  experiments run, paired tick-for-tick against the baselines.
+* :class:`DualKalmanSession` — the full networked run over a configurable
+  :class:`~repro.network.channel.Channel`, including lossy/delayed
+  channels, periodic resync, and per-tick traces.  This is what the
+  robustness experiments and the fleet manager use.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.core.policy_base import SuppressionPolicy, TickOutcome
+from repro.core.adaptive import AdaptationPolicy
+from repro.core.precision import PrecisionBound
+from repro.core.server import ServerStreamState
+from repro.core.source import SourceAgent
+from repro.errors import ReplicaDesyncError
+from repro.kalman.models import ProcessModel
+from repro.network.channel import Channel
+from repro.network.stats import CommunicationStats
+from repro.streams.base import Reading, StreamSource
+
+__all__ = ["DualKalmanPolicy", "DualKalmanSession", "SessionTrace"]
+
+
+def _rowwise_max_abs(diff: np.ndarray) -> np.ndarray:
+    """Max |diff| per row, NaN for rows with no valid entries (no warning)."""
+    diff = np.abs(diff)
+    if diff.ndim == 1:
+        return diff
+    out = np.full(diff.shape[0], np.nan)
+    valid = ~np.all(np.isnan(diff), axis=1)
+    if np.any(valid):
+        out[valid] = np.nanmax(diff[valid], axis=1)
+    return out
+
+
+class DualKalmanPolicy(SuppressionPolicy):
+    """Dual-Kalman suppression over an ideal channel.
+
+    Args:
+        model: Process model installed on both replicas.
+        bound: Precision contract.
+        adaptation: Optional online adaptation (procedure switches are
+            counted in ``stats`` like any other message).
+        check_sync: Assert source/server lock-step every tick; cheap and on
+            by default, because a desync here is a protocol bug.
+        name: Override the policy name shown in result tables.
+    """
+
+    name = "dual_kalman"
+
+    def __init__(
+        self,
+        model: ProcessModel,
+        bound: PrecisionBound,
+        adaptation: AdaptationPolicy | None = None,
+        check_sync: bool = True,
+        name: str | None = None,
+        robust_threshold: float | None = None,
+    ):
+        super().__init__()
+        if name is not None:
+            self.name = name
+        self.source = SourceAgent(
+            "s", model, bound, adaptation=adaptation, robust_threshold=robust_threshold
+        )
+        self.server = ServerStreamState("s", model)
+        self.bound = bound
+        self.check_sync = check_sync
+
+    def tick(self, reading: Reading) -> TickOutcome:
+        decision = self.source.process(reading)
+        for message in decision.messages:
+            self.stats.record_send(message.kind, message.payload_bytes())
+        snapshot = self.server.advance(list(decision.messages))
+        if self.check_sync and not self.source.replica.state_equals(self.server.replica):
+            raise ReplicaDesyncError(
+                f"replicas diverged at tick {self.source.replica.tick} "
+                f"(source fp={self.source.replica.fingerprint()}, "
+                f"server fp={self.server.replica.fingerprint()})"
+            )
+        return TickOutcome(estimate=snapshot.value, sent=decision.sent)
+
+    def describe(self) -> str:
+        adaptive = "adaptive" if self.source.adaptation is not None else "fixed"
+        return (
+            f"{self.name} [{self.source.replica.model.name}, {adaptive}; "
+            f"{self.bound.describe()}]"
+        )
+
+
+@dataclass
+class SessionTrace:
+    """Per-tick record of a networked session run.
+
+    All arrays have one entry per processed tick.  ``served`` may contain
+    NaN rows for ticks before the server first heard anything.
+    """
+
+    t: np.ndarray
+    truth: np.ndarray
+    measured: np.ndarray
+    served: np.ndarray
+    sent: np.ndarray
+    stats: CommunicationStats = field(default_factory=CommunicationStats)
+
+    @property
+    def n_ticks(self) -> int:
+        """Number of processed ticks."""
+        return int(self.t.shape[0])
+
+    def served_error_vs_measured(self) -> np.ndarray:
+        """Per-tick max-abs deviation of the served value from the measurement."""
+        return _rowwise_max_abs(self.served - self.measured)
+
+    def served_error_vs_truth(self) -> np.ndarray:
+        """Per-tick max-abs deviation of the served value from ground truth."""
+        return _rowwise_max_abs(self.served - self.truth)
+
+
+class DualKalmanSession:
+    """A full source → channel → server run for one stream.
+
+    Args:
+        stream: The workload to run.
+        model: Process model for both endpoints.
+        bound: Precision contract.
+        channel: Transport; defaults to :meth:`Channel.ideal`.
+        adaptation: Optional adaptation policy at the source.
+        resync_interval: Periodic state snapshots (recommended for lossy
+            channels; pointless on ideal ones).
+    """
+
+    def __init__(
+        self,
+        stream: StreamSource,
+        model: ProcessModel,
+        bound: PrecisionBound,
+        channel: Channel | None = None,
+        adaptation: AdaptationPolicy | None = None,
+        resync_interval: int | None = None,
+        stream_id: str = "stream-0",
+        robust_threshold: float | None = None,
+    ):
+        self.stream = stream
+        self.channel = channel if channel is not None else Channel.ideal()
+        self.source = SourceAgent(
+            stream_id,
+            model,
+            bound,
+            adaptation=adaptation,
+            resync_interval=resync_interval,
+            robust_threshold=robust_threshold,
+        )
+        self.server = ServerStreamState(stream_id, model)
+        self.bound = bound
+
+    def run(self, n_ticks: int) -> SessionTrace:
+        """Drive ``n_ticks`` readings through the protocol and trace them."""
+        readings = self.stream.take(n_ticks)
+        dim = self.stream.dim
+        t = np.empty(n_ticks)
+        truth = np.full((n_ticks, dim), np.nan)
+        measured = np.full((n_ticks, dim), np.nan)
+        served = np.full((n_ticks, dim), np.nan)
+        sent = np.zeros(n_ticks, dtype=bool)
+        for i, reading in enumerate(readings):
+            now = reading.t
+            decision = self.source.process(reading)
+            for message in decision.messages:
+                self.channel.send(message, now)
+            arrivals = [d.message for d in self.channel.poll(now)]
+            snapshot = self.server.advance(arrivals)
+            t[i] = now
+            if reading.truth is not None:
+                truth[i] = reading.truth
+            if reading.value is not None:
+                measured[i] = reading.value
+            if snapshot.value is not None:
+                served[i] = snapshot.value
+            sent[i] = decision.sent
+        return SessionTrace(
+            t=t,
+            truth=truth,
+            measured=measured,
+            served=served,
+            sent=sent,
+            stats=self.channel.stats,
+        )

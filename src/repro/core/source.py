@@ -1,0 +1,183 @@
+"""The source-side agent: suppression decisions and adaptation shipping.
+
+The source owns the ground truth of the protocol: it sees every raw
+measurement *and* maintains an exact replica of the server's filter, so it
+can evaluate the precision bound against what the server would serve and
+stay silent whenever the bound holds.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.adaptive import AdaptationPolicy
+from repro.core.precision import PrecisionBound
+from repro.core.protocol import MeasurementUpdate, ModelSwitch, ProtocolMessage
+from repro.core.replica import FilterReplica
+from repro.errors import ConfigurationError
+from repro.kalman.models import ProcessModel
+from repro.streams.base import Reading
+
+__all__ = ["SourceDecision", "SourceAgent"]
+
+
+@dataclass(frozen=True)
+class SourceDecision:
+    """What the source did for one tick.
+
+    Attributes:
+        served: The value the server will serve this tick (on an ideal
+            channel), or ``None`` before the first transmission.
+        sent: Whether a measurement update went out.
+        messages: Every message emitted this tick, in send order.
+    """
+
+    served: np.ndarray | None
+    sent: bool
+    messages: tuple[ProtocolMessage, ...]
+
+
+class SourceAgent:
+    """Runs the dual-filter suppression loop at the data source.
+
+    Per tick: reconstruct the server's one-step-ahead prediction, compare it
+    to the fresh measurement under the precision bound, transmit only on
+    violation, and mirror every transmitted operation on the local replica.
+    Optionally ships procedure adaptations (see
+    :class:`~repro.core.adaptive.AdaptationPolicy`) and periodic state
+    resyncs for lossy channels.
+
+    Args:
+        stream_id: Identifier carried by every protocol message.
+        model: Initial process model (must match the server's).
+        bound: Precision contract to enforce.
+        adaptation: Optional online adaptation policy.
+        resync_interval: Ship a full state snapshot every this many ticks
+            (``None`` disables; only useful on lossy channels).
+        robust_threshold: Optional outlier sensitivity, as a multiple of the
+            bound's tolerance.  A violating measurement whose error exceeds
+            ``robust_threshold x tolerance`` is flagged as an isolated spike
+            and shipped with ``outlier=True`` (both replicas then fold it in
+            with inflated R).  Two consecutive over-threshold ticks escape
+            the flag — a persistent deviation is a level shift, not a spike.
+        robust_inflation: R inflation factor both replicas apply to
+            outlier-flagged updates.
+    """
+
+    def __init__(
+        self,
+        stream_id: str,
+        model: ProcessModel,
+        bound: PrecisionBound,
+        adaptation: AdaptationPolicy | None = None,
+        resync_interval: int | None = None,
+        robust_threshold: float | None = None,
+        robust_inflation: float = 1e4,
+    ):
+        if resync_interval is not None and resync_interval < 1:
+            raise ConfigurationError(
+                f"resync_interval must be >= 1, got {resync_interval!r}"
+            )
+        if robust_threshold is not None and robust_threshold <= 1.0:
+            raise ConfigurationError(
+                f"robust_threshold must exceed 1, got {robust_threshold!r}"
+            )
+        self.stream_id = stream_id
+        self.bound = bound
+        self.replica = FilterReplica(model, robust_inflation=robust_inflation)
+        self.adaptation = adaptation
+        self.resync_interval = resync_interval
+        self.robust_threshold = robust_threshold
+        self._last_was_outlier = False
+        self._seq = 0
+        self._warm = False
+        self.ticks = 0
+        self.updates_sent = 0
+
+    def _next_seq(self) -> int:
+        self._seq += 1
+        return self._seq
+
+    def process(self, reading: Reading) -> SourceDecision:
+        """Handle one stream tick; returns the decision and its messages."""
+        self.ticks += 1
+        messages: list[ProtocolMessage] = []
+
+        if reading.value is None:
+            # Sensor produced nothing.  After warm-up both replicas coast in
+            # lock-step; before it, both sides stay at tick 0 (the server has
+            # no state to coast yet).
+            served = self.replica.coast() if self._warm else None
+            if self.adaptation is not None:
+                self.adaptation.coast()
+            return SourceDecision(served=served, sent=False, messages=())
+
+        z = reading.value
+        if self.adaptation is not None:
+            self.adaptation.observe(z)
+
+        prediction = self.replica.predicted_value() if self._warm else None
+        if prediction is None or self.bound.violated(prediction, z):
+            outlier = False
+            if self.robust_threshold is not None and prediction is not None:
+                spike = self.bound.error(prediction, z) > (
+                    self.robust_threshold * self.bound.tolerance(z)
+                )
+                # Two-strike escape: a deviation persisting across ticks is
+                # a level shift the filter must follow, not a glitch.
+                outlier = spike and not self._last_was_outlier
+                self._last_was_outlier = outlier
+            update = MeasurementUpdate(
+                stream_id=self.stream_id,
+                seq=self._next_seq(),
+                tick=self.replica.tick,
+                z=z,
+                outlier=outlier,
+            )
+            messages.append(update)
+            self.replica.apply_update(z, outlier=outlier)
+            self._warm = True
+            self.updates_sent += 1
+            served: np.ndarray | None = z.copy()
+            sent = True
+        else:
+            self.replica.coast()
+            served = prediction
+            sent = False
+            self._last_was_outlier = False
+
+        # Ship a procedure adaptation if one is warranted.  The switch is
+        # applied locally the moment it is sent so the next tick's
+        # prediction already uses the new procedure on both endpoints.
+        if self.adaptation is not None:
+            self.adaptation.note_sent(sent)
+            change = self.adaptation.propose()
+            if change is not None:
+                switch = ModelSwitch(
+                    stream_id=self.stream_id,
+                    seq=self._next_seq(),
+                    tick=self.replica.tick,
+                    change=change,
+                )
+                messages.append(switch)
+                self.replica.apply_model_switch(switch)
+                self.adaptation.commit(change)
+
+        # Periodic full-state resync (lossy-channel insurance).
+        if (
+            self.resync_interval is not None
+            and self._warm
+            and self.ticks % self.resync_interval == 0
+        ):
+            messages.append(self.replica.snapshot(self.stream_id, self._next_seq()))
+
+        return SourceDecision(served=served, sent=sent, messages=tuple(messages))
+
+    @property
+    def suppression_ratio(self) -> float:
+        """Fraction of ticks that sent no measurement update."""
+        if self.ticks == 0:
+            return 0.0
+        return 1.0 - self.updates_sent / self.ticks

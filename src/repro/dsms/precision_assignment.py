@@ -1,0 +1,144 @@
+"""Query-driven precision assignment: from answer targets to stream bounds.
+
+Propagation (:mod:`repro.dsms.precision_propagation`) answers "given
+per-stream bounds δ, how precise are the query answers?".  Deployment asks
+the inverse: *users specify the precision they need on answers*; the system
+must derive the loosest per-stream bounds that still deliver it, because
+looser bounds mean fewer messages.
+
+For the engine's operators the worst-case answer bound is linear in the
+per-stream δ with a computable coefficient (the *sensitivity*):
+
+* identity / select / window mean / min / max / quantile → sensitivity 1
+* window sum over n tuples → sensitivity n
+* ``a·x + b`` → sensitivity |a| (composed multiplicatively)
+* join ``x ± y`` → sensitivity 1 w.r.t. *each* input stream
+
+Given target half-widths per query, each stream's assigned bound is the
+tightest requirement over the queries that read it:
+``δ_s = min over queries q reading s of target_q / sensitivity_{q,s}``.
+Soundness follows from the propagation rules being upper bounds; it is
+verified end-to-end in the tests.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.dsms.operators import (
+    MapFn,
+    MapLinear,
+    MergeJoin,
+    Operator,
+    Select,
+    WindowAggregate,
+)
+from repro.dsms.query import ContinuousQuery
+from repro.errors import QueryError
+
+__all__ = ["QueryRequirement", "pipeline_sensitivity", "assign_stream_bounds"]
+
+
+@dataclass(frozen=True)
+class QueryRequirement:
+    """A user-facing precision target for one query's answers.
+
+    Attributes:
+        query: The pipeline the target applies to.
+        target: Required half-width of every answer the query emits.
+    """
+
+    query: ContinuousQuery
+    target: float
+
+    def __post_init__(self) -> None:
+        if self.target <= 0:
+            raise QueryError(f"target must be positive, got {self.target!r}")
+
+
+def _operator_sensitivity(op: Operator) -> float:
+    """Factor by which one operator scales its input's precision bound."""
+    if isinstance(op, Select):
+        return 1.0
+    if isinstance(op, MapLinear):
+        return abs(op.scale)
+    if isinstance(op, MapFn):
+        return op.lipschitz
+    if isinstance(op, WindowAggregate):
+        name = op.aggregate_name
+        if name == "sum":
+            return float(op.window.size)
+        if name == "count":
+            return 0.0
+        # mean / min / max / var-free aggregates: worst case is the worst
+        # member bound, and with a single upstream stream every member
+        # carries the same bound.
+        if name == "var":
+            raise QueryError(
+                "variance answers have value-dependent bounds; assign the "
+                "stream bound from the other aggregates in the plan or give "
+                "variance queries their own empirical budget"
+            )
+        return 1.0
+    raise QueryError(
+        f"no sensitivity rule for operator {type(op).__name__}; extend "
+        "precision_assignment to cover it"
+    )
+
+
+def pipeline_sensitivity(query: ContinuousQuery) -> float:
+    """Product of operator sensitivities along a query's pipeline.
+
+    Count aggregates zero out the sensitivity (counting is exact whatever
+    the stream bound), in which case any δ satisfies the query.
+    """
+    factor = 1.0
+    for op in query.operators:
+        factor *= _operator_sensitivity(op)
+    return factor
+
+
+def assign_stream_bounds(
+    requirements: list[QueryRequirement],
+    joins: list[tuple[str, str, float]] | None = None,
+) -> dict[str, float]:
+    """Loosest per-stream bounds meeting every query's precision target.
+
+    Args:
+        requirements: Per-query targets; each query reads one stream.
+        joins: Optional ``(left_stream, right_stream, target)`` triples for
+            two-stream ``x ± y`` joins; the target splits evenly across the
+            two inputs (each gets ``target / 2``).
+
+    Returns:
+        Mapping of stream id to assigned δ (streams no query constrains are
+        absent — run them at whatever bound the resource budget allows).
+
+    Raises:
+        QueryError: If any requirement implies a non-positive bound (an
+            infinite-sensitivity pipeline with a finite target).
+    """
+    tightest: dict[str, float] = {}
+
+    def _tighten(stream_id: str, delta: float) -> None:
+        if delta <= 0:
+            raise QueryError(
+                f"requirement on stream {stream_id!r} implies a non-positive "
+                "bound; the pipeline amplifies error without limit"
+            )
+        current = tightest.get(stream_id)
+        tightest[stream_id] = delta if current is None else min(current, delta)
+
+    for req in requirements:
+        sensitivity = pipeline_sensitivity(req.query)
+        if sensitivity == 0.0:
+            continue  # count-style queries constrain nothing
+        _tighten(req.query.stream_id, req.target / sensitivity)
+
+    for left, right, target in joins or []:
+        if target <= 0:
+            raise QueryError(f"join target must be positive, got {target!r}")
+        _tighten(left, target / 2.0)
+        _tighten(right, target / 2.0)
+
+    return tightest

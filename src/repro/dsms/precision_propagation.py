@@ -1,0 +1,136 @@
+"""Sound propagation of per-source precision bounds through query operators.
+
+The suppression protocol guarantees each served value lies within δ of the
+source's measurement.  Interval arithmetic turns those per-tuple guarantees
+into per-answer guarantees: every rule here returns a half-width ``B`` such
+that the operator's output over served values differs from its output over
+the measurements by at most ``B`` whenever each input differs by at most its
+own bound.  Rules are conservative (never under-estimate) and tight for the
+linear aggregates.
+
+Rules (inputs with half-widths b_1..b_n):
+
+* mean     → (b_1 + ... + b_n) / n   (= δ when all equal)
+* sum      → b_1 + ... + b_n         (= n·δ)
+* min/max  → max_i b_i               (extremum moves at most the worst bound)
+* quantile → max_i b_i               (order statistics are 1-Lipschitz in
+  the sup-norm of the sample vector)
+* count    → 0                       (counting ignores values)
+* variance → see :func:`variance_bound` (first-order Lipschitz bound plus
+  the quadratic remainder, using the window's value range)
+* a·x + b  → |a| · b_x
+* x ± y    → b_x + b_y
+* x · y    → |x|·b_y + |y|·b_x + b_x·b_y
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import QueryError
+
+__all__ = [
+    "mean_bound",
+    "sum_bound",
+    "extreme_bound",
+    "quantile_bound",
+    "count_bound",
+    "variance_bound",
+    "linear_map_bound",
+    "add_sub_bound",
+    "product_bound",
+    "aggregate_bound",
+]
+
+
+def _validated(bounds: list[float]) -> np.ndarray:
+    arr = np.asarray(bounds, dtype=float)
+    if arr.ndim != 1 or arr.size == 0:
+        raise QueryError("bounds must be a non-empty 1-D list")
+    if np.any(arr < 0):
+        raise QueryError("bounds must be non-negative")
+    return arr
+
+
+def mean_bound(bounds: list[float]) -> float:
+    """Half-width of a windowed mean."""
+    arr = _validated(bounds)
+    return float(np.sum(arr) / arr.size)
+
+
+def sum_bound(bounds: list[float]) -> float:
+    """Half-width of a windowed sum."""
+    return float(np.sum(_validated(bounds)))
+
+
+def extreme_bound(bounds: list[float]) -> float:
+    """Half-width of a windowed min or max."""
+    return float(np.max(_validated(bounds)))
+
+
+def quantile_bound(bounds: list[float]) -> float:
+    """Half-width of any windowed quantile (incl. median)."""
+    return float(np.max(_validated(bounds)))
+
+
+def count_bound(bounds: list[float]) -> float:
+    """Counts are exact whatever the value errors."""
+    _validated(bounds)
+    return 0.0
+
+
+def variance_bound(bounds: list[float], values: list[float]) -> float:
+    """Half-width of a windowed population variance.
+
+    For v(x) = mean(x²) − mean(x)², perturbing x_i by e_i with |e_i| ≤ b_i
+    changes v by at most Σ_i (2/n)·|x_i − x̄|·b_i + (Σ b_i / n)·(2·max b +
+    Σ b / n) — the first-order term plus a conservative quadratic remainder.
+    """
+    arr = _validated(bounds)
+    vals = np.asarray(values, dtype=float)
+    if vals.shape != arr.shape:
+        raise QueryError("values and bounds must align")
+    n = arr.size
+    centered = np.abs(vals - vals.mean())
+    first_order = float(np.sum(2.0 * centered * arr) / n)
+    mean_b = float(np.sum(arr) / n)
+    quadratic = mean_b * (2.0 * float(np.max(arr)) + mean_b)
+    return first_order + quadratic
+
+
+def linear_map_bound(scale: float, bound: float) -> float:
+    """Half-width of ``a·x + b`` given x's half-width."""
+    if bound < 0:
+        raise QueryError("bound must be non-negative")
+    return abs(scale) * bound
+
+
+def add_sub_bound(bound_x: float, bound_y: float) -> float:
+    """Half-width of ``x + y`` or ``x - y``."""
+    if bound_x < 0 or bound_y < 0:
+        raise QueryError("bounds must be non-negative")
+    return bound_x + bound_y
+
+
+def product_bound(x: float, bound_x: float, y: float, bound_y: float) -> float:
+    """Half-width of ``x · y`` around the served product."""
+    if bound_x < 0 or bound_y < 0:
+        raise QueryError("bounds must be non-negative")
+    return abs(x) * bound_y + abs(y) * bound_x + bound_x * bound_y
+
+
+def aggregate_bound(name: str, bounds: list[float], values: list[float]) -> float:
+    """Dispatch to the propagation rule for a named aggregate."""
+    if name in ("mean", "avg"):
+        return mean_bound(bounds)
+    if name == "sum":
+        return sum_bound(bounds)
+    if name in ("min", "max"):
+        return extreme_bound(bounds)
+    if name == "count":
+        return count_bound(bounds)
+    if name == "var":
+        return variance_bound(bounds, values)
+    if name == "median" or name.startswith("q"):
+        return quantile_bound(bounds)
+    raise QueryError(f"no propagation rule for aggregate {name!r}")

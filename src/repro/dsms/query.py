@@ -1,0 +1,244 @@
+"""Continuous queries over server-cached streams.
+
+:class:`ContinuousQuery` is a fluent pipeline builder over one stream (or a
+two-stream join); :class:`QueryEngine` executes registered queries against a
+:class:`~repro.core.server.StreamServer` — every tick it reads each
+subscribed stream's *served* value, tags it with the stream's precision
+bound δ, and pushes it through the pipelines.  Queries therefore never touch
+raw arrivals: this is the paper's architecture, where query processing load
+is decoupled from stream volume because answers come from cached procedures.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable
+
+import numpy as np
+
+from repro.core.server import StreamServer
+from repro.dsms.operators import (
+    MapFn,
+    MapLinear,
+    MergeJoin,
+    Operator,
+    Select,
+    WindowAggregate,
+)
+from repro.dsms.tuples import StreamTuple
+from repro.errors import QueryError
+
+__all__ = ["ContinuousQuery", "QueryEngine", "QueryResult"]
+
+
+class ContinuousQuery:
+    """Fluent builder for a single-input operator pipeline.
+
+    Example::
+
+        q = (ContinuousQuery("temps", component=0)
+             .map_linear(9 / 5, 32)          # °C -> °F
+             .window("mean", size=60))
+    """
+
+    def __init__(self, stream_id: str, component: int = 0, name: str | None = None):
+        if component < 0:
+            raise QueryError(f"component must be >= 0, got {component!r}")
+        self.stream_id = stream_id
+        self.component = component
+        self.name = name or f"q_{stream_id}"
+        self.operators: list[Operator] = []
+
+    def where(self, predicate: Callable[[StreamTuple], bool], label: str = "pred") -> "ContinuousQuery":
+        """Append a selection."""
+        self.operators.append(Select(predicate, label=label))
+        return self
+
+    def above(self, limit: float) -> "ContinuousQuery":
+        """Keep tuples whose value exceeds ``limit``."""
+        self.operators.append(Select.threshold(limit, above=True))
+        return self
+
+    def below(self, limit: float) -> "ContinuousQuery":
+        """Keep tuples whose value is under ``limit``."""
+        self.operators.append(Select.threshold(limit, above=False))
+        return self
+
+    def definitely_above(self, limit: float) -> "ContinuousQuery":
+        """Bound-aware alert: fire only when the limit is certainly crossed."""
+        self.operators.append(Select.definitely_above(limit))
+        return self
+
+    def possibly_above(self, limit: float) -> "ContinuousQuery":
+        """Bound-aware alert: fire whenever the limit may have been crossed."""
+        self.operators.append(Select.possibly_above(limit))
+        return self
+
+    def map_linear(self, scale: float, offset: float = 0.0) -> "ContinuousQuery":
+        """Append an affine transform."""
+        self.operators.append(MapLinear(scale, offset))
+        return self
+
+    def map(self, fn: Callable[[float], float], lipschitz: float, label: str = "fn") -> "ContinuousQuery":
+        """Append an arbitrary scalar map with a Lipschitz constant."""
+        self.operators.append(MapFn(fn, lipschitz, label=label))
+        return self
+
+    def window(
+        self,
+        aggregate: str,
+        size: int,
+        slide: int = 1,
+        tumbling: bool = False,
+        emit_partial: bool = False,
+    ) -> "ContinuousQuery":
+        """Append a windowed aggregate."""
+        self.operators.append(
+            WindowAggregate(
+                aggregate, size, slide=slide, tumbling=tumbling, emit_partial=emit_partial
+            )
+        )
+        return self
+
+    def run_pipeline(self, item: StreamTuple) -> list[StreamTuple]:
+        """Push one tuple through every operator in order."""
+        batch = [item]
+        for op in self.operators:
+            next_batch: list[StreamTuple] = []
+            for tup in batch:
+                next_batch.extend(op.process(tup))
+            if not next_batch:
+                return []
+            batch = next_batch
+        return batch
+
+    def plan(self) -> str:
+        """Textual query plan."""
+        stages = " -> ".join(op.describe() for op in self.operators) or "Identity"
+        return f"{self.name}: {self.stream_id}[{self.component}] -> {stages}"
+
+
+@dataclass
+class QueryResult:
+    """Accumulated outputs of one query."""
+
+    name: str
+    outputs: list[StreamTuple] = field(default_factory=list)
+
+    def values(self) -> np.ndarray:
+        """Output values as an array."""
+        return np.array([o.value for o in self.outputs])
+
+    def bounds(self) -> np.ndarray:
+        """Propagated half-widths as an array."""
+        return np.array([o.bound for o in self.outputs])
+
+    def latest(self) -> StreamTuple | None:
+        """Most recent output, if any."""
+        return self.outputs[-1] if self.outputs else None
+
+
+class QueryEngine:
+    """Executes continuous queries against a stream server every tick.
+
+    Args:
+        server: The server whose cached streams feed the queries.
+        bounds: Per-stream precision half-width δ (what the suppression
+            protocol was configured with); attached to every input tuple so
+            operators can propagate it.
+    """
+
+    def __init__(self, server: StreamServer, bounds: dict[str, float]):
+        for sid, delta in bounds.items():
+            if delta < 0:
+                raise QueryError(f"bound for {sid!r} must be >= 0, got {delta!r}")
+        self.server = server
+        self.bounds = dict(bounds)
+        self.queries: list[ContinuousQuery] = []
+        self.joins: list[tuple[MergeJoin, ContinuousQuery]] = []
+        self.results: dict[str, QueryResult] = {}
+
+    def register(self, query: ContinuousQuery) -> QueryResult:
+        """Add a single-stream query; returns its (live) result collector."""
+        if query.stream_id not in self.bounds:
+            raise QueryError(
+                f"query {query.name!r} reads unregistered stream {query.stream_id!r}"
+            )
+        if query.name in self.results:
+            raise QueryError(f"duplicate query name {query.name!r}")
+        self.queries.append(query)
+        self.results[query.name] = QueryResult(name=query.name)
+        return self.results[query.name]
+
+    def register_join(
+        self,
+        left: str,
+        right: str,
+        combine: str = "sub",
+        downstream: ContinuousQuery | None = None,
+        name: str | None = None,
+    ) -> QueryResult:
+        """Add a two-stream join, optionally feeding a downstream pipeline.
+
+        ``downstream.stream_id`` is ignored; the join output feeds it
+        directly.
+        """
+        for sid in (left, right):
+            if sid not in self.bounds:
+                raise QueryError(f"join reads unregistered stream {sid!r}")
+        join = MergeJoin(left, right, combine=combine)
+        pipeline = downstream or ContinuousQuery(join.label, name=name or join.label)
+        pipeline.name = name or pipeline.name
+        if pipeline.name in self.results:
+            raise QueryError(f"duplicate query name {pipeline.name!r}")
+        self.joins.append((join, pipeline))
+        self.results[pipeline.name] = QueryResult(name=pipeline.name)
+        return self.results[pipeline.name]
+
+    def on_tick(self, t: float) -> None:
+        """Evaluate every query against the server's current snapshots."""
+        snapshots: dict[str, np.ndarray | None] = {}
+        for sid in self.bounds:
+            snapshots[sid] = self.server.value(sid)
+
+        for query in self.queries:
+            value = snapshots.get(query.stream_id)
+            if value is None:
+                continue
+            if query.component >= value.shape[0]:
+                raise QueryError(
+                    f"query {query.name!r} wants component {query.component} of "
+                    f"{query.stream_id!r} which has dim {value.shape[0]}"
+                )
+            item = StreamTuple(
+                t=t,
+                stream_id=query.stream_id,
+                value=float(value[query.component]),
+                bound=self.bounds[query.stream_id],
+            )
+            self.results[query.name].outputs.extend(query.run_pipeline(item))
+
+        for join, pipeline in self.joins:
+            emitted: list[StreamTuple] = []
+            for sid in (join.left_id, join.right_id):
+                value = snapshots.get(sid)
+                if value is None:
+                    continue
+                emitted.extend(
+                    join.process(
+                        StreamTuple(
+                            t=t,
+                            stream_id=sid,
+                            value=float(value[0]),
+                            bound=self.bounds[sid],
+                        )
+                    )
+                )
+            for tup in emitted:
+                self.results[pipeline.name].outputs.extend(pipeline.run_pipeline(tup))
+
+    def plan(self) -> str:
+        """Textual plan of everything registered."""
+        lines = [q.plan() for q in self.queries]
+        lines += [f"{p.name}: {j.describe()} -> {p.plan()}" for j, p in self.joins]
+        return "\n".join(lines)

@@ -1,0 +1,58 @@
+"""Stream tuples flowing through the mini query engine.
+
+A tuple is a timestamped scalar (queries over vector streams select a
+component first) plus the *precision half-width* it was served with: the
+dual-Kalman protocol guarantees the served value is within ``bound`` of the
+source's measurement, and the query engine propagates that interval through
+every operator so answers come with sound error bars.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import QueryError
+
+__all__ = ["StreamTuple"]
+
+
+@dataclass(frozen=True)
+class StreamTuple:
+    """One value flowing through a continuous query.
+
+    Attributes:
+        t: Timestamp.
+        stream_id: Originating stream (or the name of the operator that
+            produced a derived tuple).
+        value: Scalar payload.
+        bound: Half-width of the guaranteed error interval around ``value``
+            (0 for exact values; propagated through operators).
+    """
+
+    t: float
+    stream_id: str
+    value: float
+    bound: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.bound < 0:
+            raise QueryError(f"bound must be non-negative, got {self.bound!r}")
+
+    @property
+    def low(self) -> float:
+        """Lower end of the guaranteed interval."""
+        return self.value - self.bound
+
+    @property
+    def high(self) -> float:
+        """Upper end of the guaranteed interval."""
+        return self.value + self.bound
+
+    def with_value(self, value: float, bound: float | None = None) -> "StreamTuple":
+        """Derived tuple with a new value (same origin and time)."""
+        return StreamTuple(
+            t=self.t,
+            stream_id=self.stream_id,
+            value=float(value),
+            bound=self.bound if bound is None else float(bound),
+        )

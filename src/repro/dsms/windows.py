@@ -1,0 +1,104 @@
+"""Window machinery for continuous queries.
+
+Windows are tick-based (count-based): a sliding window of size ``n`` with
+slide ``s`` covers the most recent ``n`` tuples and emits an aggregate
+every ``s`` arrivals; a tumbling window is the special case ``s == n``.
+The window owns its aggregate instance and keeps it incrementally
+maintained, so emitting is O(1) regardless of window size.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+
+from repro.dsms.aggregates import Aggregate
+from repro.dsms.tuples import StreamTuple
+from repro.errors import ConfigurationError
+
+__all__ = ["SlidingWindow", "TumblingWindow"]
+
+
+class SlidingWindow:
+    """Count-based sliding window maintaining one aggregate.
+
+    Args:
+        size: Number of most-recent tuples covered.
+        aggregate: The incremental aggregate to maintain.
+        slide: Emit every ``slide`` arrivals once the window is full
+            (1 = emit on every tick).
+        emit_partial: Emit even before ``size`` tuples have arrived
+            (aggregates over however many are present).
+    """
+
+    def __init__(
+        self,
+        size: int,
+        aggregate: Aggregate,
+        slide: int = 1,
+        emit_partial: bool = False,
+    ):
+        if size < 1:
+            raise ConfigurationError(f"size must be >= 1, got {size!r}")
+        if slide < 1 or slide > size:
+            raise ConfigurationError(
+                f"slide must be in [1, size={size}], got {slide!r}"
+            )
+        self.size = size
+        self.slide = slide
+        self.emit_partial = emit_partial
+        self.aggregate = aggregate
+        self._values: deque[float] = deque()
+        self._bounds: deque[float] = deque()
+        self._arrivals = 0
+
+    def push(self, item: StreamTuple) -> StreamTuple | None:
+        """Insert one tuple; returns an aggregate tuple when due.
+
+        The emitted tuple's ``bound`` is left at 0 here; the window operator
+        wraps this class and attaches the propagated bound (it needs the
+        window's member bounds, exposed via :meth:`member_bounds`).
+        """
+        self._values.append(item.value)
+        self._bounds.append(item.bound)
+        if len(self._values) > self.size:
+            self.aggregate.remove(self._values.popleft())
+            self._bounds.popleft()
+        self.aggregate.add(item.value)
+        self._arrivals += 1
+        full = len(self._values) == self.size
+        due = self._arrivals % self.slide == 0
+        if due and (full or self.emit_partial):
+            return StreamTuple(
+                t=item.t,
+                stream_id=f"{item.stream_id}/{self.aggregate.name}",
+                value=self.aggregate.value(),
+                bound=0.0,
+            )
+        return None
+
+    def member_bounds(self) -> list[float]:
+        """Precision half-widths of the tuples currently in the window."""
+        return list(self._bounds)
+
+    def member_values(self) -> list[float]:
+        """Values currently in the window (oldest first)."""
+        return list(self._values)
+
+    def __len__(self) -> int:
+        return len(self._values)
+
+
+class TumblingWindow(SlidingWindow):
+    """Non-overlapping windows: slide equals size, reset between windows."""
+
+    def __init__(self, size: int, aggregate: Aggregate, emit_partial: bool = False):
+        super().__init__(size, aggregate, slide=size, emit_partial=emit_partial)
+
+    def push(self, item: StreamTuple) -> StreamTuple | None:
+        out = super().push(item)
+        if out is not None:
+            # Start the next window from scratch rather than sliding.
+            self.aggregate = self.aggregate.fresh()
+            self._values.clear()
+            self._bounds.clear()
+        return out

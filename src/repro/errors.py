@@ -1,0 +1,54 @@
+"""Exception hierarchy for the ``repro`` package.
+
+All library-raised exceptions derive from :class:`ReproError` so callers can
+catch everything from this package with a single ``except`` clause while
+still letting programming errors (``TypeError``, ``ValueError`` from numpy,
+etc.) propagate unchanged.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro library."""
+
+
+class ConfigurationError(ReproError):
+    """A component was constructed with inconsistent or invalid parameters."""
+
+
+class DimensionError(ConfigurationError):
+    """Matrix/vector dimensions do not agree with the declared model."""
+
+
+class FilterDivergenceError(ReproError):
+    """A Kalman filter's covariance or innovation diverged beyond recovery.
+
+    Raised by consistency monitors when the normalized innovation squared
+    stays outside its chi-square gate for longer than the configured
+    patience, or when the covariance loses positive definiteness.
+    """
+
+
+class ReplicaDesyncError(ReproError):
+    """Source- and server-side filter replicas no longer agree.
+
+    This indicates a protocol bug or an unrecovered message loss; the dual
+    Kalman scheme relies on both replicas evolving in lock-step.
+    """
+
+
+class ProtocolError(ReproError):
+    """A malformed or out-of-order protocol message was received."""
+
+
+class AllocationError(ReproError):
+    """No feasible precision allocation exists for the requested budget."""
+
+
+class QueryError(ReproError):
+    """A continuous query was mis-specified or executed out of order."""
+
+
+class StreamExhaustedError(ReproError):
+    """A finite stream was asked for more readings than it contains."""

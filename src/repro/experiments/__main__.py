@@ -1,0 +1,79 @@
+"""Regenerate the full reproduced evaluation from the command line.
+
+Usage::
+
+    python -m repro.experiments               # all experiments, full scale
+    python -m repro.experiments --quick       # reduced tick counts
+    python -m repro.experiments T2 F4         # a subset by id
+
+Each experiment prints its rendered table; this is the same code the
+pytest-benchmark harness runs, minus the timing machinery.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+
+from repro.experiments import figures
+
+_EXPERIMENTS = {
+    "T1": lambda n: figures.table1_workloads(n_ticks=n),
+    "T2": lambda n: figures.table2_headline(n_ticks=n),
+    "F4": lambda n: figures.fig4_messages_vs_delta_synthetic(n_ticks=n),
+    "F5": lambda n: figures.fig5_messages_vs_delta_realworld(n_ticks=n),
+    "F6": lambda n: figures.fig6_delivered_precision(n_ticks=n),
+    "F7": lambda n: figures.fig7_time_variance(n_ticks=max(n, 9000) if n >= 6000 else 9000),
+    "F8": lambda n: figures.fig8_noise_sensitivity(n_ticks=n),
+    "F9": lambda n: figures.fig9_budget_allocation(
+        probe_ticks=max(400, n // 6), run_ticks=max(800, 2 * n // 3)
+    ),
+    "F10": lambda n: figures.fig10_model_ablation(n_ticks=n),
+    "F11": lambda n: figures.fig11_lossy_channel(n_ticks=n),
+    "F12": lambda n: figures.fig12_outlier_robustness(n_ticks=n),
+    "F13": lambda n: figures.fig13_model_bank(n_ticks=max(n, 4000)),
+    "F14": lambda n: figures.fig14_dynamic_allocation(
+        epoch_ticks=max(200, n // 10)
+    ),
+    "T3": lambda n: figures.table3_query_precision(n_ticks=n),
+}
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI entry point; returns a process exit code."""
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.experiments",
+        description="Regenerate the reproduced tables and figures.",
+    )
+    parser.add_argument(
+        "ids",
+        nargs="*",
+        metavar="ID",
+        help=f"experiment ids to run (default: all of {', '.join(_EXPERIMENTS)})",
+    )
+    parser.add_argument(
+        "--quick", action="store_true", help="reduced tick counts (~4x faster)"
+    )
+    parser.add_argument(
+        "--ticks", type=int, default=None, help="explicit tick count per experiment"
+    )
+    args = parser.parse_args(argv)
+
+    ids = [i.upper() for i in args.ids] or list(_EXPERIMENTS)
+    unknown = [i for i in ids if i not in _EXPERIMENTS]
+    if unknown:
+        parser.error(f"unknown experiment ids {unknown}; known: {list(_EXPERIMENTS)}")
+    n_ticks = args.ticks if args.ticks is not None else (2000 if args.quick else 8000)
+
+    for exp_id in ids:
+        start = time.perf_counter()
+        result = _EXPERIMENTS[exp_id](n_ticks)
+        elapsed = time.perf_counter() - start
+        print(result.render())
+        print(f"[{exp_id} regenerated in {elapsed:.1f}s]\n")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,815 @@
+"""One function per reproduced table/figure.
+
+Each function runs the experiment and returns a renderable result object;
+the benchmark harness in ``benchmarks/`` calls these and prints the
+rendered tables (the textual form of the paper's plots).  Experiment IDs
+(T1, T2, F4–F10, T3) follow the index in DESIGN.md; since only the paper's
+abstract survives, the experiments are reconstructions of its claimed
+evaluation — see EXPERIMENTS.md for the claim → experiment mapping.
+
+All experiments are seeded and deterministic.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.baselines.base import PeriodicPolicy
+from repro.baselines.dead_band import DeadBandPolicy
+from repro.baselines.dead_reckoning import DeadReckoningPolicy
+from repro.baselines.ewma import EwmaPolicy
+from repro.core.adaptive import AdaptationPolicy
+from repro.core.manager import ManagedStream, StreamResourceManager
+from repro.core.precision import AbsoluteBound
+from repro.core.server import StreamServer
+from repro.core.session import DualKalmanPolicy
+from repro.core.source import SourceAgent
+from repro.dsms.query import ContinuousQuery, QueryEngine
+from repro.experiments.runner import (
+    RunResult,
+    dkf_policy,
+    run_policy,
+    standard_policies,
+)
+from repro.experiments.workloads import WORKLOADS, workload
+from repro.kalman import models
+from repro.metrics.comm import rolling_message_rate
+from repro.metrics.report import render_series, render_table
+from repro.streams.base import values as stack_values
+from repro.streams.replay import RecordedStream, record
+from repro.streams.synthetic import RandomWalkStream
+
+__all__ = [
+    "ExperimentTable",
+    "ExperimentFigure",
+    "table1_workloads",
+    "table2_headline",
+    "fig4_messages_vs_delta_synthetic",
+    "fig5_messages_vs_delta_realworld",
+    "fig6_delivered_precision",
+    "fig7_time_variance",
+    "fig8_noise_sensitivity",
+    "fig9_budget_allocation",
+    "fig10_model_ablation",
+    "fig11_lossy_channel",
+    "fig12_outlier_robustness",
+    "fig13_model_bank",
+    "fig14_dynamic_allocation",
+    "table3_query_precision",
+]
+
+DEFAULT_TICKS = 6000
+DEFAULT_SEED = 7
+
+
+@dataclass
+class ExperimentTable:
+    """A reproduced table: headers plus rows, renderable to text."""
+
+    experiment_id: str
+    title: str
+    headers: list[str]
+    rows: list[list] = field(default_factory=list)
+
+    def render(self) -> str:
+        """ASCII rendering for the benchmark logs."""
+        return render_table(
+            self.headers, self.rows, title=f"[{self.experiment_id}] {self.title}"
+        )
+
+
+@dataclass
+class ExperimentFigure:
+    """A reproduced figure: panels of y-series over a shared x-axis."""
+
+    experiment_id: str
+    title: str
+    x_name: str
+    panels: list[tuple[str, list, dict[str, list]]] = field(default_factory=list)
+
+    def add_panel(self, panel_title: str, xs: list, series: dict[str, list]) -> None:
+        """Append one panel (sub-plot)."""
+        self.panels.append((panel_title, xs, series))
+
+    def render(self) -> str:
+        """ASCII rendering: one series-table per panel."""
+        parts = [f"[{self.experiment_id}] {self.title}"]
+        for panel_title, xs, series in self.panels:
+            parts.append(
+                render_series(self.x_name, xs, series, title=f"-- {panel_title}")
+            )
+        return "\n\n".join(parts)
+
+
+# ----------------------------------------------------------------------
+# T1 — workload inventory
+# ----------------------------------------------------------------------
+def table1_workloads(
+    n_ticks: int = DEFAULT_TICKS, seed: int = DEFAULT_SEED
+) -> ExperimentTable:
+    """Statistical character of every canonical workload."""
+    table = ExperimentTable(
+        experiment_id="T1",
+        title="Workload inventory",
+        headers=[
+            "id",
+            "stream",
+            "dim",
+            "value std",
+            "1-tick change std",
+            "meas-noise std",
+        ],
+    )
+    for key, wl in WORKLOADS.items():
+        readings = wl.make_stream(seed).take(n_ticks)
+        vals = stack_values(readings)
+        truths = np.stack([r.truth for r in readings])
+        noise = vals - truths
+        change = np.diff(truths, axis=0)
+        table.rows.append(
+            [
+                key,
+                wl.title,
+                wl.dim,
+                float(np.nanstd(vals)),
+                float(np.std(change)),
+                float(np.nanstd(noise)),
+            ]
+        )
+    return table
+
+
+# ----------------------------------------------------------------------
+# T2 — headline messages at each workload's default bound
+# ----------------------------------------------------------------------
+def table2_headline(
+    n_ticks: int = DEFAULT_TICKS, seed: int = DEFAULT_SEED
+) -> ExperimentTable:
+    """Messages sent per policy at each workload's default δ.
+
+    The "who wins" table: every gated policy meets the same precision
+    contract, so messages are directly comparable; the periodic cache is
+    calibrated to the dead-band's message count and its bound violations
+    show what abandoning the contract costs.
+    """
+    table = ExperimentTable(
+        experiment_id="T2",
+        title="Messages at default δ (and dead-band/DKF ratio)",
+        headers=[
+            "workload",
+            "δ",
+            "dead_band",
+            "dead_reckoning",
+            "ewma",
+            "ar",
+            "dual_kalman",
+            "dkf_adaptive",
+            "band/dkf",
+        ],
+    )
+    for key, wl in WORKLOADS.items():
+        readings = wl.make_stream(seed).take(n_ticks)
+        results = {
+            p.name: run_policy(readings, p)
+            for p in standard_policies(wl, wl.default_delta)
+        }
+        band = results["dead_band"].messages
+        dkf = results["dual_kalman"].messages
+        table.rows.append(
+            [
+                key,
+                wl.default_delta,
+                band,
+                results["dead_reckoning"].messages,
+                results["ewma"].messages,
+                results["ar"].messages,
+                dkf,
+                results["dual_kalman_adaptive"].messages,
+                band / dkf if dkf else float("nan"),
+            ]
+        )
+    return table
+
+
+# ----------------------------------------------------------------------
+# F4 / F5 — messages vs precision bound
+# ----------------------------------------------------------------------
+def _messages_vs_delta(
+    experiment_id: str,
+    title: str,
+    keys: tuple[str, ...],
+    n_ticks: int,
+    seed: int,
+) -> ExperimentFigure:
+    fig = ExperimentFigure(
+        experiment_id=experiment_id, title=title, x_name="delta"
+    )
+    for key in keys:
+        wl = workload(key)
+        readings = wl.make_stream(seed).take(n_ticks)
+        series: dict[str, list] = {}
+        for delta in wl.delta_grid:
+            for policy in standard_policies(wl, delta, include_adaptive=False):
+                result = run_policy(readings, policy)
+                series.setdefault(policy.name, []).append(result.messages)
+        fig.add_panel(f"{key}: {wl.title}", list(wl.delta_grid), series)
+    return fig
+
+
+def fig4_messages_vs_delta_synthetic(
+    n_ticks: int = DEFAULT_TICKS, seed: int = DEFAULT_SEED
+) -> ExperimentFigure:
+    """Messages vs δ on controlled synthetic streams (W1–W3)."""
+    return _messages_vs_delta(
+        "F4", "Messages vs precision bound — synthetic streams", ("W1", "W2", "W3"),
+        n_ticks, seed,
+    )
+
+
+def fig5_messages_vs_delta_realworld(
+    n_ticks: int = DEFAULT_TICKS, seed: int = DEFAULT_SEED
+) -> ExperimentFigure:
+    """Messages vs δ on simulated real-world streams (W5–W7)."""
+    return _messages_vs_delta(
+        "F5", "Messages vs precision bound — simulated real-world streams",
+        ("W5", "W6", "W7"), n_ticks, seed,
+    )
+
+
+# ----------------------------------------------------------------------
+# F6 — delivered precision
+# ----------------------------------------------------------------------
+def fig6_delivered_precision(
+    n_ticks: int = DEFAULT_TICKS, seed: int = DEFAULT_SEED
+) -> ExperimentFigure:
+    """Delivered worst-case error vs δ: gated policies never exceed the bound.
+
+    The periodic static cache is given the *same message count* the
+    dead-band spent, and still blows through the bound — the contract is
+    what static caching cannot buy at any comparable rate.
+    """
+    fig = ExperimentFigure(
+        experiment_id="F6",
+        title="Delivered max error vs δ (gated policies) + periodic cache at "
+        "matched message count",
+        x_name="delta",
+    )
+    for key in ("W1", "W5"):
+        wl = workload(key)
+        readings = wl.make_stream(seed).take(n_ticks)
+        series: dict[str, list] = {}
+        for delta in wl.delta_grid:
+            gated = {
+                p.name: run_policy(readings, p)
+                for p in standard_policies(wl, delta, include_adaptive=False)
+            }
+            for name, result in gated.items():
+                series.setdefault(f"{name} max_err", []).append(
+                    result.max_error_vs_measured()
+                )
+            band_msgs = max(1, gated["dead_band"].messages)
+            interval = max(1, n_ticks // band_msgs)
+            periodic = run_policy(readings, PeriodicPolicy(interval))
+            series.setdefault("periodic max_err", []).append(
+                periodic.max_error_vs_measured()
+            )
+        fig.add_panel(f"{key}: {wl.title}", list(wl.delta_grid), series)
+    return fig
+
+
+# ----------------------------------------------------------------------
+# F7 — adaptation to time variance
+# ----------------------------------------------------------------------
+def fig7_time_variance(
+    n_ticks: int = 9000,
+    seed: int = DEFAULT_SEED,
+    window: int = 500,
+    sample_every: int = 500,
+) -> ExperimentFigure:
+    """Rolling message rate across sensor-noise regime switches (W4).
+
+    The sensor degrades at tick 3000 (noise 0.2 -> 2.0) and recovers at
+    6000.  All policies pay more while the sensor is noisy, but the
+    adaptive DKF re-learns R online and spends measurably less than the
+    fixed filter during the degraded phase, then re-converges after the
+    recovery — the paper's adaptation-to-time-variance claim.
+    """
+    wl = workload("W4")
+    readings = wl.make_stream(seed).take(n_ticks)
+    policies = [
+        DeadBandPolicy(AbsoluteBound(wl.default_delta)),
+        dkf_policy(wl, wl.default_delta, adaptive=False),
+        dkf_policy(wl, wl.default_delta, adaptive=True),
+    ]
+    xs = list(range(sample_every, n_ticks + 1, sample_every))
+    series: dict[str, list] = {}
+    for policy in policies:
+        result = run_policy(readings, policy)
+        rolling = rolling_message_rate(result.sent, window)
+        series[policy.name] = [float(rolling[x - 1]) for x in xs]
+    fig = ExperimentFigure(
+        experiment_id="F7",
+        title=f"Rolling message rate (window {window}) across regime switches "
+        "at ticks 3000 and 6000",
+        x_name="tick",
+    )
+    fig.add_panel(f"W4: {wl.title}, δ={wl.default_delta:g}", xs, series)
+    return fig
+
+
+# ----------------------------------------------------------------------
+# F8 — adaptation to sensor noise
+# ----------------------------------------------------------------------
+def fig8_noise_sensitivity(
+    n_ticks: int = DEFAULT_TICKS,
+    seed: int = DEFAULT_SEED,
+    noise_grid: tuple[float, ...] = (0.25, 0.5, 1.0, 1.5, 2.0),
+    delta: float = 3.0,
+) -> ExperimentFigure:
+    """Messages vs measurement-noise level at fixed δ (random-walk signal).
+
+    Dead-band and dead-reckoning forward sensor noise once it approaches δ;
+    the Kalman cache filters it.  The adaptive DKF starts with a wrong R
+    (fit for the lowest noise level) and still converges to near the
+    matched filter's rate — the paper's "adapts to sensor noise" claim.
+    """
+    fig = ExperimentFigure(
+        experiment_id="F8",
+        title=f"Messages vs sensor noise σ at δ={delta:g} (random-walk signal, "
+        "step σ=0.5)",
+        x_name="noise σ",
+    )
+    series: dict[str, list] = {}
+    bound = AbsoluteBound(delta)
+    for sigma in noise_grid:
+        stream = RandomWalkStream(step_sigma=0.5, measurement_sigma=sigma, seed=seed)
+        readings = stream.take(n_ticks)
+        matched = models.random_walk(process_noise=0.25, measurement_sigma=sigma)
+        mismatched = models.random_walk(
+            process_noise=0.25, measurement_sigma=noise_grid[0]
+        )
+        runs = {
+            "dead_band": run_policy(readings, DeadBandPolicy(bound)),
+            "dead_reckoning": run_policy(readings, DeadReckoningPolicy(bound)),
+            "ewma": run_policy(readings, EwmaPolicy(bound)),
+            "dkf_matched_R": run_policy(
+                readings, DualKalmanPolicy(matched, bound, name="dkf_matched_R")
+            ),
+            "dkf_adaptive_R": run_policy(
+                readings,
+                DualKalmanPolicy(
+                    mismatched,
+                    bound,
+                    adaptation=AdaptationPolicy(mismatched),
+                    name="dkf_adaptive_R",
+                ),
+            ),
+        }
+        for name, result in runs.items():
+            series.setdefault(name, []).append(result.messages)
+    fig.add_panel("random walk, step σ=0.5", list(noise_grid), series)
+    return fig
+
+
+# ----------------------------------------------------------------------
+# F9 — precision under a fleet-wide message budget
+# ----------------------------------------------------------------------
+def fig9_budget_allocation(
+    n_fleet: int = 12,
+    probe_ticks: int = 1000,
+    run_ticks: int = 4000,
+    seed: int = DEFAULT_SEED,
+    budgets: tuple[float, ...] = (0.05, 0.1, 0.2, 0.4, 0.8),
+) -> ExperimentFigure:
+    """Scale-normalized fleet error vs total message budget, per allocator.
+
+    The fleet mixes random walks of very different volatilities, so a
+    shared δ (uniform) over-serves calm streams and starves volatile ones;
+    waterfilling equalizes the marginal message cost of precision and
+    dominates at every budget.
+    """
+    rng = np.random.default_rng(seed)
+    fleet: list[ManagedStream] = []
+    sigmas = np.geomspace(0.1, 4.0, n_fleet)
+    for i, sigma in enumerate(sigmas):
+        stream = RandomWalkStream(
+            step_sigma=float(sigma),
+            measurement_sigma=float(sigma) * 0.25,
+            seed=int(rng.integers(1 << 30)),
+        )
+        fleet.append(
+            ManagedStream(
+                stream_id=f"rw-{i}",
+                recording=record(stream, probe_ticks + run_ticks),
+                model=models.random_walk(
+                    process_noise=float(sigma) ** 2,
+                    measurement_sigma=float(sigma) * 0.25,
+                ),
+            )
+        )
+    manager = StreamResourceManager(fleet, probe_ticks=probe_ticks)
+    scales = np.array(manager.scales)
+    fig = ExperimentFigure(
+        experiment_id="F9",
+        title=f"Fleet of {n_fleet} random walks (step σ from {sigmas[0]:.2g} to "
+        f"{sigmas[-1]:.2g}): normalized error vs message budget",
+        x_name="budget (msgs/tick)",
+    )
+    error_series: dict[str, list] = {}
+    rate_series: dict[str, list] = {}
+    for method in ("uniform", "equal_rate", "waterfilling", "scipy"):
+        for budget in budgets:
+            result = manager.run(budget, method=method, run_ticks=run_ticks)
+            errors = np.array([r.mean_abs_error for r in result.reports])
+            error_series.setdefault(method, []).append(
+                float(np.mean(errors / scales))
+            )
+            rate_series.setdefault(method, []).append(result.total_rate)
+    fig.add_panel("normalized mean |error| (lower is better)", list(budgets), error_series)
+    fig.add_panel("achieved total message rate", list(budgets), rate_series)
+    return fig
+
+
+# ----------------------------------------------------------------------
+# F10 — model ablation on GPS
+# ----------------------------------------------------------------------
+def fig10_model_ablation(
+    n_ticks: int = DEFAULT_TICKS, seed: int = DEFAULT_SEED
+) -> ExperimentFigure:
+    """Process-model order and adaptivity ablation on the GPS workload.
+
+    Messages vs δ for planar random-walk / constant-velocity /
+    constant-acceleration models, each with adaptation on and off.  The
+    velocity model matches vehicle dynamics best; adaptation recovers most
+    of the gap for the mis-specified orders.
+    """
+    wl = workload("W5")
+    readings = wl.make_stream(seed).take(n_ticks)
+    process_noise = {1: 150.0, 2: 1.0, 3: 0.1}
+    fig = ExperimentFigure(
+        experiment_id="F10",
+        title="GPS model ablation: messages vs δ by model order × adaptivity",
+        x_name="delta",
+    )
+    series: dict[str, list] = {}
+    for delta in wl.delta_grid:
+        bound = AbsoluteBound(delta, norm="l2")
+        for order in (1, 2, 3):
+            base = models.kinematic(
+                order, process_noise=process_noise[order], measurement_sigma=3.0
+            )
+            model = models.planar(base)
+            for adaptive in (False, True):
+                label = f"order{order}" + ("_adaptive" if adaptive else "")
+                adaptation = AdaptationPolicy(model) if adaptive else None
+                policy = DualKalmanPolicy(model, bound, adaptation=adaptation, name=label)
+                result = run_policy(readings, policy)
+                series.setdefault(label, []).append(result.messages)
+    fig.add_panel(f"W5: {wl.title}", list(wl.delta_grid), series)
+    return fig
+
+
+# ----------------------------------------------------------------------
+# F11 — lossy channels: the price of losses and the value of resync
+# ----------------------------------------------------------------------
+def fig11_lossy_channel(
+    n_ticks: int = DEFAULT_TICKS,
+    seed: int = DEFAULT_SEED,
+    loss_grid: tuple[float, ...] = (0.0, 0.05, 0.1, 0.2, 0.4),
+    resync_interval: int = 50,
+) -> ExperimentFigure:
+    """Served-error degradation under message loss, with and without resync.
+
+    On a lossy channel the replicas drift after every dropped update; the
+    δ guarantee is conditional on delivery.  The damage is worst for models
+    with hidden state: on the constant-velocity workload (W8) a lost update
+    leaves the server coasting on a stale velocity, so errors grow linearly
+    until the next delivery.  Periodic ``Resync`` snapshots cap that drift
+    for a small byte overhead.  This is the robustness ablation for design
+    decision 2 in DESIGN.md.
+    """
+    from repro.core.session import DualKalmanSession
+    from repro.network.channel import Channel
+
+    wl = workload("W8")
+    fig = ExperimentFigure(
+        experiment_id="F11",
+        title=f"Loss robustness on W8 (δ={wl.default_delta:g}): "
+        f"resync every {resync_interval} ticks vs none",
+        x_name="loss rate",
+    )
+    series: dict[str, list] = {}
+    for loss in loss_grid:
+        for label, interval in (("no_resync", None), ("resync", resync_interval)):
+            session = DualKalmanSession(
+                wl.make_stream(seed),
+                wl.make_model(),
+                AbsoluteBound(wl.default_delta, norm=wl.norm),
+                channel=Channel(loss_rate=loss, seed=seed),
+                resync_interval=interval,
+            )
+            trace = session.run(n_ticks)
+            err = trace.served_error_vs_measured()
+            valid = err[~np.isnan(err)]
+            series.setdefault(f"{label} mean_err", []).append(float(np.mean(valid)))
+            series.setdefault(f"{label} viol_rate", []).append(
+                float(np.mean(valid > wl.default_delta + 1e-9))
+            )
+            series.setdefault(f"{label} kB", []).append(
+                round(trace.stats.total_bytes / 1024.0, 1)
+            )
+    fig.add_panel(f"W8: {wl.title}", list(loss_grid), series)
+    return fig
+
+
+# ----------------------------------------------------------------------
+# F12 — outlier-robust gating ablation
+# ----------------------------------------------------------------------
+def fig12_outlier_robustness(
+    n_ticks: int = DEFAULT_TICKS,
+    seed: int = DEFAULT_SEED,
+    spike_grid: tuple[float, ...] = (0.0, 0.01, 0.02, 0.05),
+    delta: float = 3.0,
+) -> ExperimentFigure:
+    """Messages vs spike rate with outlier gating on and off.
+
+    An isolated spike costs a blind filter (and the dead-band cache) two
+    messages — one to report the spike, one to walk the state back.  The
+    source-flagged robust update pays one and leaves the cached procedure
+    unmoved, while the two-strike escape keeps genuine level shifts
+    tracked.  The precision contract holds throughout (spikes are served
+    exactly).
+    """
+    from repro.streams.noise import OutlierInjector
+
+    fig = ExperimentFigure(
+        experiment_id="F12",
+        title=f"Outlier robustness at δ={delta:g} "
+        "(random walk, spikes of magnitude 40)",
+        x_name="spike rate",
+    )
+    series: dict[str, list] = {}
+    bound = AbsoluteBound(delta)
+    for rate in spike_grid:
+        base = RandomWalkStream(step_sigma=0.5, measurement_sigma=0.2, seed=seed)
+        stream = OutlierInjector(base, rate=rate, magnitude=40.0, seed=seed + 1)
+        readings = stream.take(n_ticks)
+        model = models.random_walk(process_noise=0.25, measurement_sigma=0.2)
+        runs = {
+            "dead_band": run_policy(readings, DeadBandPolicy(bound)),
+            "dkf_blind": run_policy(
+                readings, DualKalmanPolicy(model, bound, name="dkf_blind")
+            ),
+            "dkf_robust": run_policy(
+                readings,
+                DualKalmanPolicy(
+                    model, bound, robust_threshold=2.0, name="dkf_robust"
+                ),
+            ),
+        }
+        for name, result in runs.items():
+            series.setdefault(f"{name} msgs", []).append(result.messages)
+        series.setdefault("dkf_robust max_err", []).append(
+            round(runs["dkf_robust"].max_error_vs_measured(), 3)
+        )
+    fig.add_panel("random walk + spikes", list(spike_grid), series)
+    return fig
+
+
+# ----------------------------------------------------------------------
+# F13 — model-class selection from a bank of candidate procedures
+# ----------------------------------------------------------------------
+def fig13_model_bank(
+    n_ticks: int = 8000,
+    seed: int = DEFAULT_SEED,
+    window: int = 500,
+    sample_every: int = 500,
+) -> ExperimentFigure:
+    """Rolling message rate when the deployed model *class* is wrong.
+
+    A periodic stream served by a constant-velocity filter pays a steady
+    tracking tax.  The model bank runs a harmonic candidate as a virtual
+    suppression loop at the source, detects that it would transmit far
+    less, and ships a full-model switch; the deployed rate then converges
+    to the oracle's.  This is model selection in the service of the
+    resource objective — "caching dynamic procedures" taken to its logical
+    end.
+    """
+    import math
+
+    from repro.core.model_bank import ModelBankSelector
+
+    wl = workload("W3")
+    readings = wl.make_stream(seed).take(n_ticks)
+    bound = AbsoluteBound(wl.default_delta)
+    cv = lambda: models.constant_velocity(  # noqa: E731
+        process_noise=0.05, measurement_sigma=0.5
+    )
+    harmonic = lambda: models.harmonic(  # noqa: E731
+        omega=2.0 * math.pi / 200.0, process_noise=0.01, measurement_sigma=0.5
+    )
+    bank = ModelBankSelector([cv(), harmonic()], bound)
+    policies = [
+        DualKalmanPolicy(cv(), bound, name="cv_fixed (wrong class)"),
+        DualKalmanPolicy(harmonic(), bound, name="harmonic_fixed (oracle)"),
+        DualKalmanPolicy(cv(), bound, adaptation=bank, name="model_bank (cv start)"),
+    ]
+    xs = list(range(sample_every, n_ticks + 1, sample_every))
+    series: dict[str, list] = {}
+    for policy in policies:
+        result = run_policy(readings, policy)
+        rolling = rolling_message_rate(result.sent, window)
+        series[policy.name] = [round(float(rolling[x - 1]), 4) for x in xs]
+    fig = ExperimentFigure(
+        experiment_id="F13",
+        title=f"Model-bank selection on W3 (δ={wl.default_delta:g}): rolling "
+        f"message rate (window {window}); bank switched at "
+        f"{[t for t, _ in bank.switches]}",
+        x_name="tick",
+    )
+    fig.add_panel(f"W3: {wl.title}", xs, series)
+    return fig
+
+
+# ----------------------------------------------------------------------
+# F14 — dynamic re-allocation under a fleet volatility shift
+# ----------------------------------------------------------------------
+def fig14_dynamic_allocation(
+    n_fleet: int = 8,
+    probe_ticks: int = 1000,
+    epoch_ticks: int = 1000,
+    n_epochs: int = 10,
+    switch_epoch: int = 4,
+    budget: float = 0.4,
+    seed: int = DEFAULT_SEED,
+) -> ExperimentFigure:
+    """Fleet message rate per epoch when half the fleet turns volatile.
+
+    Allocations are computed from rate curves; when a stream's volatility
+    jumps 10x mid-run, a *static* allocation keeps serving it at the stale
+    (tight) bound and the fleet blows through its budget for the rest of
+    the run.  The *dynamic* manager re-anchors each stream's curve to the
+    observed epoch rate and re-allocates, returning the fleet to budget
+    within a couple of epochs.  Comparison implemented as the same epoch
+    loop with anchor_gamma=0 (static) vs 0.5 (dynamic), so the only
+    difference is the re-anchoring.
+    """
+    from repro.core.manager import ManagedStream, StreamResourceManager
+    from repro.streams.replay import record
+    from repro.streams.synthetic import RegimeSwitchingStream
+
+    switch_tick = probe_ticks + switch_epoch * epoch_ticks
+    total_ticks = probe_ticks + n_epochs * epoch_ticks
+
+    def flipping(seed_: int) -> RegimeSwitchingStream:
+        calm = lambda s: RandomWalkStream(  # noqa: E731
+            step_sigma=0.3, measurement_sigma=0.1, seed=s
+        )
+        busy = lambda s: RandomWalkStream(  # noqa: E731
+            step_sigma=3.0, measurement_sigma=0.1, seed=s
+        )
+        return RegimeSwitchingStream(
+            [(calm, switch_tick), (busy, 10**9)], seed=seed_
+        )
+
+    def build_fleet() -> list[ManagedStream]:
+        fleet = []
+        rng = np.random.default_rng(seed)
+        for i in range(n_fleet // 2):
+            stream = RandomWalkStream(
+                step_sigma=0.3, measurement_sigma=0.1, seed=int(rng.integers(1 << 30))
+            )
+            fleet.append(
+                ManagedStream(
+                    stream_id=f"steady-{i}",
+                    recording=record(stream, total_ticks),
+                    model=models.random_walk(
+                        process_noise=0.09, measurement_sigma=0.1
+                    ),
+                )
+            )
+        for i in range(n_fleet - n_fleet // 2):
+            fleet.append(
+                ManagedStream(
+                    stream_id=f"flip-{i}",
+                    recording=record(flipping(int(rng.integers(1 << 30))), total_ticks),
+                    model=models.random_walk(
+                        process_noise=0.09, measurement_sigma=0.1
+                    ),
+                )
+            )
+        return fleet
+
+    series: dict[str, list] = {}
+    flip_index = n_fleet // 2  # first flipping stream
+    for label, gamma in (("static", 0.0), ("dynamic", 0.5)):
+        manager = StreamResourceManager(build_fleet(), probe_ticks=probe_ticks)
+        result = manager.run_dynamic(
+            budget, epoch_ticks=epoch_ticks, anchor_gamma=gamma
+        )
+        series[f"{label} rate"] = [round(r, 3) for r in result.rate_series()]
+        series[f"{label} flip δ"] = [
+            round(float(e.deltas[flip_index]), 2) for e in result.epochs
+        ]
+    fig = ExperimentFigure(
+        experiment_id="F14",
+        title=f"Dynamic vs static allocation, budget {budget:g} msgs/tick; "
+        f"half the fleet turns 10x volatile at epoch {switch_epoch}",
+        x_name="epoch",
+    )
+    fig.add_panel(
+        f"{n_fleet}-stream fleet, epoch = {epoch_ticks} ticks",
+        list(range(n_epochs)),
+        series,
+    )
+    return fig
+
+
+# ----------------------------------------------------------------------
+# T3 — query answering from cached procedures
+# ----------------------------------------------------------------------
+def table3_query_precision(
+    n_ticks: int = DEFAULT_TICKS,
+    seed: int = DEFAULT_SEED,
+    window: int = 60,
+) -> ExperimentTable:
+    """Windowed-aggregate answers from cached streams: error vs sound bound.
+
+    Runs W2 and W6 through the full networked stack (SourceAgent →
+    StreamServer → QueryEngine), evaluates sliding mean/max/median over the
+    *served* values, and compares each answer to the same aggregate over
+    the raw measurements.  The propagated bound must never be violated.
+    """
+    table = ExperimentTable(
+        experiment_id="T3",
+        title=f"Continuous-query precision (sliding window {window})",
+        headers=[
+            "workload",
+            "δ",
+            "aggregate",
+            "max |answer err|",
+            "propagated bound",
+            "violations",
+            "msgs",
+        ],
+    )
+    for key in ("W2", "W6"):
+        wl = workload(key)
+        for delta in (wl.delta_grid[0], wl.default_delta):
+            readings = wl.make_stream(seed).take(n_ticks)
+            server = StreamServer()
+            server.register(key, wl.make_model())
+            source = SourceAgent(key, wl.make_model(), AbsoluteBound(delta))
+            engine = QueryEngine(server, bounds={key: delta})
+            aggs = ("mean", "max", "median")
+            for agg in aggs:
+                engine.register(
+                    ContinuousQuery(key, name=f"{agg}_q").window(agg, size=window)
+                )
+            exact_window: list[float] = []
+            exact_answers: dict[str, list[float]] = {a: [] for a in aggs}
+            for reading in readings:
+                decision = source.process(reading)
+                server.advance(key, list(decision.messages))
+                engine.on_tick(reading.t)
+                if reading.value is not None:
+                    exact_window.append(float(reading.value[0]))
+                    if len(exact_window) > window:
+                        exact_window.pop(0)
+                if len(exact_window) == window:
+                    arr = np.array(exact_window)
+                    exact_answers["mean"].append(float(arr.mean()))
+                    exact_answers["max"].append(float(arr.max()))
+                    exact_answers["median"].append(float(np.median(arr)))
+                else:
+                    for a in aggs:
+                        exact_answers[a].append(float("nan"))
+            for agg in aggs:
+                result = engine.results[f"{agg}_q"]
+                answers = result.values()
+                bounds = result.bounds()
+                # Align: the query emits once its own window fills, one
+                # output per tick after that; exact answers are aligned to
+                # ticks with NaN until the exact window fills.
+                exact = np.array(exact_answers[agg])
+                k = min(answers.size, exact.size)
+                exact_tail = exact[-k:]
+                answer_tail = answers[-k:]
+                bound_tail = bounds[-k:]
+                valid = ~np.isnan(exact_tail)
+                err = np.abs(answer_tail[valid] - exact_tail[valid])
+                bnd = bound_tail[valid]
+                table.rows.append(
+                    [
+                        key,
+                        delta,
+                        agg,
+                        float(err.max()) if err.size else float("nan"),
+                        float(bnd.max()) if bnd.size else float("nan"),
+                        int(np.sum(err > bnd + 1e-9)),
+                        source.updates_sent,
+                    ]
+                )
+    return table

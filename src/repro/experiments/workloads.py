@@ -1,0 +1,184 @@
+"""Canonical evaluation workloads W1–W8.
+
+Each workload bundles a seeded stream recipe, the Kalman model the paper's
+scheme would deploy for it, a default precision bound and a sweep grid, so
+every experiment and benchmark names workloads instead of re-specifying
+parameters.  W1–W4 and W8 are controlled synthetics; W5–W7 are the
+simulated real-world streams (see DESIGN.md substitution table).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Callable
+
+from repro.errors import ConfigurationError
+from repro.kalman import models
+from repro.kalman.models import ProcessModel
+from repro.streams.base import StreamSource
+from repro.streams.mobility import GpsTrajectory
+from repro.streams.network_traces import RttTrace
+from repro.streams.sensors import TemperatureSensor
+from repro.streams.synthetic import (
+    OrnsteinUhlenbeckStream,
+    PiecewiseLinearStream,
+    RandomWalkStream,
+    RegimeSwitchingStream,
+    SinusoidStream,
+)
+
+__all__ = ["Workload", "WORKLOADS", "workload", "workload_keys"]
+
+
+@dataclass(frozen=True)
+class Workload:
+    """A named, fully-specified evaluation stream.
+
+    Attributes:
+        key: Short identifier (``W1``..``W8``).
+        title: What the stream is.
+        make_stream: Seeded stream factory.
+        make_model: Factory for the Kalman model the scheme deploys.
+        default_delta: The precision bound used in fixed-δ tables.
+        delta_grid: Sweep grid for messages-vs-δ figures.
+        norm: Bound norm (``"max"`` for scalars, ``"l2"`` for GPS).
+        dim: Measurement dimensionality.
+        robust_threshold: Outlier sensitivity the DKF deploys on this stream
+            (``None`` for streams without spike corruption).
+    """
+
+    key: str
+    title: str
+    make_stream: Callable[[int], StreamSource]
+    make_model: Callable[[], ProcessModel]
+    default_delta: float
+    delta_grid: tuple[float, ...]
+    norm: str = "max"
+    dim: int = 1
+    robust_threshold: float | None = None
+
+
+def _w4_stream(seed: int) -> StreamSource:
+    """Sensor-noise regime switch (the time-variance workload).
+
+    The signal keeps the same gentle random-walk dynamics throughout, but
+    the sensor degrades at tick 3000 (noise 0.2 -> 2.0) and recovers at
+    tick 6000.  A fixed filter tuned for the clean sensor chases noise in
+    the middle phase; adaptation re-learns R and suppresses better.
+    """
+    clean = lambda s: RandomWalkStream(  # noqa: E731 - tiny local factories
+        step_sigma=0.3, measurement_sigma=0.2, seed=s
+    )
+    degraded = lambda s: RandomWalkStream(  # noqa: E731
+        step_sigma=0.3, measurement_sigma=2.0, seed=s
+    )
+    return RegimeSwitchingStream(
+        regimes=[(clean, 3000), (degraded, 3000), (clean, 10**9)], seed=seed
+    )
+
+
+WORKLOADS: dict[str, Workload] = {
+    "W1": Workload(
+        key="W1",
+        title="random walk + sensor noise",
+        make_stream=lambda seed: RandomWalkStream(
+            step_sigma=1.0, measurement_sigma=0.5, seed=seed
+        ),
+        make_model=lambda: models.random_walk(process_noise=1.0, measurement_sigma=0.5),
+        default_delta=2.0,
+        delta_grid=(0.5, 1.0, 2.0, 4.0, 8.0),
+    ),
+    "W2": Workload(
+        key="W2",
+        title="mean-reverting (Ornstein-Uhlenbeck)",
+        make_stream=lambda seed: OrnsteinUhlenbeckStream(
+            theta=0.05, stationary_sigma=5.0, measurement_sigma=0.5, seed=seed
+        ),
+        # One-tick OU kicks have variance sigma^2*(1-e^{-2 theta dt}); a
+        # random-walk model with that process noise is the matched local model.
+        make_model=lambda: models.random_walk(
+            process_noise=25.0 * (1.0 - math.exp(-0.1)), measurement_sigma=0.5
+        ),
+        default_delta=2.0,
+        delta_grid=(0.5, 1.0, 2.0, 4.0, 8.0),
+    ),
+    "W3": Workload(
+        key="W3",
+        title="sinusoid (period 200) + sensor noise",
+        make_stream=lambda seed: SinusoidStream(
+            amplitude=10.0, period=200.0, measurement_sigma=0.5, seed=seed
+        ),
+        make_model=lambda: models.harmonic(
+            omega=2.0 * math.pi / 200.0, process_noise=0.01, measurement_sigma=0.5
+        ),
+        default_delta=2.0,
+        delta_grid=(0.5, 1.0, 2.0, 4.0, 8.0),
+    ),
+    "W4": Workload(
+        key="W4",
+        title="regime switch: sensor noise 0.2 -> 2.0 -> 0.2",
+        make_stream=_w4_stream,
+        make_model=lambda: models.random_walk(process_noise=0.09, measurement_sigma=0.2),
+        default_delta=3.0,
+        delta_grid=(1.0, 2.0, 3.0, 4.0, 8.0),
+    ),
+    "W5": Workload(
+        key="W5",
+        title="GPS trajectory (simulated vehicle, 2-D)",
+        make_stream=lambda seed: GpsTrajectory(gps_sigma=3.0, seed=seed),
+        make_model=lambda: models.planar(
+            models.constant_velocity(process_noise=1.0, measurement_sigma=3.0)
+        ),
+        default_delta=10.0,
+        delta_grid=(2.0, 5.0, 10.0, 20.0, 40.0),
+        norm="l2",
+        dim=2,
+    ),
+    "W6": Workload(
+        key="W6",
+        title="temperature sensor (diurnal + fronts)",
+        make_stream=lambda seed: TemperatureSensor(seed=seed),
+        make_model=lambda: models.constant_velocity(
+            process_noise=1e-6, measurement_sigma=0.32
+        ),
+        default_delta=0.5,
+        delta_grid=(0.2, 0.5, 1.0, 2.0),
+    ),
+    "W7": Workload(
+        key="W7",
+        title="network RTT (congestion epochs + spikes)",
+        make_stream=lambda seed: RttTrace(seed=seed),
+        make_model=lambda: models.random_walk(process_noise=0.2, measurement_sigma=1.0),
+        default_delta=10.0,
+        delta_grid=(2.0, 5.0, 10.0, 20.0, 40.0),
+        robust_threshold=1.5,
+    ),
+    "W8": Workload(
+        key="W8",
+        title="piecewise-linear trend (manoeuvring)",
+        make_stream=lambda seed: PiecewiseLinearStream(
+            slope_sigma=0.3, mean_segment_length=150.0, measurement_sigma=0.5, seed=seed
+        ),
+        make_model=lambda: models.constant_velocity(
+            process_noise=0.01, measurement_sigma=0.5
+        ),
+        default_delta=2.0,
+        delta_grid=(0.5, 1.0, 2.0, 4.0, 8.0),
+    ),
+}
+
+
+def workload(key: str) -> Workload:
+    """Look up a canonical workload by key (``W1``..``W8``)."""
+    try:
+        return WORKLOADS[key]
+    except KeyError:
+        raise ConfigurationError(
+            f"unknown workload {key!r}; expected one of {sorted(WORKLOADS)}"
+        ) from None
+
+
+def workload_keys() -> list[str]:
+    """All workload keys in canonical order."""
+    return list(WORKLOADS)

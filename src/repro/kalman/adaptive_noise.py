@@ -1,0 +1,149 @@
+"""Online (innovation-based) noise-covariance estimation.
+
+The Kalman filter's suppression power depends on its noise covariances
+matching reality: an ``R`` that is too small makes the filter chase sensor
+noise (spurious updates), one that is too large makes it sluggish after
+manoeuvres.  The paper's pitch is that the filter *adapts* to sensor noise
+and time variance; this module supplies that adaptivity.
+
+Two classical innovation-based estimators are provided:
+
+* :class:`MeasurementNoiseEstimator` — estimates ``R`` from a sliding window
+  of innovations via ``R_hat = C_y - H P_prior H'`` where ``C_y`` is the
+  sample innovation covariance (Mehra 1970).
+* :class:`ProcessNoiseScaler` — rescales ``Q`` multiplicatively so the
+  average normalized innovation squared (NIS) matches its chi-square
+  expectation; a robust, dimension-free way to adapt to manoeuvre intensity.
+
+Both expose ``observe()``/``suggestion()`` so the adaptation policy in
+:mod:`repro.core.adaptive` can apply hysteresis before committing a change
+(changes must be mirrored on both replicas via a protocol message).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.kalman.filter import KalmanFilter
+
+__all__ = ["MeasurementNoiseEstimator", "ProcessNoiseScaler"]
+
+
+class MeasurementNoiseEstimator:
+    """Sliding-window estimator of the measurement-noise covariance ``R``.
+
+    Feed it the filter state right after each ``update()``; it accumulates
+    innovation outer products and the predicted-measurement covariances, and
+    suggests ``R_hat = mean(y y') - mean(H P_prior H')`` floored to stay
+    positive semi-definite.
+
+    Args:
+        dim_z: Measurement dimension.
+        window: Number of recent innovations to average over.  Small windows
+            react fast but are noisy; 32–128 is typical.
+        floor: Minimum variance on the diagonal of the suggestion, keeping
+            the filter from collapsing onto its own predictions.
+    """
+
+    def __init__(self, dim_z: int, window: int = 64, floor: float = 1e-6):
+        if window < 2:
+            raise ConfigurationError(f"window must be >= 2, got {window}")
+        if floor <= 0:
+            raise ConfigurationError(f"floor must be positive, got {floor}")
+        self.dim_z = dim_z
+        self.window = window
+        self.floor = floor
+        self._outer: deque[np.ndarray] = deque(maxlen=window)
+        self._hph: deque[np.ndarray] = deque(maxlen=window)
+
+    def observe(self, kf: KalmanFilter) -> None:
+        """Record the innovation of the filter's most recent update.
+
+        Must be called *after* ``update()``; ``kf.y`` and ``kf.S`` then hold
+        the innovation and its covariance, and ``S - R`` equals
+        ``H P_prior H'`` exactly, which we exploit to avoid recomputing the
+        prior covariance.
+        """
+        y = kf.y
+        self._outer.append(np.outer(y, y))
+        self._hph.append(kf.S - kf.model.R)
+
+    @property
+    def n_observed(self) -> int:
+        """How many innovations are currently in the window."""
+        return len(self._outer)
+
+    def ready(self) -> bool:
+        """Whether the window is full enough to trust the suggestion."""
+        return len(self._outer) >= self.window
+
+    def suggestion(self) -> np.ndarray:
+        """Current ``R`` estimate (symmetric, diagonally floored)."""
+        if not self._outer:
+            raise ConfigurationError("no innovations observed yet")
+        c_y = np.mean(np.stack(self._outer), axis=0)
+        hph = np.mean(np.stack(self._hph), axis=0)
+        r_hat = c_y - hph
+        r_hat = 0.5 * (r_hat + r_hat.T)
+        # Floor the eigenvalues so the suggestion is always a valid covariance.
+        w, v = np.linalg.eigh(r_hat)
+        w = np.maximum(w, self.floor)
+        return v @ np.diag(w) @ v.T
+
+    def reset(self) -> None:
+        """Drop the window (called after a committed noise change)."""
+        self._outer.clear()
+        self._hph.clear()
+
+
+class ProcessNoiseScaler:
+    """NIS-matching multiplicative adapter for the process noise ``Q``.
+
+    If the windowed mean NIS is ``m`` for measurement dimension ``dim_z``,
+    a consistent filter has ``m ≈ dim_z``.  ``m >> dim_z`` means the filter
+    is overconfident (process noise too small — it is being surprised);
+    ``m << dim_z`` means it is underconfident.  The suggested scale is
+    clipped to ``[1/max_step, max_step]`` per decision so adaptation cannot
+    run away on a transient.
+    """
+
+    def __init__(self, dim_z: int, window: int = 64, max_step: float = 10.0):
+        if window < 2:
+            raise ConfigurationError(f"window must be >= 2, got {window}")
+        if max_step <= 1.0:
+            raise ConfigurationError(f"max_step must exceed 1, got {max_step}")
+        self.dim_z = dim_z
+        self.window = window
+        self.max_step = max_step
+        self._nis: deque[float] = deque(maxlen=window)
+
+    def observe(self, kf: KalmanFilter) -> None:
+        """Record the NIS of the filter's most recent update."""
+        self._nis.append(kf.nis())
+
+    @property
+    def n_observed(self) -> int:
+        """How many NIS samples are currently in the window."""
+        return len(self._nis)
+
+    def ready(self) -> bool:
+        """Whether the window is full enough to trust the suggestion."""
+        return len(self._nis) >= self.window
+
+    def mean_nis(self) -> float:
+        """Windowed mean normalized innovation squared."""
+        if not self._nis:
+            raise ConfigurationError("no innovations observed yet")
+        return float(np.mean(self._nis))
+
+    def suggestion(self) -> float:
+        """Multiplicative factor to apply to ``Q`` (1.0 = leave unchanged)."""
+        ratio = self.mean_nis() / self.dim_z
+        return float(np.clip(ratio, 1.0 / self.max_step, self.max_step))
+
+    def reset(self) -> None:
+        """Drop the window (called after a committed noise change)."""
+        self._nis.clear()

@@ -1,0 +1,120 @@
+"""Filter consistency monitoring and divergence detection.
+
+A Kalman filter is *consistent* when its innovations are zero-mean with
+covariance ``S`` — equivalently, when the normalized innovation squared
+(NIS) is chi-square distributed with ``dim_z`` degrees of freedom.  The
+monitors here watch that statistic online:
+
+* :class:`NisMonitor` flags sustained inconsistency and, past a patience
+  threshold, raises :class:`~repro.errors.FilterDivergenceError` so the
+  protocol layer can force a resync or a model switch.
+* :func:`nees_consistency` is the offline ground-truth counterpart used by
+  the test suite to validate the filter implementation itself.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+
+import numpy as np
+from scipy import stats
+
+from repro.errors import ConfigurationError, FilterDivergenceError
+from repro.kalman.filter import KalmanFilter
+
+__all__ = ["NisMonitor", "nees_consistency"]
+
+
+class NisMonitor:
+    """Online NIS gate with a patience budget.
+
+    Each observed update contributes one NIS sample.  A sample outside the
+    two-sided chi-square acceptance region is a *strike*; ``patience``
+    consecutive strikes trip the monitor.
+
+    Args:
+        dim_z: Measurement dimension (chi-square degrees of freedom).
+        confidence: Two-sided acceptance probability of the gate.
+        patience: Consecutive out-of-gate updates tolerated before the
+            monitor reports divergence.
+        window: History length kept for :meth:`mean_nis` diagnostics.
+    """
+
+    def __init__(
+        self,
+        dim_z: int,
+        confidence: float = 0.99,
+        patience: int = 8,
+        window: int = 128,
+    ):
+        if not 0.0 < confidence < 1.0:
+            raise ConfigurationError(f"confidence must be in (0,1), got {confidence}")
+        if patience < 1:
+            raise ConfigurationError(f"patience must be >= 1, got {patience}")
+        self.dim_z = dim_z
+        alpha = 1.0 - confidence
+        self.lower = float(stats.chi2.ppf(alpha / 2.0, dim_z))
+        self.upper = float(stats.chi2.ppf(1.0 - alpha / 2.0, dim_z))
+        self.patience = patience
+        self.strikes = 0
+        self.tripped = False
+        self._history: deque[float] = deque(maxlen=window)
+
+    def observe(self, kf: KalmanFilter) -> bool:
+        """Record the filter's latest NIS; returns True if in gate.
+
+        Raises:
+            FilterDivergenceError: Once strikes reach the patience budget.
+        """
+        value = kf.nis()
+        self._history.append(value)
+        in_gate = self.lower <= value <= self.upper
+        if in_gate:
+            self.strikes = 0
+        else:
+            self.strikes += 1
+            if self.strikes >= self.patience:
+                self.tripped = True
+                raise FilterDivergenceError(
+                    f"NIS out of [{self.lower:.3g}, {self.upper:.3g}] for "
+                    f"{self.strikes} consecutive updates (last={value:.3g})"
+                )
+        return in_gate
+
+    def mean_nis(self) -> float:
+        """Mean NIS over the retained history (≈ dim_z when consistent)."""
+        if not self._history:
+            raise ConfigurationError("no NIS samples observed yet")
+        return float(np.mean(self._history))
+
+    def reset(self) -> None:
+        """Clear strikes and history (after a resync or model switch)."""
+        self.strikes = 0
+        self.tripped = False
+        self._history.clear()
+
+
+def nees_consistency(
+    nees_samples: np.ndarray, dim_x: int, confidence: float = 0.95
+) -> tuple[float, bool]:
+    """Offline NEES consistency check against ground truth.
+
+    Args:
+        nees_samples: Per-step NEES values from a filter run where the true
+            state is known (simulation).
+        dim_x: State dimension.
+        confidence: Two-sided acceptance probability for the *average* NEES.
+
+    Returns:
+        ``(mean_nees, consistent)`` where ``consistent`` holds when the mean
+        NEES lies inside the chi-square interval scaled by the sample count.
+    """
+    samples = np.asarray(nees_samples, dtype=float)
+    if samples.ndim != 1 or samples.size == 0:
+        raise ConfigurationError("nees_samples must be a non-empty 1-D array")
+    n = samples.size
+    alpha = 1.0 - confidence
+    lower = stats.chi2.ppf(alpha / 2.0, n * dim_x) / n
+    upper = stats.chi2.ppf(1.0 - alpha / 2.0, n * dim_x) / n
+    mean = float(samples.mean())
+    return mean, bool(lower <= mean <= upper)

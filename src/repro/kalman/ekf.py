@@ -1,0 +1,222 @@
+"""Extended Kalman filter for nonlinear measurement models.
+
+The dual-filter protocol only needs the filter to be *deterministic*; it
+does not need it to be linear.  This module adds first-order (EKF)
+handling of nonlinear measurement functions — the canonical case being a
+range/bearing sensor observing a linear kinematic state — while keeping
+the process model linear.
+
+The measurement side is described by a :class:`MeasurementFunction`
+bundling ``h(x)``, its Jacobian, and a residual function (bearings need
+angle wrapping).  :class:`ExtendedKalmanFilter` subclasses the linear
+filter and overrides exactly the measurement-dependent pieces, so replicas,
+policies and diagnostics written against :class:`KalmanFilter` work
+unchanged.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Callable
+
+import numpy as np
+
+from repro.errors import DimensionError, FilterDivergenceError
+from repro.kalman.filter import KalmanFilter
+from repro.kalman.models import ProcessModel
+
+__all__ = [
+    "MeasurementFunction",
+    "ExtendedKalmanFilter",
+    "wrap_angle",
+    "range_bearing",
+]
+
+
+def wrap_angle(theta: float) -> float:
+    """Wrap an angle to (-pi, pi]."""
+    wrapped = math.fmod(theta + math.pi, 2.0 * math.pi)
+    if wrapped <= 0.0:
+        wrapped += 2.0 * math.pi
+    return wrapped - math.pi
+
+
+@dataclass(frozen=True)
+class MeasurementFunction:
+    """A nonlinear observation ``z = h(x) + v``.
+
+    Attributes:
+        h: Maps a state vector to the expected measurement.
+        jacobian: Maps a state vector to the ``(dim_z, dim_x)`` Jacobian of
+            ``h`` at that state.
+        residual: Computes ``z - h(x)`` respecting the measurement space's
+            topology (defaults to plain subtraction; bearings need
+            wrapping).
+        dim_z: Measurement dimension.
+        invert: Optional heuristic inverse producing a full state seed from
+            a single measurement (used to bootstrap tracking filters).
+        name: Identifier for reports.
+    """
+
+    h: Callable[[np.ndarray], np.ndarray]
+    jacobian: Callable[[np.ndarray], np.ndarray]
+    dim_z: int
+    residual: Callable[[np.ndarray, np.ndarray], np.ndarray] | None = None
+    invert: Callable[[np.ndarray], np.ndarray] | None = None
+    name: str = "nonlinear"
+
+    def innovation(self, z: np.ndarray, predicted: np.ndarray) -> np.ndarray:
+        """Residual ``z - predicted`` in measurement space."""
+        if self.residual is not None:
+            return self.residual(z, predicted)
+        return z - predicted
+
+
+class ExtendedKalmanFilter(KalmanFilter):
+    """EKF: linear process model, nonlinear measurement function.
+
+    The ``model.H`` matrix is ignored (a placeholder of the right shape is
+    still required by :class:`~repro.kalman.models.ProcessModel`); the
+    measurement update linearizes ``measurement_fn`` at the current state.
+
+    Determinism: the linearization point is the shared filter state, so two
+    EKFs fed the same operation sequence remain bit-identical — the replica
+    property the suppression protocol relies on.
+    """
+
+    def __init__(
+        self,
+        model: ProcessModel,
+        measurement_fn: MeasurementFunction,
+        x0: np.ndarray | None = None,
+    ):
+        if measurement_fn.dim_z != model.dim_z:
+            raise DimensionError(
+                f"measurement_fn.dim_z={measurement_fn.dim_z} does not match "
+                f"model.dim_z={model.dim_z}"
+            )
+        super().__init__(model, x0=x0)
+        self.measurement_fn = measurement_fn
+
+    def update(self, z: np.ndarray | float, R: np.ndarray | None = None) -> np.ndarray:
+        """First-order measurement update linearized at the prior mean."""
+        z = self._as_measurement(z)
+        fn = self.measurement_fn
+        H = np.asarray(fn.jacobian(self.x), dtype=float)
+        if H.shape != (self.model.dim_z, self.model.dim_x):
+            raise DimensionError(
+                f"jacobian shape {H.shape} != "
+                f"({self.model.dim_z}, {self.model.dim_x})"
+            )
+        R = self.model.R if R is None else np.asarray(R, dtype=float)
+        predicted = np.asarray(fn.h(self.x), dtype=float)
+        self.y = fn.innovation(z, predicted)
+        PHT = self.P @ H.T
+        self.S = H @ PHT + R
+        try:
+            self.K = np.linalg.solve(self.S.T, PHT.T).T
+        except np.linalg.LinAlgError as exc:
+            raise FilterDivergenceError(
+                f"innovation covariance became singular: {exc}"
+            ) from exc
+        self.x = self.x + self.K @ self.y
+        IKH = self._I - self.K @ H
+        self.P = IKH @ self.P @ IKH.T + self.K @ R @ self.K.T
+        self._symmetrize()
+        self.n_updates += 1
+        return self.x
+
+    def measurement_estimate(self) -> np.ndarray:
+        """Expected measurement at the current state, ``h(x)``."""
+        return np.asarray(self.measurement_fn.h(self.x), dtype=float)
+
+    def measurement_variance(self) -> np.ndarray:
+        """Linearized measurement covariance ``J P J' + R``."""
+        H = np.asarray(self.measurement_fn.jacobian(self.x), dtype=float)
+        return H @ self.P @ H.T + self.model.R
+
+    def predicted_measurement(self, steps: int = 1) -> np.ndarray:
+        """Measurement predicted ``steps`` ticks ahead (state propagated
+        linearly, then mapped through ``h``)."""
+        if steps < 0:
+            raise ValueError(f"steps must be non-negative, got {steps}")
+        x = self.x
+        F = self.model.F
+        for _ in range(steps):
+            x = F @ x
+        return np.asarray(self.measurement_fn.h(x), dtype=float)
+
+    def copy(self) -> "ExtendedKalmanFilter":
+        """Deep copy preserving the measurement function."""
+        clone = ExtendedKalmanFilter(self.model, self.measurement_fn, x0=self.x)
+        clone.P = self.P.copy()
+        clone.y = self.y.copy()
+        clone.S = self.S.copy()
+        clone.K = self.K.copy()
+        clone.n_predicts = self.n_predicts
+        clone.n_updates = self.n_updates
+        return clone
+
+
+def range_bearing(
+    station: np.ndarray | tuple[float, float],
+    position_indices: tuple[int, int] = (0, 2),
+    min_range: float = 1e-6,
+) -> MeasurementFunction:
+    """Range/bearing observation of a planar state from a fixed station.
+
+    ``z = [sqrt(dx^2 + dy^2), atan2(dy, dx)]`` where ``(dx, dy)`` is the
+    target position relative to the station.  Bearing residuals are
+    angle-wrapped.
+
+    Args:
+        station: Sensor location ``(sx, sy)``.
+        position_indices: Which state components hold x and y position
+            (defaults to the planar kinematic layout ``[x, vx, y, vy]``).
+        min_range: Range floor protecting the Jacobian at the station.
+    """
+    station_arr = np.asarray(station, dtype=float).reshape(2)
+    ix, iy = position_indices
+
+    def h(x: np.ndarray) -> np.ndarray:
+        dx = x[ix] - station_arr[0]
+        dy = x[iy] - station_arr[1]
+        rng = math.hypot(dx, dy)
+        return np.array([max(rng, min_range), math.atan2(dy, dx)])
+
+    def jacobian(x: np.ndarray) -> np.ndarray:
+        dx = x[ix] - station_arr[0]
+        dy = x[iy] - station_arr[1]
+        rng2 = max(dx * dx + dy * dy, min_range * min_range)
+        rng = math.sqrt(rng2)
+        jac = np.zeros((2, x.shape[0]))
+        jac[0, ix] = dx / rng
+        jac[0, iy] = dy / rng
+        jac[1, ix] = -dy / rng2
+        jac[1, iy] = dx / rng2
+        return jac
+
+    def residual(z: np.ndarray, predicted: np.ndarray) -> np.ndarray:
+        return np.array(
+            [z[0] - predicted[0], wrap_angle(float(z[1] - predicted[1]))]
+        )
+
+    def invert(z: np.ndarray) -> np.ndarray:
+        # One (range, bearing) pair fixes the position; all other state
+        # components (velocities) seed at zero.  The seed length follows
+        # the standard interleaved kinematic layout, e.g. [x, vx, y, vy]
+        # for the default position_indices (0, 2).
+        x = np.zeros(max(position_indices) + 2)
+        x[ix] = station_arr[0] + z[0] * math.cos(z[1])
+        x[iy] = station_arr[1] + z[0] * math.sin(z[1])
+        return x
+
+    return MeasurementFunction(
+        h=h,
+        jacobian=jacobian,
+        dim_z=2,
+        residual=residual,
+        invert=invert,
+        name=f"range_bearing@({station_arr[0]:g},{station_arr[1]:g})",
+    )

@@ -1,0 +1,246 @@
+"""A from-scratch linear Kalman filter.
+
+The implementation favours numerical robustness and determinism over raw
+speed: the covariance update uses the Joseph stabilized form, covariances
+are re-symmetrized after every step, and all state is plain numpy so two
+filters constructed from the same model and fed the same measurements are
+bit-identical — the property the dual-filter suppression protocol depends
+on (see :mod:`repro.core.replica`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import DimensionError, FilterDivergenceError
+from repro.kalman.models import ProcessModel
+
+__all__ = ["KalmanFilter", "StepRecord"]
+
+
+@dataclass(frozen=True)
+class StepRecord:
+    """Snapshot of one predict(+update) cycle, consumed by the RTS smoother.
+
+    Attributes:
+        x_prior: State mean after predict, before any update.
+        P_prior: Covariance after predict.
+        x_post: State mean after update (equals ``x_prior`` if no update ran).
+        P_post: Covariance after update.
+        F: Transition matrix used for the predict.
+    """
+
+    x_prior: np.ndarray
+    P_prior: np.ndarray
+    x_post: np.ndarray
+    P_post: np.ndarray
+    F: np.ndarray
+
+
+class KalmanFilter:
+    """Linear Kalman filter over a :class:`~repro.kalman.models.ProcessModel`.
+
+    Typical cycle::
+
+        kf = KalmanFilter(model)
+        for z in measurements:
+            kf.predict()
+            kf.update(z)
+            estimate = kf.measurement_estimate()
+
+    The filter keeps the innovation ``y``, its covariance ``S`` and the gain
+    ``K`` of the most recent update available as read-only attributes, which
+    the adaptive-noise estimators and consistency monitors consume.
+    """
+
+    def __init__(self, model: ProcessModel, x0: np.ndarray | None = None):
+        self.model = model
+        n = model.dim_x
+        if x0 is None:
+            self.x = np.zeros(n)
+        else:
+            x0 = np.asarray(x0, dtype=float).reshape(-1)
+            if x0.shape != (n,):
+                raise DimensionError(f"x0 must have shape ({n},), got {x0.shape}")
+            self.x = x0.copy()
+        self.P = model.P0.copy()
+        self.y = np.zeros(model.dim_z)  # last innovation
+        self.S = model.R.copy()  # last innovation covariance
+        self.K = np.zeros((n, model.dim_z))  # last gain
+        self.n_predicts = 0
+        self.n_updates = 0
+        self._I = np.eye(n)
+
+    # ------------------------------------------------------------------
+    # Core cycle
+    # ------------------------------------------------------------------
+    def predict(self) -> np.ndarray:
+        """Advance the state one step; returns the new (prior) state mean."""
+        F, Q = self.model.F, self.model.Q
+        self.x = F @ self.x
+        self.P = F @ self.P @ F.T + Q
+        self._symmetrize()
+        self.n_predicts += 1
+        return self.x
+
+    def update(self, z: np.ndarray | float, R: np.ndarray | None = None) -> np.ndarray:
+        """Fold in a measurement; returns the new (posterior) state mean.
+
+        Uses the Joseph form ``P = (I-KH) P (I-KH)' + K R K'`` which stays
+        positive semi-definite even with a suboptimal gain.
+
+        Args:
+            z: The measurement.
+            R: Optional one-shot override of the measurement-noise
+                covariance (used by outlier-robust gating to down-weight a
+                suspected spike without changing the model).
+        """
+        z = self._as_measurement(z)
+        H = self.model.H
+        R = self.model.R if R is None else np.asarray(R, dtype=float)
+        self.y = z - H @ self.x
+        PHT = self.P @ H.T
+        self.S = H @ PHT + R
+        try:
+            self.K = np.linalg.solve(self.S.T, PHT.T).T
+        except np.linalg.LinAlgError as exc:
+            raise FilterDivergenceError(
+                f"innovation covariance became singular: {exc}"
+            ) from exc
+        self.x = self.x + self.K @ self.y
+        IKH = self._I - self.K @ H
+        self.P = IKH @ self.P @ IKH.T + self.K @ R @ self.K.T
+        self._symmetrize()
+        self.n_updates += 1
+        return self.x
+
+    def step(self, z: np.ndarray | float | None) -> np.ndarray:
+        """One full cycle: predict, then update if a measurement arrived.
+
+        This is the primitive the suppression protocol drives: a suppressed
+        tick is ``step(None)`` (coast on the model), an update tick is
+        ``step(z)``.
+        """
+        self.predict()
+        if z is not None:
+            self.update(z)
+        return self.x
+
+    # ------------------------------------------------------------------
+    # Read-only views
+    # ------------------------------------------------------------------
+    def measurement_estimate(self) -> np.ndarray:
+        """The filter's estimate of the *observable* quantity, ``H @ x``."""
+        return self.model.H @ self.x
+
+    def measurement_variance(self) -> np.ndarray:
+        """Covariance of the predicted measurement, ``H P H' + R``."""
+        H, R = self.model.H, self.model.R
+        return H @ self.P @ H.T + R
+
+    def predicted_measurement(self, steps: int = 1) -> np.ndarray:
+        """Measurement predicted ``steps`` ticks ahead, without mutating state."""
+        if steps < 0:
+            raise ValueError(f"steps must be non-negative, got {steps}")
+        x = self.x
+        F = self.model.F
+        for _ in range(steps):
+            x = F @ x
+        return self.model.H @ x
+
+    def log_likelihood(self) -> float:
+        """Gaussian log-likelihood of the most recent innovation."""
+        m = self.y.shape[0]
+        sign, logdet = np.linalg.slogdet(self.S)
+        if sign <= 0:
+            raise FilterDivergenceError("innovation covariance lost positive definiteness")
+        maha = float(self.y @ np.linalg.solve(self.S, self.y))
+        return -0.5 * (m * np.log(2.0 * np.pi) + logdet + maha)
+
+    def nis(self) -> float:
+        """Normalized innovation squared of the last update (chi-square_m)."""
+        return float(self.y @ np.linalg.solve(self.S, self.y))
+
+    def nees(self, x_true: np.ndarray) -> float:
+        """Normalized estimation error squared against a known true state."""
+        x_true = np.asarray(x_true, dtype=float).reshape(-1)
+        if x_true.shape != self.x.shape:
+            raise DimensionError(
+                f"x_true must have shape {self.x.shape}, got {x_true.shape}"
+            )
+        e = self.x - x_true
+        return float(e @ np.linalg.solve(self.P, e))
+
+    # ------------------------------------------------------------------
+    # Replica support
+    # ------------------------------------------------------------------
+    def copy(self) -> "KalmanFilter":
+        """Deep copy; the clone evolves independently but identically."""
+        clone = KalmanFilter(self.model, x0=self.x)
+        clone.P = self.P.copy()
+        clone.y = self.y.copy()
+        clone.S = self.S.copy()
+        clone.K = self.K.copy()
+        clone.n_predicts = self.n_predicts
+        clone.n_updates = self.n_updates
+        return clone
+
+    def state_equals(self, other: "KalmanFilter", atol: float = 1e-9) -> bool:
+        """Whether two filters agree on mean and covariance within ``atol``."""
+        return bool(
+            np.allclose(self.x, other.x, atol=atol)
+            and np.allclose(self.P, other.P, atol=atol)
+        )
+
+    def set_state(self, x: np.ndarray, P: np.ndarray) -> None:
+        """Overwrite mean and covariance (used by ``Resync`` messages)."""
+        x = np.asarray(x, dtype=float).reshape(-1)
+        if x.shape != self.x.shape:
+            raise DimensionError(f"x must have shape {self.x.shape}, got {x.shape}")
+        P = np.asarray(P, dtype=float)
+        if P.shape != self.P.shape:
+            raise DimensionError(f"P must have shape {self.P.shape}, got {P.shape}")
+        self.x = x.copy()
+        self.P = P.copy()
+        self._symmetrize()
+
+    def swap_model(self, model: ProcessModel) -> None:
+        """Switch process model in place, keeping the current state estimate.
+
+        Only models with the same state dimension can be swapped without a
+        resync; the adaptive layer guarantees this by embedding lower-order
+        models before switching (see :mod:`repro.core.adaptive`).
+        """
+        if model.dim_x != self.model.dim_x or model.dim_z != self.model.dim_z:
+            raise DimensionError(
+                "swap_model requires matching dimensions: "
+                f"({self.model.dim_x},{self.model.dim_z}) -> "
+                f"({model.dim_x},{model.dim_z})"
+            )
+        self.model = model
+
+    # ------------------------------------------------------------------
+    # Internals
+    # ------------------------------------------------------------------
+    def record(self) -> StepRecord:
+        """Capture the current prior/posterior pair for offline smoothing."""
+        return StepRecord(
+            x_prior=self.x.copy(),
+            P_prior=self.P.copy(),
+            x_post=self.x.copy(),
+            P_post=self.P.copy(),
+            F=self.model.F.copy(),
+        )
+
+    def _as_measurement(self, z: np.ndarray | float) -> np.ndarray:
+        z = np.atleast_1d(np.asarray(z, dtype=float))
+        if z.shape != (self.model.dim_z,):
+            raise DimensionError(
+                f"measurement must have shape ({self.model.dim_z},), got {z.shape}"
+            )
+        return z
+
+    def _symmetrize(self) -> None:
+        self.P = 0.5 * (self.P + self.P.T)

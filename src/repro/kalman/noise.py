@@ -1,0 +1,117 @@
+"""Process- and measurement-noise construction helpers.
+
+The continuous-time "white noise on the highest derivative" model is the
+standard way to discretize process noise for kinematic state spaces: a
+random-walk position model is driven by white velocity noise, a
+constant-velocity model by white acceleration noise, and a
+constant-acceleration model by white jerk noise.  The closed forms below are
+the exact integrals of the continuous model over a step of length ``dt``
+(see Bar-Shalom, Li & Kirubarajan, *Estimation with Applications to Tracking
+and Navigation*, ch. 6).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+
+__all__ = [
+    "q_random_walk",
+    "q_white_noise_accel",
+    "q_white_noise_jerk",
+    "q_discrete_white_noise",
+    "measurement_noise",
+]
+
+
+def _check_step(dt: float, spectral_density: float) -> None:
+    if dt <= 0:
+        raise ConfigurationError(f"dt must be positive, got {dt!r}")
+    if spectral_density < 0:
+        raise ConfigurationError(
+            f"spectral density must be non-negative, got {spectral_density!r}"
+        )
+
+
+def q_random_walk(dt: float, spectral_density: float) -> np.ndarray:
+    """Process noise for a scalar random-walk (order-1) state.
+
+    The state is ``[x]`` and the driving noise is white noise on ``dx/dt``
+    with the given spectral density ``q``; the discrete variance is ``q*dt``.
+    """
+    _check_step(dt, spectral_density)
+    return np.array([[spectral_density * dt]])
+
+
+def q_white_noise_accel(dt: float, spectral_density: float) -> np.ndarray:
+    """Process noise for a ``[position, velocity]`` state.
+
+    White noise of spectral density ``q`` drives the acceleration.  The
+    exact discretization is::
+
+        Q = q * [[dt^3/3, dt^2/2],
+                 [dt^2/2, dt    ]]
+    """
+    _check_step(dt, spectral_density)
+    q = spectral_density
+    return q * np.array(
+        [
+            [dt**3 / 3.0, dt**2 / 2.0],
+            [dt**2 / 2.0, dt],
+        ]
+    )
+
+
+def q_white_noise_jerk(dt: float, spectral_density: float) -> np.ndarray:
+    """Process noise for a ``[position, velocity, acceleration]`` state.
+
+    White noise of spectral density ``q`` drives the jerk.  The exact
+    discretization is::
+
+        Q = q * [[dt^5/20, dt^4/8, dt^3/6],
+                 [dt^4/8,  dt^3/3, dt^2/2],
+                 [dt^3/6,  dt^2/2, dt    ]]
+    """
+    _check_step(dt, spectral_density)
+    q = spectral_density
+    return q * np.array(
+        [
+            [dt**5 / 20.0, dt**4 / 8.0, dt**3 / 6.0],
+            [dt**4 / 8.0, dt**3 / 3.0, dt**2 / 2.0],
+            [dt**3 / 6.0, dt**2 / 2.0, dt],
+        ]
+    )
+
+
+def q_discrete_white_noise(order: int, dt: float, spectral_density: float) -> np.ndarray:
+    """Dispatch to the exact discretization for kinematic order 1, 2 or 3.
+
+    ``order`` counts state variables: 1 = random walk, 2 = constant
+    velocity, 3 = constant acceleration.
+    """
+    if order == 1:
+        return q_random_walk(dt, spectral_density)
+    if order == 2:
+        return q_white_noise_accel(dt, spectral_density)
+    if order == 3:
+        return q_white_noise_jerk(dt, spectral_density)
+    raise ConfigurationError(f"unsupported kinematic order {order!r}; expected 1, 2 or 3")
+
+
+def measurement_noise(sigma: float | np.ndarray, dim_z: int = 1) -> np.ndarray:
+    """Build a diagonal measurement-noise covariance from per-axis sigmas.
+
+    ``sigma`` may be a scalar (shared across axes) or a length-``dim_z``
+    vector of standard deviations.  The returned matrix is ``diag(sigma**2)``.
+    """
+    sig = np.atleast_1d(np.asarray(sigma, dtype=float))
+    if sig.size == 1:
+        sig = np.full(dim_z, float(sig[0]))
+    if sig.shape != (dim_z,):
+        raise ConfigurationError(
+            f"sigma must be scalar or shape ({dim_z},), got shape {sig.shape}"
+        )
+    if np.any(sig < 0):
+        raise ConfigurationError("measurement sigma must be non-negative")
+    return np.diag(sig**2)

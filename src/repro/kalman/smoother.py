@@ -1,0 +1,63 @@
+"""Rauch–Tung–Striebel fixed-interval smoother.
+
+Offline analysis tool: given the per-step prior/posterior snapshots recorded
+during a forward Kalman pass, produce the smoothed (all-data-conditioned)
+state sequence.  Used in the experiment harness to quantify how far the
+*causal* server-side view sits from the best possible offline reconstruction
+of a stream.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.kalman.filter import StepRecord
+
+__all__ = ["SmoothedStep", "rts_smooth"]
+
+
+@dataclass(frozen=True)
+class SmoothedStep:
+    """One step of smoother output: smoothed mean and covariance."""
+
+    x: np.ndarray
+    P: np.ndarray
+
+
+def rts_smooth(records: list[StepRecord]) -> list[SmoothedStep]:
+    """Run the RTS backward pass over forward-filter step records.
+
+    Args:
+        records: The forward pass, oldest first.  Each record must carry
+            the prior produced by ``predict()`` and the posterior after any
+            ``update()`` of the same tick.  Capture them manually around the
+            filter cycle, or use the convenience wrapper
+            :func:`repro.experiments.runner.run_offline_smoother`.
+
+    Returns:
+        Smoothed states, same length and order as ``records``.
+    """
+    if not records:
+        raise ConfigurationError("cannot smooth an empty record list")
+    n = len(records)
+    xs = [records[-1].x_post.copy()]
+    ps = [records[-1].P_post.copy()]
+    for k in range(n - 2, -1, -1):
+        rec = records[k]
+        nxt = records[k + 1]
+        # Smoother gain C_k = P_post_k F' inv(P_prior_{k+1})
+        try:
+            c = np.linalg.solve(nxt.P_prior.T, (rec.P_post @ nxt.F.T).T).T
+        except np.linalg.LinAlgError as exc:
+            raise ConfigurationError(
+                f"prior covariance at step {k + 1} is singular: {exc}"
+            ) from exc
+        x_s = rec.x_post + c @ (xs[0] - nxt.x_prior)
+        p_s = rec.P_post + c @ (ps[0] - nxt.P_prior) @ c.T
+        p_s = 0.5 * (p_s + p_s.T)
+        xs.insert(0, x_s)
+        ps.insert(0, p_s)
+    return [SmoothedStep(x=x, P=p) for x, p in zip(xs, ps)]

@@ -1,0 +1,35 @@
+"""Evaluation plumbing: error metrics, communication metrics, rendering."""
+
+from repro.metrics.comm import (
+    bytes_per_tick,
+    message_rate,
+    rolling_message_rate,
+    suppression_ratio,
+)
+from repro.metrics.errors import (
+    ErrorSummary,
+    mae,
+    max_abs_error,
+    per_tick_abs_error,
+    rmse,
+    summarize_errors,
+    violation_rate,
+)
+from repro.metrics.report import format_cell, render_series, render_table
+
+__all__ = [
+    "ErrorSummary",
+    "per_tick_abs_error",
+    "rmse",
+    "mae",
+    "max_abs_error",
+    "violation_rate",
+    "summarize_errors",
+    "suppression_ratio",
+    "message_rate",
+    "rolling_message_rate",
+    "bytes_per_tick",
+    "format_cell",
+    "render_table",
+    "render_series",
+]

@@ -1,0 +1,50 @@
+"""Communication metrics derived from send flags and byte tallies."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.network.stats import CommunicationStats
+
+__all__ = ["suppression_ratio", "message_rate", "rolling_message_rate", "bytes_per_tick"]
+
+
+def suppression_ratio(sent: np.ndarray) -> float:
+    """Fraction of ticks with no transmission (higher is better)."""
+    sent = np.asarray(sent, dtype=bool)
+    if sent.size == 0:
+        raise ConfigurationError("empty sent series")
+    return float(1.0 - np.mean(sent))
+
+
+def message_rate(sent: np.ndarray) -> float:
+    """Messages per tick over the whole run."""
+    sent = np.asarray(sent, dtype=bool)
+    if sent.size == 0:
+        raise ConfigurationError("empty sent series")
+    return float(np.mean(sent))
+
+
+def rolling_message_rate(sent: np.ndarray, window: int) -> np.ndarray:
+    """Trailing-window message rate per tick (the adaptation-plot series).
+
+    Entry ``i`` is the mean of ``sent[max(0, i - window + 1) : i + 1]``, so
+    early ticks average over what exists rather than padding with zeros.
+    """
+    sent = np.asarray(sent, dtype=float)
+    if window < 1:
+        raise ConfigurationError(f"window must be >= 1, got {window!r}")
+    if sent.size == 0:
+        raise ConfigurationError("empty sent series")
+    csum = np.concatenate([[0.0], np.cumsum(sent)])
+    idx = np.arange(1, sent.size + 1)
+    start = np.maximum(0, idx - window)
+    return (csum[idx] - csum[start]) / (idx - start)
+
+
+def bytes_per_tick(stats: CommunicationStats, n_ticks: int) -> float:
+    """Total wire bytes (payload + framing) averaged per tick."""
+    if n_ticks <= 0:
+        raise ConfigurationError(f"n_ticks must be positive, got {n_ticks!r}")
+    return stats.total_bytes / n_ticks

@@ -1,0 +1,112 @@
+"""Error metrics for server-side stream views.
+
+All functions accept ``(n,)`` or ``(n, dim)`` arrays and ignore ticks where
+either side is NaN (the pre-warm-up prefix of a served series, or dropped
+measurements), so policies that warm up at different speeds remain
+comparable over the ticks they actually served.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+
+__all__ = [
+    "ErrorSummary",
+    "per_tick_abs_error",
+    "rmse",
+    "mae",
+    "max_abs_error",
+    "violation_rate",
+    "summarize_errors",
+]
+
+
+def _paired(served: np.ndarray, reference: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+    served = np.asarray(served, dtype=float)
+    reference = np.asarray(reference, dtype=float)
+    if served.shape != reference.shape:
+        raise ConfigurationError(
+            f"shape mismatch: served {served.shape} vs reference {reference.shape}"
+        )
+    if served.ndim == 1:
+        served = served[:, None]
+        reference = reference[:, None]
+    return served, reference
+
+
+def per_tick_abs_error(served: np.ndarray, reference: np.ndarray) -> np.ndarray:
+    """Max-abs error per tick; NaN where either side is missing."""
+    s, r = _paired(served, reference)
+    return np.max(np.abs(s - r), axis=1)
+
+
+def rmse(served: np.ndarray, reference: np.ndarray) -> float:
+    """Root-mean-square error over valid ticks."""
+    err = per_tick_abs_error(served, reference)
+    valid = err[~np.isnan(err)]
+    if valid.size == 0:
+        raise ConfigurationError("no valid ticks to score")
+    return float(np.sqrt(np.mean(valid**2)))
+
+
+def mae(served: np.ndarray, reference: np.ndarray) -> float:
+    """Mean absolute error over valid ticks."""
+    err = per_tick_abs_error(served, reference)
+    valid = err[~np.isnan(err)]
+    if valid.size == 0:
+        raise ConfigurationError("no valid ticks to score")
+    return float(np.mean(valid))
+
+
+def max_abs_error(served: np.ndarray, reference: np.ndarray) -> float:
+    """Worst-tick absolute error over valid ticks."""
+    err = per_tick_abs_error(served, reference)
+    valid = err[~np.isnan(err)]
+    if valid.size == 0:
+        raise ConfigurationError("no valid ticks to score")
+    return float(np.max(valid))
+
+
+def violation_rate(
+    served: np.ndarray, reference: np.ndarray, tolerance: float
+) -> float:
+    """Fraction of valid ticks where the error exceeds ``tolerance``.
+
+    A tiny numerical slack (1e-9) keeps exactly-at-bound ticks from being
+    miscounted as violations.
+    """
+    if tolerance <= 0:
+        raise ConfigurationError(f"tolerance must be positive, got {tolerance!r}")
+    err = per_tick_abs_error(served, reference)
+    valid = err[~np.isnan(err)]
+    if valid.size == 0:
+        raise ConfigurationError("no valid ticks to score")
+    return float(np.mean(valid > tolerance + 1e-9))
+
+
+@dataclass(frozen=True)
+class ErrorSummary:
+    """Standard error bundle reported in every experiment table."""
+
+    rmse: float
+    mae: float
+    max_error: float
+    valid_ticks: int
+
+
+def summarize_errors(served: np.ndarray, reference: np.ndarray) -> ErrorSummary:
+    """RMSE / MAE / max over valid ticks in one pass."""
+    err = per_tick_abs_error(served, reference)
+    valid = err[~np.isnan(err)]
+    if valid.size == 0:
+        raise ConfigurationError("no valid ticks to score")
+    return ErrorSummary(
+        rmse=float(np.sqrt(np.mean(valid**2))),
+        mae=float(np.mean(valid)),
+        max_error=float(np.max(valid)),
+        valid_ticks=int(valid.size),
+    )

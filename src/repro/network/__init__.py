@@ -1,0 +1,14 @@
+"""Network simulation substrate: event scheduling, channels, accounting."""
+
+from repro.network.channel import Channel, Delivery, Message
+from repro.network.events import Event, EventScheduler
+from repro.network.stats import CommunicationStats
+
+__all__ = [
+    "Channel",
+    "Delivery",
+    "Message",
+    "Event",
+    "EventScheduler",
+    "CommunicationStats",
+]

@@ -1,0 +1,117 @@
+"""Point-to-point message channel with latency, loss and byte accounting.
+
+Two flavours matter to the experiments:
+
+* ``Channel.ideal()`` — zero latency, lossless.  Replicates the paper's
+  assumption that an update sent at tick *t* is applied server-side before
+  the tick's queries; used by the headline communication-overhead numbers.
+* A lossy/delayed channel — used by the robustness experiments to show the
+  protocol recovering via ``Resync`` when replicas drift after a loss.
+
+The channel is transport only; it neither inspects nor mutates payloads.
+Messages must expose ``kind`` and ``payload_bytes()`` (see
+:mod:`repro.core.protocol`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Protocol
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.network.events import EventScheduler
+from repro.network.stats import CommunicationStats
+
+__all__ = ["Message", "Delivery", "Channel"]
+
+
+class Message(Protocol):
+    """Structural type every wire message implements."""
+
+    kind: str
+
+    def payload_bytes(self) -> int:  # pragma: no cover - protocol stub
+        """Serialized payload size in bytes."""
+        ...
+
+
+@dataclass(frozen=True)
+class Delivery:
+    """A message that has arrived, stamped with send and arrival times."""
+
+    message: Any
+    sent_at: float
+    arrived_at: float
+
+
+class Channel:
+    """Unidirectional channel from source to server.
+
+    Args:
+        latency: Fixed propagation delay (seconds).
+        jitter: Mean of an additional exponential delay component.
+        loss_rate: Independent per-message loss probability.
+        stats: Byte/message tally; a fresh one is created if omitted.
+        seed: RNG seed for jitter and loss draws.
+    """
+
+    def __init__(
+        self,
+        latency: float = 0.0,
+        jitter: float = 0.0,
+        loss_rate: float = 0.0,
+        stats: CommunicationStats | None = None,
+        seed: int = 0,
+    ):
+        if latency < 0 or jitter < 0:
+            raise ConfigurationError("latency and jitter must be non-negative")
+        if not 0.0 <= loss_rate < 1.0:
+            raise ConfigurationError(f"loss_rate must be in [0,1), got {loss_rate!r}")
+        self.latency = float(latency)
+        self.jitter = float(jitter)
+        self.loss_rate = float(loss_rate)
+        self.stats = stats if stats is not None else CommunicationStats()
+        self._rng = np.random.default_rng(seed)
+        self._scheduler = EventScheduler()
+
+    @classmethod
+    def ideal(cls, stats: CommunicationStats | None = None) -> "Channel":
+        """Zero-latency lossless channel (the default experimental setting)."""
+        return cls(latency=0.0, jitter=0.0, loss_rate=0.0, stats=stats)
+
+    @property
+    def is_ideal(self) -> bool:
+        """Whether this channel delivers instantly and never drops."""
+        return self.latency == 0.0 and self.jitter == 0.0 and self.loss_rate == 0.0
+
+    def send(self, message: Message, now: float) -> bool:
+        """Put a message on the wire at time ``now``.
+
+        Returns ``True`` if the message will (eventually) be delivered,
+        ``False`` if it was lost.  Lost messages are still counted as sent —
+        the sender paid for the bandwidth either way.
+        """
+        self.stats.record_send(message.kind, message.payload_bytes())
+        if self.loss_rate and self._rng.random() < self.loss_rate:
+            self.stats.record_drop(message.kind)
+            return False
+        delay = self.latency
+        if self.jitter:
+            delay += float(self._rng.exponential(self.jitter))
+        # Clamp to "now" if the scheduler has already advanced past it
+        # (messages sent from within a poll window).
+        arrive = max(now + delay, self._scheduler.now)
+        self._scheduler.schedule(
+            arrive, payload=Delivery(message=message, sent_at=now, arrived_at=arrive)
+        )
+        return True
+
+    def poll(self, now: float) -> list[Delivery]:
+        """Collect every delivery that has arrived by time ``now``, in order."""
+        return [event.payload for event in self._scheduler.pop_due(now)]
+
+    def pending(self) -> int:
+        """Messages currently in flight."""
+        return len(self._scheduler)

@@ -1,0 +1,103 @@
+"""Minimal discrete-event scheduler.
+
+A binary-heap event queue with a deterministic tie-break (insertion order),
+used by the network channel to model delivery latency and by long-running
+sessions to schedule periodic re-allocation.  Kept deliberately small: the
+repro experiments need ordering and time arithmetic, not a general DES
+framework.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from dataclasses import dataclass, field
+from typing import Any, Callable
+
+from repro.errors import ConfigurationError
+
+__all__ = ["Event", "EventScheduler"]
+
+
+@dataclass(order=True)
+class Event:
+    """A scheduled occurrence; ordered by (time, sequence number)."""
+
+    time: float
+    seq: int
+    action: Callable[[], Any] | None = field(compare=False, default=None)
+    payload: Any = field(compare=False, default=None)
+    cancelled: bool = field(compare=False, default=False)
+
+
+class EventScheduler:
+    """Heap-based event queue with deterministic FIFO tie-breaking."""
+
+    def __init__(self) -> None:
+        self._heap: list[Event] = []
+        self._counter = itertools.count()
+        self.now = 0.0
+
+    def schedule(
+        self,
+        time: float,
+        action: Callable[[], Any] | None = None,
+        payload: Any = None,
+    ) -> Event:
+        """Schedule ``action``/``payload`` at absolute ``time``.
+
+        Raises:
+            ConfigurationError: When scheduling into the past.
+        """
+        if time < self.now:
+            raise ConfigurationError(
+                f"cannot schedule at t={time} before current time t={self.now}"
+            )
+        event = Event(time=time, seq=next(self._counter), action=action, payload=payload)
+        heapq.heappush(self._heap, event)
+        return event
+
+    def schedule_in(
+        self,
+        delay: float,
+        action: Callable[[], Any] | None = None,
+        payload: Any = None,
+    ) -> Event:
+        """Schedule relative to the current time."""
+        if delay < 0:
+            raise ConfigurationError(f"delay must be non-negative, got {delay}")
+        return self.schedule(self.now + delay, action=action, payload=payload)
+
+    def cancel(self, event: Event) -> None:
+        """Mark an event cancelled; it will be skipped when popped."""
+        event.cancelled = True
+
+    def peek_time(self) -> float | None:
+        """Time of the next live event, or ``None`` if the queue is empty."""
+        while self._heap and self._heap[0].cancelled:
+            heapq.heappop(self._heap)
+        return self._heap[0].time if self._heap else None
+
+    def pop_due(self, until: float) -> list[Event]:
+        """Pop (and advance time past) every live event with time <= until."""
+        due: list[Event] = []
+        while self._heap and self._heap[0].time <= until:
+            event = heapq.heappop(self._heap)
+            if event.cancelled:
+                continue
+            self.now = event.time
+            due.append(event)
+        self.now = max(self.now, until)
+        return due
+
+    def run_until(self, until: float) -> int:
+        """Execute every due event's action; returns how many ran."""
+        count = 0
+        for event in self.pop_due(until):
+            if event.action is not None:
+                event.action()
+            count += 1
+        return count
+
+    def __len__(self) -> int:
+        return sum(1 for e in self._heap if not e.cancelled)

@@ -1,0 +1,75 @@
+"""Communication accounting.
+
+Every byte the protocol puts on the wire is counted here, broken down by
+message type, because "communication overhead" is the paper's primary
+metric.  Counters separate payload bytes from fixed per-message framing
+overhead so experiments can report either messages, payload bytes, or total
+bytes.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass, field
+
+__all__ = ["CommunicationStats"]
+
+
+@dataclass
+class CommunicationStats:
+    """Mutable tally of sent/delivered/dropped traffic.
+
+    Attributes:
+        per_message_overhead: Framing bytes added to every message (IP/UDP
+            style headers); configurable because the relative advantage of
+            fewer-but-larger messages depends on it.
+    """
+
+    per_message_overhead: int = 28
+    sent_messages: Counter = field(default_factory=Counter)
+    sent_payload_bytes: Counter = field(default_factory=Counter)
+    dropped_messages: Counter = field(default_factory=Counter)
+
+    def record_send(self, kind: str, payload_bytes: int) -> None:
+        """Count one sent message of the given kind."""
+        self.sent_messages[kind] += 1
+        self.sent_payload_bytes[kind] += payload_bytes
+
+    def record_drop(self, kind: str) -> None:
+        """Count one message lost in flight."""
+        self.dropped_messages[kind] += 1
+
+    @property
+    def total_messages(self) -> int:
+        """All messages put on the wire (delivered or not)."""
+        return sum(self.sent_messages.values())
+
+    @property
+    def total_payload_bytes(self) -> int:
+        """Payload bytes across all messages."""
+        return sum(self.sent_payload_bytes.values())
+
+    @property
+    def total_bytes(self) -> int:
+        """Payload plus per-message framing overhead."""
+        return self.total_payload_bytes + self.per_message_overhead * self.total_messages
+
+    def messages_of(self, kind: str) -> int:
+        """Messages sent of one kind (e.g. ``"update"``, ``"resync"``)."""
+        return self.sent_messages[kind]
+
+    def merge(self, other: "CommunicationStats") -> None:
+        """Fold another tally into this one (fleet-level aggregation)."""
+        self.sent_messages.update(other.sent_messages)
+        self.sent_payload_bytes.update(other.sent_payload_bytes)
+        self.dropped_messages.update(other.dropped_messages)
+
+    def summary(self) -> dict:
+        """Plain-dict snapshot for reports."""
+        return {
+            "messages": dict(self.sent_messages),
+            "payload_bytes": dict(self.sent_payload_bytes),
+            "dropped": dict(self.dropped_messages),
+            "total_messages": self.total_messages,
+            "total_bytes": self.total_bytes,
+        }

@@ -1,0 +1,154 @@
+"""Stream abstractions shared by every workload generator.
+
+A *stream* is an iterable of :class:`Reading` objects in timestamp order.
+Each reading carries both the noisy measured ``value`` (what a sensor would
+report, and what the suppression protocol sees) and the latent ``truth``
+(what the simulator knows), so experiments can score server-side error
+against ground truth rather than against the noisy measurements.
+
+Generators are seeded and deterministic: constructing the same stream class
+with the same parameters and seed yields the same readings, which the
+benchmark harness relies on for reproducibility.
+"""
+
+from __future__ import annotations
+
+import itertools
+from abc import ABC, abstractmethod
+from dataclasses import dataclass
+from typing import Iterable, Iterator
+
+import numpy as np
+
+from repro.errors import ConfigurationError, StreamExhaustedError
+
+__all__ = ["Reading", "StreamSource", "take", "values", "truths", "timestamps"]
+
+
+@dataclass(frozen=True)
+class Reading:
+    """One timestamped stream element.
+
+    Attributes:
+        t: Timestamp (seconds from stream start, monotone increasing).
+        value: The measured value as a 1-D float array, or ``None`` when the
+            reading was dropped (sensor outage / packet never produced).
+        truth: The noise-free latent value, when the generator knows it;
+            synthetic generators always do, replayed traces may not.
+    """
+
+    t: float
+    value: np.ndarray | None
+    truth: np.ndarray | None = None
+
+    def __post_init__(self) -> None:
+        if self.value is not None:
+            object.__setattr__(
+                self, "value", np.atleast_1d(np.asarray(self.value, dtype=float))
+            )
+        if self.truth is not None:
+            object.__setattr__(
+                self, "truth", np.atleast_1d(np.asarray(self.truth, dtype=float))
+            )
+
+    @property
+    def dropped(self) -> bool:
+        """Whether this tick produced no measurement."""
+        return self.value is None
+
+    def scalar(self) -> float:
+        """The value as a plain float; only valid for 1-D, non-dropped readings."""
+        if self.value is None:
+            raise ConfigurationError("reading was dropped; it has no value")
+        if self.value.shape != (1,):
+            raise ConfigurationError(
+                f"scalar() requires a 1-D reading, got shape {self.value.shape}"
+            )
+        return float(self.value[0])
+
+
+class StreamSource(ABC):
+    """Base class for all stream generators.
+
+    Subclasses implement :meth:`_generate`, an infinite (or long finite)
+    iterator of readings.  Iterating a source always starts from the
+    beginning: sources are *recipes*, not cursors, so the same source object
+    can be replayed across experiment cells.
+    """
+
+    #: Measurement dimensionality (1 for scalar streams, 2 for GPS, ...).
+    dim: int = 1
+    #: Sampling period in seconds.
+    dt: float = 1.0
+
+    @abstractmethod
+    def _generate(self) -> Iterator[Reading]:
+        """Yield readings from t=0 onward."""
+
+    def __iter__(self) -> Iterator[Reading]:
+        return self._generate()
+
+    def take(self, n: int) -> list[Reading]:
+        """Materialize the first ``n`` readings.
+
+        Raises:
+            StreamExhaustedError: If the stream ends before ``n`` readings.
+        """
+        out = list(itertools.islice(self._generate(), n))
+        if len(out) < n:
+            raise StreamExhaustedError(
+                f"{type(self).__name__} produced {len(out)} readings, needed {n}"
+            )
+        return out
+
+    def describe(self) -> str:
+        """One-line human-readable description (used in workload tables)."""
+        return type(self).__name__
+
+
+def take(source: Iterable[Reading], n: int) -> list[Reading]:
+    """Materialize ``n`` readings from any reading iterable."""
+    out = list(itertools.islice(iter(source), n))
+    if len(out) < n:
+        raise StreamExhaustedError(f"stream produced {len(out)} readings, needed {n}")
+    return out
+
+
+def values(readings: Iterable[Reading]) -> np.ndarray:
+    """Stack measured values into an ``(n, dim)`` array (dropped -> NaN rows)."""
+    rows = []
+    dim = None
+    for r in readings:
+        if r.value is not None:
+            dim = r.value.shape[0]
+            break
+    for r in readings:
+        if r.value is None:
+            rows.append(np.full(dim if dim else 1, np.nan))
+        else:
+            dim = r.value.shape[0]
+            rows.append(r.value)
+    if not rows:
+        return np.empty((0, dim or 1))
+    return np.stack(rows)
+
+
+def truths(readings: Iterable[Reading]) -> np.ndarray:
+    """Stack ground-truth values into an ``(n, dim)`` array.
+
+    Raises:
+        ConfigurationError: If any reading lacks ground truth.
+    """
+    rows = []
+    for i, r in enumerate(readings):
+        if r.truth is None:
+            raise ConfigurationError(f"reading {i} has no ground truth")
+        rows.append(r.truth)
+    if not rows:
+        return np.empty((0, 1))
+    return np.stack(rows)
+
+
+def timestamps(readings: Iterable[Reading]) -> np.ndarray:
+    """Extract timestamps into a 1-D array."""
+    return np.array([r.t for r in readings], dtype=float)

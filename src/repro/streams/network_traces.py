@@ -1,0 +1,176 @@
+"""Simulated network measurement streams (RTT / traffic rate).
+
+Substitute for the paper's real network traces.  Round-trip-time series
+have a well-documented structure: a stable propagation baseline, queueing
+noise, congestion epochs that raise both mean and variance (two-state
+Markov), and heavy-tailed spikes.  The simulator reproduces those features;
+they are what make RTT streams hostile to smooth-model predictors and are
+exactly the stress the adaptive filter needs to handle.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.streams.base import Reading, StreamSource
+
+__all__ = ["RttTrace", "TrafficRateTrace"]
+
+
+class RttTrace(StreamSource):
+    """Two-state (calm/congested) RTT series with lognormal spikes.
+
+    Args:
+        base_rtt: Propagation-delay floor (ms).
+        calm_jitter: Queueing-noise sigma in the calm state (ms).
+        congested_extra: Mean extra delay while congested (ms).
+        congested_jitter: Queueing-noise sigma while congested (ms).
+        congestion_rate: Per-tick probability of entering congestion.
+        mean_congestion_length: Mean ticks a congestion epoch lasts.
+        spike_rate: Per-tick probability of an isolated delay spike.
+        spike_scale: Scale (ms) of the lognormal spike magnitude.
+    """
+
+    def __init__(
+        self,
+        base_rtt: float = 40.0,
+        calm_jitter: float = 1.5,
+        congested_extra: float = 35.0,
+        congested_jitter: float = 8.0,
+        congestion_rate: float = 0.002,
+        mean_congestion_length: float = 200.0,
+        spike_rate: float = 0.01,
+        spike_scale: float = 25.0,
+        dt: float = 1.0,
+        seed: int = 0,
+    ):
+        if base_rtt <= 0 or dt <= 0:
+            raise ConfigurationError("base_rtt and dt must be positive")
+        if mean_congestion_length < 1:
+            raise ConfigurationError(
+                f"mean_congestion_length must be >= 1, got {mean_congestion_length!r}"
+            )
+        for name, val in [
+            ("calm_jitter", calm_jitter),
+            ("congested_extra", congested_extra),
+            ("congested_jitter", congested_jitter),
+            ("spike_scale", spike_scale),
+        ]:
+            if val < 0:
+                raise ConfigurationError(f"{name} must be non-negative, got {val!r}")
+        for name, val in [("congestion_rate", congestion_rate), ("spike_rate", spike_rate)]:
+            if not 0.0 <= val <= 1.0:
+                raise ConfigurationError(f"{name} must be in [0,1], got {val!r}")
+        self.base_rtt = float(base_rtt)
+        self.calm_jitter = float(calm_jitter)
+        self.congested_extra = float(congested_extra)
+        self.congested_jitter = float(congested_jitter)
+        self.congestion_rate = float(congestion_rate)
+        self.mean_congestion_length = float(mean_congestion_length)
+        self.spike_rate = float(spike_rate)
+        self.spike_scale = float(spike_scale)
+        self.dt = float(dt)
+        self.seed = seed
+
+    def _generate(self) -> Iterator[Reading]:
+        rng = np.random.default_rng(self.seed)
+        exit_p = 1.0 / self.mean_congestion_length
+        congested = False
+        # Congestion level ramps in/out rather than stepping, like real queues.
+        level = 0.0
+        t = 0.0
+        while True:
+            target = self.congested_extra if congested else 0.0
+            level += 0.1 * (target - level)
+            jitter = self.congested_jitter if congested else self.calm_jitter
+            truth = self.base_rtt + level
+            z = truth + abs(rng.normal(0.0, jitter))
+            if rng.random() < self.spike_rate:
+                z += rng.lognormal(mean=0.0, sigma=1.0) * self.spike_scale
+            yield Reading(t=t, value=np.array([z]), truth=np.array([truth]))
+            if congested:
+                if rng.random() < exit_p:
+                    congested = False
+            elif rng.random() < self.congestion_rate:
+                congested = True
+            t += self.dt
+
+    def describe(self) -> str:
+        return (
+            f"RTT trace (base={self.base_rtt:g} ms, "
+            f"congestion +{self.congested_extra:g} ms)"
+        )
+
+
+class TrafficRateTrace(StreamSource):
+    """Aggregate traffic-rate series: diurnal load + flash crowds + noise.
+
+    Rates are kept non-negative.  Flash crowds multiply the current level
+    for a short epoch — the stressor for allocation experiments where one
+    stream suddenly needs much more of the message budget.
+    """
+
+    def __init__(
+        self,
+        mean_rate: float = 100.0,
+        daily_amplitude: float = 40.0,
+        day_length: int = 2880,
+        noise_sigma: float = 5.0,
+        flash_rate: float = 0.0005,
+        flash_multiplier: float = 3.0,
+        mean_flash_length: float = 60.0,
+        dt: float = 1.0,
+        seed: int = 0,
+    ):
+        if mean_rate <= 0 or dt <= 0 or day_length < 2:
+            raise ConfigurationError("mean_rate, dt must be positive; day_length >= 2")
+        if flash_multiplier < 1.0:
+            raise ConfigurationError(
+                f"flash_multiplier must be >= 1, got {flash_multiplier!r}"
+            )
+        if mean_flash_length < 1:
+            raise ConfigurationError(
+                f"mean_flash_length must be >= 1, got {mean_flash_length!r}"
+            )
+        if not 0.0 <= flash_rate <= 1.0:
+            raise ConfigurationError(f"flash_rate must be in [0,1], got {flash_rate!r}")
+        if daily_amplitude < 0 or noise_sigma < 0:
+            raise ConfigurationError("daily_amplitude and noise_sigma must be >= 0")
+        self.mean_rate = float(mean_rate)
+        self.daily_amplitude = float(daily_amplitude)
+        self.day_length = int(day_length)
+        self.noise_sigma = float(noise_sigma)
+        self.flash_rate = float(flash_rate)
+        self.flash_multiplier = float(flash_multiplier)
+        self.mean_flash_length = float(mean_flash_length)
+        self.dt = float(dt)
+        self.seed = seed
+
+    def _generate(self) -> Iterator[Reading]:
+        rng = np.random.default_rng(self.seed)
+        omega = 2.0 * np.pi / self.day_length
+        exit_p = 1.0 / self.mean_flash_length
+        flash = False
+        t = 0.0
+        tick = 0
+        while True:
+            base = self.mean_rate + self.daily_amplitude * np.sin(omega * tick)
+            truth = max(0.0, base * (self.flash_multiplier if flash else 1.0))
+            z = max(0.0, truth + rng.normal(0.0, self.noise_sigma))
+            yield Reading(t=t, value=np.array([z]), truth=np.array([truth]))
+            if flash:
+                if rng.random() < exit_p:
+                    flash = False
+            elif rng.random() < self.flash_rate:
+                flash = True
+            t += self.dt
+            tick += 1
+
+    def describe(self) -> str:
+        return (
+            f"traffic rate (mean={self.mean_rate:g}, "
+            f"flash ×{self.flash_multiplier:g})"
+        )

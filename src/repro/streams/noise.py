@@ -1,0 +1,136 @@
+"""Corruption wrappers: extra noise, outliers and dropouts.
+
+These compose over any :class:`~repro.streams.base.StreamSource` to stress
+the robustness of the suppression protocol.  They corrupt only the measured
+``value``; ground truth passes through untouched so scoring stays honest.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.streams.base import Reading, StreamSource
+
+__all__ = ["GaussianNoise", "OutlierInjector", "Dropout"]
+
+
+class GaussianNoise(StreamSource):
+    """Add i.i.d. Gaussian noise of the given sigma to every measurement."""
+
+    def __init__(self, inner: StreamSource, sigma: float, seed: int = 0):
+        if sigma < 0:
+            raise ConfigurationError(f"sigma must be non-negative, got {sigma!r}")
+        self.inner = inner
+        self.sigma = float(sigma)
+        self.seed = seed
+        self.dt = inner.dt
+        self.dim = inner.dim
+
+    def _generate(self) -> Iterator[Reading]:
+        rng = np.random.default_rng(self.seed)
+        for r in self.inner:
+            if r.value is None:
+                yield r
+            else:
+                noisy = r.value + rng.normal(0.0, self.sigma, size=r.value.shape)
+                yield Reading(t=r.t, value=noisy, truth=r.truth)
+
+    def describe(self) -> str:
+        return f"{self.inner.describe()} + noise σ={self.sigma:g}"
+
+
+class OutlierInjector(StreamSource):
+    """Replace a fraction of measurements with gross outliers.
+
+    Each tick independently becomes an outlier with probability ``rate``;
+    an outlier is the true value displaced by ``magnitude`` sigma-equivalents
+    in a random direction.  Models glitching sensors / corrupted packets.
+    """
+
+    def __init__(
+        self,
+        inner: StreamSource,
+        rate: float = 0.01,
+        magnitude: float = 20.0,
+        seed: int = 0,
+    ):
+        if not 0.0 <= rate <= 1.0:
+            raise ConfigurationError(f"rate must be in [0,1], got {rate!r}")
+        if magnitude < 0:
+            raise ConfigurationError(f"magnitude must be non-negative, got {magnitude!r}")
+        self.inner = inner
+        self.rate = float(rate)
+        self.magnitude = float(magnitude)
+        self.seed = seed
+        self.dt = inner.dt
+        self.dim = inner.dim
+
+    def _generate(self) -> Iterator[Reading]:
+        rng = np.random.default_rng(self.seed)
+        for r in self.inner:
+            if r.value is not None and rng.random() < self.rate:
+                direction = rng.choice([-1.0, 1.0], size=r.value.shape)
+                yield Reading(
+                    t=r.t, value=r.value + direction * self.magnitude, truth=r.truth
+                )
+            else:
+                yield r
+
+    def describe(self) -> str:
+        return (
+            f"{self.inner.describe()} + outliers "
+            f"(rate={self.rate:g}, mag={self.magnitude:g})"
+        )
+
+
+class Dropout(StreamSource):
+    """Drop measurements in bursts (two-state Gilbert model).
+
+    In the "good" state each tick drops with a tiny probability of entering
+    the "bad" state; in the bad state readings are dropped and the state
+    exits with probability ``1/mean_burst``.  Dropped ticks still appear in
+    the stream (with ``value=None``) so timing stays aligned.
+    """
+
+    def __init__(
+        self,
+        inner: StreamSource,
+        rate: float = 0.01,
+        mean_burst: float = 3.0,
+        seed: int = 0,
+    ):
+        if not 0.0 <= rate < 1.0:
+            raise ConfigurationError(f"rate must be in [0,1), got {rate!r}")
+        if mean_burst < 1.0:
+            raise ConfigurationError(f"mean_burst must be >= 1, got {mean_burst!r}")
+        self.inner = inner
+        self.rate = float(rate)
+        self.mean_burst = float(mean_burst)
+        self.seed = seed
+        self.dt = inner.dt
+        self.dim = inner.dim
+
+    def _generate(self) -> Iterator[Reading]:
+        rng = np.random.default_rng(self.seed)
+        # Entry probability chosen so the long-run dropped fraction is rate.
+        exit_p = 1.0 / self.mean_burst
+        enter_p = self.rate * exit_p / max(1e-12, (1.0 - self.rate))
+        bad = False
+        for r in self.inner:
+            if bad:
+                yield Reading(t=r.t, value=None, truth=r.truth)
+                if rng.random() < exit_p:
+                    bad = False
+            else:
+                yield r
+                if rng.random() < enter_p:
+                    bad = True
+
+    def describe(self) -> str:
+        return (
+            f"{self.inner.describe()} + dropout "
+            f"(rate={self.rate:g}, burst={self.mean_burst:g})"
+        )

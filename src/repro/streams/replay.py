@@ -1,0 +1,112 @@
+"""Record/replay support: materialized streams and CSV round-trips.
+
+Experiments replay the *same* materialized readings through every policy so
+comparisons are paired; CSV round-trips let users bring their own traces.
+"""
+
+from __future__ import annotations
+
+import csv
+from pathlib import Path
+from typing import Iterator, Sequence
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.streams.base import Reading, StreamSource
+
+__all__ = ["RecordedStream", "record", "to_csv", "from_csv"]
+
+
+class RecordedStream(StreamSource):
+    """A stream backed by an in-memory list of readings.
+
+    Iterating it replays the exact same readings every time.
+    """
+
+    def __init__(self, readings: Sequence[Reading], dt: float | None = None):
+        if not readings:
+            raise ConfigurationError("cannot build a RecordedStream from no readings")
+        self.readings = list(readings)
+        first_value = next((r.value for r in self.readings if r.value is not None), None)
+        self.dim = int(first_value.shape[0]) if first_value is not None else 1
+        if dt is not None:
+            self.dt = float(dt)
+        elif len(self.readings) >= 2:
+            self.dt = float(self.readings[1].t - self.readings[0].t)
+        else:
+            self.dt = 1.0
+
+    def _generate(self) -> Iterator[Reading]:
+        return iter(self.readings)
+
+    def __len__(self) -> int:
+        return len(self.readings)
+
+    def describe(self) -> str:
+        return f"recorded stream ({len(self.readings)} readings, dim={self.dim})"
+
+
+def record(source: StreamSource, n: int) -> RecordedStream:
+    """Materialize ``n`` readings of ``source`` into a replayable stream."""
+    return RecordedStream(source.take(n), dt=source.dt)
+
+
+def to_csv(readings: Sequence[Reading], path: str | Path) -> None:
+    """Write readings to CSV with columns ``t, v0..vk, truth0..truthk``.
+
+    Dropped readings serialize with empty value cells.
+    """
+    readings = list(readings)
+    if not readings:
+        raise ConfigurationError("cannot serialize an empty reading list")
+    dim = next(
+        (r.value.shape[0] for r in readings if r.value is not None),
+        next((r.truth.shape[0] for r in readings if r.truth is not None), 1),
+    )
+    has_truth = any(r.truth is not None for r in readings)
+    header = ["t"] + [f"v{i}" for i in range(dim)]
+    if has_truth:
+        header += [f"truth{i}" for i in range(dim)]
+    with open(path, "w", newline="") as fh:
+        writer = csv.writer(fh)
+        writer.writerow(header)
+        for r in readings:
+            row: list[str] = [repr(r.t)]
+            if r.value is None:
+                row += [""] * dim
+            else:
+                row += [repr(float(v)) for v in r.value]
+            if has_truth:
+                if r.truth is None:
+                    row += [""] * dim
+                else:
+                    row += [repr(float(v)) for v in r.truth]
+            writer.writerow(row)
+
+
+def from_csv(path: str | Path) -> RecordedStream:
+    """Read a stream previously written by :func:`to_csv`."""
+    with open(path, newline="") as fh:
+        reader = csv.reader(fh)
+        header = next(reader, None)
+        if header is None or header[0] != "t":
+            raise ConfigurationError(f"{path} is not a repro stream CSV")
+        value_cols = [i for i, h in enumerate(header) if h.startswith("v")]
+        truth_cols = [i for i, h in enumerate(header) if h.startswith("truth")]
+        readings = []
+        for row in reader:
+            t = float(row[0])
+            raw_value = [row[i] for i in value_cols]
+            value = (
+                None
+                if any(cell == "" for cell in raw_value)
+                else np.array([float(cell) for cell in raw_value])
+            )
+            truth = None
+            if truth_cols:
+                raw_truth = [row[i] for i in truth_cols]
+                if all(cell != "" for cell in raw_truth):
+                    truth = np.array([float(cell) for cell in raw_truth])
+            readings.append(Reading(t=t, value=value, truth=truth))
+    return RecordedStream(readings)

@@ -1,0 +1,125 @@
+"""Simulated environmental sensor streams.
+
+Substitute for the paper's real sensor feeds: a temperature stream with a
+diurnal cycle, slow weather-front level shifts, small-scale mean-reverting
+fluctuation, and quantized sensor noise.  These are the features that matter
+to a suppression policy — strong predictable periodicity (a model-based
+cache exploits it, a static cache cannot) plus occasional level shifts that
+force re-synchronization.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Iterator
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.streams.base import Reading, StreamSource
+
+__all__ = ["TemperatureSensor"]
+
+
+class TemperatureSensor(StreamSource):
+    """Diurnal temperature stream with fronts and sensor noise.
+
+    Truth = daily sinusoid + OU micro-fluctuation + front level (a random
+    step process with exponential inter-arrival times, smoothed over a ramp).
+    Measurement = truth + Gaussian noise, optionally quantized to the
+    sensor's resolution.
+
+    Args:
+        mean: Mean temperature (°C).
+        daily_amplitude: Peak-to-mean amplitude of the diurnal cycle.
+        day_length: Ticks per simulated day.
+        fluctuation_sigma: Stationary sigma of the OU micro-fluctuation.
+        fluctuation_theta: Reversion rate of the micro-fluctuation.
+        front_rate: Probability per tick that a weather front begins.
+        front_magnitude_sigma: Std-dev of a front's temperature shift.
+        front_ramp: Ticks over which a front's shift phases in.
+        sensor_sigma: Gaussian sensor-noise std-dev.
+        resolution: Sensor quantization step (0 disables quantization).
+    """
+
+    def __init__(
+        self,
+        mean: float = 18.0,
+        daily_amplitude: float = 7.0,
+        day_length: int = 1440,
+        fluctuation_sigma: float = 0.3,
+        fluctuation_theta: float = 0.02,
+        front_rate: float = 0.0008,
+        front_magnitude_sigma: float = 5.0,
+        front_ramp: int = 120,
+        sensor_sigma: float = 0.25,
+        resolution: float = 0.1,
+        dt: float = 1.0,
+        seed: int = 0,
+    ):
+        if day_length < 2:
+            raise ConfigurationError(f"day_length must be >= 2, got {day_length!r}")
+        if front_ramp < 1:
+            raise ConfigurationError(f"front_ramp must be >= 1, got {front_ramp!r}")
+        if not 0.0 <= front_rate <= 1.0:
+            raise ConfigurationError(f"front_rate must be in [0,1], got {front_rate!r}")
+        for name, val in [
+            ("daily_amplitude", daily_amplitude),
+            ("fluctuation_sigma", fluctuation_sigma),
+            ("front_magnitude_sigma", front_magnitude_sigma),
+            ("sensor_sigma", sensor_sigma),
+            ("resolution", resolution),
+        ]:
+            if val < 0:
+                raise ConfigurationError(f"{name} must be non-negative, got {val!r}")
+        if fluctuation_theta <= 0 or dt <= 0:
+            raise ConfigurationError("fluctuation_theta and dt must be positive")
+        self.mean = float(mean)
+        self.daily_amplitude = float(daily_amplitude)
+        self.day_length = int(day_length)
+        self.fluctuation_sigma = float(fluctuation_sigma)
+        self.fluctuation_theta = float(fluctuation_theta)
+        self.front_rate = float(front_rate)
+        self.front_magnitude_sigma = float(front_magnitude_sigma)
+        self.front_ramp = int(front_ramp)
+        self.sensor_sigma = float(sensor_sigma)
+        self.resolution = float(resolution)
+        self.dt = float(dt)
+        self.seed = seed
+
+    def _generate(self) -> Iterator[Reading]:
+        rng = np.random.default_rng(self.seed)
+        omega = 2.0 * math.pi / self.day_length
+        decay = math.exp(-self.fluctuation_theta * self.dt)
+        kick = self.fluctuation_sigma * math.sqrt(max(0.0, 1.0 - decay * decay))
+        fluct = 0.0
+        front_level = 0.0
+        front_target = 0.0
+        front_step = 0.0
+        t = 0.0
+        tick = 0
+        while True:
+            diurnal = self.mean + self.daily_amplitude * math.sin(omega * tick)
+            truth = diurnal + fluct + front_level
+            z = truth + (rng.normal(0.0, self.sensor_sigma) if self.sensor_sigma else 0.0)
+            if self.resolution:
+                z = round(z / self.resolution) * self.resolution
+            yield Reading(t=t, value=np.array([z]), truth=np.array([truth]))
+            # Advance latent processes.
+            fluct = fluct * decay + rng.normal(0.0, kick)
+            if rng.random() < self.front_rate:
+                front_target += rng.normal(0.0, self.front_magnitude_sigma)
+                front_step = (front_target - front_level) / self.front_ramp
+            if abs(front_target - front_level) > abs(front_step) and front_step:
+                front_level += front_step
+            else:
+                front_level = front_target
+                front_step = 0.0
+            t += self.dt
+            tick += 1
+
+    def describe(self) -> str:
+        return (
+            f"temperature sensor (diurnal A={self.daily_amplitude:g}°C, "
+            f"sensor σ={self.sensor_sigma:g})"
+        )

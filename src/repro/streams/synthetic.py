@@ -1,0 +1,362 @@
+"""Synthetic stream generators.
+
+These are the controlled workloads of the evaluation: each isolates one
+statistical feature (diffusion, mean reversion, periodicity, trend,
+abrupt regime change) so the suppression policies can be compared where
+their assumptions hold and where they break.
+
+All generators emit ground truth alongside the noisy measurement; the
+measurement noise is injected here (``measurement_sigma``) rather than via a
+wrapper so each workload is a single self-describing object.  Extra
+corruption (outliers, dropouts) composes on top via
+:mod:`repro.streams.noise`.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Callable, Iterator, Sequence
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.streams.base import Reading, StreamSource
+
+__all__ = [
+    "RandomWalkStream",
+    "OrnsteinUhlenbeckStream",
+    "SinusoidStream",
+    "RampStream",
+    "PiecewiseLinearStream",
+    "RegimeSwitchingStream",
+    "CompositeStream",
+]
+
+
+def _check_positive(name: str, value: float) -> float:
+    if value <= 0:
+        raise ConfigurationError(f"{name} must be positive, got {value!r}")
+    return float(value)
+
+
+def _check_non_negative(name: str, value: float) -> float:
+    if value < 0:
+        raise ConfigurationError(f"{name} must be non-negative, got {value!r}")
+    return float(value)
+
+
+class RandomWalkStream(StreamSource):
+    """Gaussian random walk: ``x_{t+1} = x_t + N(0, step_sigma^2)``.
+
+    The canonical "hard to beat with a static cache" stream — no trend, no
+    period, pure diffusion.  A random-walk Kalman model is exactly matched
+    to it.
+    """
+
+    def __init__(
+        self,
+        step_sigma: float = 1.0,
+        measurement_sigma: float = 0.0,
+        x0: float = 0.0,
+        dt: float = 1.0,
+        seed: int = 0,
+    ):
+        self.step_sigma = _check_non_negative("step_sigma", step_sigma)
+        self.measurement_sigma = _check_non_negative(
+            "measurement_sigma", measurement_sigma
+        )
+        self.x0 = float(x0)
+        self.dt = _check_positive("dt", dt)
+        self.seed = seed
+
+    def _generate(self) -> Iterator[Reading]:
+        rng = np.random.default_rng(self.seed)
+        x = self.x0
+        t = 0.0
+        while True:
+            z = x + rng.normal(0.0, self.measurement_sigma) if self.measurement_sigma else x
+            yield Reading(t=t, value=np.array([z]), truth=np.array([x]))
+            x += rng.normal(0.0, self.step_sigma)
+            t += self.dt
+
+    def describe(self) -> str:
+        return (
+            f"random walk (step σ={self.step_sigma:g}, "
+            f"meas σ={self.measurement_sigma:g})"
+        )
+
+
+class OrnsteinUhlenbeckStream(StreamSource):
+    """Mean-reverting Ornstein–Uhlenbeck process (exact discretization).
+
+    ``x_{t+dt} = mean + (x_t - mean) e^{-θ dt} + N(0, σ_stat^2 (1 - e^{-2θ dt}))``
+
+    Models quantities that fluctuate around an operating point (load,
+    temperature differentials).  Reversion makes long-horizon prediction
+    easier than for a random walk.
+    """
+
+    def __init__(
+        self,
+        mean: float = 0.0,
+        theta: float = 0.05,
+        stationary_sigma: float = 2.0,
+        measurement_sigma: float = 0.0,
+        x0: float | None = None,
+        dt: float = 1.0,
+        seed: int = 0,
+    ):
+        self.mean = float(mean)
+        self.theta = _check_positive("theta", theta)
+        self.stationary_sigma = _check_non_negative("stationary_sigma", stationary_sigma)
+        self.measurement_sigma = _check_non_negative(
+            "measurement_sigma", measurement_sigma
+        )
+        self.x0 = float(mean if x0 is None else x0)
+        self.dt = _check_positive("dt", dt)
+        self.seed = seed
+
+    def _generate(self) -> Iterator[Reading]:
+        rng = np.random.default_rng(self.seed)
+        decay = math.exp(-self.theta * self.dt)
+        kick_sigma = self.stationary_sigma * math.sqrt(max(0.0, 1.0 - decay * decay))
+        x = self.x0
+        t = 0.0
+        while True:
+            z = x + rng.normal(0.0, self.measurement_sigma) if self.measurement_sigma else x
+            yield Reading(t=t, value=np.array([z]), truth=np.array([x]))
+            x = self.mean + (x - self.mean) * decay + rng.normal(0.0, kick_sigma)
+            t += self.dt
+
+    def describe(self) -> str:
+        return (
+            f"Ornstein-Uhlenbeck (θ={self.theta:g}, stat σ={self.stationary_sigma:g}, "
+            f"meas σ={self.measurement_sigma:g})"
+        )
+
+
+class SinusoidStream(StreamSource):
+    """Sinusoid with optional linear drift and phase noise.
+
+    Periodic workloads favour model-based prediction overwhelmingly: once
+    the filter locks on, near-zero communication sustains the bound.
+    """
+
+    def __init__(
+        self,
+        amplitude: float = 10.0,
+        period: float = 200.0,
+        drift: float = 0.0,
+        phase_jitter: float = 0.0,
+        measurement_sigma: float = 0.0,
+        offset: float = 0.0,
+        dt: float = 1.0,
+        seed: int = 0,
+    ):
+        self.amplitude = _check_non_negative("amplitude", amplitude)
+        self.period = _check_positive("period", period)
+        self.drift = float(drift)
+        self.phase_jitter = _check_non_negative("phase_jitter", phase_jitter)
+        self.measurement_sigma = _check_non_negative(
+            "measurement_sigma", measurement_sigma
+        )
+        self.offset = float(offset)
+        self.dt = _check_positive("dt", dt)
+        self.seed = seed
+
+    def _generate(self) -> Iterator[Reading]:
+        rng = np.random.default_rng(self.seed)
+        omega = 2.0 * math.pi / self.period
+        phase = 0.0
+        t = 0.0
+        while True:
+            x = self.offset + self.drift * t + self.amplitude * math.sin(omega * t + phase)
+            z = x + rng.normal(0.0, self.measurement_sigma) if self.measurement_sigma else x
+            yield Reading(t=t, value=np.array([z]), truth=np.array([x]))
+            if self.phase_jitter:
+                phase += rng.normal(0.0, self.phase_jitter)
+            t += self.dt
+
+    def describe(self) -> str:
+        return (
+            f"sinusoid (A={self.amplitude:g}, T={self.period:g}, "
+            f"drift={self.drift:g}, meas σ={self.measurement_sigma:g})"
+        )
+
+
+class RampStream(StreamSource):
+    """Deterministic linear trend plus measurement noise.
+
+    The best case for dead-reckoning; included so the comparison is fair to
+    the baselines.
+    """
+
+    def __init__(
+        self,
+        slope: float = 0.5,
+        intercept: float = 0.0,
+        measurement_sigma: float = 0.0,
+        dt: float = 1.0,
+        seed: int = 0,
+    ):
+        self.slope = float(slope)
+        self.intercept = float(intercept)
+        self.measurement_sigma = _check_non_negative(
+            "measurement_sigma", measurement_sigma
+        )
+        self.dt = _check_positive("dt", dt)
+        self.seed = seed
+
+    def _generate(self) -> Iterator[Reading]:
+        rng = np.random.default_rng(self.seed)
+        t = 0.0
+        while True:
+            x = self.intercept + self.slope * t
+            z = x + rng.normal(0.0, self.measurement_sigma) if self.measurement_sigma else x
+            yield Reading(t=t, value=np.array([z]), truth=np.array([x]))
+            t += self.dt
+
+    def describe(self) -> str:
+        return f"ramp (slope={self.slope:g}, meas σ={self.measurement_sigma:g})"
+
+
+class PiecewiseLinearStream(StreamSource):
+    """Linear segments with random slope changes at random times.
+
+    A stylized "manoeuvring" stream: slopes persist for geometric-length
+    epochs, then jump.  Stresses predictors that assume a fixed trend.
+    """
+
+    def __init__(
+        self,
+        slope_sigma: float = 0.5,
+        mean_segment_length: float = 100.0,
+        measurement_sigma: float = 0.0,
+        x0: float = 0.0,
+        dt: float = 1.0,
+        seed: int = 0,
+    ):
+        self.slope_sigma = _check_non_negative("slope_sigma", slope_sigma)
+        self.mean_segment_length = _check_positive(
+            "mean_segment_length", mean_segment_length
+        )
+        self.measurement_sigma = _check_non_negative(
+            "measurement_sigma", measurement_sigma
+        )
+        self.x0 = float(x0)
+        self.dt = _check_positive("dt", dt)
+        self.seed = seed
+
+    def _generate(self) -> Iterator[Reading]:
+        rng = np.random.default_rng(self.seed)
+        switch_p = self.dt / self.mean_segment_length
+        x = self.x0
+        slope = rng.normal(0.0, self.slope_sigma)
+        t = 0.0
+        while True:
+            z = x + rng.normal(0.0, self.measurement_sigma) if self.measurement_sigma else x
+            yield Reading(t=t, value=np.array([z]), truth=np.array([x]))
+            if rng.random() < switch_p:
+                slope = rng.normal(0.0, self.slope_sigma)
+            x += slope * self.dt
+            t += self.dt
+
+    def describe(self) -> str:
+        return (
+            f"piecewise linear (slope σ={self.slope_sigma:g}, "
+            f"mean segment={self.mean_segment_length:g})"
+        )
+
+
+class RegimeSwitchingStream(StreamSource):
+    """Concatenation of sub-streams, switching at fixed tick counts.
+
+    The time-variance workload: e.g. a calm OU regime, then a volatile
+    random walk, then calm again.  Value continuity across switches is
+    enforced by offsetting each incoming regime to start where the previous
+    one ended, so the switch changes the *dynamics*, not the level.
+
+    Args:
+        regimes: ``(factory, n_ticks)`` pairs; each factory takes a seed and
+            returns a fresh :class:`StreamSource`.  The last regime runs
+            forever (its tick count is ignored).
+        continuous: Offset each regime to preserve value continuity.
+    """
+
+    def __init__(
+        self,
+        regimes: Sequence[tuple[Callable[[int], StreamSource], int]],
+        continuous: bool = True,
+        seed: int = 0,
+    ):
+        if not regimes:
+            raise ConfigurationError("at least one regime is required")
+        self.regimes = list(regimes)
+        self.continuous = continuous
+        self.seed = seed
+        first = self.regimes[0][0](seed)
+        self.dt = first.dt
+        self.dim = first.dim
+
+    def _generate(self) -> Iterator[Reading]:
+        t = 0.0
+        offset = 0.0
+        last_truth = 0.0
+        for idx, (factory, n_ticks) in enumerate(self.regimes):
+            source = factory(self.seed + idx)
+            is_last = idx == len(self.regimes) - 1
+            produced = 0
+            for reading in source:
+                if not is_last and produced >= n_ticks:
+                    break
+                if produced == 0 and self.continuous and idx > 0:
+                    first_truth = float(reading.truth[0]) if reading.truth is not None else 0.0
+                    offset = last_truth - first_truth
+                value = None if reading.value is None else reading.value + offset
+                truth = None if reading.truth is None else reading.truth + offset
+                if truth is not None:
+                    last_truth = float(truth[0])
+                yield Reading(t=t, value=value, truth=truth)
+                t += self.dt
+                produced += 1
+
+    def describe(self) -> str:
+        return f"regime switching ({len(self.regimes)} regimes)"
+
+
+class CompositeStream(StreamSource):
+    """Pointwise sum of component streams (truths add, noises add).
+
+    Lets workloads combine a trend, a period, and a diffusion term without a
+    dedicated generator for every combination.
+    """
+
+    def __init__(self, components: Sequence[StreamSource]):
+        if not components:
+            raise ConfigurationError("at least one component is required")
+        dts = {c.dt for c in components}
+        if len(dts) != 1:
+            raise ConfigurationError(f"components disagree on dt: {sorted(dts)}")
+        dims = {c.dim for c in components}
+        if len(dims) != 1:
+            raise ConfigurationError(f"components disagree on dim: {sorted(dims)}")
+        self.components = list(components)
+        self.dt = components[0].dt
+        self.dim = components[0].dim
+
+    def _generate(self) -> Iterator[Reading]:
+        for parts in zip(*self.components):
+            if any(p.value is None for p in parts):
+                yield Reading(t=parts[0].t, value=None, truth=None)
+                continue
+            value = np.sum([p.value for p in parts], axis=0)
+            truth = (
+                np.sum([p.truth for p in parts], axis=0)
+                if all(p.truth is not None for p in parts)
+                else None
+            )
+            yield Reading(t=parts[0].t, value=value, truth=truth)
+
+    def describe(self) -> str:
+        inner = " + ".join(c.describe() for c in self.components)
+        return f"composite ({inner})"

@@ -1,0 +1,180 @@
+"""Tests for baseline suppression policies."""
+
+import numpy as np
+import pytest
+
+from repro.baselines.ar import ArPolicy, ArPredictor, fit_ar
+from repro.baselines.base import PeriodicPolicy
+from repro.baselines.dead_band import DeadBandPolicy
+from repro.baselines.dead_reckoning import DeadReckoningPolicy, LinearExtrapolationPredictor
+from repro.baselines.ewma import EwmaPolicy, HoltPredictor
+from repro.baselines.static_cache import LastValuePredictor
+from repro.core.precision import AbsoluteBound
+from repro.errors import ConfigurationError
+from repro.streams.base import Reading
+from repro.streams.synthetic import RampStream, RandomWalkStream
+
+ALL_GATED = [DeadBandPolicy, DeadReckoningPolicy, EwmaPolicy, ArPolicy]
+
+
+def _readings(n=1000, kind="walk", seed=13):
+    if kind == "walk":
+        return RandomWalkStream(step_sigma=1.0, measurement_sigma=0.3, seed=seed).take(n)
+    return RampStream(slope=0.5, measurement_sigma=0.3, seed=seed).take(n)
+
+
+class TestBoundContract:
+    @pytest.mark.parametrize("policy_cls", ALL_GATED)
+    def test_served_within_bound_of_measurement(self, policy_cls):
+        policy = policy_cls(AbsoluteBound(2.0))
+        for reading in _readings():
+            outcome = policy.tick(reading)
+            if outcome.estimate is not None:
+                assert abs(outcome.estimate[0] - reading.value[0]) <= 2.0 + 1e-9
+
+    @pytest.mark.parametrize("policy_cls", ALL_GATED)
+    def test_first_measurement_sent(self, policy_cls):
+        policy = policy_cls(AbsoluteBound(2.0))
+        outcome = policy.tick(Reading(t=0.0, value=5.0))
+        assert outcome.sent and outcome.estimate[0] == 5.0
+
+    @pytest.mark.parametrize("policy_cls", ALL_GATED)
+    def test_monotone_messages_in_delta(self, policy_cls):
+        readings = _readings(1500)
+        counts = []
+        for delta in (0.5, 2.0, 8.0):
+            policy = policy_cls(AbsoluteBound(delta))
+            for reading in readings:
+                policy.tick(reading)
+            counts.append(policy.stats.total_messages)
+        assert counts[0] >= counts[1] >= counts[2]
+
+    @pytest.mark.parametrize("policy_cls", ALL_GATED)
+    def test_dropped_ticks_cost_nothing(self, policy_cls):
+        policy = policy_cls(AbsoluteBound(2.0))
+        policy.tick(Reading(t=0.0, value=1.0))
+        before = policy.stats.total_messages
+        policy.tick(Reading(t=1.0, value=None))
+        assert policy.stats.total_messages == before
+
+
+class TestDeadBand:
+    def test_serves_last_sent_value_while_quiet(self):
+        policy = DeadBandPolicy(AbsoluteBound(5.0))
+        policy.tick(Reading(t=0.0, value=10.0))
+        outcome = policy.tick(Reading(t=1.0, value=12.0))
+        assert not outcome.sent and outcome.estimate[0] == 10.0
+
+    def test_pays_per_delta_step_on_a_trend(self):
+        readings = RampStream(slope=1.0, measurement_sigma=0.0, seed=1).take(100)
+        policy = DeadBandPolicy(AbsoluteBound(10.0))
+        for reading in readings:
+            policy.tick(reading)
+        # 100 ticks of slope 1 with delta 10 -> about 10 sends.
+        assert 8 <= policy.stats.total_messages <= 12
+
+
+class TestDeadReckoning:
+    def test_free_on_a_clean_trend(self):
+        readings = RampStream(slope=1.0, measurement_sigma=0.0, seed=1).take(500)
+        policy = DeadReckoningPolicy(AbsoluteBound(2.0))
+        for reading in readings:
+            policy.tick(reading)
+        # Two sends establish the velocity; everything after is suppressed.
+        assert policy.stats.total_messages <= 3
+
+    def test_predictor_extrapolates_through_gaps(self):
+        pred = LinearExtrapolationPredictor()
+        pred.observe(np.array([0.0]))
+        pred.coast()
+        pred.observe(np.array([4.0]))  # 2 ticks later -> velocity 2
+        assert pred.predict()[0] == pytest.approx(6.0)
+
+    def test_single_observation_predicts_constant(self):
+        pred = LinearExtrapolationPredictor()
+        pred.observe(np.array([3.0]))
+        pred.coast()
+        assert pred.predict()[0] == 3.0
+
+
+class TestEwma:
+    def test_holt_locks_onto_trend(self):
+        pred = HoltPredictor(alpha=0.5, beta=0.3)
+        for t in range(200):
+            pred.observe(np.array([2.0 * t]))
+        assert pred.predict()[0] == pytest.approx(2.0 * 200, rel=0.01)
+
+    def test_beta_zero_is_plain_ewma(self):
+        pred = HoltPredictor(alpha=0.5, beta=0.0)
+        for v in (10.0, 10.0, 10.0):
+            pred.observe(np.array([v]))
+        assert pred.predict()[0] == pytest.approx(10.0, abs=2.0)
+
+    def test_invalid_alpha_rejected(self):
+        with pytest.raises(ConfigurationError):
+            HoltPredictor(alpha=0.0)
+
+
+class TestAr:
+    def test_fit_recovers_ar1_coefficient(self, rng):
+        series = [0.0]
+        for _ in range(500):
+            series.append(0.8 * series[-1] + rng.normal(0, 0.1))
+        coeffs = fit_ar(np.array(series), order=1)
+        assert coeffs[1] == pytest.approx(0.8, abs=0.05)
+
+    def test_warmup_transmits_everything(self):
+        policy = ArPolicy(AbsoluteBound(1e9), order=2, warmup=32)
+        readings = _readings(32)
+        for reading in readings:
+            policy.tick(reading)
+        assert policy.stats.total_messages == 32
+
+    def test_fitted_after_warmup(self):
+        pred = ArPredictor(order=2, warmup=16)
+        for i in range(16):
+            pred.observe(np.array([float(i)]))
+        assert pred.fitted
+
+    def test_too_short_warmup_rejected(self):
+        with pytest.raises(ConfigurationError):
+            ArPredictor(order=5, warmup=4)
+
+    def test_fit_needs_enough_data(self):
+        with pytest.raises(ConfigurationError):
+            fit_ar(np.array([1.0, 2.0]), order=3)
+
+
+class TestPeriodic:
+    def test_sends_on_schedule(self):
+        policy = PeriodicPolicy(interval=10)
+        for reading in _readings(100):
+            policy.tick(reading)
+        assert policy.stats.total_messages == 10
+
+    def test_no_precision_guarantee(self):
+        """The defining weakness: between refreshes error is unbounded."""
+        readings = RampStream(slope=5.0, measurement_sigma=0.0, seed=1).take(50)
+        policy = PeriodicPolicy(interval=25)
+        worst = 0.0
+        for reading in readings:
+            outcome = policy.tick(reading)
+            if outcome.estimate is not None:
+                worst = max(worst, abs(outcome.estimate[0] - reading.value[0]))
+        assert worst > 50.0
+
+    def test_invalid_interval_rejected(self):
+        with pytest.raises(ConfigurationError):
+            PeriodicPolicy(interval=0)
+
+
+class TestLastValuePredictor:
+    def test_none_before_data(self):
+        assert LastValuePredictor().predict() is None
+
+    def test_constant_after_observe(self):
+        pred = LastValuePredictor()
+        pred.observe(np.array([7.0]))
+        for _ in range(5):
+            pred.coast()
+        assert pred.predict()[0] == 7.0

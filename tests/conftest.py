@@ -1,0 +1,41 @@
+"""Shared fixtures for the repro test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.kalman import constant_velocity, random_walk
+from repro.streams import RandomWalkStream, SinusoidStream
+
+
+@pytest.fixture
+def rw_model():
+    """A 1-D random-walk model matched to the rw_readings fixture."""
+    return random_walk(process_noise=1.0, measurement_sigma=0.5)
+
+
+@pytest.fixture
+def cv_model():
+    """A 1-D constant-velocity model."""
+    return constant_velocity(process_noise=0.01, measurement_sigma=0.5)
+
+
+@pytest.fixture
+def rw_readings():
+    """2000 ticks of noisy random walk (seed 42)."""
+    return RandomWalkStream(step_sigma=1.0, measurement_sigma=0.5, seed=42).take(2000)
+
+
+@pytest.fixture
+def sine_readings():
+    """1500 ticks of noisy sinusoid (seed 42)."""
+    return SinusoidStream(
+        amplitude=10.0, period=200.0, measurement_sigma=0.5, seed=42
+    ).take(1500)
+
+
+@pytest.fixture
+def rng():
+    """Seeded numpy Generator for test-local randomness."""
+    return np.random.default_rng(12345)

@@ -1,0 +1,142 @@
+"""Tests for the guarded adaptation policy."""
+
+import numpy as np
+import pytest
+
+from repro.core.adaptive import AdaptationPolicy
+from repro.core.precision import AbsoluteBound
+from repro.core.session import DualKalmanPolicy
+from repro.errors import ConfigurationError
+from repro.kalman.models import random_walk
+from repro.streams.synthetic import RandomWalkStream
+
+
+def _run(policy, readings):
+    for r in readings:
+        policy.tick(r)
+    return policy
+
+
+class TestProposals:
+    def test_no_proposal_before_window_fills(self):
+        model = random_walk()
+        ad = AdaptationPolicy(model, window=64)
+        for _ in range(10):
+            ad.observe(np.array([1.0]))
+        assert ad.propose() is None
+
+    def test_r_proposal_when_noise_underestimated(self, rng):
+        model = random_walk(process_noise=0.25, measurement_sigma=0.1)
+        ad = AdaptationPolicy(model, adapt_q=False, window=128)
+        x = 0.0
+        for _ in range(300):
+            ad.observe(np.array([x + rng.normal(0, 2.0)]))
+            ad.note_sent(False)
+            x += rng.normal(0, 0.5)
+        change = ad.propose()
+        assert change is not None and "R" in change
+        assert change["R"][0][0] > model.R[0, 0]
+
+    def test_no_proposal_on_matched_model(self, rng):
+        model = random_walk(process_noise=1.0, measurement_sigma=1.0)
+        ad = AdaptationPolicy(model, window=128)
+        x = 0.0
+        for _ in range(400):
+            ad.observe(np.array([x + rng.normal(0, 1.0)]))
+            ad.note_sent(False)
+            x += rng.normal(0, 1.0)
+        assert ad.propose() is None
+
+    def test_commit_updates_model_and_arms_cooldown(self, rng):
+        model = random_walk(process_noise=0.25, measurement_sigma=0.1)
+        ad = AdaptationPolicy(model, adapt_q=False, window=64, cooldown=100)
+        x = 0.0
+        change = None
+        for _ in range(300):
+            ad.observe(np.array([x + rng.normal(0, 2.0)]))
+            ad.note_sent(False)
+            change = ad.propose()
+            if change:
+                break
+            x += rng.normal(0, 0.5)
+        assert change is not None
+        ad.commit(change)
+        assert ad.model.R[0, 0] == pytest.approx(change["R"][0][0])
+        assert ad.propose() is None  # cooldown armed
+
+    def test_requires_some_adaptation_enabled(self):
+        with pytest.raises(ConfigurationError):
+            AdaptationPolicy(random_walk(), adapt_r=False, adapt_q=False)
+
+    def test_invalid_damping_rejected(self):
+        with pytest.raises(ConfigurationError):
+            AdaptationPolicy(random_walk(), damping=0.0)
+
+
+class TestEndToEndAdaptation:
+    def test_converges_toward_matched_message_rate(self):
+        """Start with R wrong by 20x; adaptive lands near the matched rate."""
+        readings = RandomWalkStream(
+            step_sigma=0.5, measurement_sigma=2.0, seed=3
+        ).take(5000)
+        bound = AbsoluteBound(3.0)
+        matched = random_walk(process_noise=0.25, measurement_sigma=2.0)
+        wrong = random_walk(process_noise=0.25, measurement_sigma=0.1)
+        m_run = _run(DualKalmanPolicy(matched, bound), readings)
+        w_run = _run(DualKalmanPolicy(wrong, bound), readings)
+        a_run = _run(
+            DualKalmanPolicy(wrong, bound, adaptation=AdaptationPolicy(wrong)),
+            readings,
+        )
+        matched_msgs = m_run.stats.total_messages
+        wrong_msgs = w_run.stats.total_messages
+        adapted_msgs = a_run.stats.total_messages
+        assert wrong_msgs > 1.2 * matched_msgs  # the mis-specification hurts
+        assert adapted_msgs < wrong_msgs  # adaptation recovers most of it
+        assert adapted_msgs < 1.25 * matched_msgs
+
+    def test_rate_guard_bounds_damage_under_misspecification(self):
+        """On a stream the model class can't fit, adaptation must not blow up."""
+        from repro.experiments.workloads import workload
+
+        wl = workload("W6")  # CV model vs diurnal + OU fluctuation
+        readings = wl.make_stream(3).take(4000)
+        bound = AbsoluteBound(wl.default_delta)
+        fixed = _run(DualKalmanPolicy(wl.make_model(), bound), readings)
+        model = wl.make_model()
+        adaptive = _run(
+            DualKalmanPolicy(model, bound, adaptation=AdaptationPolicy(model)),
+            readings,
+        )
+        assert adaptive.stats.total_messages < 2.0 * fixed.stats.total_messages
+
+    def test_switch_messages_are_counted(self, rng):
+        readings = RandomWalkStream(
+            step_sigma=0.5, measurement_sigma=2.0, seed=3
+        ).take(2000)
+        wrong = random_walk(process_noise=0.25, measurement_sigma=0.1)
+        policy = _run(
+            DualKalmanPolicy(wrong, AbsoluteBound(3.0), adaptation=AdaptationPolicy(wrong)),
+            readings,
+        )
+        assert policy.stats.messages_of("model_switch") >= 1
+        assert policy.stats.messages_of("model_switch") == len(
+            policy.source.adaptation.switches
+        )
+
+    def test_outlier_gate_keeps_estimators_clean(self, rng):
+        """Spiky measurements must not inflate the learned R much."""
+        model = random_walk(process_noise=1.0, measurement_sigma=1.0)
+        gated = AdaptationPolicy(model, window=128, outlier_gate_p=0.999)
+        ungated = AdaptationPolicy(model, window=128, outlier_gate_p=None)
+        x = 0.0
+        for i in range(400):
+            z = x + rng.normal(0, 1.0)
+            if i % 50 == 25:
+                z += 80.0  # gross spike
+            for ad in (gated, ungated):
+                ad.observe(np.array([z]))
+            x += rng.normal(0, 1.0)
+        g = gated._r_estimator.suggestion()[0, 0]
+        u = ungated._r_estimator.suggestion()[0, 0]
+        assert g < u / 3.0

@@ -1,0 +1,129 @@
+"""Tests for rate curves and precision allocators."""
+
+import numpy as np
+import pytest
+
+from repro.core.allocation import (
+    RateCurve,
+    allocate_equal_rate,
+    allocate_scipy,
+    allocate_uniform,
+    allocate_waterfilling,
+)
+from repro.errors import AllocationError, ConfigurationError
+
+
+class TestRateCurve:
+    def test_fit_recovers_exact_power_law(self):
+        a, b = 0.8, 1.7
+        deltas = np.array([0.5, 1.0, 2.0, 4.0])
+        rates = a * deltas ** (-b)
+        curve = RateCurve.fit(deltas, rates)
+        assert curve.a == pytest.approx(a, rel=1e-6)
+        assert curve.b == pytest.approx(b, rel=1e-6)
+
+    def test_rate_and_inverse_round_trip(self):
+        curve = RateCurve(a=0.5, b=2.0)
+        for delta in (0.1, 1.0, 7.3):
+            assert curve.delta_for_rate(curve.rate(delta)) == pytest.approx(delta)
+
+    def test_fit_handles_noisy_samples(self, rng):
+        deltas = np.array([0.5, 1.0, 2.0, 4.0, 8.0])
+        rates = 1.2 * deltas ** (-1.5) * np.exp(rng.normal(0, 0.05, 5))
+        curve = RateCurve.fit(deltas, rates)
+        assert curve.b == pytest.approx(1.5, abs=0.3)
+
+    def test_fit_flat_rates_falls_back_to_tiny_elasticity(self):
+        curve = RateCurve.fit(np.array([1.0, 2.0]), np.array([0.5, 0.5]))
+        assert curve.b == pytest.approx(1e-3)
+
+    def test_fit_rejects_single_delta(self):
+        with pytest.raises(ConfigurationError):
+            RateCurve.fit(np.array([1.0, 1.0]), np.array([0.5, 0.4]))
+
+    def test_rate_rejects_non_positive_delta(self):
+        with pytest.raises(ConfigurationError):
+            RateCurve(a=1.0, b=1.0).rate(0.0)
+
+
+def _heterogeneous_curves():
+    """Three streams with very different costs of precision."""
+    return [
+        RateCurve(a=0.05, b=2.0),  # calm
+        RateCurve(a=0.5, b=2.0),  # medium
+        RateCurve(a=5.0, b=2.0),  # volatile
+    ]
+
+
+class TestAllocators:
+    @pytest.mark.parametrize(
+        "allocator",
+        [allocate_uniform, allocate_equal_rate, allocate_waterfilling, allocate_scipy],
+    )
+    def test_budget_respected(self, allocator):
+        curves = _heterogeneous_curves()
+        alloc = allocator(curves, budget=0.5)
+        assert alloc.predicted_total_rate <= 0.5 * 1.01
+
+    @pytest.mark.parametrize(
+        "allocator",
+        [allocate_uniform, allocate_equal_rate, allocate_waterfilling, allocate_scipy],
+    )
+    def test_budget_nearly_exhausted(self, allocator):
+        """Leaving budget unspent wastes precision."""
+        curves = _heterogeneous_curves()
+        alloc = allocator(curves, budget=0.5)
+        assert alloc.predicted_total_rate >= 0.5 * 0.95
+
+    def test_uniform_gives_identical_deltas(self):
+        alloc = allocate_uniform(_heterogeneous_curves(), budget=0.5)
+        assert np.ptp(alloc.deltas) == pytest.approx(0.0, abs=1e-9)
+
+    def test_equal_rate_gives_identical_rates(self):
+        alloc = allocate_equal_rate(_heterogeneous_curves(), budget=0.6)
+        np.testing.assert_allclose(alloc.predicted_rates, 0.2, rtol=1e-9)
+
+    def test_waterfilling_gives_volatile_streams_looser_bounds(self):
+        alloc = allocate_waterfilling(_heterogeneous_curves(), budget=0.5)
+        assert alloc.deltas[0] < alloc.deltas[1] < alloc.deltas[2]
+
+    def test_waterfilling_beats_uniform_on_objective(self):
+        curves = _heterogeneous_curves()
+        wf = allocate_waterfilling(curves, budget=0.5)
+        uni = allocate_uniform(curves, budget=0.5)
+        assert wf.weighted_imprecision() < uni.weighted_imprecision()
+
+    def test_waterfilling_matches_scipy_optimum(self):
+        """The closed form and the numeric optimizer agree."""
+        curves = [RateCurve(a=0.1, b=1.2), RateCurve(a=1.0, b=2.5), RateCurve(a=3.0, b=1.8)]
+        weights = np.array([1.0, 2.0, 0.5])
+        wf = allocate_waterfilling(curves, budget=0.4, weights=weights)
+        sp = allocate_scipy(curves, budget=0.4, weights=weights)
+        assert wf.weighted_imprecision(weights) == pytest.approx(
+            sp.weighted_imprecision(weights), rel=0.02
+        )
+
+    def test_weights_steer_precision(self):
+        curves = [RateCurve(a=1.0, b=2.0), RateCurve(a=1.0, b=2.0)]
+        alloc = allocate_waterfilling(curves, budget=0.5, weights=np.array([10.0, 1.0]))
+        # The heavily weighted stream gets the tighter bound.
+        assert alloc.deltas[0] < alloc.deltas[1]
+
+    def test_empty_fleet_rejected(self):
+        with pytest.raises(AllocationError):
+            allocate_uniform([], budget=1.0)
+
+    def test_non_positive_budget_rejected(self):
+        with pytest.raises(AllocationError):
+            allocate_waterfilling(_heterogeneous_curves(), budget=0.0)
+
+    def test_scipy_infeasible_budget_rejected(self):
+        curves = [RateCurve(a=10.0, b=1.0)]
+        with pytest.raises(AllocationError):
+            allocate_scipy(curves, budget=1e-9, delta_bounds=(1e-3, 10.0))
+
+    def test_bad_weights_rejected(self):
+        with pytest.raises(AllocationError):
+            allocate_waterfilling(
+                _heterogeneous_curves(), budget=0.5, weights=np.array([1.0, -1.0, 1.0])
+            )

@@ -1,0 +1,130 @@
+"""Tests for multi-sensor fusion over cached streams."""
+
+import numpy as np
+import pytest
+
+from repro.core.fusion import FusedView, fuse
+from repro.core.precision import AbsoluteBound
+from repro.core.server import StreamServer
+from repro.core.source import SourceAgent
+from repro.errors import ConfigurationError, QueryError
+from repro.kalman.models import random_walk
+from repro.streams.base import Reading
+from repro.streams.synthetic import RandomWalkStream
+from repro.streams.noise import GaussianNoise
+
+
+class TestFuse:
+    def test_equal_variances_give_plain_average(self):
+        est = fuse(
+            [np.array([1.0]), np.array([3.0])],
+            [np.array([2.0]), np.array([2.0])],
+        )
+        assert est.value[0] == pytest.approx(2.0)
+        assert est.variance[0] == pytest.approx(1.0)
+
+    def test_precise_source_dominates(self):
+        est = fuse(
+            [np.array([0.0]), np.array([10.0])],
+            [np.array([0.01]), np.array([100.0])],
+        )
+        assert est.value[0] == pytest.approx(0.0, abs=0.01)
+
+    def test_fused_variance_below_every_input(self):
+        est = fuse(
+            [np.array([1.0]), np.array([2.0]), np.array([3.0])],
+            [np.array([1.0]), np.array([4.0]), np.array([9.0])],
+        )
+        assert est.variance[0] < 1.0
+
+    def test_per_axis_weighting(self):
+        est = fuse(
+            [np.array([0.0, 0.0]), np.array([10.0, 10.0])],
+            [np.array([0.01, 100.0]), np.array([100.0, 0.01])],
+        )
+        assert est.value[0] == pytest.approx(0.0, abs=0.1)
+        assert est.value[1] == pytest.approx(10.0, abs=0.1)
+
+    def test_empty_rejected(self):
+        with pytest.raises(ConfigurationError):
+            fuse([], [])
+
+    def test_non_positive_variance_rejected(self):
+        with pytest.raises(ConfigurationError):
+            fuse([np.array([1.0])], [np.array([0.0])])
+
+    def test_labels_recorded(self):
+        est = fuse(
+            [np.array([1.0]), np.array([2.0])],
+            [np.array([1.0]), np.array([1.0])],
+            labels=["a", "b"],
+        )
+        assert est.contributing == ("a", "b")
+
+
+class TestFusedView:
+    def _wired(self, n_sensors=3, delta=2.0):
+        model = random_walk(process_noise=1.0, measurement_sigma=1.0)
+        server = StreamServer()
+        sources = {}
+        for i in range(n_sensors):
+            sid = f"t{i}"
+            server.register(sid, model)
+            sources[sid] = SourceAgent(sid, model, AbsoluteBound(delta))
+        return server, sources
+
+    def test_needs_two_streams(self):
+        server, _ = self._wired(2)
+        with pytest.raises(ConfigurationError):
+            FusedView(server, ["t0"])
+
+    def test_unknown_stream_rejected_eagerly(self):
+        server, _ = self._wired(2)
+        from repro.errors import ProtocolError
+
+        with pytest.raises(ProtocolError):
+            FusedView(server, ["t0", "nope"])
+
+    def test_no_data_rejected(self):
+        server, _ = self._wired(2)
+        view = FusedView(server, ["t0", "t1"])
+        with pytest.raises(QueryError):
+            view.current()
+
+    def test_partial_warmup_uses_available_streams(self):
+        server, sources = self._wired(2)
+        decision = sources["t0"].process(Reading(t=0.0, value=5.0))
+        server.advance("t0", list(decision.messages))
+        server.advance("t1", [])
+        est = FusedView(server, ["t0", "t1"]).current()
+        assert est.contributing == ("t0",)
+        assert est.value[0] == pytest.approx(5.0)
+
+    def test_fusion_beats_best_individual_sensor(self):
+        """Three noisy sensors of one latent walk: fused RMSE must beat the
+        best single server view."""
+        latent = RandomWalkStream(step_sigma=0.5, measurement_sigma=0.0, seed=21)
+        sensor_streams = [
+            GaussianNoise(latent, sigma=1.5, seed=100 + i).take(2000) for i in range(3)
+        ]
+        model = random_walk(process_noise=0.25, measurement_sigma=1.5)
+        server = StreamServer()
+        sources = {}
+        for i in range(3):
+            sid = f"t{i}"
+            server.register(sid, model)
+            sources[sid] = SourceAgent(sid, model, AbsoluteBound(2.0))
+        view = FusedView(server, list(sources))
+        fused_err, single_err = [], {sid: [] for sid in sources}
+        for tick in range(2000):
+            for i, (sid, source) in enumerate(sources.items()):
+                decision = source.process(sensor_streams[i][tick])
+                server.advance(sid, list(decision.messages))
+            truth = float(sensor_streams[0][tick].truth[0])
+            fused_err.append((float(view.current().value[0]) - truth) ** 2)
+            for sid in sources:
+                value = server.value(sid)
+                single_err[sid].append((float(value[0]) - truth) ** 2)
+        fused_rmse = np.sqrt(np.mean(fused_err))
+        best_single = min(np.sqrt(np.mean(v)) for v in single_err.values())
+        assert fused_rmse < best_single

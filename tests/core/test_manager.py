@@ -1,0 +1,110 @@
+"""Tests for the fleet resource manager."""
+
+import numpy as np
+import pytest
+
+from repro.core.manager import ManagedStream, StreamResourceManager
+from repro.errors import AllocationError, ConfigurationError
+from repro.kalman.models import random_walk
+from repro.streams.replay import record
+from repro.streams.synthetic import RandomWalkStream
+
+
+def _fleet(n=4, ticks=2500):
+    sigmas = np.geomspace(0.2, 2.0, n)
+    fleet = []
+    for i, sigma in enumerate(sigmas):
+        stream = RandomWalkStream(
+            step_sigma=float(sigma), measurement_sigma=0.1 * float(sigma), seed=100 + i
+        )
+        fleet.append(
+            ManagedStream(
+                stream_id=f"s{i}",
+                recording=record(stream, ticks),
+                model=random_walk(
+                    process_noise=float(sigma) ** 2, measurement_sigma=0.1 * float(sigma)
+                ),
+            )
+        )
+    return fleet
+
+
+class TestProbing:
+    def test_probe_fits_one_curve_per_stream(self):
+        manager = StreamResourceManager(_fleet(), probe_ticks=500)
+        curves = manager.probe()
+        assert len(curves) == 4
+
+    def test_volatile_streams_have_higher_rate_curves(self):
+        manager = StreamResourceManager(_fleet(), probe_ticks=800)
+        curves = manager.probe()
+        # At the same delta the most volatile stream costs the most.
+        rates = [c.rate(0.5) for c in curves]
+        assert rates[-1] > rates[0]
+
+    def test_probe_cached(self):
+        manager = StreamResourceManager(_fleet(), probe_ticks=500)
+        assert manager.probe() is manager.probe()
+
+    def test_scales_reflect_volatility(self):
+        manager = StreamResourceManager(_fleet(), probe_ticks=500)
+        scales = manager.scales
+        assert scales[-1] > scales[0]
+
+    def test_short_recording_rejected(self):
+        fleet = _fleet(ticks=100)
+        manager = StreamResourceManager(fleet, probe_ticks=500)
+        with pytest.raises(ConfigurationError):
+            manager.probe()
+
+
+class TestAllocationAndRun:
+    def test_unknown_method_rejected(self):
+        manager = StreamResourceManager(_fleet(), probe_ticks=500)
+        with pytest.raises(AllocationError):
+            manager.allocate(0.5, method="magic")
+
+    def test_run_respects_budget_approximately(self):
+        manager = StreamResourceManager(_fleet(), probe_ticks=500)
+        result = manager.run(0.4, method="waterfilling", run_ticks=1500)
+        # Rate-curve fits are approximate; actual spend within 2x predicted.
+        assert result.total_rate < 0.8
+
+    def test_waterfilling_beats_uniform_error(self):
+        manager = StreamResourceManager(_fleet(6), probe_ticks=800)
+        scales = np.array(manager.scales)
+        uni = manager.run(0.3, method="uniform", run_ticks=1500)
+        wf = manager.run(0.3, method="waterfilling", run_ticks=1500)
+        uni_err = np.mean([r.mean_abs_error for r in uni.reports] / scales)
+        wf_err = np.mean([r.mean_abs_error for r in wf.reports] / scales)
+        assert wf_err < uni_err
+
+    def test_reports_per_stream(self):
+        manager = StreamResourceManager(_fleet(), probe_ticks=500)
+        result = manager.run(0.4, run_ticks=1000)
+        assert len(result.reports) == 4
+        assert all(r.ticks == 1000 for r in result.reports)
+        assert result.total_messages == sum(r.messages for r in result.reports)
+
+    def test_higher_budget_gives_lower_error(self):
+        manager = StreamResourceManager(_fleet(), probe_ticks=500)
+        lo = manager.run(0.1, method="waterfilling", run_ticks=1500)
+        hi = manager.run(0.8, method="waterfilling", run_ticks=1500)
+        assert hi.mean_error() < lo.mean_error()
+        assert hi.total_messages > lo.total_messages
+
+    def test_duplicate_stream_ids_rejected(self):
+        fleet = _fleet(2)
+        fleet[1].stream_id = fleet[0].stream_id
+        with pytest.raises(ConfigurationError):
+            StreamResourceManager(fleet)
+
+    def test_non_positive_weight_rejected(self):
+        fleet = _fleet(1)
+        with pytest.raises(ConfigurationError):
+            ManagedStream(
+                stream_id="x",
+                recording=fleet[0].recording,
+                model=fleet[0].model,
+                weight=0.0,
+            )

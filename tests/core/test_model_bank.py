@@ -1,0 +1,114 @@
+"""Tests for send-count-based model-bank selection."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.core.model_bank import ModelBankSelector
+from repro.core.precision import AbsoluteBound
+from repro.core.session import DualKalmanPolicy
+from repro.errors import ConfigurationError, DimensionError
+from repro.experiments.runner import run_policy
+from repro.kalman import models
+from repro.streams.synthetic import RampStream, SinusoidStream
+
+BOUND = AbsoluteBound(2.0)
+
+
+def _cv():
+    return models.constant_velocity(process_noise=0.05, measurement_sigma=0.5)
+
+
+def _harmonic():
+    return models.harmonic(
+        omega=2 * math.pi / 200, process_noise=0.01, measurement_sigma=0.5
+    )
+
+
+class TestConstruction:
+    def test_needs_two_candidates(self):
+        with pytest.raises(ConfigurationError):
+            ModelBankSelector([_cv()], BOUND)
+
+    def test_dims_must_match(self):
+        with pytest.raises(DimensionError):
+            ModelBankSelector([_cv(), models.random_walk()], BOUND)
+
+    def test_cooldown_must_cover_window(self):
+        with pytest.raises(ConfigurationError):
+            ModelBankSelector([_cv(), _harmonic()], BOUND, window=256, cooldown=100)
+
+
+class TestSelection:
+    def test_no_proposal_before_window_fills(self):
+        bank = ModelBankSelector([_cv(), _harmonic()], BOUND, window=64, cooldown=64)
+        for i in range(32):
+            bank.observe(np.array([float(i)]))
+        assert bank.propose() is None
+
+    def test_prefers_harmonic_on_sinusoid(self):
+        bank = ModelBankSelector(
+            [_cv(), _harmonic()], BOUND, window=256, cooldown=256, min_advantage=3
+        )
+        readings = SinusoidStream(
+            amplitude=10, period=200, measurement_sigma=0.5, seed=5
+        ).take(1500)
+        proposal = None
+        for reading in readings:
+            bank.observe(reading.value)
+            proposal = bank.propose()
+            if proposal is not None:
+                break
+        assert proposal is not None
+        assert proposal["model"]["name"] == "harmonic"
+
+    def test_sticks_with_incumbent_on_matching_stream(self):
+        bank = ModelBankSelector([_cv(), _harmonic()], BOUND, window=64, cooldown=64)
+        readings = RampStream(slope=0.5, measurement_sigma=0.5, seed=5).take(600)
+        for reading in readings:
+            bank.observe(reading.value)
+            assert bank.propose() is None  # CV explains a ramp at least as well
+
+    def test_commit_requires_known_model(self):
+        bank = ModelBankSelector([_cv(), _harmonic()], BOUND, window=64, cooldown=64)
+        with pytest.raises(ConfigurationError):
+            bank.commit({"model": models.constant_velocity(dt=0.5).spec()})
+
+    def test_commit_switches_and_arms_cooldown(self):
+        bank = ModelBankSelector([_cv(), _harmonic()], BOUND, window=64, cooldown=64)
+        bank.commit({"model": _harmonic().spec()})
+        assert bank.model.name == "harmonic"
+        assert bank.propose() is None
+
+
+class TestEndToEnd:
+    def test_bank_recovers_most_of_the_oracle_gap(self):
+        """Start with the wrong model class; the bank must land between the
+        wrong-fixed and right-fixed message counts, closer to right."""
+        readings = SinusoidStream(
+            amplitude=10, period=200, measurement_sigma=0.5, seed=7
+        ).take(6000)
+        bound = AbsoluteBound(2.0)
+        wrong = run_policy(readings, DualKalmanPolicy(_cv(), bound))
+        right = run_policy(readings, DualKalmanPolicy(_harmonic(), bound))
+        bank = ModelBankSelector([_cv(), _harmonic()], BOUND)
+        banked = run_policy(
+            readings, DualKalmanPolicy(_cv(), bound, adaptation=bank)
+        )
+        assert right.messages < banked.messages < wrong.messages
+        assert bank.switches and bank.switches[0][1] == "harmonic"
+        # The contract is never compromised by switching.
+        assert banked.max_error_vs_measured() <= 2.0 + 1e-9
+
+    def test_replicas_stay_locked_through_model_switches(self):
+        readings = SinusoidStream(
+            amplitude=10, period=200, measurement_sigma=0.5, seed=7
+        ).take(3000)
+        bank = ModelBankSelector([_cv(), _harmonic()], BOUND)
+        policy = DualKalmanPolicy(
+            _cv(), AbsoluteBound(2.0), adaptation=bank, check_sync=True
+        )
+        for reading in readings:
+            policy.tick(reading)  # check_sync raises on any divergence
+        assert policy.source.replica.state_equals(policy.server.replica, atol=0.0)

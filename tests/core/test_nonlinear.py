@@ -1,0 +1,121 @@
+"""Tests for EKF-backed suppression (nonlinear sensors)."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.baselines.dead_band import DeadBandPolicy
+from repro.core.nonlinear import EkfSuppressionPolicy, RangeBearingBound
+from repro.core.precision import VectorBound
+from repro.errors import ConfigurationError
+from repro.experiments.runner import run_policy
+from repro.kalman.ekf import range_bearing, wrap_angle
+from repro.kalman.models import constant_velocity, planar
+from repro.streams.mobility import GpsTrajectory
+from repro.streams.observers import RangeBearingObserver
+
+STATION = (-2000.0, -2000.0)
+
+
+def _readings(n=2500, seed=11):
+    gps = GpsTrajectory(gps_sigma=0.0, seed=seed)
+    return RangeBearingObserver(
+        gps, station=STATION, range_sigma=2.0, bearing_sigma=0.002, seed=3
+    ).take(n)
+
+
+def _model():
+    return planar(
+        constant_velocity(process_noise=1.0, measurement_sigma=1.0)
+    ).with_measurement_noise(np.diag([4.0, 0.002**2]))
+
+
+class TestRangeBearingBound:
+    def test_violation_on_range(self):
+        bound = RangeBearingBound(delta_range=5.0, delta_bearing=0.1)
+        assert bound.violated(np.array([100.0, 0.0]), np.array([106.0, 0.0]))
+        assert not bound.violated(np.array([100.0, 0.0]), np.array([104.0, 0.0]))
+
+    def test_violation_on_bearing_with_wrap(self):
+        bound = RangeBearingBound(delta_range=5.0, delta_bearing=0.1)
+        # Across the +/- pi seam: actual difference is 0.04, not ~2 pi.
+        pred = np.array([100.0, math.pi - 0.02])
+        actual = np.array([100.0, -math.pi + 0.02])
+        assert not bound.violated(pred, actual)
+
+    def test_invalid_deltas_rejected(self):
+        with pytest.raises(ConfigurationError):
+            RangeBearingBound(delta_range=0.0, delta_bearing=0.1)
+
+
+class TestEkfSuppression:
+    def test_bound_enforced_in_measurement_space(self):
+        readings = _readings()
+        policy = EkfSuppressionPolicy(
+            _model(), range_bearing(STATION), RangeBearingBound(10.0, 0.01)
+        )
+        for reading in readings:
+            outcome = policy.tick(reading)
+            if outcome.estimate is not None:
+                assert abs(outcome.estimate[0] - reading.value[0]) <= 10.0 + 1e-9
+                bearing_err = abs(
+                    wrap_angle(float(outcome.estimate[1] - reading.value[1]))
+                )
+                assert bearing_err <= 0.01 + 1e-9
+
+    def test_beats_dead_band_on_tracking(self):
+        readings = _readings()
+        ekf = run_policy(
+            readings,
+            EkfSuppressionPolicy(
+                _model(), range_bearing(STATION), RangeBearingBound(10.0, 0.01)
+            ),
+        )
+        band = run_policy(
+            readings, DeadBandPolicy(VectorBound(np.array([10.0, 0.01])))
+        )
+        assert ekf.messages < 0.5 * band.messages
+
+    def test_deterministic_across_runs(self):
+        readings = _readings(800)
+
+        def run():
+            policy = EkfSuppressionPolicy(
+                _model(), range_bearing(STATION), RangeBearingBound(10.0, 0.01)
+            )
+            return [policy.tick(r).sent for r in readings]
+
+        assert run() == run()
+
+    def test_handles_dropped_readings(self):
+        from repro.streams.noise import Dropout
+
+        gps = GpsTrajectory(gps_sigma=0.0, seed=11)
+        obs = RangeBearingObserver(gps, station=STATION, seed=3)
+        readings = Dropout(obs, rate=0.1, seed=5).take(1000)
+        policy = EkfSuppressionPolicy(
+            _model(), range_bearing(STATION), RangeBearingBound(10.0, 0.01)
+        )
+        for reading in readings:
+            policy.tick(reading)  # must not raise
+        assert policy.stats.total_messages > 0
+
+
+class TestRangeBearingObserver:
+    def test_truth_is_polar_of_inner_truth(self):
+        readings = _readings(50)
+        assert all(r.truth is not None and r.truth.shape == (2,) for r in readings)
+        assert all(r.truth[0] > 0 for r in readings)
+
+    def test_noise_sigmas_respected(self):
+        readings = _readings(5000)
+        noise = np.stack([r.value - r.truth for r in readings])
+        assert np.std(noise[:, 0]) == pytest.approx(2.0, rel=0.1)
+        assert np.std(noise[:, 1]) == pytest.approx(0.002, rel=0.1)
+
+    def test_requires_2d_inner(self):
+        from repro.streams.synthetic import RandomWalkStream
+
+        with pytest.raises(ConfigurationError):
+            RangeBearingObserver(RandomWalkStream(), station=STATION)

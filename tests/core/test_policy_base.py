@@ -1,0 +1,92 @@
+"""Direct unit tests of the mirrored-gate machinery with a scripted predictor."""
+
+import numpy as np
+import pytest
+
+from repro.core.policy_base import MirroredPredictorPolicy, Predictor, TickOutcome
+from repro.core.precision import AbsoluteBound
+from repro.streams.base import Reading
+
+
+class ScriptedPredictor(Predictor):
+    """Predicts from a fixed script; records every call for assertions."""
+
+    def __init__(self, script):
+        self.script = list(script)  # value to predict at each tick, or None
+        self.calls = []
+        self._i = 0
+
+    def predict(self):
+        value = self.script[min(self._i, len(self.script) - 1)]
+        return None if value is None else np.array([value])
+
+    def observe(self, z):
+        self.calls.append(("observe", float(z[0])))
+        self._i += 1
+
+    def coast(self):
+        self.calls.append(("coast", None))
+        self._i += 1
+
+
+def _reading(t, value):
+    return Reading(t=float(t), value=None if value is None else value)
+
+
+class TestGateLogic:
+    def test_no_prediction_forces_send(self):
+        policy = MirroredPredictorPolicy(ScriptedPredictor([None]), AbsoluteBound(1.0))
+        outcome = policy.tick(_reading(0, 5.0))
+        assert outcome.sent and outcome.estimate[0] == 5.0
+
+    def test_within_bound_suppresses_and_serves_prediction(self):
+        policy = MirroredPredictorPolicy(ScriptedPredictor([4.5]), AbsoluteBound(1.0))
+        outcome = policy.tick(_reading(0, 5.0))
+        assert not outcome.sent
+        assert outcome.estimate[0] == 4.5
+
+    def test_violation_sends_and_serves_measurement(self):
+        policy = MirroredPredictorPolicy(ScriptedPredictor([0.0]), AbsoluteBound(1.0))
+        outcome = policy.tick(_reading(0, 5.0))
+        assert outcome.sent and outcome.estimate[0] == 5.0
+
+    def test_predictor_sees_observe_exactly_on_sends(self):
+        predictor = ScriptedPredictor([None, 1.0, 0.0])
+        policy = MirroredPredictorPolicy(predictor, AbsoluteBound(1.0))
+        policy.tick(_reading(0, 1.0))  # no prediction -> send
+        policy.tick(_reading(1, 1.5))  # pred 1.0 vs 1.5 -> within bound
+        policy.tick(_reading(2, 9.0))  # pred 0.0 vs 9.0 -> violation
+        assert predictor.calls == [
+            ("observe", 1.0),
+            ("coast", None),
+            ("observe", 9.0),
+        ]
+
+    def test_dropped_tick_coasts_and_serves_prediction(self):
+        predictor = ScriptedPredictor([2.0])
+        policy = MirroredPredictorPolicy(predictor, AbsoluteBound(1.0))
+        outcome = policy.tick(_reading(0, None))
+        assert not outcome.sent
+        assert outcome.estimate[0] == 2.0
+        assert predictor.calls == [("coast", None)]
+
+    def test_message_accounting_per_dimension(self):
+        policy = MirroredPredictorPolicy(ScriptedPredictor([None]), AbsoluteBound(1.0))
+        policy.tick(Reading(t=0.0, value=np.array([1.0, 2.0])))
+        from repro.core.protocol import HEADER_BYTES
+
+        assert policy.stats.total_payload_bytes == HEADER_BYTES + 16
+
+    def test_describe_includes_predictor_and_bound(self):
+        policy = MirroredPredictorPolicy(
+            ScriptedPredictor([None]), AbsoluteBound(2.5), name="mock"
+        )
+        text = policy.describe()
+        assert "mock" in text and "2.5" in text
+
+
+class TestTickOutcome:
+    def test_outcome_is_immutable(self):
+        outcome = TickOutcome(estimate=np.array([1.0]), sent=True)
+        with pytest.raises(AttributeError):
+            outcome.sent = False

@@ -1,0 +1,87 @@
+"""Tests for precision bounds."""
+
+import numpy as np
+import pytest
+
+from repro.core.precision import AbsoluteBound, RelativeBound, VectorBound
+from repro.errors import ConfigurationError
+
+
+class TestAbsoluteBound:
+    def test_within_bound_not_violated(self):
+        b = AbsoluteBound(2.0)
+        assert not b.violated(np.array([1.0]), np.array([2.5]))
+
+    def test_beyond_bound_violated(self):
+        b = AbsoluteBound(2.0)
+        assert b.violated(np.array([0.0]), np.array([2.1]))
+
+    def test_exactly_at_bound_not_violated(self):
+        b = AbsoluteBound(2.0)
+        assert not b.violated(np.array([0.0]), np.array([2.0]))
+
+    def test_max_norm_checks_worst_component(self):
+        b = AbsoluteBound(1.0, norm="max")
+        assert b.violated(np.array([0.0, 0.0]), np.array([0.5, 1.5]))
+
+    def test_l2_norm_combines_components(self):
+        b = AbsoluteBound(1.0, norm="l2")
+        assert b.violated(np.array([0.0, 0.0]), np.array([0.8, 0.8]))
+        assert not b.violated(np.array([0.0, 0.0]), np.array([0.6, 0.6]))
+
+    def test_margin_sign(self):
+        b = AbsoluteBound(2.0)
+        assert b.margin(np.array([0.0]), np.array([1.0])) > 0
+        assert b.margin(np.array([0.0]), np.array([3.0])) < 0
+
+    def test_scaled_constructor(self):
+        assert AbsoluteBound(2.0).scaled(0.5).delta == 1.0
+
+    def test_invalid_delta_rejected(self):
+        with pytest.raises(ConfigurationError):
+            AbsoluteBound(0.0)
+
+    def test_invalid_norm_rejected(self):
+        with pytest.raises(ConfigurationError):
+            AbsoluteBound(1.0, norm="l7")
+
+
+class TestRelativeBound:
+    def test_tolerance_scales_with_value(self):
+        b = RelativeBound(0.1)
+        assert b.tolerance(np.array([100.0])) == pytest.approx(10.0)
+
+    def test_violation_is_relative(self):
+        b = RelativeBound(0.1)
+        assert not b.violated(np.array([95.0]), np.array([100.0]))
+        assert b.violated(np.array([85.0]), np.array([100.0]))
+
+    def test_floor_protects_near_zero(self):
+        b = RelativeBound(0.1, floor=0.5)
+        assert b.tolerance(np.array([0.0])) == 0.5
+        assert not b.violated(np.array([0.4]), np.array([0.0]))
+
+    def test_invalid_fraction_rejected(self):
+        with pytest.raises(ConfigurationError):
+            RelativeBound(0.0)
+
+
+class TestVectorBound:
+    def test_independent_per_component(self):
+        b = VectorBound(np.array([1.0, 10.0]))
+        assert not b.violated(np.array([0.5, 5.0]), np.array([0.0, 0.0]))
+        assert b.violated(np.array([1.5, 0.0]), np.array([0.0, 0.0]))
+
+    def test_error_normalized_by_tolerance(self):
+        b = VectorBound(np.array([2.0, 4.0]))
+        err = b.error(np.array([1.0, 2.0]), np.array([0.0, 0.0]))
+        assert err == pytest.approx(0.5)
+
+    def test_shape_mismatch_rejected(self):
+        b = VectorBound(np.array([1.0, 1.0]))
+        with pytest.raises(ConfigurationError):
+            b.error(np.array([1.0]), np.array([0.0]))
+
+    def test_non_positive_deltas_rejected(self):
+        with pytest.raises(ConfigurationError):
+            VectorBound(np.array([1.0, 0.0]))

@@ -1,0 +1,102 @@
+"""Tests for the procedure-cache query surface."""
+
+import numpy as np
+import pytest
+
+from repro.core.precision import AbsoluteBound
+from repro.core.procedure_cache import ProcedureCache, StaticValueCache
+from repro.core.server import StreamServer
+from repro.core.source import SourceAgent
+from repro.errors import QueryError
+from repro.kalman.models import constant_velocity
+from repro.streams.base import Reading
+
+
+def _warmed_server(model, readings, delta=2.0):
+    server = StreamServer()
+    server.register("s", model)
+    source = SourceAgent("s", model, AbsoluteBound(delta))
+    for reading in readings:
+        decision = source.process(reading)
+        server.advance("s", list(decision.messages))
+    return server
+
+
+class TestProcedureCache:
+    def test_current_equals_served_value(self, cv_model):
+        readings = [Reading(t=float(i), value=0.5 * i) for i in range(100)]
+        server = _warmed_server(cv_model, readings)
+        cache = ProcedureCache(server)
+        np.testing.assert_allclose(
+            cache.current("s").value, server.value("s")
+        )
+
+    def test_forecast_extrapolates_trend(self):
+        model = constant_velocity(process_noise=1e-6, measurement_sigma=0.1)
+        readings = [Reading(t=float(i), value=2.0 * i) for i in range(200)]
+        server = _warmed_server(model, readings, delta=0.5)
+        cache = ProcedureCache(server)
+        now = cache.current("s").value[0]
+        ahead = cache.forecast("s", steps=10).value[0]
+        assert ahead - now == pytest.approx(20.0, rel=0.05)
+
+    def test_forecast_uncertainty_grows_with_horizon(self, cv_model):
+        readings = [Reading(t=float(i), value=0.5 * i) for i in range(100)]
+        server = _warmed_server(cv_model, readings)
+        cache = ProcedureCache(server)
+        stds = [float(cache.forecast("s", k).std[0]) for k in (1, 10, 50)]
+        assert stds[0] < stds[1] < stds[2]
+
+    def test_forecast_before_data_rejected(self, cv_model):
+        server = StreamServer()
+        server.register("s", cv_model)
+        with pytest.raises(QueryError):
+            ProcedureCache(server).forecast("s", 1)
+
+    def test_negative_steps_rejected(self, cv_model):
+        readings = [Reading(t=0.0, value=1.0)]
+        server = _warmed_server(cv_model, readings)
+        with pytest.raises(QueryError):
+            ProcedureCache(server).forecast("s", -1)
+
+    def test_horizon_within_monotone_in_tolerance(self, cv_model):
+        readings = [Reading(t=float(i), value=0.5 * i) for i in range(200)]
+        server = _warmed_server(cv_model, readings)
+        cache = ProcedureCache(server)
+        tight = cache.horizon_within("s", tolerance=1.0, max_steps=500)
+        loose = cache.horizon_within("s", tolerance=5.0, max_steps=500)
+        assert loose >= tight
+
+    def test_horizon_requires_positive_tolerance(self, cv_model):
+        readings = [Reading(t=0.0, value=1.0)]
+        server = _warmed_server(cv_model, readings)
+        with pytest.raises(QueryError):
+            ProcedureCache(server).horizon_within("s", tolerance=0.0)
+
+
+class TestStaticValueCache:
+    def test_read_returns_stored_value(self):
+        cache = StaticValueCache()
+        cache.store(np.array([3.0]))
+        assert cache.read()[0] == 3.0
+
+    def test_age_tracks_ticks_since_store(self):
+        cache = StaticValueCache()
+        cache.store(np.array([1.0]))
+        for _ in range(5):
+            cache.tick()
+        assert cache.age == 5
+        cache.store(np.array([2.0]))
+        assert cache.age == 0
+
+    def test_value_never_changes_with_age(self):
+        """The contrast with the procedure cache: staleness, not prediction."""
+        cache = StaticValueCache()
+        cache.store(np.array([1.0]))
+        for _ in range(100):
+            cache.tick()
+        assert cache.read()[0] == 1.0
+
+    def test_empty_read_rejected(self):
+        with pytest.raises(QueryError):
+            StaticValueCache().read()

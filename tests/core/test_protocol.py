@@ -1,0 +1,79 @@
+"""Tests for wire-protocol messages and their sizes."""
+
+import numpy as np
+import pytest
+
+from repro.core.protocol import HEADER_BYTES, MeasurementUpdate, ModelSwitch, Resync
+from repro.errors import ProtocolError
+
+
+class TestMeasurementUpdate:
+    def test_payload_size_scalar(self):
+        msg = MeasurementUpdate(stream_id="s", seq=1, tick=1, z=np.array([1.0]))
+        assert msg.payload_bytes() == HEADER_BYTES + 8 + 1
+
+    def test_payload_size_vector(self):
+        msg = MeasurementUpdate(
+            stream_id="s", seq=1, tick=1, z=np.array([1.0, 2.0])
+        )
+        assert msg.payload_bytes() == HEADER_BYTES + 16 + 1
+
+    def test_z_is_copied(self):
+        z = np.array([1.0])
+        msg = MeasurementUpdate(stream_id="s", seq=1, tick=1, z=z)
+        z[0] = 99.0
+        assert msg.z[0] == 1.0
+
+    def test_kind(self):
+        msg = MeasurementUpdate(stream_id="s", seq=1, tick=1, z=np.array([1.0]))
+        assert msg.kind == "update"
+
+    def test_outlier_default_false(self):
+        msg = MeasurementUpdate(stream_id="s", seq=1, tick=1, z=np.array([1.0]))
+        assert msg.outlier is False
+
+
+class TestModelSwitch:
+    def test_accepts_known_keys(self):
+        ModelSwitch(stream_id="s", seq=1, tick=1, change={"Q_scale": 2.0})
+        ModelSwitch(stream_id="s", seq=1, tick=1, change={"R": [[1.0]]})
+
+    def test_rejects_unknown_keys(self):
+        with pytest.raises(ProtocolError):
+            ModelSwitch(stream_id="s", seq=1, tick=1, change={"banana": 1})
+
+    def test_rejects_empty_change(self):
+        with pytest.raises(ProtocolError):
+            ModelSwitch(stream_id="s", seq=1, tick=1, change={})
+
+    def test_payload_grows_with_change_size(self):
+        small = ModelSwitch(stream_id="s", seq=1, tick=1, change={"Q_scale": 2.0})
+        big = ModelSwitch(
+            stream_id="s", seq=1, tick=1, change={"R": [[1.0, 0.0], [0.0, 1.0]]}
+        )
+        assert big.payload_bytes() > small.payload_bytes() > HEADER_BYTES
+
+
+class TestResync:
+    def test_payload_uses_upper_triangle(self):
+        n = 4
+        msg = Resync(
+            stream_id="s", seq=1, tick=1, x=np.zeros(n), P=np.eye(n)
+        )
+        assert msg.payload_bytes() == HEADER_BYTES + 8 * (n + n * (n + 1) // 2)
+
+    def test_shape_mismatch_rejected(self):
+        with pytest.raises(ProtocolError):
+            Resync(stream_id="s", seq=1, tick=1, x=np.zeros(2), P=np.eye(3))
+
+    def test_state_copied(self):
+        x = np.array([1.0])
+        msg = Resync(stream_id="s", seq=1, tick=1, x=x, P=np.eye(1))
+        x[0] = 5.0
+        assert msg.x[0] == 1.0
+
+    def test_resync_larger_than_update_for_same_stream(self):
+        """The size hierarchy the protocol design relies on."""
+        update = MeasurementUpdate(stream_id="s", seq=1, tick=1, z=np.array([1.0]))
+        resync = Resync(stream_id="s", seq=1, tick=1, x=np.zeros(2), P=np.eye(2))
+        assert resync.payload_bytes() > update.payload_bytes()

@@ -1,0 +1,127 @@
+"""Tests for the lock-step filter replica."""
+
+import numpy as np
+import pytest
+
+from repro.core.protocol import ModelSwitch, Resync
+from repro.core.replica import FilterReplica
+from repro.errors import ProtocolError
+from repro.kalman.models import constant_velocity, random_walk
+
+
+class TestLockStep:
+    def test_same_operations_give_identical_state(self, rw_model, rng):
+        a, b = FilterReplica(rw_model), FilterReplica(rw_model)
+        for i in range(300):
+            if rng.random() < 0.3:
+                z = np.array([rng.normal(0, 5)])
+                a.apply_update(z)
+                b.apply_update(z)
+            else:
+                a.coast()
+                b.coast()
+        assert a.state_equals(b, atol=0.0)
+        assert a.fingerprint() == b.fingerprint()
+
+    def test_diverged_replicas_detected(self, rw_model):
+        a, b = FilterReplica(rw_model), FilterReplica(rw_model)
+        a.apply_update(np.array([1.0]))
+        b.apply_update(np.array([2.0]))
+        assert not a.state_equals(b)
+        assert a.fingerprint() != b.fingerprint()
+
+    def test_tick_advances_on_coast_and_update(self, rw_model):
+        r = FilterReplica(rw_model)
+        r.coast()
+        r.apply_update(np.array([1.0]))
+        assert r.tick == 2
+
+    def test_model_switch_keeps_lock_step(self, rw_model):
+        a, b = FilterReplica(rw_model), FilterReplica(rw_model)
+        switch = ModelSwitch(stream_id="s", seq=1, tick=0, change={"Q_scale": 3.0})
+        for r in (a, b):
+            r.apply_update(np.array([1.0]))
+            r.apply_model_switch(switch)
+            r.coast()
+        assert a.state_equals(b, atol=0.0)
+
+    def test_resync_overwrites_state(self, rw_model):
+        a, b = FilterReplica(rw_model), FilterReplica(rw_model)
+        a.apply_update(np.array([5.0]))
+        a.coast()
+        b.apply_update(np.array([-3.0]))  # deliberately different history
+        snap = a.snapshot("s", seq=9)
+        b.apply_resync(snap)
+        assert a.state_equals(b)
+
+
+class TestModelSwitchSemantics:
+    def test_q_scale_multiplies_q(self, rw_model):
+        r = FilterReplica(rw_model)
+        q_before = r.model.Q[0, 0]
+        r.apply_model_switch(
+            ModelSwitch(stream_id="s", seq=1, tick=0, change={"Q_scale": 4.0})
+        )
+        assert r.model.Q[0, 0] == pytest.approx(4.0 * q_before)
+
+    def test_r_replacement(self, rw_model):
+        r = FilterReplica(rw_model)
+        r.apply_model_switch(
+            ModelSwitch(stream_id="s", seq=1, tick=0, change={"R": [[7.0]]})
+        )
+        assert r.model.R[0, 0] == 7.0
+
+    def test_full_model_swap(self, rw_model):
+        r = FilterReplica(rw_model)
+        new_model = random_walk(process_noise=9.0, measurement_sigma=2.0)
+        r.apply_model_switch(
+            ModelSwitch(
+                stream_id="s", seq=1, tick=0, change={"model": new_model.spec()}
+            )
+        )
+        assert r.model.equivalent(new_model)
+
+    def test_non_positive_q_scale_rejected(self, rw_model):
+        r = FilterReplica(rw_model)
+        msg = ModelSwitch(stream_id="s", seq=1, tick=0, change={"Q_scale": -1.0})
+        with pytest.raises(ProtocolError):
+            r.apply_model_switch(msg)
+
+
+class TestPredictions:
+    def test_predicted_value_is_one_step_ahead(self, cv_model):
+        r = FilterReplica(cv_model)
+        for t in range(100):
+            r.apply_update(np.array([2.0 * t]))
+        # Next position should be about 2 units further.
+        pred = r.predicted_value()[0]
+        cur = r.current_value()[0]
+        assert pred - cur == pytest.approx(2.0, abs=0.2)
+
+    def test_uncertainty_grows_while_coasting(self, rw_model):
+        r = FilterReplica(rw_model)
+        r.apply_update(np.array([0.0]))
+        u1 = r.current_uncertainty()[0, 0]
+        for _ in range(10):
+            r.coast()
+        assert r.current_uncertainty()[0, 0] > u1
+
+    def test_warm_start_initializes_observable_part(self, cv_model):
+        r = FilterReplica(cv_model, warm_start=np.array([42.0]))
+        assert r.current_value()[0] == pytest.approx(42.0)
+
+
+class TestRobustUpdates:
+    def test_outlier_update_moves_state_less(self, rw_model):
+        a = FilterReplica(rw_model, robust_inflation=100.0)
+        b = FilterReplica(rw_model, robust_inflation=100.0)
+        for r in (a, b):
+            for _ in range(50):
+                r.apply_update(np.array([0.0]))
+        a.apply_update(np.array([100.0]), outlier=False)
+        b.apply_update(np.array([100.0]), outlier=True)
+        assert abs(b.current_value()[0]) < abs(a.current_value()[0])
+
+    def test_invalid_inflation_rejected(self, rw_model):
+        with pytest.raises(ProtocolError):
+            FilterReplica(rw_model, robust_inflation=0.5)

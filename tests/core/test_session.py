@@ -1,0 +1,121 @@
+"""Tests for end-to-end sessions (ideal and lossy channels)."""
+
+import numpy as np
+import pytest
+
+from repro.core.adaptive import AdaptationPolicy
+from repro.core.precision import AbsoluteBound
+from repro.core.session import DualKalmanPolicy, DualKalmanSession
+from repro.kalman.models import random_walk
+from repro.network.channel import Channel
+from repro.streams.synthetic import RandomWalkStream
+
+
+class TestDualKalmanPolicy:
+    def test_bound_enforced_on_every_tick(self, rw_model, rw_readings):
+        policy = DualKalmanPolicy(rw_model, AbsoluteBound(2.0))
+        for reading in rw_readings:
+            outcome = policy.tick(reading)
+            if outcome.estimate is not None:
+                assert abs(outcome.estimate[0] - reading.value[0]) <= 2.0 + 1e-9
+
+    def test_update_ticks_serve_measurement_exactly(self, rw_model, rw_readings):
+        policy = DualKalmanPolicy(rw_model, AbsoluteBound(2.0))
+        for reading in rw_readings:
+            outcome = policy.tick(reading)
+            if outcome.sent:
+                assert outcome.estimate[0] == reading.value[0]
+
+    def test_sync_check_passes_over_long_runs(self, rw_model, rw_readings):
+        policy = DualKalmanPolicy(rw_model, AbsoluteBound(2.0), check_sync=True)
+        for reading in rw_readings:
+            policy.tick(reading)  # would raise ReplicaDesyncError on a bug
+        assert policy.source.replica.state_equals(policy.server.replica, atol=0.0)
+
+    def test_sync_holds_with_adaptation(self, rw_readings):
+        model = random_walk(process_noise=0.1, measurement_sigma=0.1)
+        policy = DualKalmanPolicy(
+            model, AbsoluteBound(2.0), adaptation=AdaptationPolicy(model)
+        )
+        for reading in rw_readings:
+            policy.tick(reading)
+        assert policy.source.replica.state_equals(policy.server.replica, atol=0.0)
+
+    def test_larger_delta_sends_fewer_messages(self, rw_model, rw_readings):
+        msgs = []
+        for delta in (0.5, 2.0, 8.0):
+            policy = DualKalmanPolicy(rw_model, AbsoluteBound(delta))
+            for reading in rw_readings:
+                policy.tick(reading)
+            msgs.append(policy.stats.total_messages)
+        assert msgs[0] > msgs[1] > msgs[2]
+
+    def test_describe_mentions_bound(self, rw_model):
+        policy = DualKalmanPolicy(rw_model, AbsoluteBound(2.0))
+        assert "2" in policy.describe()
+
+
+class TestDualKalmanSessionIdeal:
+    def test_trace_shapes(self, rw_model):
+        stream = RandomWalkStream(step_sigma=1.0, measurement_sigma=0.5, seed=5)
+        session = DualKalmanSession(stream, rw_model, AbsoluteBound(2.0))
+        trace = session.run(500)
+        assert trace.n_ticks == 500
+        assert trace.served.shape == (500, 1)
+
+    def test_bound_holds_on_ideal_channel(self, rw_model):
+        stream = RandomWalkStream(step_sigma=1.0, measurement_sigma=0.5, seed=5)
+        session = DualKalmanSession(stream, rw_model, AbsoluteBound(2.0))
+        trace = session.run(1000)
+        err = trace.served_error_vs_measured()
+        assert np.nanmax(err) <= 2.0 + 1e-9
+
+    def test_stats_match_sent_flags(self, rw_model):
+        stream = RandomWalkStream(step_sigma=1.0, measurement_sigma=0.5, seed=5)
+        session = DualKalmanSession(stream, rw_model, AbsoluteBound(2.0))
+        trace = session.run(1000)
+        assert trace.stats.messages_of("update") == int(np.sum(trace.sent))
+
+
+class TestDualKalmanSessionLossy:
+    def test_resync_recovers_from_losses(self, rw_model):
+        """With loss, errors can exceed δ transiently; resyncs cap the damage."""
+        stream = RandomWalkStream(step_sigma=1.0, measurement_sigma=0.5, seed=5)
+        lossy = Channel(loss_rate=0.2, seed=3)
+        session = DualKalmanSession(
+            stream, rw_model, AbsoluteBound(2.0), channel=lossy, resync_interval=50
+        )
+        trace = session.run(2000)
+        err = trace.served_error_vs_measured()
+        # Violations happen, but the view must keep re-converging: the
+        # post-resync error right after each resync is small.
+        assert np.nanmedian(err) <= 2.0 + 1e-9
+        assert trace.stats.messages_of("resync") >= 30
+
+    def test_no_resync_is_worse_than_resync(self, rw_model):
+        stream = RandomWalkStream(step_sigma=1.0, measurement_sigma=0.5, seed=5)
+
+        def run(resync):
+            session = DualKalmanSession(
+                stream,
+                rw_model,
+                AbsoluteBound(2.0),
+                channel=Channel(loss_rate=0.2, seed=3),
+                resync_interval=resync,
+            )
+            trace = session.run(2000)
+            err = trace.served_error_vs_measured()
+            return float(np.nanmean(err[~np.isnan(err)]))
+
+        assert run(50) <= run(None)
+
+    def test_latency_delays_but_delivers(self, rw_model):
+        stream = RandomWalkStream(step_sigma=1.0, measurement_sigma=0.5, seed=5)
+        delayed = Channel(latency=3.0)
+        session = DualKalmanSession(
+            stream, rw_model, AbsoluteBound(2.0), channel=delayed, resync_interval=100
+        )
+        trace = session.run(500)
+        # All sent updates eventually either arrive or are still in flight.
+        assert trace.stats.total_messages > 0
+        assert delayed.pending() <= 5

@@ -1,0 +1,162 @@
+"""Tests for the source agent and server state working together."""
+
+import numpy as np
+import pytest
+
+from repro.core.precision import AbsoluteBound
+from repro.core.server import ServerStreamState, StreamServer
+from repro.core.source import SourceAgent
+from repro.errors import ConfigurationError, ProtocolError
+from repro.kalman.models import random_walk
+from repro.streams.base import Reading
+from repro.streams.synthetic import RandomWalkStream
+
+
+def _drive(source, server, readings):
+    """Run source+server over readings; returns (decisions, snapshots)."""
+    decisions, snapshots = [], []
+    for reading in readings:
+        decision = source.process(reading)
+        snapshot = server.advance(list(decision.messages))
+        decisions.append(decision)
+        snapshots.append(snapshot)
+    return decisions, snapshots
+
+
+class TestSourceAgent:
+    def test_first_measurement_always_sent(self, rw_model):
+        source = SourceAgent("s", rw_model, AbsoluteBound(100.0))
+        decision = source.process(Reading(t=0.0, value=1.0))
+        assert decision.sent
+
+    def test_suppresses_within_bound(self, rw_model):
+        source = SourceAgent("s", rw_model, AbsoluteBound(5.0))
+        source.process(Reading(t=0.0, value=1.0))
+        decision = source.process(Reading(t=1.0, value=1.1))
+        assert not decision.sent
+
+    def test_sends_on_violation(self, rw_model):
+        source = SourceAgent("s", rw_model, AbsoluteBound(0.5))
+        source.process(Reading(t=0.0, value=1.0))
+        decision = source.process(Reading(t=1.0, value=10.0))
+        assert decision.sent
+
+    def test_dropped_ticks_send_nothing(self, rw_model):
+        source = SourceAgent("s", rw_model, AbsoluteBound(1.0))
+        source.process(Reading(t=0.0, value=1.0))
+        decision = source.process(Reading(t=1.0, value=None))
+        assert not decision.sent and decision.messages == ()
+
+    def test_suppression_ratio(self, rw_model):
+        source = SourceAgent("s", rw_model, AbsoluteBound(1e9))
+        for i in range(10):
+            source.process(Reading(t=float(i), value=0.0))
+        assert source.suppression_ratio == pytest.approx(0.9)  # only tick 0 sent
+
+    def test_resync_interval_emits_snapshots(self, rw_model):
+        source = SourceAgent("s", rw_model, AbsoluteBound(1e9), resync_interval=5)
+        kinds = []
+        for i in range(10):
+            decision = source.process(Reading(t=float(i), value=0.0))
+            kinds.extend(m.kind for m in decision.messages)
+        assert kinds.count("resync") == 2
+
+    def test_invalid_resync_interval_rejected(self, rw_model):
+        with pytest.raises(ConfigurationError):
+            SourceAgent("s", rw_model, AbsoluteBound(1.0), resync_interval=0)
+
+    def test_invalid_robust_threshold_rejected(self, rw_model):
+        with pytest.raises(ConfigurationError):
+            SourceAgent("s", rw_model, AbsoluteBound(1.0), robust_threshold=0.5)
+
+    def test_outlier_flagging_with_two_strike_escape(self, rw_model):
+        source = SourceAgent(
+            "s", rw_model, AbsoluteBound(1.0), robust_threshold=2.0
+        )
+        for i in range(20):
+            source.process(Reading(t=float(i), value=0.0))
+        # Isolated spike: flagged.
+        d_spike = source.process(Reading(t=20.0, value=50.0))
+        assert d_spike.sent and d_spike.messages[0].outlier
+        # Persisting deviation: second strike escapes the flag.
+        d_shift = source.process(Reading(t=21.0, value=50.0))
+        if d_shift.sent:
+            assert not d_shift.messages[0].outlier
+
+
+class TestServerStreamState:
+    def test_serves_none_before_any_data(self, rw_model):
+        server = ServerStreamState("s", rw_model)
+        snapshot = server.advance([])
+        assert snapshot.value is None
+
+    def test_serves_measurement_exactly_at_update_tick(self, rw_model):
+        source = SourceAgent("s", rw_model, AbsoluteBound(0.1))
+        server = ServerStreamState("s", rw_model)
+        decision = source.process(Reading(t=0.0, value=3.7))
+        snapshot = server.advance(list(decision.messages))
+        assert snapshot.value[0] == 3.7
+        assert snapshot.fresh
+
+    def test_coasts_between_updates(self, rw_model):
+        source = SourceAgent("s", rw_model, AbsoluteBound(100.0))
+        server = ServerStreamState("s", rw_model)
+        _drive(source, server, [Reading(t=0.0, value=5.0)])
+        snapshot = server.advance([])
+        assert snapshot.value is not None and not snapshot.fresh
+
+    def test_rejects_foreign_stream_messages(self, rw_model):
+        source = SourceAgent("other", rw_model, AbsoluteBound(0.1))
+        server = ServerStreamState("s", rw_model)
+        decision = source.process(Reading(t=0.0, value=1.0))
+        with pytest.raises(ProtocolError):
+            server.advance(list(decision.messages))
+
+    def test_duplicate_messages_ignored(self, rw_model):
+        source = SourceAgent("s", rw_model, AbsoluteBound(0.1))
+        server = ServerStreamState("s", rw_model)
+        decision = source.process(Reading(t=0.0, value=1.0))
+        server.advance(list(decision.messages))
+        before = server.replica.fingerprint()
+        server.advance(list(decision.messages))  # replay the same messages
+        # A duplicate (same seq) must not re-apply the update; the replica
+        # coasts instead.
+        assert server.replica.tick == 2
+        assert server.replica.fingerprint() != before  # coasted, not frozen
+
+    def test_lock_step_with_source(self, rw_model):
+        readings = RandomWalkStream(
+            step_sigma=1.0, measurement_sigma=0.3, seed=4
+        ).take(500)
+        source = SourceAgent("s", rw_model, AbsoluteBound(2.0))
+        server = ServerStreamState("s", rw_model)
+        _drive(source, server, readings)
+        assert source.replica.state_equals(server.replica, atol=0.0)
+
+
+class TestStreamServer:
+    def test_register_and_query(self, rw_model):
+        server = StreamServer()
+        server.register("a", rw_model)
+        assert server.stream_ids() == ["a"]
+        assert server.value("a") is None
+
+    def test_duplicate_registration_rejected(self, rw_model):
+        server = StreamServer()
+        server.register("a", rw_model)
+        with pytest.raises(ProtocolError):
+            server.register("a", rw_model)
+
+    def test_unknown_stream_rejected(self):
+        with pytest.raises(ProtocolError):
+            StreamServer().value("nope")
+
+    def test_streams_are_independent(self, rw_model):
+        server = StreamServer()
+        server.register("a", rw_model)
+        server.register("b", rw_model)
+        src_a = SourceAgent("a", rw_model, AbsoluteBound(0.1))
+        d = src_a.process(Reading(t=0.0, value=9.0))
+        server.advance("a", list(d.messages))
+        assert server.value("a")[0] == 9.0
+        assert server.value("b") is None

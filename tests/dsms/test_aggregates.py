@@ -1,0 +1,130 @@
+"""Tests for incremental aggregates."""
+
+import numpy as np
+import pytest
+
+from repro.dsms.aggregates import (
+    CountAggregate,
+    MaxAggregate,
+    MeanAggregate,
+    MinAggregate,
+    QuantileAggregate,
+    SumAggregate,
+    VarianceAggregate,
+    make_aggregate,
+)
+from repro.errors import ConfigurationError, QueryError
+
+
+def _slide(agg, xs, window):
+    """Feed xs through agg with a FIFO window; return the value after each add."""
+    buf, out = [], []
+    for x in xs:
+        buf.append(x)
+        if len(buf) > window:
+            agg.remove(buf.pop(0))
+        agg.add(x)
+        out.append(agg.value())
+    return out
+
+
+class TestAgainstBatchRecomputation:
+    """Every incremental aggregate must match the obvious O(n) recomputation."""
+
+    @pytest.mark.parametrize(
+        "name,batch_fn",
+        [
+            ("sum", np.sum),
+            ("mean", np.mean),
+            ("min", np.min),
+            ("max", np.max),
+            ("var", lambda w: np.var(w)),
+            ("median", np.median),
+            ("q0.9", lambda w: np.quantile(w, 0.9)),
+        ],
+    )
+    def test_sliding_matches_batch(self, name, batch_fn, rng):
+        xs = rng.normal(0, 10, 500)
+        window = 32
+        incremental = _slide(make_aggregate(name), xs, window)
+        for i, got in enumerate(incremental):
+            expected = batch_fn(xs[max(0, i - window + 1) : i + 1])
+            assert got == pytest.approx(expected, abs=1e-8), f"tick {i}"
+
+    def test_count_matches_window_size(self, rng):
+        xs = rng.normal(0, 1, 100)
+        out = _slide(CountAggregate(), xs, 16)
+        assert out[:16] == [float(i + 1) for i in range(16)]
+        assert all(v == 16.0 for v in out[16:])
+
+
+class TestEdgeCases:
+    def test_mean_of_empty_rejected(self):
+        with pytest.raises(QueryError):
+            MeanAggregate().value()
+
+    def test_min_of_empty_rejected(self):
+        with pytest.raises(QueryError):
+            MinAggregate().value()
+
+    def test_remove_from_empty_rejected(self):
+        with pytest.raises(QueryError):
+            SumAggregate().remove(1.0)
+
+    def test_quantile_remove_of_absent_value_rejected(self):
+        q = QuantileAggregate(0.5)
+        q.add(1.0)
+        with pytest.raises(QueryError):
+            q.remove(2.0)
+
+    def test_variance_never_negative(self):
+        v = VarianceAggregate()
+        for _ in range(100):
+            v.add(1e9)  # catastrophic cancellation territory
+        assert v.value() >= 0.0
+
+    def test_sum_compensation_survives_many_ops(self, rng):
+        """A million add/remove pairs must not drift the running sum."""
+        s = SumAggregate()
+        xs = rng.normal(1e6, 1.0, 64)
+        for x in xs:
+            s.add(x)
+        for _ in range(20000):
+            s.remove(xs[0])
+            s.add(xs[0])
+        assert s.value() == pytest.approx(float(np.sum(xs)), abs=1e-3)
+
+    def test_fresh_produces_empty_clone(self):
+        agg = QuantileAggregate(0.25)
+        agg.add(1.0)
+        clone = agg.fresh()
+        assert clone.q == 0.25
+        with pytest.raises(QueryError):
+            clone.value()
+
+    def test_extremes_handle_duplicates(self):
+        m = MaxAggregate()
+        m.add(5.0)
+        m.add(5.0)
+        m.remove(5.0)
+        assert m.value() == 5.0
+
+    def test_invalid_quantile_rejected(self):
+        with pytest.raises(ConfigurationError):
+            QuantileAggregate(1.5)
+
+
+class TestFactory:
+    @pytest.mark.parametrize(
+        "name", ["count", "sum", "mean", "avg", "var", "min", "max", "median", "q0.75"]
+    )
+    def test_known_names(self, name):
+        make_aggregate(name)
+
+    def test_unknown_name_rejected(self):
+        with pytest.raises(ConfigurationError):
+            make_aggregate("mode")
+
+    def test_malformed_quantile_rejected(self):
+        with pytest.raises(ConfigurationError):
+            make_aggregate("qabc")

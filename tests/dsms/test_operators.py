@@ -1,0 +1,104 @@
+"""Tests for query operators."""
+
+import math
+
+import pytest
+
+from repro.dsms.operators import MapFn, MapLinear, MergeJoin, Select, WindowAggregate
+from repro.dsms.tuples import StreamTuple
+from repro.errors import ConfigurationError, QueryError
+
+
+def _tuple(value, t=0.0, sid="s", bound=0.0):
+    return StreamTuple(t=t, stream_id=sid, value=float(value), bound=bound)
+
+
+class TestSelect:
+    def test_threshold_above(self):
+        op = Select.threshold(5.0, above=True)
+        assert op.process(_tuple(6.0)) != []
+        assert op.process(_tuple(4.0)) == []
+
+    def test_threshold_below(self):
+        op = Select.threshold(5.0, above=False)
+        assert op.process(_tuple(4.0)) != []
+        assert op.process(_tuple(6.0)) == []
+
+    def test_custom_predicate(self):
+        op = Select(lambda tup: tup.bound < 0.5)
+        assert op.process(_tuple(1.0, bound=0.1)) != []
+        assert op.process(_tuple(1.0, bound=0.9)) == []
+
+
+class TestMaps:
+    def test_map_linear_transforms_value_and_bound(self):
+        op = MapLinear(scale=2.0, offset=1.0)
+        out = op.process(_tuple(3.0, bound=0.5))[0]
+        assert out.value == 7.0
+        assert out.bound == 1.0
+
+    def test_map_fn_applies_lipschitz(self):
+        op = MapFn(math.sin, lipschitz=1.0, label="sin")
+        out = op.process(_tuple(0.0, bound=0.2))[0]
+        assert out.value == 0.0
+        assert out.bound == pytest.approx(0.2)
+
+    def test_map_fn_negative_lipschitz_rejected(self):
+        with pytest.raises(ConfigurationError):
+            MapFn(math.sin, lipschitz=-1.0)
+
+
+class TestWindowAggregate:
+    def test_sliding_mean_with_bound(self):
+        op = WindowAggregate("mean", size=2)
+        op.process(_tuple(1.0, t=0.0, bound=0.1))
+        out = op.process(_tuple(3.0, t=1.0, bound=0.3))[0]
+        assert out.value == pytest.approx(2.0)
+        assert out.bound == pytest.approx(0.2)  # mean of member bounds
+
+    def test_tumbling_sum_bound_covers_window(self):
+        op = WindowAggregate("sum", size=3, tumbling=True)
+        outs = []
+        for i in range(6):
+            outs.extend(op.process(_tuple(1.0, t=float(i), bound=0.5)))
+        assert len(outs) == 2
+        assert all(o.bound == pytest.approx(1.5) for o in outs)
+
+    def test_max_bound_is_worst_member(self):
+        op = WindowAggregate("max", size=3)
+        op.process(_tuple(1.0, t=0.0, bound=0.1))
+        op.process(_tuple(2.0, t=1.0, bound=0.7))
+        out = op.process(_tuple(0.0, t=2.0, bound=0.2))[0]
+        assert out.bound == pytest.approx(0.7)
+
+
+class TestMergeJoin:
+    def test_emits_when_both_sides_at_same_round(self):
+        join = MergeJoin("a", "b", combine="sub")
+        assert join.process(_tuple(10.0, t=1.0, sid="a")) == []
+        out = join.process(_tuple(4.0, t=1.0, sid="b"))
+        assert len(out) == 1
+        assert out[0].value == pytest.approx(6.0)
+
+    def test_bounds_add(self):
+        join = MergeJoin("a", "b", combine="add")
+        join.process(_tuple(1.0, t=0.0, sid="a", bound=0.2))
+        out = join.process(_tuple(2.0, t=0.0, sid="b", bound=0.3))[0]
+        assert out.bound == pytest.approx(0.5)
+
+    def test_waits_for_time_alignment(self):
+        join = MergeJoin("a", "b")
+        join.process(_tuple(1.0, t=0.0, sid="a"))
+        assert join.process(_tuple(2.0, t=1.0, sid="b")) == []
+        # Once 'a' catches up to round 1 the join emits.
+        out = join.process(_tuple(5.0, t=1.0, sid="a"))
+        assert len(out) == 1
+
+    def test_foreign_stream_rejected(self):
+        join = MergeJoin("a", "b")
+        with pytest.raises(QueryError):
+            join.process(_tuple(1.0, sid="c"))
+
+    def test_invalid_combine_rejected(self):
+        with pytest.raises(ConfigurationError):
+            MergeJoin("a", "b", combine="mul")

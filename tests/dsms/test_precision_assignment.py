@@ -1,0 +1,126 @@
+"""Tests for query-driven precision assignment (inverse propagation)."""
+
+import numpy as np
+import pytest
+
+from repro.core.precision import AbsoluteBound
+from repro.core.server import StreamServer
+from repro.core.source import SourceAgent
+from repro.dsms.precision_assignment import (
+    QueryRequirement,
+    assign_stream_bounds,
+    pipeline_sensitivity,
+)
+from repro.dsms.query import ContinuousQuery, QueryEngine
+from repro.errors import QueryError
+from repro.kalman.models import random_walk
+from repro.streams.synthetic import RandomWalkStream
+
+
+class TestSensitivity:
+    def test_identity_pipeline(self):
+        assert pipeline_sensitivity(ContinuousQuery("s")) == 1.0
+
+    def test_mean_window_is_neutral(self):
+        q = ContinuousQuery("s").window("mean", size=30)
+        assert pipeline_sensitivity(q) == 1.0
+
+    def test_sum_window_amplifies_by_size(self):
+        q = ContinuousQuery("s").window("sum", size=30)
+        assert pipeline_sensitivity(q) == 30.0
+
+    def test_count_window_is_insensitive(self):
+        q = ContinuousQuery("s").window("count", size=30)
+        assert pipeline_sensitivity(q) == 0.0
+
+    def test_linear_map_scales(self):
+        q = ContinuousQuery("s").map_linear(9 / 5, 32.0).window("max", size=10)
+        assert pipeline_sensitivity(q) == pytest.approx(1.8)
+
+    def test_lipschitz_map_scales(self):
+        q = ContinuousQuery("s").map(lambda v: v * v, lipschitz=4.0)
+        assert pipeline_sensitivity(q) == 4.0
+
+    def test_selects_are_free(self):
+        q = ContinuousQuery("s").above(0.0).window("median", size=5)
+        assert pipeline_sensitivity(q) == 1.0
+
+    def test_variance_rejected(self):
+        q = ContinuousQuery("s").window("var", size=5)
+        with pytest.raises(QueryError):
+            pipeline_sensitivity(q)
+
+
+class TestAssignment:
+    def test_tightest_requirement_wins(self):
+        reqs = [
+            QueryRequirement(ContinuousQuery("a").window("mean", size=10), 1.0),
+            QueryRequirement(ContinuousQuery("a").window("sum", size=10), 2.0),
+        ]
+        bounds = assign_stream_bounds(reqs)
+        assert bounds["a"] == pytest.approx(0.2)  # sum needs 2/10
+
+    def test_independent_streams_independent_bounds(self):
+        reqs = [
+            QueryRequirement(ContinuousQuery("a"), 1.0),
+            QueryRequirement(ContinuousQuery("b"), 3.0),
+        ]
+        bounds = assign_stream_bounds(reqs)
+        assert bounds == {"a": 1.0, "b": 3.0}
+
+    def test_count_queries_constrain_nothing(self):
+        reqs = [
+            QueryRequirement(ContinuousQuery("a").window("count", size=10), 0.5)
+        ]
+        assert assign_stream_bounds(reqs) == {}
+
+    def test_join_splits_target(self):
+        bounds = assign_stream_bounds([], joins=[("a", "b", 2.0)])
+        assert bounds == {"a": 1.0, "b": 1.0}
+
+    def test_non_positive_target_rejected(self):
+        with pytest.raises(QueryError):
+            QueryRequirement(ContinuousQuery("a"), 0.0)
+
+    def test_invalid_join_target_rejected(self):
+        with pytest.raises(QueryError):
+            assign_stream_bounds([], joins=[("a", "b", -1.0)])
+
+
+class TestEndToEndSoundness:
+    def test_assigned_bounds_deliver_the_targets(self):
+        """Derive δ from answer targets, run the full stack, verify that
+        actual answer errors against exact recomputation stay within the
+        targets."""
+        window = 20
+        q_mean = ContinuousQuery("a", name="avg").window("mean", size=window)
+        q_sum = ContinuousQuery("a", name="tot").window("sum", size=window)
+        reqs = [QueryRequirement(q_mean, 1.0), QueryRequirement(q_sum, 10.0)]
+        bounds = assign_stream_bounds(reqs)
+        delta = bounds["a"]
+        assert delta == pytest.approx(0.5)  # sum: 10 / 20
+
+        model = random_walk(process_noise=1.0, measurement_sigma=0.3)
+        server = StreamServer()
+        server.register("a", model)
+        source = SourceAgent("a", model, AbsoluteBound(delta))
+        engine = QueryEngine(server, bounds={"a": delta})
+        r_mean = engine.register(q_mean)
+        r_sum = engine.register(q_sum)
+
+        readings = RandomWalkStream(step_sigma=1.0, measurement_sigma=0.3, seed=9).take(600)
+        exact: list[float] = []
+        exact_means, exact_sums = [], []
+        for reading in readings:
+            decision = source.process(reading)
+            server.advance("a", list(decision.messages))
+            engine.on_tick(reading.t)
+            exact.append(float(reading.value[0]))
+            if len(exact) >= window:
+                seg = exact[-window:]
+                exact_means.append(float(np.mean(seg)))
+                exact_sums.append(float(np.sum(seg)))
+        mean_err = np.abs(r_mean.values() - np.array(exact_means))
+        sum_err = np.abs(r_sum.values() - np.array(exact_sums))
+        assert np.max(mean_err) <= 1.0 + 1e-9  # the mean target
+        assert np.max(sum_err) <= 10.0 + 1e-9  # the sum target

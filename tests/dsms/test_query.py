@@ -1,0 +1,128 @@
+"""Tests for continuous queries over a stream server."""
+
+import numpy as np
+import pytest
+
+from repro.core.precision import AbsoluteBound
+from repro.core.server import StreamServer
+from repro.core.source import SourceAgent
+from repro.dsms.query import ContinuousQuery, QueryEngine
+from repro.errors import QueryError
+from repro.kalman.models import random_walk
+from repro.streams.base import Reading
+from repro.streams.synthetic import RandomWalkStream
+
+
+def _wired(delta=2.0, streams=("a",), seed=21):
+    model = random_walk(process_noise=1.0, measurement_sigma=0.3)
+    server = StreamServer()
+    sources = {}
+    for sid in streams:
+        server.register(sid, model)
+        sources[sid] = SourceAgent(sid, model, AbsoluteBound(delta))
+    engine = QueryEngine(server, bounds={sid: delta for sid in streams})
+    return server, sources, engine
+
+
+def _drive(server, sources, engine, n=300, seed=21):
+    gens = {
+        sid: RandomWalkStream(step_sigma=1.0, measurement_sigma=0.3, seed=seed + i).take(n)
+        for i, sid in enumerate(sources)
+    }
+    for tick in range(n):
+        for sid, source in sources.items():
+            reading = gens[sid][tick]
+            decision = source.process(reading)
+            server.advance(sid, list(decision.messages))
+        engine.on_tick(float(tick))
+
+
+class TestRegistration:
+    def test_unregistered_stream_rejected(self):
+        _, _, engine = _wired()
+        with pytest.raises(QueryError):
+            engine.register(ContinuousQuery("nope"))
+
+    def test_duplicate_query_name_rejected(self):
+        _, _, engine = _wired()
+        engine.register(ContinuousQuery("a", name="q"))
+        with pytest.raises(QueryError):
+            engine.register(ContinuousQuery("a", name="q"))
+
+    def test_negative_bound_rejected(self):
+        server = StreamServer()
+        with pytest.raises(QueryError):
+            QueryEngine(server, bounds={"a": -1.0})
+
+
+class TestExecution:
+    def test_identity_query_mirrors_served_values(self):
+        server, sources, engine = _wired()
+        result = engine.register(ContinuousQuery("a", name="identity"))
+        _drive(server, sources, engine, n=100)
+        assert len(result.outputs) == 100
+        assert np.all(result.bounds() == 2.0)
+
+    def test_windowed_mean_bound_propagates(self):
+        server, sources, engine = _wired(delta=1.5)
+        result = engine.register(
+            ContinuousQuery("a", name="avg").window("mean", size=10)
+        )
+        _drive(server, sources, engine, n=50)
+        assert len(result.outputs) == 41  # first output once window fills
+        np.testing.assert_allclose(result.bounds(), 1.5)
+
+    def test_threshold_filter_applies(self):
+        server, sources, engine = _wired()
+        result = engine.register(ContinuousQuery("a", name="hot").above(1e9))
+        _drive(server, sources, engine, n=50)
+        assert result.outputs == []
+
+    def test_map_linear_unit_conversion(self):
+        server, sources, engine = _wired(delta=2.0)
+        result = engine.register(
+            ContinuousQuery("a", name="f").map_linear(9 / 5, 32.0)
+        )
+        _drive(server, sources, engine, n=20)
+        identity = engine.register(ContinuousQuery("a", name="raw"))
+        engine.on_tick(20.0)
+        served = identity.outputs[-1].value
+        assert result.outputs[-1].value == pytest.approx(9 / 5 * served + 32.0)
+        assert result.outputs[-1].bound == pytest.approx(2.0 * 9 / 5)
+
+    def test_join_difference(self):
+        server, sources, engine = _wired(streams=("a", "b"))
+        result = engine.register_join("a", "b", combine="sub", name="diff")
+        _drive(server, sources, engine, n=100)
+        assert len(result.outputs) > 0
+        np.testing.assert_allclose(result.bounds(), 4.0)  # 2.0 + 2.0
+
+    def test_query_answers_track_measurements_within_bound(self):
+        """End-to-end soundness on the identity query."""
+        model = random_walk(process_noise=1.0, measurement_sigma=0.3)
+        server = StreamServer()
+        server.register("a", model)
+        source = SourceAgent("a", model, AbsoluteBound(2.0))
+        engine = QueryEngine(server, bounds={"a": 2.0})
+        result = engine.register(ContinuousQuery("a", name="q"))
+        readings = RandomWalkStream(step_sigma=1.0, measurement_sigma=0.3, seed=8).take(400)
+        for reading in readings:
+            decision = source.process(reading)
+            server.advance("a", list(decision.messages))
+            engine.on_tick(reading.t)
+        for out, reading in zip(result.outputs, readings):
+            assert abs(out.value - reading.value[0]) <= out.bound + 1e-9
+
+    def test_plan_rendering(self):
+        _, _, engine = _wired()
+        engine.register(
+            ContinuousQuery("a", name="q").above(0.0).window("mean", size=5)
+        )
+        plan = engine.plan()
+        assert "Select" in plan and "WindowAggregate" in plan
+
+    def test_component_out_of_range_rejected(self):
+        server, sources, engine = _wired()
+        engine.register(ContinuousQuery("a", component=3, name="bad"))
+        with pytest.raises(QueryError):
+            _drive(server, sources, engine, n=5)

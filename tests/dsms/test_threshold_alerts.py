@@ -1,0 +1,75 @@
+"""Tests for bound-aware threshold alerting (definite vs possible)."""
+
+import numpy as np
+import pytest
+
+from repro.core.precision import AbsoluteBound
+from repro.core.server import StreamServer
+from repro.core.source import SourceAgent
+from repro.dsms.operators import Select
+from repro.dsms.query import ContinuousQuery, QueryEngine
+from repro.dsms.tuples import StreamTuple
+from repro.kalman.models import random_walk
+from repro.streams.synthetic import RandomWalkStream
+
+
+def _tuple(value, bound):
+    return StreamTuple(t=0.0, stream_id="s", value=value, bound=bound)
+
+
+class TestSelectors:
+    def test_definitely_above_requires_whole_interval(self):
+        op = Select.definitely_above(10.0)
+        assert op.process(_tuple(12.0, bound=1.0)) != []  # [11, 13] > 10
+        assert op.process(_tuple(10.5, bound=1.0)) == []  # [9.5, 11.5] straddles
+
+    def test_possibly_above_fires_on_touch(self):
+        op = Select.possibly_above(10.0)
+        assert op.process(_tuple(10.5, bound=1.0)) != []  # [9.5, 11.5] touches
+        assert op.process(_tuple(8.0, bound=1.0)) == []  # [7, 9] below
+
+    def test_sandwich_property(self):
+        """definite => plain-value => possible, for any tuple."""
+        rng = np.random.default_rng(1)
+        definite = Select.definitely_above(5.0)
+        plain = Select.threshold(5.0, above=True)
+        possible = Select.possibly_above(5.0)
+        for _ in range(200):
+            tup = _tuple(float(rng.normal(5.0, 3.0)), float(rng.uniform(0, 2)))
+            d = bool(definite.process(tup))
+            p = bool(plain.process(tup))
+            o = bool(possible.process(tup))
+            assert (not d or p) and (not p or o)
+
+
+class TestEndToEndAlertSoundness:
+    def test_no_false_alarms_and_no_missed_alarms(self):
+        """Against raw measurements: 'definite' alerts are always true
+        positives; 'possible' alerts cover every true crossing."""
+        limit = 2.0
+        delta = 1.0
+        model = random_walk(process_noise=1.0, measurement_sigma=0.3)
+        server = StreamServer()
+        server.register("s", model)
+        source = SourceAgent("s", model, AbsoluteBound(delta))
+        engine = QueryEngine(server, bounds={"s": delta})
+        definite = engine.register(
+            ContinuousQuery("s", name="definite").definitely_above(limit)
+        )
+        possible = engine.register(
+            ContinuousQuery("s", name="possible").possibly_above(limit)
+        )
+        readings = RandomWalkStream(step_sigma=1.0, measurement_sigma=0.3, seed=17).take(800)
+        truth_above = []
+        for reading in readings:
+            decision = source.process(reading)
+            server.advance("s", list(decision.messages))
+            engine.on_tick(reading.t)
+            truth_above.append(float(reading.value[0]) > limit)
+        definite_ticks = {out.t for out in definite.outputs}
+        possible_ticks = {out.t for out in possible.outputs}
+        for i, reading in enumerate(readings):
+            if reading.t in definite_ticks:
+                assert truth_above[i], "definite alert was a false alarm"
+            if truth_above[i]:
+                assert reading.t in possible_ticks, "possible alerts missed a crossing"

@@ -1,0 +1,80 @@
+"""Tests for sliding and tumbling windows."""
+
+import pytest
+
+from repro.dsms.aggregates import MeanAggregate, SumAggregate
+from repro.dsms.tuples import StreamTuple
+from repro.dsms.windows import SlidingWindow, TumblingWindow
+from repro.errors import ConfigurationError
+
+
+def _tuple(t, value, bound=0.0):
+    return StreamTuple(t=float(t), stream_id="s", value=float(value), bound=bound)
+
+
+class TestSlidingWindow:
+    def test_no_emission_until_full(self):
+        w = SlidingWindow(3, MeanAggregate())
+        assert w.push(_tuple(0, 1)) is None
+        assert w.push(_tuple(1, 2)) is None
+        out = w.push(_tuple(2, 3))
+        assert out is not None and out.value == pytest.approx(2.0)
+
+    def test_emits_every_tick_once_full(self):
+        w = SlidingWindow(2, SumAggregate())
+        w.push(_tuple(0, 1))
+        assert w.push(_tuple(1, 2)).value == 3.0
+        assert w.push(_tuple(2, 5)).value == 7.0
+
+    def test_slide_controls_emission_period(self):
+        w = SlidingWindow(4, SumAggregate(), slide=2)
+        outputs = [w.push(_tuple(i, 1)) for i in range(10)]
+        emitted = [o for o in outputs if o is not None]
+        assert len(emitted) == 4  # at ticks 3(index), 5, 7, 9
+
+    def test_emit_partial(self):
+        w = SlidingWindow(5, MeanAggregate(), emit_partial=True)
+        out = w.push(_tuple(0, 10))
+        assert out is not None and out.value == 10.0
+
+    def test_output_stream_id_tags_aggregate(self):
+        w = SlidingWindow(1, MeanAggregate())
+        out = w.push(_tuple(0, 1))
+        assert out.stream_id == "s/mean"
+
+    def test_member_bounds_track_window(self):
+        w = SlidingWindow(2, MeanAggregate())
+        w.push(_tuple(0, 1, bound=0.1))
+        w.push(_tuple(1, 2, bound=0.2))
+        w.push(_tuple(2, 3, bound=0.3))
+        assert w.member_bounds() == [0.2, 0.3]
+
+    def test_invalid_slide_rejected(self):
+        with pytest.raises(ConfigurationError):
+            SlidingWindow(4, MeanAggregate(), slide=5)
+
+    def test_invalid_size_rejected(self):
+        with pytest.raises(ConfigurationError):
+            SlidingWindow(0, MeanAggregate())
+
+
+class TestTumblingWindow:
+    def test_non_overlapping(self):
+        w = TumblingWindow(3, SumAggregate())
+        outputs = [w.push(_tuple(i, 1)) for i in range(9)]
+        emitted = [o for o in outputs if o is not None]
+        assert [o.value for o in emitted] == [3.0, 3.0, 3.0]
+
+    def test_window_resets_between_emissions(self):
+        w = TumblingWindow(2, SumAggregate())
+        w.push(_tuple(0, 10))
+        w.push(_tuple(1, 10))  # emits 20, resets
+        w.push(_tuple(2, 1))
+        out = w.push(_tuple(3, 1))
+        assert out.value == 2.0
+
+    def test_len_resets(self):
+        w = TumblingWindow(2, SumAggregate())
+        w.push(_tuple(0, 1))
+        w.push(_tuple(1, 1))
+        assert len(w) == 0

@@ -1,0 +1,26 @@
+"""Tests for the ``python -m repro.experiments`` command-line interface."""
+
+import pytest
+
+from repro.experiments.__main__ import main
+
+
+class TestCli:
+    def test_runs_selected_experiment(self, capsys):
+        assert main(["T1", "--ticks", "300"]) == 0
+        out = capsys.readouterr().out
+        assert "[T1]" in out and "regenerated in" in out
+
+    def test_lowercase_ids_accepted(self, capsys):
+        assert main(["t1", "--ticks", "300"]) == 0
+        assert "[T1]" in capsys.readouterr().out
+
+    def test_unknown_id_rejected(self, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["T99"])
+        assert excinfo.value.code != 0
+
+    def test_quick_flag_runs_fast_tables(self, capsys):
+        assert main(["T1", "T3", "--quick"]) == 0
+        out = capsys.readouterr().out
+        assert "[T1]" in out and "[T3]" in out

@@ -1,0 +1,134 @@
+"""Smoke + shape tests for the experiment harness (small tick counts)."""
+
+import numpy as np
+import pytest
+
+from repro.experiments.figures import (
+    fig4_messages_vs_delta_synthetic,
+    fig6_delivered_precision,
+    fig7_time_variance,
+    fig8_noise_sensitivity,
+    fig9_budget_allocation,
+    table1_workloads,
+    table2_headline,
+    table3_query_precision,
+)
+from repro.experiments.runner import dkf_policy, run_policy, sweep_deltas
+from repro.experiments.workloads import WORKLOADS, workload, workload_keys
+from repro.errors import ConfigurationError
+
+
+class TestWorkloads:
+    def test_eight_canonical_workloads(self):
+        assert workload_keys() == [f"W{i}" for i in range(1, 9)]
+
+    def test_lookup_unknown_rejected(self):
+        with pytest.raises(ConfigurationError):
+            workload("W99")
+
+    @pytest.mark.parametrize("key", list(WORKLOADS))
+    def test_model_dims_match_stream(self, key):
+        wl = workload(key)
+        model = wl.make_model()
+        reading = wl.make_stream(0).take(1)[0]
+        assert model.dim_z == reading.value.shape[0] == wl.dim
+
+    @pytest.mark.parametrize("key", list(WORKLOADS))
+    def test_streams_are_seeded_deterministic(self, key):
+        wl = workload(key)
+        a = wl.make_stream(5).take(50)
+        b = wl.make_stream(5).take(50)
+        for x, y in zip(a, b):
+            np.testing.assert_array_equal(x.value, y.value)
+
+
+class TestRunner:
+    def test_run_result_consistency(self):
+        wl = workload("W1")
+        readings = wl.make_stream(1).take(500)
+        result = run_policy(readings, dkf_policy(wl, 2.0))
+        assert result.n_ticks == 500
+        assert result.messages >= int(np.sum(result.sent))
+        assert 0.0 <= result.suppression_ratio <= 1.0
+
+    def test_sweep_is_monotone_for_dkf(self):
+        wl = workload("W1")
+        readings = wl.make_stream(1).take(1000)
+        results = sweep_deltas(
+            readings, (0.5, 2.0, 8.0), lambda d: dkf_policy(wl, d)
+        )
+        msgs = [r.messages for r in results]
+        assert msgs[0] > msgs[1] > msgs[2]
+
+
+class TestTables:
+    def test_table1_has_one_row_per_workload(self):
+        table = table1_workloads(n_ticks=600)
+        assert len(table.rows) == len(WORKLOADS)
+        assert "W1" in table.render()
+
+    def test_table2_dkf_never_loses_badly(self):
+        """The headline shape: DKF within 15% of dead-band everywhere, and
+        at least 1.5x better somewhere."""
+        table = table2_headline(n_ticks=1500)
+        ratios = [row[-1] for row in table.rows]
+        assert min(ratios) > 0.85
+        assert max(ratios) > 1.5
+
+    def test_table3_no_bound_violations(self):
+        table = table3_query_precision(n_ticks=1200, window=30)
+        violations = [row[5] for row in table.rows]
+        assert all(v == 0 for v in violations)
+        errors = [row[3] for row in table.rows]
+        bounds = [row[4] for row in table.rows]
+        assert all(e <= b + 1e-9 for e, b in zip(errors, bounds))
+
+
+class TestFigures:
+    def test_fig4_series_monotone_in_delta(self):
+        fig = fig4_messages_vs_delta_synthetic(n_ticks=800)
+        assert len(fig.panels) == 3
+        for _, xs, series in fig.panels:
+            for name, ys in series.items():
+                assert ys == sorted(ys, reverse=True) or max(ys) - min(ys) < 10, name
+
+    def test_fig6_gated_policies_respect_bounds_periodic_does_not(self):
+        fig = fig6_delivered_precision(n_ticks=800)
+        for _, xs, series in fig.panels:
+            for delta_idx, delta in enumerate(xs):
+                for name, ys in series.items():
+                    if name.startswith("periodic"):
+                        continue
+                    assert ys[delta_idx] <= delta + 1e-9, (name, delta)
+            periodic = series["periodic max_err"]
+            assert max(p - d for p, d in zip(periodic, xs)) > 0
+
+    def test_fig7_adaptive_rate_returns_to_calm(self):
+        fig = fig7_time_variance(n_ticks=7500, window=400, sample_every=750)
+        _, xs, series = fig.panels[0]
+        adaptive = series["dual_kalman_adaptive"]
+        # Volatile middle phase (ticks 3000-6000) costs more than the final
+        # calm phase after re-adaptation.
+        middle = adaptive[len(xs) // 2]
+        final = adaptive[-1]
+        assert middle > final
+
+    def test_fig8_dead_band_degrades_faster_than_dkf(self):
+        fig = fig8_noise_sensitivity(n_ticks=1200, noise_grid=(0.2, 2.0), delta=3.0)
+        _, xs, series = fig.panels[0]
+        band_growth = series["dead_band"][-1] / max(series["dead_band"][0], 1)
+        dkf_growth = series["dkf_matched_R"][-1] / max(series["dkf_matched_R"][0], 1)
+        assert band_growth > dkf_growth
+
+    def test_fig9_waterfilling_not_worse_than_uniform(self):
+        fig = fig9_budget_allocation(
+            n_fleet=6, probe_ticks=400, run_ticks=800, budgets=(0.1, 0.4)
+        )
+        errors = fig.panels[0][2]
+        for wf, uni in zip(errors["waterfilling"], errors["uniform"]):
+            assert wf <= uni * 1.05
+
+    def test_render_produces_text(self):
+        fig = fig4_messages_vs_delta_synthetic(n_ticks=300)
+        text = fig.render()
+        assert "[F4]" in text and "delta" in text

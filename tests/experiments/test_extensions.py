@@ -1,0 +1,29 @@
+"""Shape tests for the extension experiments F11 and F12 (small scale)."""
+
+from repro.experiments import fig11_lossy_channel, fig12_outlier_robustness
+
+
+class TestF11LossyChannel:
+    def test_loss_degrades_and_resync_mitigates(self):
+        fig = fig11_lossy_channel(n_ticks=2500, loss_grid=(0.0, 0.3))
+        _, xs, series = fig.panels[0]
+        # Lossless baseline: no violations.
+        assert series["no_resync viol_rate"][0] == 0.0
+        assert series["resync viol_rate"][0] == 0.0
+        # Loss hurts the unprotected session more.
+        assert series["resync mean_err"][-1] < series["no_resync mean_err"][-1]
+        # Resync costs bytes.
+        assert series["resync kB"][0] > series["no_resync kB"][0]
+
+    def test_render(self):
+        fig = fig11_lossy_channel(n_ticks=800, loss_grid=(0.0, 0.2))
+        assert "[F11]" in fig.render()
+
+
+class TestF12OutlierRobustness:
+    def test_robust_gating_pays_off_with_spikes(self):
+        fig = fig12_outlier_robustness(n_ticks=3000, spike_grid=(0.0, 0.05))
+        _, xs, series = fig.panels[0]
+        assert series["dkf_robust msgs"][0] == series["dkf_blind msgs"][0]
+        assert series["dkf_robust msgs"][-1] < series["dkf_blind msgs"][-1]
+        assert all(e <= 3.0 + 1e-9 for e in series["dkf_robust max_err"])

@@ -1,0 +1,40 @@
+"""Tests for runner helpers beyond the per-figure experiments."""
+
+import numpy as np
+
+from repro.experiments.runner import run_offline_smoother
+from repro.kalman.models import random_walk
+from repro.streams.base import truths
+from repro.streams.noise import Dropout
+from repro.streams.synthetic import RandomWalkStream
+
+
+class TestRunOfflineSmoother:
+    def test_smoother_beats_filter_on_noisy_stream(self):
+        readings = RandomWalkStream(
+            step_sigma=0.5, measurement_sigma=2.0, seed=3
+        ).take(1500)
+        model = random_walk(process_noise=0.25, measurement_sigma=2.0)
+        filtered, smoothed = run_offline_smoother(readings, model)
+        truth = truths(readings)[:, 0]
+        filt_rmse = np.sqrt(np.mean((filtered - truth) ** 2))
+        smooth_rmse = np.sqrt(np.mean((smoothed - truth) ** 2))
+        assert smooth_rmse < filt_rmse
+
+    def test_handles_dropped_readings(self):
+        stream = Dropout(
+            RandomWalkStream(step_sigma=0.5, measurement_sigma=1.0, seed=3),
+            rate=0.2,
+            seed=1,
+        )
+        readings = stream.take(500)
+        model = random_walk(process_noise=0.25, measurement_sigma=1.0)
+        filtered, smoothed = run_offline_smoother(readings, model)
+        assert np.isfinite(filtered).all()
+        assert np.isfinite(smoothed).all()
+
+    def test_output_lengths_match(self):
+        readings = RandomWalkStream(seed=3).take(100)
+        model = random_walk()
+        filtered, smoothed = run_offline_smoother(readings, model)
+        assert filtered.shape == smoothed.shape == (100,)

@@ -1,0 +1,174 @@
+"""Integration tests across the full stack.
+
+Each test exercises several subsystems together: stream generators feed
+source agents over channels into the server, which in turn feeds the query
+engine or the fleet manager; metrics score the result end to end.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.adaptive import AdaptationPolicy
+from repro.core.manager import ManagedStream, StreamResourceManager
+from repro.core.precision import AbsoluteBound
+from repro.core.procedure_cache import ProcedureCache
+from repro.core.server import StreamServer
+from repro.core.session import DualKalmanPolicy, DualKalmanSession
+from repro.core.source import SourceAgent
+from repro.dsms.query import ContinuousQuery, QueryEngine
+from repro.experiments.runner import run_policy, standard_policies
+from repro.experiments.workloads import WORKLOADS, workload
+from repro.kalman.models import planar, random_walk
+from repro.network.channel import Channel
+from repro.streams.noise import Dropout, OutlierInjector
+from repro.streams.replay import record
+from repro.streams.synthetic import RandomWalkStream
+
+
+class TestEveryWorkloadThroughEveryPolicy:
+    @pytest.mark.parametrize("key", list(WORKLOADS))
+    def test_contract_and_ordering(self, key):
+        """On every canonical workload: bound holds for all gated policies."""
+        wl = workload(key)
+        readings = wl.make_stream(99).take(1200)
+        for policy in standard_policies(wl, wl.default_delta):
+            result = run_policy(readings, policy)
+            max_err = result.max_error_vs_measured()
+            tol = wl.default_delta
+            if wl.norm == "l2":
+                # The runner scores with max-norm; the l2 contract implies
+                # each component is within delta as well.
+                assert max_err <= tol + 1e-9, policy.name
+            else:
+                assert max_err <= tol + 1e-9, policy.name
+
+    @pytest.mark.parametrize("key", ["W3", "W5", "W8"])
+    def test_dkf_beats_dead_band_on_structured_streams(self, key):
+        wl = workload(key)
+        readings = wl.make_stream(99).take(2500)
+        results = {
+            p.name: run_policy(readings, p)
+            for p in standard_policies(wl, wl.default_delta, include_adaptive=False)
+        }
+        assert results["dual_kalman"].messages < results["dead_band"].messages
+
+
+class TestCorruptionRobustness:
+    def test_dropouts_do_not_break_the_protocol(self, rw_model):
+        stream = Dropout(
+            RandomWalkStream(step_sigma=1.0, measurement_sigma=0.3, seed=5),
+            rate=0.15,
+            seed=2,
+        )
+        readings = stream.take(1500)
+        policy = DualKalmanPolicy(rw_model, AbsoluteBound(2.0))
+        result = run_policy(readings, policy)
+        assert result.max_error_vs_measured() <= 2.0 + 1e-9
+        assert policy.source.replica.state_equals(policy.server.replica, atol=0.0)
+
+    def test_outliers_cost_less_with_robust_gating(self, rw_model):
+        stream = OutlierInjector(
+            RandomWalkStream(step_sigma=0.5, measurement_sigma=0.2, seed=5),
+            rate=0.02,
+            magnitude=40.0,
+            seed=2,
+        )
+        readings = stream.take(3000)
+        plain = run_policy(readings, DualKalmanPolicy(rw_model, AbsoluteBound(3.0)))
+        robust = run_policy(
+            readings,
+            DualKalmanPolicy(rw_model, AbsoluteBound(3.0), robust_threshold=2.0),
+        )
+        assert robust.messages < plain.messages
+        assert robust.max_error_vs_measured() <= 3.0 + 1e-9
+
+
+class TestServerWithManyStreamsAndQueries:
+    def test_dashboard_scenario(self):
+        """3 streams -> server -> windowed queries + a cross-stream join."""
+        model = random_walk(process_noise=1.0, measurement_sigma=0.3)
+        delta = 2.0
+        server = StreamServer()
+        sources = {}
+        for sid in ("s0", "s1", "s2"):
+            server.register(sid, model)
+            sources[sid] = SourceAgent(sid, model, AbsoluteBound(delta))
+        engine = QueryEngine(server, bounds={sid: delta for sid in sources})
+        avg = engine.register(
+            ContinuousQuery("s0", name="avg").window("mean", size=20)
+        )
+        peak = engine.register(
+            ContinuousQuery("s1", name="peak").window("max", size=20)
+        )
+        diff = engine.register_join("s0", "s2", combine="sub", name="diff")
+        streams = {
+            sid: RandomWalkStream(step_sigma=1.0, measurement_sigma=0.3, seed=i).take(400)
+            for i, sid in enumerate(sources)
+        }
+        for tick in range(400):
+            for sid, source in sources.items():
+                decision = source.process(streams[sid][tick])
+                server.advance(sid, list(decision.messages))
+            engine.on_tick(float(tick))
+        assert len(avg.outputs) == 381
+        assert len(peak.outputs) == 381
+        assert len(diff.outputs) == 400
+        np.testing.assert_allclose(diff.bounds(), 2 * delta)
+        # Forecasting from the cached procedures needs no source contact.
+        cache = ProcedureCache(server)
+        forecast = cache.forecast("s0", steps=5)
+        assert np.isfinite(forecast.value).all()
+
+    def test_fleet_manager_end_to_end(self):
+        fleet = []
+        for i, sigma in enumerate((0.3, 1.0, 3.0)):
+            stream = RandomWalkStream(
+                step_sigma=sigma, measurement_sigma=0.1 * sigma, seed=50 + i
+            )
+            fleet.append(
+                ManagedStream(
+                    stream_id=f"s{i}",
+                    recording=record(stream, 2000),
+                    model=random_walk(
+                        process_noise=sigma**2, measurement_sigma=0.1 * sigma
+                    ),
+                )
+            )
+        manager = StreamResourceManager(fleet, probe_ticks=600)
+        result = manager.run(0.3, method="waterfilling", run_ticks=1200)
+        assert len(result.reports) == 3
+        # Looser bounds go to the more volatile streams.
+        assert result.allocation.deltas[2] > result.allocation.deltas[0]
+
+
+class TestLossyChannelRecovery:
+    def test_session_with_loss_latency_and_adaptation(self):
+        model = random_walk(process_noise=1.0, measurement_sigma=0.5)
+        stream = RandomWalkStream(step_sigma=1.0, measurement_sigma=0.5, seed=6)
+        session = DualKalmanSession(
+            stream,
+            model,
+            AbsoluteBound(2.0),
+            channel=Channel(latency=0.5, jitter=0.2, loss_rate=0.1, seed=4),
+            adaptation=AdaptationPolicy(model),
+            resync_interval=100,
+        )
+        trace = session.run(3000)
+        err = trace.served_error_vs_measured()
+        valid = err[~np.isnan(err)]
+        # The median tick is still within the bound despite the hostile
+        # channel, and resyncs keep the worst case bounded.
+        assert np.median(valid) <= 2.0 + 1e-9
+        assert np.max(valid) < 50.0
+
+
+class TestGpsPlanarEndToEnd:
+    def test_l2_bound_on_gps(self):
+        wl = workload("W5")
+        readings = wl.make_stream(3).take(1500)
+        model = wl.make_model()
+        policy = DualKalmanPolicy(model, AbsoluteBound(10.0, norm="l2"))
+        for reading in readings:
+            outcome = policy.tick(reading)
+            if outcome.estimate is not None:
+                assert np.linalg.norm(outcome.estimate - reading.value) <= 10.0 + 1e-9

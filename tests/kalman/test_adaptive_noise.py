@@ -1,0 +1,130 @@
+"""Tests for innovation-based noise estimation."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.kalman.adaptive_noise import MeasurementNoiseEstimator, ProcessNoiseScaler
+from repro.kalman.filter import KalmanFilter
+from repro.kalman.models import random_walk
+
+
+def _run_filter(kf, estimators, zs):
+    for z in zs:
+        kf.predict()
+        kf.update(z)
+        for est in estimators:
+            est.observe(kf)
+
+
+class TestMeasurementNoiseEstimator:
+    def test_recovers_true_r_when_model_underestimates(self, rng):
+        true_sigma = 2.0
+        model = random_walk(process_noise=0.25, measurement_sigma=0.5)
+        kf = KalmanFilter(model)
+        est = MeasurementNoiseEstimator(1, window=256)
+        x = 0.0
+        zs = []
+        for _ in range(600):
+            zs.append(x + rng.normal(0, true_sigma))
+            x += rng.normal(0, 0.5)
+        _run_filter(kf, [est], zs)
+        r_hat = est.suggestion()[0, 0]
+        # Mehra's one-shot estimate is biased under a wrong model; it must
+        # still land in the right decade and far above the assumed 0.25.
+        assert 1.0 < r_hat < 12.0
+
+    def test_not_ready_until_window_full(self, rw_model):
+        est = MeasurementNoiseEstimator(1, window=32)
+        kf = KalmanFilter(rw_model)
+        kf.predict()
+        kf.update(1.0)
+        est.observe(kf)
+        assert not est.ready()
+        assert est.n_observed == 1
+
+    def test_reset_clears_window(self, rw_model):
+        est = MeasurementNoiseEstimator(1, window=4)
+        kf = KalmanFilter(rw_model)
+        for z in (1.0, 2.0, 1.5, 0.5):
+            kf.predict()
+            kf.update(z)
+            est.observe(kf)
+        assert est.ready()
+        est.reset()
+        assert est.n_observed == 0
+
+    def test_suggestion_without_data_rejected(self):
+        with pytest.raises(ConfigurationError):
+            MeasurementNoiseEstimator(1).suggestion()
+
+    def test_suggestion_floored_positive(self, rng):
+        """Even on noiseless data the suggestion stays a valid covariance."""
+        model = random_walk(process_noise=1.0, measurement_sigma=1.0)
+        kf = KalmanFilter(model)
+        est = MeasurementNoiseEstimator(1, window=64, floor=1e-6)
+        x = 0.0
+        zs = []
+        for _ in range(200):
+            zs.append(x)  # zero measurement noise
+            x += rng.normal(0, 1.0)
+        _run_filter(kf, [est], zs)
+        assert est.suggestion()[0, 0] >= 1e-6
+
+    def test_invalid_window_rejected(self):
+        with pytest.raises(ConfigurationError):
+            MeasurementNoiseEstimator(1, window=1)
+
+
+class TestProcessNoiseScaler:
+    def test_suggests_inflation_when_q_too_small(self, rng):
+        model = random_walk(process_noise=0.01, measurement_sigma=0.5)
+        kf = KalmanFilter(model)
+        scaler = ProcessNoiseScaler(1, window=128)
+        x = 0.0
+        zs = []
+        for _ in range(400):
+            zs.append(x + rng.normal(0, 0.5))
+            x += rng.normal(0, 2.0)  # true process noise much larger
+        _run_filter(kf, [scaler], zs)
+        assert scaler.suggestion() > 2.0
+
+    def test_suggests_deflation_when_q_too_large(self, rng):
+        model = random_walk(process_noise=25.0, measurement_sigma=0.5)
+        kf = KalmanFilter(model)
+        scaler = ProcessNoiseScaler(1, window=128)
+        x = 0.0
+        zs = []
+        for _ in range(400):
+            zs.append(x + rng.normal(0, 0.5))
+            x += rng.normal(0, 0.1)
+        _run_filter(kf, [scaler], zs)
+        assert scaler.suggestion() < 0.5
+
+    def test_near_one_on_matched_model(self, rng):
+        model = random_walk(process_noise=1.0, measurement_sigma=1.0)
+        kf = KalmanFilter(model)
+        scaler = ProcessNoiseScaler(1, window=256)
+        x = 0.0
+        zs = []
+        for _ in range(600):
+            zs.append(x + rng.normal(0, 1.0))
+            x += rng.normal(0, 1.0)
+        _run_filter(kf, [scaler], zs)
+        assert 0.6 < scaler.suggestion() < 1.6
+
+    def test_suggestion_clipped_to_max_step(self, rng):
+        model = random_walk(process_noise=1e-8, measurement_sigma=0.1)
+        kf = KalmanFilter(model)
+        scaler = ProcessNoiseScaler(1, window=16, max_step=10.0)
+        x = 0.0
+        zs = []
+        for _ in range(100):
+            zs.append(x)
+            x += 100.0  # violent drift
+        _run_filter(kf, [scaler], zs)
+        assert scaler.suggestion() == pytest.approx(10.0)
+
+    def test_invalid_max_step_rejected(self):
+        with pytest.raises(ConfigurationError):
+            ProcessNoiseScaler(1, max_step=0.5)

@@ -1,0 +1,80 @@
+"""Tests for NIS/NEES consistency monitoring."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError, FilterDivergenceError
+from repro.kalman.consistency import NisMonitor, nees_consistency
+from repro.kalman.filter import KalmanFilter
+from repro.kalman.models import random_walk
+
+
+class TestNisMonitor:
+    def test_stays_quiet_on_matched_model(self, rng):
+        model = random_walk(process_noise=1.0, measurement_sigma=1.0)
+        kf = KalmanFilter(model)
+        monitor = NisMonitor(dim_z=1, confidence=0.999, patience=5)
+        x = 0.0
+        for _ in range(1000):
+            kf.step(x + rng.normal(0, 1.0))
+            monitor.observe(kf)
+            x += rng.normal(0, 1.0)
+        assert not monitor.tripped
+
+    def test_trips_on_gross_mismatch(self):
+        model = random_walk(process_noise=1e-6, measurement_sigma=0.01)
+        kf = KalmanFilter(model)
+        kf.set_state(np.array([0.0]), np.array([[1e-6]]))
+        monitor = NisMonitor(dim_z=1, patience=3)
+        with pytest.raises(FilterDivergenceError):
+            for i in range(100):
+                kf.step(100.0 + i * 50.0)  # wild jumps vs tiny noise model
+                monitor.observe(kf)
+
+    def test_reset_clears_strikes(self, rw_model):
+        monitor = NisMonitor(dim_z=1, patience=10)
+        kf = KalmanFilter(rw_model)
+        kf.set_state(np.array([0.0]), np.array([[1e-4]]))
+        kf.step(1000.0)
+        try:
+            monitor.observe(kf)
+        except FilterDivergenceError:
+            pass
+        monitor.reset()
+        assert monitor.strikes == 0 and not monitor.tripped
+
+    def test_mean_nis_near_dim_on_matched_model(self, rng):
+        model = random_walk(process_noise=1.0, measurement_sigma=1.0)
+        kf = KalmanFilter(model)
+        monitor = NisMonitor(dim_z=1, confidence=0.9999, window=500)
+        x = 0.0
+        for _ in range(500):
+            kf.step(x + rng.normal(0, 1.0))
+            monitor.observe(kf)
+            x += rng.normal(0, 1.0)
+        assert monitor.mean_nis() == pytest.approx(1.0, abs=0.4)
+
+    def test_invalid_confidence_rejected(self):
+        with pytest.raises(ConfigurationError):
+            NisMonitor(dim_z=1, confidence=1.5)
+
+    def test_mean_nis_without_data_rejected(self):
+        with pytest.raises(ConfigurationError):
+            NisMonitor(dim_z=1).mean_nis()
+
+
+class TestNeesConsistency:
+    def test_accepts_chi_square_samples(self, rng):
+        samples = rng.chisquare(df=2, size=500)
+        mean, ok = nees_consistency(samples, dim_x=2)
+        assert ok
+        assert mean == pytest.approx(2.0, abs=0.3)
+
+    def test_rejects_inflated_errors(self, rng):
+        samples = rng.chisquare(df=2, size=500) * 4.0
+        _, ok = nees_consistency(samples, dim_x=2)
+        assert not ok
+
+    def test_empty_samples_rejected(self):
+        with pytest.raises(ConfigurationError):
+            nees_consistency(np.array([]), dim_x=1)

@@ -1,0 +1,148 @@
+"""Tests for the extended Kalman filter and range/bearing measurements."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.errors import DimensionError
+from repro.kalman.ekf import (
+    ExtendedKalmanFilter,
+    MeasurementFunction,
+    range_bearing,
+    wrap_angle,
+)
+from repro.kalman.models import constant_velocity, planar, random_walk
+
+
+class TestWrapAngle:
+    @pytest.mark.parametrize(
+        "theta,expected",
+        [
+            (0.0, 0.0),
+            (math.pi, math.pi),
+            (-math.pi, math.pi),  # (-pi, pi] convention
+            (3 * math.pi, math.pi),
+            (math.pi + 0.1, -math.pi + 0.1),
+            (-math.pi - 0.1, math.pi - 0.1),
+        ],
+    )
+    def test_wraps_into_interval(self, theta, expected):
+        assert wrap_angle(theta) == pytest.approx(expected)
+
+    def test_range_of_output(self, rng):
+        for theta in rng.uniform(-50, 50, 200):
+            w = wrap_angle(float(theta))
+            assert -math.pi < w <= math.pi
+            # Same direction modulo 2 pi.
+            assert math.isclose(math.cos(w), math.cos(theta), abs_tol=1e-9)
+            assert math.isclose(math.sin(w), math.sin(theta), abs_tol=1e-9)
+
+
+class TestRangeBearingFunction:
+    def test_h_computes_polar_coordinates(self):
+        fn = range_bearing((0.0, 0.0))
+        x = np.array([3.0, 0.0, 4.0, 0.0])  # position (3, 4)
+        z = fn.h(x)
+        assert z[0] == pytest.approx(5.0)
+        assert z[1] == pytest.approx(math.atan2(4.0, 3.0))
+
+    def test_jacobian_matches_finite_differences(self, rng):
+        fn = range_bearing((10.0, -5.0))
+        for _ in range(20):
+            x = rng.normal(0, 100, 4)
+            if math.hypot(x[0] - 10.0, x[2] + 5.0) < 1.0:
+                continue  # too close to the station for stable differences
+            jac = fn.jacobian(x)
+            eps = 1e-6
+            for i in range(4):
+                dx = np.zeros(4)
+                dx[i] = eps
+                numeric = (fn.h(x + dx) - fn.h(x - dx)) / (2 * eps)
+                np.testing.assert_allclose(jac[:, i], numeric, atol=1e-5)
+
+    def test_residual_wraps_bearing(self):
+        fn = range_bearing((0.0, 0.0))
+        z = np.array([10.0, math.pi - 0.05])
+        pred = np.array([10.0, -math.pi + 0.05])
+        res = fn.innovation(z, pred)
+        assert res[1] == pytest.approx(-0.1)
+
+    def test_invert_round_trips(self):
+        fn = range_bearing((100.0, 200.0))
+        z = np.array([50.0, 0.7])
+        x = fn.invert(z)
+        np.testing.assert_allclose(fn.h(x), z, atol=1e-9)
+
+
+class TestExtendedKalmanFilter:
+    def _tracking_setup(self):
+        model = planar(
+            constant_velocity(process_noise=0.01, measurement_sigma=1.0)
+        ).with_measurement_noise(np.diag([1.0, 0.001**2]))
+        fn = range_bearing((0.0, 0.0))
+        return model, fn
+
+    def test_dim_mismatch_rejected(self):
+        fn = range_bearing((0.0, 0.0))
+        with pytest.raises(DimensionError):
+            ExtendedKalmanFilter(random_walk(), fn)
+
+    def test_tracks_a_moving_target(self, rng):
+        model, fn = self._tracking_setup()
+        ekf = ExtendedKalmanFilter(model, fn, x0=np.array([100.0, 1.0, 50.0, 0.5]))
+        pos = np.array([100.0, 50.0])
+        vel = np.array([1.0, 0.5])
+        errors = []
+        for t in range(400):
+            pos = pos + vel
+            z = np.array(
+                [
+                    math.hypot(*pos) + rng.normal(0, 1.0),
+                    math.atan2(pos[1], pos[0]) + rng.normal(0, 0.001),
+                ]
+            )
+            ekf.predict()
+            ekf.update(z)
+            est = np.array([ekf.x[0], ekf.x[2]])
+            errors.append(float(np.linalg.norm(est - pos)))
+        assert np.mean(errors[100:]) < 3.0
+
+    def test_deterministic_replication(self, rng):
+        model, fn = self._tracking_setup()
+        a = ExtendedKalmanFilter(model, fn, x0=np.array([50.0, 0.0, 50.0, 0.0]))
+        b = ExtendedKalmanFilter(model, fn, x0=np.array([50.0, 0.0, 50.0, 0.0]))
+        for _ in range(200):
+            z = np.array([rng.uniform(60, 90), rng.uniform(0.5, 1.0)])
+            a.predict()
+            a.update(z)
+            b.predict()
+            b.update(z)
+        assert a.state_equals(b, atol=0.0)
+
+    def test_measurement_estimate_uses_h(self):
+        model, fn = self._tracking_setup()
+        ekf = ExtendedKalmanFilter(model, fn, x0=np.array([3.0, 0.0, 4.0, 0.0]))
+        np.testing.assert_allclose(ekf.measurement_estimate(), [5.0, math.atan2(4, 3)])
+
+    def test_predicted_measurement_propagates_state(self):
+        model, fn = self._tracking_setup()
+        ekf = ExtendedKalmanFilter(model, fn, x0=np.array([100.0, 10.0, 0.0, 0.0]))
+        pred = ekf.predicted_measurement(steps=5)
+        assert pred[0] == pytest.approx(150.0)
+
+    def test_covariance_stays_positive_definite(self, rng):
+        model, fn = self._tracking_setup()
+        ekf = ExtendedKalmanFilter(model, fn, x0=np.array([80.0, 0.0, 80.0, 0.0]))
+        for _ in range(500):
+            z = np.array([rng.uniform(100, 130), rng.uniform(0.6, 0.9)])
+            ekf.predict()
+            ekf.update(z)
+        assert np.all(np.linalg.eigvalsh(ekf.P) > 0)
+
+    def test_copy_preserves_measurement_fn(self):
+        model, fn = self._tracking_setup()
+        ekf = ExtendedKalmanFilter(model, fn, x0=np.array([10.0, 0.0, 10.0, 0.0]))
+        clone = ekf.copy()
+        assert clone.measurement_fn is fn
+        assert clone.state_equals(ekf, atol=0.0)

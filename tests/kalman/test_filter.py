@@ -1,0 +1,183 @@
+"""Tests for the Kalman filter core."""
+
+import numpy as np
+import pytest
+
+from repro.errors import DimensionError
+from repro.kalman.consistency import nees_consistency
+from repro.kalman.filter import KalmanFilter
+from repro.kalman.models import constant_velocity, random_walk
+
+
+class TestBasics:
+    def test_initial_state_defaults_to_zero(self, rw_model):
+        kf = KalmanFilter(rw_model)
+        np.testing.assert_allclose(kf.x, 0.0)
+
+    def test_x0_is_copied(self, rw_model):
+        x0 = np.array([3.0])
+        kf = KalmanFilter(rw_model, x0=x0)
+        x0[0] = 99.0
+        assert kf.x[0] == 3.0
+
+    def test_bad_x0_shape_rejected(self, cv_model):
+        with pytest.raises(DimensionError):
+            KalmanFilter(cv_model, x0=np.array([1.0, 2.0, 3.0]))
+
+    def test_predict_grows_uncertainty(self, rw_model):
+        kf = KalmanFilter(rw_model)
+        before = kf.P[0, 0]
+        kf.predict()
+        assert kf.P[0, 0] > before
+
+    def test_update_shrinks_uncertainty(self, rw_model):
+        kf = KalmanFilter(rw_model)
+        kf.predict()
+        before = kf.P[0, 0]
+        kf.update(1.0)
+        assert kf.P[0, 0] < before
+
+    def test_update_moves_estimate_toward_measurement(self, rw_model):
+        kf = KalmanFilter(rw_model)
+        kf.predict()
+        kf.update(10.0)
+        assert 0.0 < kf.x[0] <= 10.0
+
+    def test_wrong_measurement_shape_rejected(self, rw_model):
+        kf = KalmanFilter(rw_model)
+        kf.predict()
+        with pytest.raises(DimensionError):
+            kf.update(np.array([1.0, 2.0]))
+
+    def test_step_none_is_pure_predict(self, rw_model):
+        a, b = KalmanFilter(rw_model), KalmanFilter(rw_model)
+        a.step(None)
+        b.predict()
+        assert a.state_equals(b)
+
+    def test_counters(self, rw_model):
+        kf = KalmanFilter(rw_model)
+        kf.step(1.0)
+        kf.step(None)
+        assert (kf.n_predicts, kf.n_updates) == (2, 1)
+
+
+class TestConvergence:
+    def test_tracks_constant_signal(self, rng):
+        model = random_walk(process_noise=1e-6, measurement_sigma=1.0)
+        kf = KalmanFilter(model)
+        for _ in range(500):
+            kf.step(5.0 + rng.normal(0, 1.0))
+        assert kf.x[0] == pytest.approx(5.0, abs=0.3)
+
+    def test_estimates_velocity_of_a_ramp(self, rng):
+        model = constant_velocity(process_noise=1e-6, measurement_sigma=0.5)
+        kf = KalmanFilter(model)
+        for t in range(400):
+            kf.step(0.7 * t + rng.normal(0, 0.5))
+        assert kf.x[1] == pytest.approx(0.7, abs=0.05)
+
+    def test_filter_beats_raw_measurements(self, rng):
+        """Filtered RMSE must be below measurement RMSE on a matched model."""
+        model = random_walk(process_noise=0.25, measurement_sigma=2.0)
+        kf = KalmanFilter(model)
+        x = 0.0
+        filt_err, meas_err = [], []
+        for _ in range(3000):
+            z = x + rng.normal(0, 2.0)
+            kf.step(z)
+            filt_err.append((kf.x[0] - x) ** 2)
+            meas_err.append((z - x) ** 2)
+            x += rng.normal(0, 0.5)
+        assert np.mean(filt_err) < 0.6 * np.mean(meas_err)
+
+    def test_nees_consistent_on_matched_model(self, rng):
+        """The filter's covariance honestly reflects its error."""
+        model = random_walk(process_noise=1.0, measurement_sigma=1.0)
+        kf = KalmanFilter(model)
+        x = 0.0
+        nees = []
+        for i in range(2000):
+            z = x + rng.normal(0, 1.0)
+            kf.step(z)
+            if i > 50:  # skip the transient
+                nees.append(kf.nees(np.array([x])))
+            x += rng.normal(0, 1.0)
+        mean_nees, ok = nees_consistency(np.array(nees), dim_x=1, confidence=0.99)
+        assert ok, f"mean NEES {mean_nees} outside the consistency interval"
+
+
+class TestNumerics:
+    def test_covariance_stays_symmetric(self, cv_model, rng):
+        kf = KalmanFilter(cv_model)
+        for _ in range(1000):
+            kf.step(rng.normal(0, 5.0))
+        np.testing.assert_allclose(kf.P, kf.P.T)
+
+    def test_covariance_stays_positive_definite(self, cv_model, rng):
+        kf = KalmanFilter(cv_model)
+        for _ in range(1000):
+            kf.step(rng.normal(0, 5.0))
+        assert np.all(np.linalg.eigvalsh(kf.P) > 0)
+
+    def test_log_likelihood_finite(self, rw_model):
+        kf = KalmanFilter(rw_model)
+        kf.step(1.0)
+        assert np.isfinite(kf.log_likelihood())
+
+    def test_nis_positive(self, rw_model):
+        kf = KalmanFilter(rw_model)
+        kf.step(3.0)
+        assert kf.nis() > 0
+
+    def test_update_with_r_override_moves_less(self, rw_model):
+        a, b = KalmanFilter(rw_model), KalmanFilter(rw_model)
+        a.predict()
+        b.predict()
+        a.update(10.0)
+        b.update(10.0, R=rw_model.R * 100.0)
+        assert abs(b.x[0]) < abs(a.x[0])
+
+
+class TestReplication:
+    def test_copy_is_independent(self, rw_model):
+        kf = KalmanFilter(rw_model)
+        kf.step(2.0)
+        clone = kf.copy()
+        kf.step(5.0)
+        assert not kf.state_equals(clone)
+
+    def test_identical_inputs_give_identical_state(self, rw_model, rng):
+        zs = rng.normal(0, 1, 500)
+        a, b = KalmanFilter(rw_model), KalmanFilter(rw_model)
+        for z in zs:
+            a.step(z)
+            b.step(z)
+        assert a.state_equals(b, atol=0.0)  # bit-identical
+
+    def test_set_state_round_trip(self, cv_model):
+        kf = KalmanFilter(cv_model)
+        kf.step(1.0)
+        other = KalmanFilter(cv_model)
+        other.set_state(kf.x, kf.P)
+        assert kf.state_equals(other)
+
+    def test_predicted_measurement_does_not_mutate(self, cv_model):
+        kf = KalmanFilter(cv_model)
+        kf.step(1.0)
+        x_before = kf.x.copy()
+        kf.predicted_measurement(steps=5)
+        np.testing.assert_array_equal(kf.x, x_before)
+
+    def test_predicted_measurement_extrapolates(self, cv_model, rng):
+        kf = KalmanFilter(cv_model)
+        for t in range(200):
+            kf.step(2.0 * t + rng.normal(0, 0.5))
+        pred5 = kf.predicted_measurement(steps=5)[0]
+        pred1 = kf.predicted_measurement(steps=1)[0]
+        assert pred5 - pred1 == pytest.approx(8.0, abs=0.5)
+
+    def test_swap_model_requires_same_dims(self, rw_model, cv_model):
+        kf = KalmanFilter(rw_model)
+        with pytest.raises(DimensionError):
+            kf.swap_model(cv_model)

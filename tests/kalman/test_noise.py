@@ -1,0 +1,92 @@
+"""Tests for process/measurement noise construction."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.kalman.noise import (
+    measurement_noise,
+    q_discrete_white_noise,
+    q_random_walk,
+    q_white_noise_accel,
+    q_white_noise_jerk,
+)
+
+
+class TestQRandomWalk:
+    def test_variance_scales_linearly_with_dt(self):
+        assert q_random_walk(2.0, 3.0)[0, 0] == pytest.approx(6.0)
+
+    def test_shape(self):
+        assert q_random_walk(1.0, 1.0).shape == (1, 1)
+
+    def test_zero_density_gives_zero_matrix(self):
+        assert q_random_walk(1.0, 0.0)[0, 0] == 0.0
+
+    def test_rejects_non_positive_dt(self):
+        with pytest.raises(ConfigurationError):
+            q_random_walk(0.0, 1.0)
+
+    def test_rejects_negative_density(self):
+        with pytest.raises(ConfigurationError):
+            q_random_walk(1.0, -1.0)
+
+
+class TestQWhiteNoiseAccel:
+    def test_known_values_at_unit_dt(self):
+        q = q_white_noise_accel(1.0, 1.0)
+        expected = np.array([[1 / 3, 1 / 2], [1 / 2, 1.0]])
+        np.testing.assert_allclose(q, expected)
+
+    def test_symmetric(self):
+        q = q_white_noise_accel(0.5, 2.0)
+        np.testing.assert_allclose(q, q.T)
+
+    def test_positive_semidefinite(self):
+        q = q_white_noise_accel(0.1, 5.0)
+        assert np.all(np.linalg.eigvalsh(q) >= -1e-12)
+
+
+class TestQWhiteNoiseJerk:
+    def test_known_values_at_unit_dt(self):
+        q = q_white_noise_jerk(1.0, 1.0)
+        expected = np.array(
+            [
+                [1 / 20, 1 / 8, 1 / 6],
+                [1 / 8, 1 / 3, 1 / 2],
+                [1 / 6, 1 / 2, 1.0],
+            ]
+        )
+        np.testing.assert_allclose(q, expected)
+
+    def test_positive_semidefinite(self):
+        q = q_white_noise_jerk(2.0, 0.3)
+        assert np.all(np.linalg.eigvalsh(q) >= -1e-12)
+
+
+class TestDispatch:
+    @pytest.mark.parametrize("order,size", [(1, 1), (2, 2), (3, 3)])
+    def test_orders_give_matching_shapes(self, order, size):
+        assert q_discrete_white_noise(order, 1.0, 1.0).shape == (size, size)
+
+    def test_unknown_order_rejected(self):
+        with pytest.raises(ConfigurationError):
+            q_discrete_white_noise(4, 1.0, 1.0)
+
+
+class TestMeasurementNoise:
+    def test_scalar_sigma_broadcasts(self):
+        r = measurement_noise(2.0, dim_z=3)
+        np.testing.assert_allclose(r, np.eye(3) * 4.0)
+
+    def test_vector_sigma_per_axis(self):
+        r = measurement_noise(np.array([1.0, 3.0]), dim_z=2)
+        np.testing.assert_allclose(np.diag(r), [1.0, 9.0])
+
+    def test_wrong_length_rejected(self):
+        with pytest.raises(ConfigurationError):
+            measurement_noise(np.array([1.0, 2.0]), dim_z=3)
+
+    def test_negative_sigma_rejected(self):
+        with pytest.raises(ConfigurationError):
+            measurement_noise(-1.0, dim_z=1)

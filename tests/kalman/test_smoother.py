@@ -1,0 +1,80 @@
+"""Tests for the RTS smoother."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.kalman.filter import KalmanFilter, StepRecord
+from repro.kalman.models import constant_velocity, random_walk
+from repro.kalman.smoother import rts_smooth
+
+
+def _forward_pass(model, zs):
+    """Run a filter and capture prior/posterior records per step."""
+    kf = KalmanFilter(model)
+    records = []
+    for z in zs:
+        kf.predict()
+        x_prior, p_prior = kf.x.copy(), kf.P.copy()
+        kf.update(z)
+        records.append(
+            StepRecord(
+                x_prior=x_prior,
+                P_prior=p_prior,
+                x_post=kf.x.copy(),
+                P_post=kf.P.copy(),
+                F=model.F.copy(),
+            )
+        )
+    return records
+
+
+class TestRtsSmooth:
+    def test_empty_records_rejected(self):
+        with pytest.raises(ConfigurationError):
+            rts_smooth([])
+
+    def test_output_length_matches_input(self, rng):
+        model = random_walk(process_noise=1.0, measurement_sigma=1.0)
+        zs = rng.normal(0, 1, 50)
+        records = _forward_pass(model, zs)
+        assert len(rts_smooth(records)) == 50
+
+    def test_last_smoothed_state_equals_last_posterior(self, rng):
+        model = random_walk(process_noise=1.0, measurement_sigma=1.0)
+        records = _forward_pass(model, rng.normal(0, 1, 30))
+        smoothed = rts_smooth(records)
+        np.testing.assert_allclose(smoothed[-1].x, records[-1].x_post)
+
+    def test_smoother_reduces_rmse_vs_filter(self, rng):
+        """The whole point: conditioning on the future helps the past."""
+        model = random_walk(process_noise=0.5, measurement_sigma=2.0)
+        x = 0.0
+        truth, zs = [], []
+        for _ in range(800):
+            truth.append(x)
+            zs.append(x + rng.normal(0, 2.0))
+            x += rng.normal(0, np.sqrt(0.5))
+        records = _forward_pass(model, zs)
+        smoothed = rts_smooth(records)
+        filt_rmse = np.sqrt(
+            np.mean([(r.x_post[0] - t) ** 2 for r, t in zip(records, truth)])
+        )
+        smooth_rmse = np.sqrt(
+            np.mean([(s.x[0] - t) ** 2 for s, t in zip(smoothed, truth)])
+        )
+        assert smooth_rmse < filt_rmse
+
+    def test_smoothed_covariances_not_larger_than_filtered(self, rng):
+        model = constant_velocity(process_noise=0.1, measurement_sigma=1.0)
+        records = _forward_pass(model, rng.normal(0, 1, 100))
+        smoothed = rts_smooth(records)
+        # Compare traces away from the boundary.
+        for rec, sm in list(zip(records, smoothed))[5:-5]:
+            assert np.trace(sm.P) <= np.trace(rec.P_post) + 1e-9
+
+    def test_smoothed_covariance_symmetric(self, rng):
+        model = constant_velocity(process_noise=0.1, measurement_sigma=1.0)
+        records = _forward_pass(model, rng.normal(0, 1, 40))
+        for sm in rts_smooth(records):
+            np.testing.assert_allclose(sm.P, sm.P.T, atol=1e-12)

@@ -1,0 +1,120 @@
+"""Tests for error/communication metrics and report rendering."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.metrics.comm import (
+    bytes_per_tick,
+    message_rate,
+    rolling_message_rate,
+    suppression_ratio,
+)
+from repro.metrics.errors import (
+    mae,
+    max_abs_error,
+    per_tick_abs_error,
+    rmse,
+    summarize_errors,
+    violation_rate,
+)
+from repro.metrics.report import format_cell, render_series, render_table
+from repro.network.stats import CommunicationStats
+
+
+class TestErrorMetrics:
+    def test_per_tick_abs_error_1d(self):
+        err = per_tick_abs_error(np.array([1.0, 2.0]), np.array([1.5, 1.0]))
+        np.testing.assert_allclose(err, [0.5, 1.0])
+
+    def test_per_tick_abs_error_uses_max_across_dims(self):
+        served = np.array([[0.0, 0.0]])
+        ref = np.array([[0.5, 2.0]])
+        np.testing.assert_allclose(per_tick_abs_error(served, ref), [2.0])
+
+    def test_nan_ticks_ignored(self):
+        served = np.array([np.nan, 1.0, 2.0])
+        ref = np.array([0.0, 1.0, 4.0])
+        assert mae(served, ref) == pytest.approx(1.0)
+        assert max_abs_error(served, ref) == pytest.approx(2.0)
+
+    def test_rmse_formula(self):
+        assert rmse(np.array([0.0, 0.0]), np.array([3.0, 4.0])) == pytest.approx(
+            np.sqrt(12.5)
+        )
+
+    def test_violation_rate_counts_exceedances(self):
+        served = np.array([0.0, 0.0, 0.0, 0.0])
+        ref = np.array([0.5, 1.5, 2.5, 0.1])
+        assert violation_rate(served, ref, tolerance=1.0) == pytest.approx(0.5)
+
+    def test_violation_rate_tolerates_boundary(self):
+        assert violation_rate(np.array([0.0]), np.array([1.0]), tolerance=1.0) == 0.0
+
+    def test_all_nan_rejected(self):
+        with pytest.raises(ConfigurationError):
+            rmse(np.array([np.nan]), np.array([1.0]))
+
+    def test_shape_mismatch_rejected(self):
+        with pytest.raises(ConfigurationError):
+            mae(np.zeros(3), np.zeros(4))
+
+    def test_summary_bundle(self):
+        s = summarize_errors(np.array([0.0, 0.0]), np.array([1.0, 2.0]))
+        assert s.mae == pytest.approx(1.5)
+        assert s.max_error == pytest.approx(2.0)
+        assert s.valid_ticks == 2
+
+
+class TestCommMetrics:
+    def test_suppression_ratio(self):
+        sent = np.array([True, False, False, False])
+        assert suppression_ratio(sent) == pytest.approx(0.75)
+        assert message_rate(sent) == pytest.approx(0.25)
+
+    def test_rolling_rate_trailing_window(self):
+        sent = np.array([1, 0, 0, 0, 1, 1], dtype=bool)
+        rolling = rolling_message_rate(sent, window=2)
+        np.testing.assert_allclose(rolling, [1.0, 0.5, 0.0, 0.0, 0.5, 1.0])
+
+    def test_rolling_rate_early_ticks_average_what_exists(self):
+        sent = np.array([1, 1, 0, 0], dtype=bool)
+        rolling = rolling_message_rate(sent, window=10)
+        np.testing.assert_allclose(rolling, [1.0, 1.0, 2 / 3, 0.5])
+
+    def test_bytes_per_tick(self):
+        stats = CommunicationStats(per_message_overhead=10)
+        stats.record_send("update", 20)
+        assert bytes_per_tick(stats, 3) == pytest.approx(10.0)
+
+    def test_empty_series_rejected(self):
+        with pytest.raises(ConfigurationError):
+            suppression_ratio(np.array([], dtype=bool))
+
+
+class TestReportRendering:
+    def test_format_cell_variants(self):
+        assert format_cell(True) == "yes"
+        assert format_cell(float("nan")) == "-"
+        assert format_cell(0.0) == "0"
+        assert format_cell("abc") == "abc"
+
+    def test_table_aligns_columns(self):
+        text = render_table(["name", "n"], [["a", 1], ["longer", 22]])
+        lines = [line for line in text.splitlines() if "|" in line]
+        assert len(lines) == 3  # header + 2 rows (separator uses +)
+        assert len({line.index("|") for line in lines}) == 1
+
+    def test_table_row_width_checked(self):
+        with pytest.raises(ConfigurationError):
+            render_table(["a", "b"], [["only-one"]])
+
+    def test_series_includes_all_lines(self):
+        text = render_series(
+            "x", [1, 2], {"alpha": [10, 20], "beta": [30, 40]}, title="t"
+        )
+        assert "alpha" in text and "beta" in text and "t" in text
+
+    def test_series_length_checked(self):
+        with pytest.raises(ConfigurationError):
+            render_series("x", [1, 2], {"s": [1]})

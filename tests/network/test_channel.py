@@ -1,0 +1,89 @@
+"""Tests for the message channel."""
+
+import numpy as np
+import pytest
+
+from repro.core.protocol import MeasurementUpdate
+from repro.errors import ConfigurationError
+from repro.network.channel import Channel
+
+
+def _msg(seq: int = 1) -> MeasurementUpdate:
+    return MeasurementUpdate(stream_id="s", seq=seq, tick=seq, z=np.array([1.0]))
+
+
+class TestIdealChannel:
+    def test_instant_delivery(self):
+        ch = Channel.ideal()
+        ch.send(_msg(), now=0.0)
+        deliveries = ch.poll(0.0)
+        assert len(deliveries) == 1
+        assert deliveries[0].arrived_at == 0.0
+
+    def test_is_ideal_flag(self):
+        assert Channel.ideal().is_ideal
+        assert not Channel(latency=1.0).is_ideal
+
+    def test_stats_count_messages_and_bytes(self):
+        ch = Channel.ideal()
+        ch.send(_msg(1), now=0.0)
+        ch.send(_msg(2), now=1.0)
+        assert ch.stats.total_messages == 2
+        assert ch.stats.total_payload_bytes == 2 * _msg().payload_bytes()
+
+
+class TestLatency:
+    def test_message_arrives_after_latency(self):
+        ch = Channel(latency=2.0)
+        ch.send(_msg(), now=0.0)
+        assert ch.poll(1.9) == []
+        assert len(ch.poll(2.0)) == 1
+
+    def test_pending_counts_in_flight(self):
+        ch = Channel(latency=5.0)
+        ch.send(_msg(1), now=0.0)
+        ch.send(_msg(2), now=0.0)
+        assert ch.pending() == 2
+        ch.poll(10.0)
+        assert ch.pending() == 0
+
+    def test_jitter_delays_messages(self):
+        ch = Channel(latency=1.0, jitter=3.0, seed=7)
+        for i in range(100):
+            ch.send(_msg(i), now=0.0)
+        delays = [d.arrived_at for d in ch.poll(1e9)]
+        assert min(delays) >= 1.0
+        assert np.mean(delays) == pytest.approx(4.0, rel=0.3)
+
+    def test_fifo_within_equal_delay(self):
+        ch = Channel(latency=1.0)
+        ch.send(_msg(1), now=0.0)
+        ch.send(_msg(2), now=0.0)
+        seqs = [d.message.seq for d in ch.poll(5.0)]
+        assert seqs == [1, 2]
+
+
+class TestLoss:
+    def test_lossless_by_default(self):
+        ch = Channel.ideal()
+        assert all(ch.send(_msg(i), now=0.0) for i in range(50))
+
+    def test_loss_rate_approximate(self):
+        ch = Channel(loss_rate=0.3, seed=11)
+        outcomes = [ch.send(_msg(i), now=float(i)) for i in range(2000)]
+        assert np.mean(outcomes) == pytest.approx(0.7, abs=0.05)
+
+    def test_lost_messages_still_counted_as_sent(self):
+        ch = Channel(loss_rate=0.99, seed=11)
+        for i in range(100):
+            ch.send(_msg(i), now=0.0)
+        assert ch.stats.total_messages == 100
+        assert ch.stats.dropped_messages["update"] > 80
+
+    def test_invalid_loss_rate_rejected(self):
+        with pytest.raises(ConfigurationError):
+            Channel(loss_rate=1.0)
+
+    def test_negative_latency_rejected(self):
+        with pytest.raises(ConfigurationError):
+            Channel(latency=-1.0)

@@ -1,0 +1,89 @@
+"""Tests for the discrete-event scheduler."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.network.events import EventScheduler
+
+
+class TestScheduling:
+    def test_pop_due_returns_events_in_time_order(self):
+        sched = EventScheduler()
+        sched.schedule(3.0, payload="c")
+        sched.schedule(1.0, payload="a")
+        sched.schedule(2.0, payload="b")
+        assert [e.payload for e in sched.pop_due(5.0)] == ["a", "b", "c"]
+
+    def test_ties_break_by_insertion_order(self):
+        sched = EventScheduler()
+        for name in "abc":
+            sched.schedule(1.0, payload=name)
+        assert [e.payload for e in sched.pop_due(1.0)] == ["a", "b", "c"]
+
+    def test_pop_due_advances_now(self):
+        sched = EventScheduler()
+        sched.schedule(2.0)
+        sched.pop_due(5.0)
+        assert sched.now == 5.0
+
+    def test_future_events_not_popped(self):
+        sched = EventScheduler()
+        sched.schedule(10.0, payload="later")
+        assert sched.pop_due(5.0) == []
+        assert len(sched) == 1
+
+    def test_scheduling_in_the_past_rejected(self):
+        sched = EventScheduler()
+        sched.schedule(5.0)
+        sched.pop_due(5.0)
+        with pytest.raises(ConfigurationError):
+            sched.schedule(1.0)
+
+    def test_schedule_in_relative(self):
+        sched = EventScheduler()
+        sched.pop_due(10.0)
+        event = sched.schedule_in(2.5)
+        assert event.time == pytest.approx(12.5)
+
+    def test_negative_delay_rejected(self):
+        with pytest.raises(ConfigurationError):
+            EventScheduler().schedule_in(-1.0)
+
+
+class TestCancellation:
+    def test_cancelled_events_skipped(self):
+        sched = EventScheduler()
+        keep = sched.schedule(1.0, payload="keep")
+        drop = sched.schedule(1.0, payload="drop")
+        sched.cancel(drop)
+        assert [e.payload for e in sched.pop_due(2.0)] == ["keep"]
+        assert keep.payload == "keep"
+
+    def test_len_ignores_cancelled(self):
+        sched = EventScheduler()
+        e = sched.schedule(1.0)
+        sched.schedule(2.0)
+        sched.cancel(e)
+        assert len(sched) == 1
+
+    def test_peek_time_skips_cancelled(self):
+        sched = EventScheduler()
+        e = sched.schedule(1.0)
+        sched.schedule(3.0)
+        sched.cancel(e)
+        assert sched.peek_time() == 3.0
+
+    def test_peek_time_empty(self):
+        assert EventScheduler().peek_time() is None
+
+
+class TestRunUntil:
+    def test_actions_execute(self):
+        sched = EventScheduler()
+        hits = []
+        sched.schedule(1.0, action=lambda: hits.append(1))
+        sched.schedule(2.0, action=lambda: hits.append(2))
+        ran = sched.run_until(1.5)
+        assert ran == 1 and hits == [1]
+        sched.run_until(3.0)
+        assert hits == [1, 2]

@@ -1,0 +1,45 @@
+"""Tests for communication accounting."""
+
+from repro.network.stats import CommunicationStats
+
+
+class TestCounting:
+    def test_totals(self):
+        stats = CommunicationStats(per_message_overhead=10)
+        stats.record_send("update", 24)
+        stats.record_send("update", 24)
+        stats.record_send("resync", 100)
+        assert stats.total_messages == 3
+        assert stats.total_payload_bytes == 148
+        assert stats.total_bytes == 148 + 30
+
+    def test_per_kind_counts(self):
+        stats = CommunicationStats()
+        stats.record_send("update", 24)
+        stats.record_send("model_switch", 40)
+        assert stats.messages_of("update") == 1
+        assert stats.messages_of("model_switch") == 1
+        assert stats.messages_of("resync") == 0
+
+    def test_drops_tracked_separately(self):
+        stats = CommunicationStats()
+        stats.record_send("update", 24)
+        stats.record_drop("update")
+        assert stats.total_messages == 1
+        assert stats.dropped_messages["update"] == 1
+
+    def test_merge_accumulates(self):
+        a, b = CommunicationStats(), CommunicationStats()
+        a.record_send("update", 24)
+        b.record_send("update", 24)
+        b.record_send("resync", 80)
+        a.merge(b)
+        assert a.total_messages == 3
+        assert a.sent_payload_bytes["resync"] == 80
+
+    def test_summary_structure(self):
+        stats = CommunicationStats()
+        stats.record_send("update", 24)
+        summary = stats.summary()
+        assert summary["total_messages"] == 1
+        assert summary["messages"] == {"update": 1}

@@ -1,0 +1,242 @@
+"""Property-based tests (hypothesis) for the system's core invariants.
+
+These are the guarantees the design leans on:
+
+1. **Precision contract** — for any stream and any δ, every gated policy's
+   served value is within δ of the measurement at every tick.
+2. **Lock-step replication** — source and server replicas are bit-identical
+   after any protocol exchange on an ideal channel.
+3. **Determinism** — a policy run is a pure function of (readings, config).
+4. **Incremental aggregates** — match batch recomputation for any input
+   and any window size.
+5. **Bound propagation soundness** — propagated aggregate bounds dominate
+   any within-bound perturbation of the inputs.
+6. **Rate-curve round trip** — fitting an exact power law recovers it.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.baselines.dead_band import DeadBandPolicy
+from repro.baselines.dead_reckoning import DeadReckoningPolicy
+from repro.baselines.ewma import EwmaPolicy
+from repro.core.allocation import RateCurve, allocate_waterfilling
+from repro.core.precision import AbsoluteBound
+from repro.core.session import DualKalmanPolicy
+from repro.dsms.aggregates import make_aggregate
+from repro.dsms.precision_propagation import aggregate_bound
+from repro.kalman.models import constant_velocity, random_walk
+from repro.streams.base import Reading
+
+
+# ----------------------------------------------------------------------
+# Strategies
+# ----------------------------------------------------------------------
+def reading_lists(min_size: int = 5, max_size: int = 120):
+    """Lists of scalar readings with bounded magnitudes (some dropped)."""
+    value = st.one_of(
+        st.none(),
+        st.floats(min_value=-1e4, max_value=1e4, allow_nan=False),
+    )
+    return st.lists(value, min_size=min_size, max_size=max_size).map(
+        lambda vals: [
+            Reading(t=float(i), value=None if v is None else np.array([v]))
+            for i, v in enumerate(vals)
+        ]
+    )
+
+
+def policy_factories():
+    return st.sampled_from(
+        [
+            lambda bound: DeadBandPolicy(bound),
+            lambda bound: DeadReckoningPolicy(bound),
+            lambda bound: EwmaPolicy(bound),
+            lambda bound: DualKalmanPolicy(
+                random_walk(process_noise=1.0, measurement_sigma=1.0), bound
+            ),
+            lambda bound: DualKalmanPolicy(
+                constant_velocity(process_noise=0.1, measurement_sigma=1.0), bound
+            ),
+            lambda bound: DualKalmanPolicy(
+                random_walk(process_noise=1.0, measurement_sigma=1.0),
+                bound,
+                robust_threshold=2.0,
+            ),
+        ]
+    )
+
+
+# ----------------------------------------------------------------------
+# 1. Precision contract
+# ----------------------------------------------------------------------
+@settings(max_examples=120, deadline=None)
+@given(
+    readings=reading_lists(),
+    delta=st.floats(min_value=0.01, max_value=100.0),
+    factory=policy_factories(),
+)
+def test_gated_policies_never_violate_the_bound(readings, delta, factory):
+    policy = factory(AbsoluteBound(delta))
+    for reading in readings:
+        outcome = policy.tick(reading)
+        if reading.value is not None and outcome.estimate is not None:
+            err = abs(float(outcome.estimate[0]) - float(reading.value[0]))
+            assert err <= delta * (1 + 1e-9) + 1e-12
+
+
+# ----------------------------------------------------------------------
+# 2. Lock-step replication
+# ----------------------------------------------------------------------
+@settings(max_examples=60, deadline=None)
+@given(readings=reading_lists(), delta=st.floats(min_value=0.01, max_value=50.0))
+def test_replicas_stay_bit_identical(readings, delta):
+    policy = DualKalmanPolicy(
+        random_walk(process_noise=1.0, measurement_sigma=1.0),
+        AbsoluteBound(delta),
+        check_sync=True,  # raises ReplicaDesyncError on any divergence
+    )
+    for reading in readings:
+        policy.tick(reading)
+    assert policy.source.replica.state_equals(policy.server.replica, atol=0.0)
+
+
+# ----------------------------------------------------------------------
+# 3. Determinism
+# ----------------------------------------------------------------------
+@settings(max_examples=40, deadline=None)
+@given(
+    readings=reading_lists(),
+    delta=st.floats(min_value=0.01, max_value=50.0),
+    factory=policy_factories(),
+)
+def test_policy_runs_are_deterministic(readings, delta, factory):
+    def run():
+        policy = factory(AbsoluteBound(delta))
+        trace = []
+        for reading in readings:
+            outcome = policy.tick(reading)
+            trace.append(
+                None if outcome.estimate is None else float(outcome.estimate[0])
+            )
+        return trace, policy.stats.total_messages
+
+    assert run() == run()
+
+
+# ----------------------------------------------------------------------
+# 4. Incremental aggregates match batch recomputation
+# ----------------------------------------------------------------------
+@settings(max_examples=100, deadline=None)
+@given(
+    xs=st.lists(
+        st.floats(min_value=-1e6, max_value=1e6, allow_nan=False),
+        min_size=1,
+        max_size=80,
+    ),
+    window=st.integers(min_value=1, max_value=20),
+    name=st.sampled_from(["sum", "mean", "min", "max", "var", "median", "q0.3"]),
+)
+def test_incremental_aggregates_match_batch(xs, window, name):
+    batch_fns = {
+        "sum": np.sum,
+        "mean": np.mean,
+        "min": np.min,
+        "max": np.max,
+        "var": np.var,
+        "median": np.median,
+        "q0.3": lambda w: np.quantile(w, 0.3),
+    }
+    agg = make_aggregate(name)
+    buf = []
+    for i, x in enumerate(xs):
+        buf.append(x)
+        if len(buf) > window:
+            agg.remove(buf.pop(0))
+        agg.add(x)
+        expected = batch_fns[name](np.array(buf))
+        scale = max(1.0, abs(float(expected)), max(abs(v) for v in buf))
+        assert abs(agg.value() - expected) <= 1e-7 * scale
+
+
+# ----------------------------------------------------------------------
+# 5. Bound propagation soundness
+# ----------------------------------------------------------------------
+@settings(max_examples=100, deadline=None)
+@given(
+    data=st.data(),
+    name=st.sampled_from(["sum", "mean", "min", "max", "median", "var"]),
+)
+def test_propagated_bounds_dominate_perturbations(data, name):
+    batch_fns = {
+        "sum": np.sum,
+        "mean": np.mean,
+        "min": np.min,
+        "max": np.max,
+        "median": np.median,
+        "var": np.var,
+    }
+    n = data.draw(st.integers(min_value=1, max_value=25))
+    values = np.array(
+        data.draw(
+            st.lists(
+                st.floats(min_value=-1e3, max_value=1e3, allow_nan=False),
+                min_size=n,
+                max_size=n,
+            )
+        )
+    )
+    bounds = np.array(
+        data.draw(
+            st.lists(
+                st.floats(min_value=0.0, max_value=10.0, allow_nan=False),
+                min_size=n,
+                max_size=n,
+            )
+        )
+    )
+    signs = np.array(
+        data.draw(st.lists(st.sampled_from([-1.0, 0.0, 1.0]), min_size=n, max_size=n))
+    )
+    propagated = aggregate_bound(name, list(bounds), list(values))
+    perturbed = values + signs * bounds
+    fn = batch_fns[name]
+    assert abs(fn(perturbed) - fn(values)) <= propagated * (1 + 1e-9) + 1e-9
+
+
+# ----------------------------------------------------------------------
+# 6. Rate-curve round trip and allocator feasibility
+# ----------------------------------------------------------------------
+@settings(max_examples=100, deadline=None)
+@given(
+    a=st.floats(min_value=1e-3, max_value=10.0),
+    b=st.floats(min_value=0.2, max_value=4.0),
+)
+def test_rate_curve_fit_recovers_exact_power_law(a, b):
+    deltas = np.array([0.25, 0.7, 1.9, 5.3])
+    rates = a * deltas ** (-b)
+    curve = RateCurve.fit(deltas, rates)
+    assert np.isclose(curve.a, a, rtol=1e-6)
+    assert np.isclose(curve.b, b, rtol=1e-6)
+
+
+@settings(max_examples=60, deadline=None)
+@given(
+    params=st.lists(
+        st.tuples(
+            st.floats(min_value=1e-3, max_value=5.0),
+            st.floats(min_value=0.3, max_value=3.0),
+        ),
+        min_size=1,
+        max_size=8,
+    ),
+    budget=st.floats(min_value=0.01, max_value=10.0),
+)
+def test_waterfilling_always_meets_budget(params, budget):
+    curves = [RateCurve(a=a, b=b) for a, b in params]
+    alloc = allocate_waterfilling(curves, budget)
+    assert alloc.predicted_total_rate <= budget * 1.01
+    assert np.all(alloc.deltas > 0)

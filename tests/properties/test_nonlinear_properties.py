@@ -1,0 +1,74 @@
+"""Property-based tests for the EKF suppression path."""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.nonlinear import EkfSuppressionPolicy, RangeBearingBound
+from repro.kalman.ekf import range_bearing, wrap_angle
+from repro.kalman.models import constant_velocity, planar
+from repro.streams.base import Reading
+
+STATION = (0.0, 0.0)
+
+
+def _model():
+    return planar(
+        constant_velocity(process_noise=1.0, measurement_sigma=1.0)
+    ).with_measurement_noise(np.diag([4.0, 1e-4]))
+
+
+def polar_reading_lists():
+    """Sequences of plausible (range, bearing) readings away from the station."""
+    rng = st.floats(min_value=50.0, max_value=5000.0, allow_nan=False)
+    bearing = st.floats(min_value=-math.pi + 1e-6, max_value=math.pi, allow_nan=False)
+    item = st.one_of(st.none(), st.tuples(rng, bearing))
+    return st.lists(item, min_size=3, max_size=60).map(
+        lambda rows: [
+            Reading(
+                t=float(i),
+                value=None if row is None else np.array([row[0], row[1]]),
+            )
+            for i, row in enumerate(rows)
+        ]
+    )
+
+
+@settings(max_examples=60, deadline=None)
+@given(
+    readings=polar_reading_lists(),
+    delta_range=st.floats(min_value=0.5, max_value=100.0),
+    delta_bearing=st.floats(min_value=0.005, max_value=0.5),
+)
+def test_ekf_policy_honours_range_bearing_bound(readings, delta_range, delta_bearing):
+    policy = EkfSuppressionPolicy(
+        _model(),
+        range_bearing(STATION),
+        RangeBearingBound(delta_range, delta_bearing),
+    )
+    for reading in readings:
+        outcome = policy.tick(reading)
+        if reading.value is not None and outcome.estimate is not None:
+            assert abs(outcome.estimate[0] - reading.value[0]) <= delta_range * (
+                1 + 1e-9
+            )
+            bearing_err = abs(
+                wrap_angle(float(outcome.estimate[1] - reading.value[1]))
+            )
+            assert bearing_err <= delta_bearing * (1 + 1e-9)
+
+
+@settings(max_examples=30, deadline=None)
+@given(readings=polar_reading_lists())
+def test_ekf_policy_is_deterministic(readings):
+    def run():
+        policy = EkfSuppressionPolicy(
+            _model(), range_bearing(STATION), RangeBearingBound(10.0, 0.05)
+        )
+        return [policy.tick(r).sent for r in readings]
+
+    assert run() == run()

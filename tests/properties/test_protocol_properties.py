@@ -1,0 +1,133 @@
+"""Property-based tests for protocol-level invariants.
+
+Beyond the policy-level invariants in ``test_invariants.py``, these drive
+the replica and serialization layers directly with arbitrary operation
+sequences.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.protocol import ModelSwitch
+from repro.core.replica import FilterReplica
+from repro.kalman.models import constant_velocity, random_walk
+from repro.streams.base import Reading
+from repro.streams.replay import RecordedStream, from_csv, to_csv
+
+
+# ----------------------------------------------------------------------
+# Replica lock-step under arbitrary operation sequences
+# ----------------------------------------------------------------------
+def replica_ops():
+    """Sequences of (op, payload) applied identically to both replicas."""
+    op = st.one_of(
+        st.just(("coast", None)),
+        st.floats(min_value=-1e3, max_value=1e3, allow_nan=False).map(
+            lambda z: ("update", z)
+        ),
+        st.floats(min_value=-1e3, max_value=1e3, allow_nan=False).map(
+            lambda z: ("outlier_update", z)
+        ),
+        st.floats(min_value=0.1, max_value=10.0).map(
+            lambda s: ("q_scale", s)
+        ),
+        st.floats(min_value=0.01, max_value=100.0).map(
+            lambda r: ("set_r", r)
+        ),
+        st.just(("resync", None)),
+    )
+    return st.lists(op, min_size=1, max_size=60)
+
+
+@settings(max_examples=80, deadline=None)
+@given(ops=replica_ops(), use_cv=st.booleans())
+def test_replicas_bit_identical_under_any_op_sequence(ops, use_cv):
+    model = constant_velocity() if use_cv else random_walk()
+    a = FilterReplica(model)
+    b = FilterReplica(model)
+    seq = 0
+    for op, payload in ops:
+        seq += 1
+        if op == "coast":
+            a.coast()
+            b.coast()
+        elif op == "update":
+            z = np.array([payload])
+            a.apply_update(z)
+            b.apply_update(z)
+        elif op == "outlier_update":
+            z = np.array([payload])
+            a.apply_update(z, outlier=True)
+            b.apply_update(z, outlier=True)
+        elif op == "q_scale":
+            msg = ModelSwitch(
+                stream_id="s", seq=seq, tick=a.tick, change={"Q_scale": payload}
+            )
+            a.apply_model_switch(msg)
+            b.apply_model_switch(msg)
+        elif op == "set_r":
+            msg = ModelSwitch(
+                stream_id="s", seq=seq, tick=a.tick, change={"R": [[payload]]}
+            )
+            a.apply_model_switch(msg)
+            b.apply_model_switch(msg)
+        elif op == "resync":
+            snap = a.snapshot("s", seq)
+            b.apply_resync(snap)
+        assert a.state_equals(b, atol=0.0), f"diverged after {op}"
+    assert a.fingerprint() == b.fingerprint()
+
+
+# ----------------------------------------------------------------------
+# CSV round-trip preserves readings exactly (repr-level floats)
+# ----------------------------------------------------------------------
+def reading_sequences():
+    scalar = st.floats(
+        min_value=-1e12, max_value=1e12, allow_nan=False, allow_infinity=False
+    )
+    body = st.one_of(st.none(), st.tuples(scalar, scalar))
+    return st.lists(body, min_size=1, max_size=40).map(
+        lambda rows: [
+            Reading(
+                t=float(i),
+                value=None if row is None else np.array([row[0]]),
+                truth=None if row is None else np.array([row[1]]),
+            )
+            for i, row in enumerate(rows)
+        ]
+    )
+
+
+@settings(max_examples=60, deadline=None)
+@given(readings=reading_sequences())
+def test_csv_round_trip_is_lossless(readings, tmp_path_factory):
+    path = tmp_path_factory.mktemp("csv") / "stream.csv"
+    to_csv(readings, path)
+    back = from_csv(path)
+    assert len(back) == len(readings)
+    for orig, rt in zip(readings, back.readings):
+        assert rt.t == orig.t
+        if orig.value is None:
+            assert rt.value is None
+        else:
+            np.testing.assert_array_equal(rt.value, orig.value)
+            np.testing.assert_array_equal(rt.truth, orig.truth)
+
+
+# ----------------------------------------------------------------------
+# RecordedStream replays are idempotent
+# ----------------------------------------------------------------------
+@settings(max_examples=40, deadline=None)
+@given(readings=reading_sequences())
+def test_recorded_stream_replay_idempotent(readings):
+    stream = RecordedStream(readings)
+    first = list(stream)
+    second = list(stream)
+    assert len(first) == len(second) == len(readings)
+    for a, b in zip(first, second):
+        assert (a.value is None) == (b.value is None)
+        if a.value is not None:
+            np.testing.assert_array_equal(a.value, b.value)

@@ -1,0 +1,79 @@
+"""Tests for stream base abstractions."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError, StreamExhaustedError
+from repro.streams.base import Reading, take, timestamps, truths, values
+from repro.streams.synthetic import RandomWalkStream
+
+
+class TestReading:
+    def test_value_coerced_to_1d_array(self):
+        r = Reading(t=0.0, value=3.0)
+        assert r.value.shape == (1,)
+
+    def test_dropped_flag(self):
+        assert Reading(t=0.0, value=None).dropped
+        assert not Reading(t=0.0, value=1.0).dropped
+
+    def test_scalar_accessor(self):
+        assert Reading(t=0.0, value=2.5).scalar() == 2.5
+
+    def test_scalar_on_dropped_rejected(self):
+        with pytest.raises(ConfigurationError):
+            Reading(t=0.0, value=None).scalar()
+
+    def test_scalar_on_vector_rejected(self):
+        with pytest.raises(ConfigurationError):
+            Reading(t=0.0, value=np.array([1.0, 2.0])).scalar()
+
+
+class TestStreamSource:
+    def test_take_returns_requested_count(self):
+        stream = RandomWalkStream(seed=1)
+        assert len(stream.take(100)) == 100
+
+    def test_iterating_restarts_from_beginning(self):
+        stream = RandomWalkStream(seed=1)
+        first = stream.take(10)
+        second = stream.take(10)
+        for a, b in zip(first, second):
+            np.testing.assert_array_equal(a.value, b.value)
+
+    def test_seeds_differentiate_streams(self):
+        a = RandomWalkStream(measurement_sigma=0.5, seed=1).take(50)
+        b = RandomWalkStream(measurement_sigma=0.5, seed=2).take(50)
+        assert any(x.value[0] != y.value[0] for x, y in zip(a, b))
+
+    def test_timestamps_spaced_by_dt(self):
+        stream = RandomWalkStream(dt=0.25, seed=1)
+        ts = timestamps(stream.take(5))
+        np.testing.assert_allclose(np.diff(ts), 0.25)
+
+
+class TestHelpers:
+    def test_take_raises_on_short_stream(self):
+        with pytest.raises(StreamExhaustedError):
+            take([Reading(t=0.0, value=1.0)], 5)
+
+    def test_values_stacks_to_matrix(self):
+        readings = RandomWalkStream(seed=1).take(20)
+        assert values(readings).shape == (20, 1)
+
+    def test_values_marks_dropped_as_nan(self):
+        readings = [
+            Reading(t=0.0, value=1.0),
+            Reading(t=1.0, value=None),
+            Reading(t=2.0, value=3.0),
+        ]
+        v = values(readings)
+        assert np.isnan(v[1, 0]) and v[2, 0] == 3.0
+
+    def test_truths_requires_ground_truth(self):
+        with pytest.raises(ConfigurationError):
+            truths([Reading(t=0.0, value=1.0, truth=None)])
+
+    def test_truths_stacks(self):
+        readings = RandomWalkStream(seed=1).take(10)
+        assert truths(readings).shape == (10, 1)

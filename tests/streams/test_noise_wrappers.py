@@ -1,0 +1,83 @@
+"""Tests for corruption wrappers (noise, outliers, dropout)."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.streams.base import truths, values
+from repro.streams.noise import Dropout, GaussianNoise, OutlierInjector
+from repro.streams.synthetic import RampStream, RandomWalkStream
+
+
+class TestGaussianNoise:
+    def test_adds_noise_of_requested_sigma(self):
+        inner = RampStream(slope=0.0, measurement_sigma=0.0, seed=1)
+        readings = GaussianNoise(inner, sigma=2.0, seed=5).take(5000)
+        noise = values(readings)[:, 0] - truths(readings)[:, 0]
+        assert np.std(noise) == pytest.approx(2.0, rel=0.1)
+
+    def test_truth_untouched(self):
+        inner = RampStream(slope=1.0, seed=1)
+        readings = GaussianNoise(inner, sigma=3.0, seed=5).take(50)
+        np.testing.assert_allclose(truths(readings)[:, 0], np.arange(50.0))
+
+    def test_negative_sigma_rejected(self):
+        with pytest.raises(ConfigurationError):
+            GaussianNoise(RampStream(), sigma=-1.0)
+
+
+class TestOutlierInjector:
+    def test_approximate_outlier_rate(self):
+        inner = RampStream(slope=0.0, measurement_sigma=0.0, seed=1)
+        readings = OutlierInjector(inner, rate=0.1, magnitude=50.0, seed=5).take(5000)
+        big = np.abs(values(readings)[:, 0]) > 25.0
+        assert np.mean(big) == pytest.approx(0.1, abs=0.02)
+
+    def test_outliers_have_requested_magnitude(self):
+        inner = RampStream(slope=0.0, measurement_sigma=0.0, seed=1)
+        readings = OutlierInjector(inner, rate=0.5, magnitude=20.0, seed=5).take(1000)
+        vals = values(readings)[:, 0]
+        corrupted = vals[np.abs(vals) > 1.0]
+        np.testing.assert_allclose(np.abs(corrupted), 20.0)
+
+    def test_zero_rate_is_identity(self):
+        inner = RandomWalkStream(seed=1)
+        a = inner.take(100)
+        b = OutlierInjector(inner, rate=0.0, seed=5).take(100)
+        for x, y in zip(a, b):
+            np.testing.assert_array_equal(x.value, y.value)
+
+    def test_invalid_rate_rejected(self):
+        with pytest.raises(ConfigurationError):
+            OutlierInjector(RampStream(), rate=1.5)
+
+
+class TestDropout:
+    def test_long_run_drop_fraction(self):
+        inner = RampStream(seed=1)
+        readings = Dropout(inner, rate=0.2, mean_burst=4.0, seed=5).take(20000)
+        dropped = np.mean([r.dropped for r in readings])
+        assert dropped == pytest.approx(0.2, abs=0.05)
+
+    def test_drops_come_in_bursts(self):
+        inner = RampStream(seed=1)
+        readings = Dropout(inner, rate=0.1, mean_burst=10.0, seed=5).take(20000)
+        flags = np.array([r.dropped for r in readings])
+        # Mean run length of dropped stretches should be well above 1.
+        runs, current = [], 0
+        for f in flags:
+            if f:
+                current += 1
+            elif current:
+                runs.append(current)
+                current = 0
+        assert np.mean(runs) > 3.0
+
+    def test_dropped_ticks_keep_timestamps(self):
+        inner = RampStream(seed=1)
+        readings = Dropout(inner, rate=0.3, seed=5).take(100)
+        np.testing.assert_allclose(np.diff([r.t for r in readings]), 1.0)
+
+    def test_invalid_burst_rejected(self):
+        with pytest.raises(ConfigurationError):
+            Dropout(RampStream(), rate=0.1, mean_burst=0.5)

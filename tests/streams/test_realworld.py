@@ -1,0 +1,110 @@
+"""Tests for the simulated real-world streams (GPS, temperature, RTT)."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.streams.base import truths, values
+from repro.streams.mobility import GpsTrajectory
+from repro.streams.network_traces import RttTrace, TrafficRateTrace
+from repro.streams.sensors import TemperatureSensor
+
+
+class TestGpsTrajectory:
+    def test_produces_2d_readings(self):
+        readings = GpsTrajectory(seed=1).take(10)
+        assert readings[0].value.shape == (2,)
+
+    def test_speed_stays_near_cruise(self):
+        readings = GpsTrajectory(
+            cruise_speed=10.0, speed_sigma=1.0, gps_sigma=0.0, seed=1
+        ).take(5000)
+        pos = truths(readings)
+        speeds = np.linalg.norm(np.diff(pos, axis=0), axis=1)
+        assert np.mean(speeds) == pytest.approx(10.0, rel=0.15)
+
+    def test_gps_noise_has_requested_sigma(self):
+        readings = GpsTrajectory(gps_sigma=5.0, seed=1).take(5000)
+        noise = values(readings) - truths(readings)
+        assert np.std(noise) == pytest.approx(5.0, rel=0.1)
+
+    def test_trajectory_is_smooth_between_turns(self):
+        readings = GpsTrajectory(
+            turn_sigma=0.0, sharp_turn_rate=0.0, speed_sigma=0.0, gps_sigma=0.0, seed=1
+        ).take(100)
+        pos = truths(readings)
+        # With no turning and constant speed the heading never changes.
+        headings = np.arctan2(*np.diff(pos, axis=0).T[::-1])
+        assert np.ptp(headings) < 1e-9
+
+    def test_invalid_params_rejected(self):
+        with pytest.raises(ConfigurationError):
+            GpsTrajectory(cruise_speed=0.0)
+        with pytest.raises(ConfigurationError):
+            GpsTrajectory(sharp_turn_rate=1.5)
+
+
+class TestTemperatureSensor:
+    def test_diurnal_cycle_visible(self):
+        readings = TemperatureSensor(
+            day_length=200, fluctuation_sigma=0.0, front_rate=0.0,
+            sensor_sigma=0.0, resolution=0.0, seed=1,
+        ).take(400)
+        tr = truths(readings)[:, 0]
+        # One full day apart the temperature repeats.
+        np.testing.assert_allclose(tr[:200], tr[200:], atol=1e-9)
+
+    def test_quantization_snaps_to_resolution(self):
+        readings = TemperatureSensor(resolution=0.5, seed=1).take(200)
+        vals = values(readings)[:, 0]
+        np.testing.assert_allclose(vals, np.round(vals / 0.5) * 0.5, atol=1e-9)
+
+    def test_fronts_shift_the_level(self):
+        calm = TemperatureSensor(front_rate=0.0, seed=1).take(5000)
+        stormy = TemperatureSensor(
+            front_rate=0.01, front_magnitude_sigma=8.0, seed=1
+        ).take(5000)
+        assert np.std(truths(stormy)) > np.std(truths(calm))
+
+    def test_invalid_day_length_rejected(self):
+        with pytest.raises(ConfigurationError):
+            TemperatureSensor(day_length=1)
+
+
+class TestRttTrace:
+    def test_rtt_never_below_baseline(self):
+        readings = RttTrace(base_rtt=40.0, seed=1).take(2000)
+        assert np.min(values(readings)) >= 40.0 - 1e-9
+
+    def test_spikes_present(self):
+        readings = RttTrace(spike_rate=0.05, spike_scale=100.0, seed=1).take(2000)
+        vals = values(readings)[:, 0]
+        assert np.max(vals) > 150.0
+
+    def test_congestion_raises_mean(self):
+        calm = RttTrace(congestion_rate=0.0, spike_rate=0.0, seed=1).take(3000)
+        congested = RttTrace(
+            congestion_rate=0.05, mean_congestion_length=300, spike_rate=0.0, seed=1
+        ).take(3000)
+        assert np.mean(values(congested)) > np.mean(values(calm)) + 5.0
+
+    def test_invalid_congestion_rate_rejected(self):
+        with pytest.raises(ConfigurationError):
+            RttTrace(congestion_rate=2.0)
+
+
+class TestTrafficRateTrace:
+    def test_rates_non_negative(self):
+        readings = TrafficRateTrace(noise_sigma=50.0, seed=1).take(2000)
+        assert np.min(values(readings)) >= 0.0
+
+    def test_flash_crowds_multiply_load(self):
+        readings = TrafficRateTrace(
+            flash_rate=0.01, flash_multiplier=5.0, noise_sigma=0.0, seed=1
+        ).take(5000)
+        tr = truths(readings)[:, 0]
+        assert np.max(tr) > 2.5 * np.median(tr)
+
+    def test_invalid_multiplier_rejected(self):
+        with pytest.raises(ConfigurationError):
+            TrafficRateTrace(flash_multiplier=0.5)

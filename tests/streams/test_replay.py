@@ -1,0 +1,79 @@
+"""Tests for record/replay and CSV round-trips."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.streams.base import Reading
+from repro.streams.mobility import GpsTrajectory
+from repro.streams.noise import Dropout
+from repro.streams.replay import RecordedStream, from_csv, record, to_csv
+from repro.streams.synthetic import RandomWalkStream
+
+
+class TestRecordedStream:
+    def test_replays_identically(self):
+        rec = record(RandomWalkStream(seed=9), 100)
+        a, b = rec.take(100), rec.take(100)
+        for x, y in zip(a, b):
+            np.testing.assert_array_equal(x.value, y.value)
+
+    def test_infers_dt(self):
+        rec = record(RandomWalkStream(dt=0.5, seed=9), 10)
+        assert rec.dt == pytest.approx(0.5)
+
+    def test_infers_dim(self):
+        rec = record(GpsTrajectory(seed=9), 10)
+        assert rec.dim == 2
+
+    def test_len(self):
+        assert len(record(RandomWalkStream(seed=9), 37)) == 37
+
+    def test_empty_rejected(self):
+        with pytest.raises(ConfigurationError):
+            RecordedStream([])
+
+
+class TestCsvRoundTrip:
+    def test_scalar_round_trip(self, tmp_path):
+        readings = RandomWalkStream(measurement_sigma=0.3, seed=9).take(50)
+        path = tmp_path / "stream.csv"
+        to_csv(readings, path)
+        back = from_csv(path)
+        assert len(back) == 50
+        for orig, rt in zip(readings, back.readings):
+            assert rt.t == orig.t
+            np.testing.assert_allclose(rt.value, orig.value)
+            np.testing.assert_allclose(rt.truth, orig.truth)
+
+    def test_vector_round_trip(self, tmp_path):
+        readings = GpsTrajectory(seed=9).take(20)
+        path = tmp_path / "gps.csv"
+        to_csv(readings, path)
+        back = from_csv(path)
+        assert back.dim == 2
+        np.testing.assert_allclose(back.readings[7].value, readings[7].value)
+
+    def test_dropped_readings_survive(self, tmp_path):
+        readings = Dropout(RandomWalkStream(seed=9), rate=0.5, seed=1).take(60)
+        path = tmp_path / "drop.csv"
+        to_csv(readings, path)
+        back = from_csv(path)
+        assert [r.dropped for r in back.readings] == [r.dropped for r in readings]
+
+    def test_truthless_readings(self, tmp_path):
+        readings = [Reading(t=float(i), value=float(i)) for i in range(5)]
+        path = tmp_path / "plain.csv"
+        to_csv(readings, path)
+        back = from_csv(path)
+        assert back.readings[0].truth is None
+
+    def test_rejects_non_stream_csv(self, tmp_path):
+        path = tmp_path / "bogus.csv"
+        path.write_text("a,b,c\n1,2,3\n")
+        with pytest.raises(ConfigurationError):
+            from_csv(path)
+
+    def test_rejects_empty_list(self, tmp_path):
+        with pytest.raises(ConfigurationError):
+            to_csv([], tmp_path / "x.csv")

@@ -1,0 +1,152 @@
+"""Tests for synthetic stream generators."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.streams.base import truths, values
+from repro.streams.synthetic import (
+    CompositeStream,
+    OrnsteinUhlenbeckStream,
+    PiecewiseLinearStream,
+    RampStream,
+    RandomWalkStream,
+    RegimeSwitchingStream,
+    SinusoidStream,
+)
+
+
+class TestRandomWalk:
+    def test_steps_have_requested_sigma(self):
+        readings = RandomWalkStream(step_sigma=2.0, seed=3).take(5000)
+        steps = np.diff(truths(readings)[:, 0])
+        assert np.std(steps) == pytest.approx(2.0, rel=0.1)
+
+    def test_measurement_noise_has_requested_sigma(self):
+        readings = RandomWalkStream(
+            step_sigma=1.0, measurement_sigma=0.7, seed=3
+        ).take(5000)
+        noise = values(readings)[:, 0] - truths(readings)[:, 0]
+        assert np.std(noise) == pytest.approx(0.7, rel=0.1)
+
+    def test_noiseless_measurements_equal_truth(self):
+        readings = RandomWalkStream(measurement_sigma=0.0, seed=3).take(100)
+        np.testing.assert_array_equal(values(readings), truths(readings))
+
+    def test_negative_sigma_rejected(self):
+        with pytest.raises(ConfigurationError):
+            RandomWalkStream(step_sigma=-1.0)
+
+
+class TestOrnsteinUhlenbeck:
+    def test_reverts_to_mean(self):
+        readings = OrnsteinUhlenbeckStream(
+            mean=10.0, theta=0.2, stationary_sigma=1.0, x0=50.0, seed=3
+        ).take(500)
+        tail = truths(readings)[-100:, 0]
+        assert np.mean(tail) == pytest.approx(10.0, abs=1.0)
+
+    def test_stationary_variance_matches(self):
+        readings = OrnsteinUhlenbeckStream(
+            theta=0.1, stationary_sigma=3.0, seed=3
+        ).take(20000)
+        assert np.std(truths(readings)[5000:, 0]) == pytest.approx(3.0, rel=0.15)
+
+    def test_rejects_non_positive_theta(self):
+        with pytest.raises(ConfigurationError):
+            OrnsteinUhlenbeckStream(theta=0.0)
+
+
+class TestSinusoid:
+    def test_matches_closed_form_when_clean(self):
+        readings = SinusoidStream(
+            amplitude=5.0, period=100.0, measurement_sigma=0.0, seed=3
+        ).take(100)
+        expected = 5.0 * np.sin(2 * np.pi * np.arange(100) / 100.0)
+        np.testing.assert_allclose(truths(readings)[:, 0], expected, atol=1e-9)
+
+    def test_drift_accumulates(self):
+        readings = SinusoidStream(
+            amplitude=0.0, drift=0.5, measurement_sigma=0.0, seed=3
+        ).take(11)
+        assert truths(readings)[-1, 0] == pytest.approx(5.0)
+
+    def test_offset_applied(self):
+        readings = SinusoidStream(
+            amplitude=0.0, offset=7.0, measurement_sigma=0.0, seed=3
+        ).take(5)
+        np.testing.assert_allclose(truths(readings)[:, 0], 7.0)
+
+
+class TestRampAndPiecewise:
+    def test_ramp_is_linear(self):
+        readings = RampStream(slope=2.0, intercept=1.0, seed=3).take(10)
+        np.testing.assert_allclose(
+            truths(readings)[:, 0], 1.0 + 2.0 * np.arange(10)
+        )
+
+    def test_piecewise_changes_slope(self):
+        readings = PiecewiseLinearStream(
+            slope_sigma=1.0, mean_segment_length=50.0, seed=3
+        ).take(2000)
+        slopes = np.diff(truths(readings)[:, 0])
+        # Multiple distinct slopes must appear.
+        assert len(np.unique(np.round(slopes, 6))) > 3
+
+
+class TestRegimeSwitching:
+    def test_value_continuity_at_switch(self):
+        stream = RegimeSwitchingStream(
+            regimes=[
+                (lambda s: RampStream(slope=1.0, seed=s), 100),
+                (lambda s: RampStream(slope=-1.0, seed=s), 10**9),
+            ],
+            seed=0,
+        )
+        tr = truths(stream.take(200))[:, 0]
+        jumps = np.abs(np.diff(tr))
+        assert np.max(jumps) <= 1.0 + 1e-9  # no discontinuity at the switch
+
+    def test_dynamics_change_after_switch(self):
+        stream = RegimeSwitchingStream(
+            regimes=[
+                (lambda s: RampStream(slope=1.0, seed=s), 100),
+                (lambda s: RampStream(slope=-1.0, seed=s), 10**9),
+            ],
+            seed=0,
+        )
+        tr = truths(stream.take(200))[:, 0]
+        assert tr[99] > tr[0] and tr[-1] < tr[100]
+
+    def test_requires_at_least_one_regime(self):
+        with pytest.raises(ConfigurationError):
+            RegimeSwitchingStream(regimes=[])
+
+    def test_timestamps_continuous_across_regimes(self):
+        stream = RegimeSwitchingStream(
+            regimes=[
+                (lambda s: RampStream(seed=s), 10),
+                (lambda s: RampStream(seed=s), 10**9),
+            ],
+            seed=0,
+        )
+        ts = [r.t for r in stream.take(20)]
+        np.testing.assert_allclose(np.diff(ts), 1.0)
+
+
+class TestComposite:
+    def test_truths_add(self):
+        a = RampStream(slope=1.0, seed=1)
+        b = RampStream(slope=2.0, seed=2)
+        readings = CompositeStream([a, b]).take(10)
+        np.testing.assert_allclose(
+            truths(readings)[:, 0], 3.0 * np.arange(10)
+        )
+
+    def test_mismatched_dt_rejected(self):
+        with pytest.raises(ConfigurationError):
+            CompositeStream([RampStream(dt=1.0), RampStream(dt=0.5)])
+
+    def test_empty_rejected(self):
+        with pytest.raises(ConfigurationError):
+            CompositeStream([])

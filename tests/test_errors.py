@@ -1,0 +1,43 @@
+"""Tests for the exception hierarchy."""
+
+import pytest
+
+from repro import errors
+
+
+class TestHierarchy:
+    @pytest.mark.parametrize(
+        "exc",
+        [
+            errors.ConfigurationError,
+            errors.DimensionError,
+            errors.FilterDivergenceError,
+            errors.ReplicaDesyncError,
+            errors.ProtocolError,
+            errors.AllocationError,
+            errors.QueryError,
+            errors.StreamExhaustedError,
+        ],
+    )
+    def test_all_derive_from_repro_error(self, exc):
+        assert issubclass(exc, errors.ReproError)
+
+    def test_dimension_error_is_configuration_error(self):
+        assert issubclass(errors.DimensionError, errors.ConfigurationError)
+
+    def test_catching_base_catches_library_failures(self):
+        from repro.core.precision import AbsoluteBound
+
+        with pytest.raises(errors.ReproError):
+            AbsoluteBound(-1.0)
+
+    def test_library_errors_are_not_builtin_value_errors(self):
+        """Callers can distinguish library validation from numpy/python errors."""
+        from repro.core.precision import AbsoluteBound
+
+        try:
+            AbsoluteBound(-1.0)
+        except ValueError:  # pragma: no cover - would be a design break
+            pytest.fail("library raised a bare ValueError")
+        except errors.ReproError:
+            pass
