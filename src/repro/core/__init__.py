@@ -11,7 +11,10 @@ Public surface:
   baselines) and :class:`DualKalmanSession` (full networked run);
 * adaptation — :class:`AdaptationPolicy`;
 * fleet budgeting — :class:`StreamResourceManager` and the allocators in
-  :mod:`repro.core.allocation`.
+  :mod:`repro.core.allocation`;
+* supervision/recovery — :class:`SourceSupervisor`, :class:`ServerSupervisor`,
+  :class:`SupervisionConfig` and :class:`SupervisedSession` (heartbeats,
+  NACK/backoff resync, graceful degradation under injected faults).
 """
 
 from repro.core.adaptive import AdaptationPolicy
@@ -31,6 +34,8 @@ from repro.core.manager import (
     ManagedStream,
     StreamReport,
     StreamResourceManager,
+    SupervisedFleetResult,
+    SupervisedStreamReport,
 )
 from repro.core.model_bank import ModelBankSelector
 from repro.core.nonlinear import EkfPredictor, EkfSuppressionPolicy, RangeBearingBound
@@ -50,15 +55,30 @@ from repro.core.precision import (
 from repro.core.procedure_cache import Forecast, ProcedureCache, StaticValueCache
 from repro.core.protocol import (
     HEADER_BYTES,
+    Heartbeat,
     MeasurementUpdate,
     ModelSwitch,
+    Nack,
     ProtocolMessage,
     Resync,
 )
 from repro.core.replica import FilterReplica
 from repro.core.server import ServerStreamState, StreamServer, StreamSnapshot
-from repro.core.session import DualKalmanPolicy, DualKalmanSession, SessionTrace
+from repro.core.session import (
+    DualKalmanPolicy,
+    DualKalmanSession,
+    SessionTrace,
+    SupervisedSession,
+    SupervisedTrace,
+)
 from repro.core.source import SourceAgent, SourceDecision
+from repro.core.supervision import (
+    RecoveryStats,
+    ServerSupervisor,
+    SourceSupervisor,
+    SupervisedSnapshot,
+    SupervisionConfig,
+)
 
 __all__ = [
     "SuppressionPolicy",
@@ -80,6 +100,8 @@ __all__ = [
     "MeasurementUpdate",
     "ModelSwitch",
     "Resync",
+    "Heartbeat",
+    "Nack",
     "ProtocolMessage",
     "HEADER_BYTES",
     "FilterReplica",
@@ -91,6 +113,13 @@ __all__ = [
     "DualKalmanPolicy",
     "DualKalmanSession",
     "SessionTrace",
+    "SupervisedSession",
+    "SupervisedTrace",
+    "SupervisionConfig",
+    "RecoveryStats",
+    "SupervisedSnapshot",
+    "SourceSupervisor",
+    "ServerSupervisor",
     "AdaptationPolicy",
     "Forecast",
     "ProcedureCache",
@@ -106,5 +135,7 @@ __all__ = [
     "FleetResult",
     "EpochReport",
     "DynamicFleetResult",
+    "SupervisedStreamReport",
+    "SupervisedFleetResult",
     "StreamResourceManager",
 ]

@@ -31,7 +31,8 @@ from repro.core.allocation import (
     allocate_waterfilling,
 )
 from repro.core.precision import AbsoluteBound
-from repro.core.session import DualKalmanPolicy
+from repro.core.session import DualKalmanPolicy, SupervisedSession
+from repro.core.supervision import RecoveryStats, SupervisionConfig
 from repro.errors import AllocationError, ConfigurationError
 from repro.kalman.models import ProcessModel
 from repro.streams.base import Reading
@@ -43,6 +44,8 @@ __all__ = [
     "FleetResult",
     "EpochReport",
     "DynamicFleetResult",
+    "SupervisedStreamReport",
+    "SupervisedFleetResult",
     "StreamResourceManager",
 ]
 
@@ -112,6 +115,56 @@ class FleetResult:
         errors = np.array([r.mean_abs_error for r in self.reports])
         w = np.ones_like(errors) if weights is None else np.asarray(weights, float)
         return float(np.sum(w * errors) / np.sum(w))
+
+
+@dataclass(frozen=True)
+class SupervisedStreamReport:
+    """Per-stream outcome of a supervised (fault-injected) main phase."""
+
+    stream_id: str
+    delta: float
+    ticks: int
+    degraded_ticks: int
+    unflagged_violations: int
+    recoveries: int
+    mean_recovery_ticks: float
+    heartbeats: int
+    nacks: int
+    resyncs: int
+    total_bytes: int
+
+    @property
+    def degraded_fraction(self) -> float:
+        """Fraction of ticks served in degraded mode."""
+        return self.degraded_ticks / self.ticks if self.ticks else 0.0
+
+
+@dataclass
+class SupervisedFleetResult:
+    """Fleet-wide outcome of a supervised run under one fault plan."""
+
+    method: str
+    budget: float
+    scenario: str
+    allocation: Allocation
+    reports: list[SupervisedStreamReport] = field(default_factory=list)
+    recovery: RecoveryStats = field(default_factory=RecoveryStats)
+
+    @property
+    def total_bytes(self) -> int:
+        """Bytes (forward + reverse) the whole fleet put on the wire."""
+        return sum(r.total_bytes for r in self.reports)
+
+    @property
+    def total_unflagged(self) -> int:
+        """Contract violations served without a degraded flag, fleet-wide."""
+        return sum(r.unflagged_violations for r in self.reports)
+
+    @property
+    def degraded_fraction(self) -> float:
+        """Fleet-wide fraction of ticks served degraded."""
+        ticks = sum(r.ticks for r in self.reports)
+        return sum(r.degraded_ticks for r in self.reports) / ticks if ticks else 0.0
 
 
 @dataclass(frozen=True)
@@ -295,6 +348,76 @@ class StreamResourceManager:
                     max_abs_error=float(np.max(abs_errors)) if abs_errors else np.nan,
                 )
             )
+        return result
+
+    # ------------------------------------------------------------------
+    # Supervised mode: the main phase under injected faults + recovery
+    # ------------------------------------------------------------------
+    def run_supervised(
+        self,
+        budget: float,
+        method: str = "waterfilling",
+        plan: "FaultPlan | None" = None,
+        config: SupervisionConfig | None = None,
+        run_ticks: int | None = None,
+    ) -> SupervisedFleetResult:
+        """Execute the main phase with supervision and an optional fault plan.
+
+        Each stream runs a full :class:`~repro.core.session.SupervisedSession`
+        (heartbeats, NACK/backoff resync, degradation flags) under its
+        allocated bound.  The fault plan is re-seeded per stream so fleet
+        members see independent fault realizations of the same scenario;
+        per-stream :class:`~repro.core.supervision.RecoveryStats` are folded
+        into the fleet-wide ``result.recovery``.
+        """
+        allocation = self.allocate(budget, method)
+        result = SupervisedFleetResult(
+            method=method,
+            budget=budget,
+            scenario=plan.describe() if plan is not None else "fault-free",
+            allocation=allocation,
+        )
+        for idx, (managed, delta) in enumerate(
+            zip(self.streams, allocation.deltas)
+        ):
+            readings = managed.recording.readings[self.probe_ticks :]
+            if run_ticks is not None:
+                readings = readings[:run_ticks]
+            if not readings:
+                raise ConfigurationError(
+                    f"stream {managed.stream_id!r} has no readings left for the "
+                    "main phase; record more ticks"
+                )
+            stream_plan = (
+                plan.with_seed(plan.seed + idx) if plan is not None else None
+            )
+            session = SupervisedSession(
+                RecordedStream(readings, dt=managed.recording.dt),
+                managed.model,
+                AbsoluteBound(float(delta)),
+                plan=stream_plan,
+                config=config,
+                stream_id=managed.stream_id,
+            )
+            trace = session.run(len(readings))
+            result.reports.append(
+                SupervisedStreamReport(
+                    stream_id=managed.stream_id,
+                    delta=float(delta),
+                    ticks=trace.n_ticks,
+                    degraded_ticks=int(trace.degraded.sum()),
+                    unflagged_violations=int(
+                        trace.unflagged_violations(float(delta)).sum()
+                    ),
+                    recoveries=trace.recovery.recoveries,
+                    mean_recovery_ticks=trace.recovery.mean_recovery_ticks,
+                    heartbeats=trace.recovery.heartbeats_sent,
+                    nacks=trace.recovery.nacks_sent,
+                    resyncs=trace.recovery.resyncs_sent,
+                    total_bytes=trace.total_bytes,
+                )
+            )
+            result.recovery.merge(trace.recovery)
         return result
 
     # ------------------------------------------------------------------

@@ -11,6 +11,17 @@ Three message types suffice for the dual-filter scheme:
 * :class:`Resync` — full state snapshot (mean + covariance).  Recovery path
   for lossy channels and filter divergence; expensive, rare.
 
+Two further messages belong to the supervision/recovery layer
+(:mod:`repro.core.supervision`) rather than the suppression scheme proper:
+
+* :class:`Heartbeat` — source→server liveness beacon emitted while the
+  dead-band suppresses traffic.  It carries the sequence number of the last
+  *state-bearing* message (update/switch/resync) so the server can detect
+  losses even during silence, plus a sensor-health flag.  Heartbeats have
+  their own sequence counter and never change replica state.
+* :class:`Nack` — server→source resync request, sent on the reverse channel
+  when the server detects a sequence gap, staleness, or filter divergence.
+
 Sizes are computed from the logical wire encoding (8-byte floats, 4-byte
 ints) rather than Python object sizes, so communication-overhead numbers
 reflect what a real deployment would pay.
@@ -29,7 +40,10 @@ __all__ = [
     "MeasurementUpdate",
     "ModelSwitch",
     "Resync",
+    "Heartbeat",
+    "Nack",
     "ProtocolMessage",
+    "STATE_BEARING_KINDS",
     "HEADER_BYTES",
 ]
 
@@ -126,4 +140,70 @@ class Resync:
         return HEADER_BYTES + 8 * (n + n * (n + 1) // 2)
 
 
-ProtocolMessage = MeasurementUpdate | ModelSwitch | Resync
+@dataclass(frozen=True)
+class Heartbeat:
+    """Source→server liveness beacon for suppressed periods.
+
+    ``seq`` counts heartbeats on their own monotone counter — heartbeats do
+    not consume state-bearing sequence numbers, so losing one never forces a
+    resync.  ``last_seq`` echoes the newest state-bearing sequence number
+    the source has sent; a server whose applied sequence number lags it
+    knows a message was lost.  ``sensor_ok`` is False while the source's
+    sensor is in an outage or judged stuck, which lets the server degrade
+    honestly instead of serving a frozen value as fresh.
+    """
+
+    stream_id: str
+    seq: int
+    tick: int
+    last_seq: int
+    sensor_ok: bool = True
+
+    kind: str = field(default="heartbeat", init=False)
+
+    def __post_init__(self) -> None:
+        if self.last_seq < 0:
+            raise ProtocolError(f"last_seq must be non-negative, got {self.last_seq!r}")
+
+    def payload_bytes(self) -> int:
+        """Header plus the echoed sequence number and the health flag."""
+        return HEADER_BYTES + 4 + 1
+
+
+@dataclass(frozen=True)
+class Nack:
+    """Server→source request for a full state resync (reverse channel).
+
+    ``last_seq`` is the newest state-bearing sequence number the server has
+    applied, so the source can tell how far behind the replica is.
+    ``reason`` is one of ``"gap"`` (missing sequence numbers), ``"stale"``
+    (staleness watchdog fired) or ``"divergence"`` (innovation gate
+    tripped); it is diagnostic only — every NACK asks for the same repair.
+    """
+
+    stream_id: str
+    seq: int
+    tick: int
+    last_seq: int
+    reason: str = "gap"
+
+    kind: str = field(default="nack", init=False)
+
+    _REASONS = ("gap", "stale", "divergence")
+
+    def __post_init__(self) -> None:
+        if self.reason not in self._REASONS:
+            raise ProtocolError(
+                f"nack reason must be one of {self._REASONS}, got {self.reason!r}"
+            )
+
+    def payload_bytes(self) -> int:
+        """Header plus the applied sequence number and a 1-byte reason tag."""
+        return HEADER_BYTES + 4 + 1
+
+
+ProtocolMessage = MeasurementUpdate | ModelSwitch | Resync | Heartbeat | Nack
+
+#: Message kinds that mutate replica state and therefore consume the shared
+#: state-bearing sequence counter (heartbeats and NACKs do not).
+STATE_BEARING_KINDS = ("update", "model_switch", "resync")

@@ -14,7 +14,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
-from repro.core.protocol import MeasurementUpdate, ModelSwitch, Resync
+from repro.core.protocol import Heartbeat, MeasurementUpdate, ModelSwitch, Resync
 from repro.core.replica import FilterReplica
 from repro.errors import ProtocolError
 from repro.kalman.models import ProcessModel
@@ -55,27 +55,43 @@ class ServerStreamState:
         self._served: np.ndarray | None = None
         self._fresh = False
         self._last_seq = 0
+        #: Stale/duplicate state-bearing messages dropped by sequence dedup.
+        self.duplicates_dropped = 0
+
+    @property
+    def last_seq(self) -> int:
+        """Newest state-bearing sequence number applied (0 before any)."""
+        return self._last_seq
 
     def advance(self, deliveries: list) -> StreamSnapshot:
         """Apply one tick's worth of arrivals; coast if no update came.
 
         Args:
             deliveries: Protocol messages that arrived this tick, in arrival
-                order.
+                order.  State-bearing messages are re-ordered by sequence
+                number before applying, so a within-tick reordering cannot
+                shadow a message that did arrive.  Heartbeats are liveness
+                bookkeeping for the supervision layer and are ignored here.
 
         Returns:
             The snapshot queries should see for this tick.
         """
         fresh: list = []
-        for message in deliveries:
+        state_bearing = [m for m in deliveries if not isinstance(m, Heartbeat)]
+        # Stable sort: equal seqs (network duplicates) keep arrival order.
+        state_bearing.sort(key=lambda m: m.seq)
+        for message in state_bearing:
             if message.stream_id != self.stream_id:
                 raise ProtocolError(
                     f"message for stream {message.stream_id!r} delivered to "
                     f"{self.stream_id!r}"
                 )
             if message.seq <= self._last_seq:
-                # Duplicate or reordered stale message; the protocol is
-                # idempotent only forward, so drop it.
+                # Duplicate or reordered stale message; applying state
+                # forward-only keeps at-least-once transports safe (a
+                # duplicated Resync in particular must not rewind the
+                # replica — see the idempotence regression tests).
+                self.duplicates_dropped += 1
                 continue
             self._last_seq = message.seq
             fresh.append(message)
@@ -95,7 +111,12 @@ class ServerStreamState:
                 self.replica.apply_model_switch(message)
             elif isinstance(message, Resync):
                 self.replica.apply_resync(message)
-                self._served = self.replica.current_value()
+                # Rule S1: on a tick that also delivered a measurement
+                # update, the update's z is served exactly — a same-tick
+                # repair resync (e.g. a NACK answer riding with the next
+                # update) replaces state but must not replace the serve.
+                if not got_update:
+                    self._served = self.replica.current_value()
                 self._warm = True
             else:
                 raise ProtocolError(f"unknown message type {type(message).__name__}")
@@ -152,6 +173,29 @@ class StreamServer:
     def advance(self, stream_id: str, deliveries: list) -> StreamSnapshot:
         """Advance one stream by one tick with the given arrivals."""
         return self.state(stream_id).advance(deliveries)
+
+    def dispatch(self, deliveries: list) -> dict[str, StreamSnapshot]:
+        """Route mixed-stream arrivals and advance every registered stream.
+
+        Messages are grouped by their ``stream_id`` header; a message for a
+        stream that was never registered raises a typed
+        :class:`~repro.errors.ProtocolError` (not a bare ``KeyError``) so
+        callers can distinguish protocol violations from programming
+        errors.  Every registered stream advances exactly one tick, with
+        whatever subset of ``deliveries`` addressed it.
+        """
+        by_stream: dict[str, list] = {sid: [] for sid in self._streams}
+        for message in deliveries:
+            sid = getattr(message, "stream_id", None)
+            if sid not in by_stream:
+                raise ProtocolError(
+                    f"received {type(message).__name__} for unknown stream {sid!r}; "
+                    f"registered streams: {sorted(self._streams)}"
+                )
+            by_stream[sid].append(message)
+        return {
+            sid: self._streams[sid].advance(msgs) for sid, msgs in by_stream.items()
+        }
 
     def value(self, stream_id: str) -> np.ndarray | None:
         """Served value of a stream right now (``None`` pre-warm-up)."""

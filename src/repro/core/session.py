@@ -10,6 +10,14 @@ Two entry points:
   :class:`~repro.network.channel.Channel`, including lossy/delayed
   channels, periodic resync, and per-tick traces.  This is what the
   robustness experiments and the fleet manager use.
+
+Plus the supervised variant:
+
+* :class:`SupervisedSession` — a :class:`DualKalmanSession` with the
+  recovery layer of :mod:`repro.core.supervision` wired in (heartbeats,
+  NACK/backoff resync over a reverse channel, graceful degradation) and a
+  :class:`~repro.faults.plan.FaultPlan` driving the disturbance.  This is
+  what the chaos suite and the fault-matrix benchmark run.
 """
 
 from __future__ import annotations
@@ -23,13 +31,25 @@ from repro.core.adaptive import AdaptationPolicy
 from repro.core.precision import PrecisionBound
 from repro.core.server import ServerStreamState
 from repro.core.source import SourceAgent
-from repro.errors import ReplicaDesyncError
+from repro.core.supervision import (
+    RecoveryStats,
+    ServerSupervisor,
+    SourceSupervisor,
+    SupervisionConfig,
+)
+from repro.errors import ConfigurationError, ReplicaDesyncError
 from repro.kalman.models import ProcessModel
 from repro.network.channel import Channel
 from repro.network.stats import CommunicationStats
 from repro.streams.base import Reading, StreamSource
 
-__all__ = ["DualKalmanPolicy", "DualKalmanSession", "SessionTrace"]
+__all__ = [
+    "DualKalmanPolicy",
+    "DualKalmanSession",
+    "SessionTrace",
+    "SupervisedSession",
+    "SupervisedTrace",
+]
 
 
 def _rowwise_max_abs(diff: np.ndarray) -> np.ndarray:
@@ -196,4 +216,185 @@ class DualKalmanSession:
             served=served,
             sent=sent,
             stats=self.channel.stats,
+        )
+
+
+@dataclass
+class SupervisedTrace(SessionTrace):
+    """A :class:`SessionTrace` plus the supervision layer's honesty record.
+
+    Extra per-tick arrays: ``degraded`` (server could not vouch for the
+    contract), ``fresh`` (served value came from a measurement this tick),
+    ``advertised_bound`` (the δ the server honestly promised — contract δ
+    while healthy, widened while degraded, ``inf`` pre-warm-up) and
+    ``reasons`` (why degraded, or ``None``).  ``recovery`` holds the run's
+    :class:`~repro.core.supervision.RecoveryStats`; ``reverse_stats`` counts
+    NACK traffic on the reverse channel.
+    """
+
+    degraded: np.ndarray = field(default_factory=lambda: np.zeros(0, dtype=bool))
+    fresh: np.ndarray = field(default_factory=lambda: np.zeros(0, dtype=bool))
+    advertised_bound: np.ndarray = field(default_factory=lambda: np.zeros(0))
+    reasons: tuple = ()
+    recovery: RecoveryStats = field(default_factory=RecoveryStats)
+    reverse_stats: CommunicationStats = field(default_factory=CommunicationStats)
+
+    @property
+    def total_bytes(self) -> int:
+        """Forward plus reverse traffic — the honest cost of supervision."""
+        return self.stats.total_bytes + self.reverse_stats.total_bytes
+
+    def unflagged_violations(self, delta: float) -> np.ndarray:
+        """Boolean mask of ticks where the served value broke the contract
+        against the actual measurement *without* being flagged degraded.
+
+        This is the honesty criterion: the count should be zero in strict
+        mode under loss/duplication/outage faults.  Ticks with no
+        measurement or no served value cannot be judged and never count.
+        """
+        err = self.served_error_vs_measured()
+        with np.errstate(invalid="ignore"):
+            violated = err > delta * (1.0 + 1e-9)
+        return violated & ~np.isnan(err) & ~self.degraded
+
+    def recovery_tick(self, after_tick: int) -> int | None:
+        """First tick index at or after ``after_tick`` served healthy.
+
+        Chaos tests compare this against the fault-clearance tick to bound
+        recovery latency; ``None`` means the run never recovered.
+        """
+        healthy = np.nonzero(~self.degraded[after_tick:])[0]
+        if healthy.size == 0:
+            return None
+        return int(after_tick + healthy[0])
+
+    def degraded_fraction(self) -> float:
+        """Fraction of ticks served in degraded mode."""
+        if self.degraded.size == 0:
+            return 0.0
+        return float(np.mean(self.degraded))
+
+
+class SupervisedSession:
+    """A networked run with the fault-injection and recovery layers wired in.
+
+    The forward channel, reverse (NACK) channel and sensor-fault wrappers
+    all come from one declarative :class:`~repro.faults.plan.FaultPlan`;
+    the endpoints are wrapped in
+    :class:`~repro.core.supervision.SourceSupervisor` and
+    :class:`~repro.core.supervision.ServerSupervisor`.  Per tick the source
+    first drains the reverse channel (NACKs), runs the suppression loop and
+    its supervision duties, sends on the forward channel; the server then
+    applies whatever arrived, under full watchdog bookkeeping.
+
+    Args:
+        stream: The workload (wrapped with the plan's sensor faults).
+        model: Process model for both endpoints.
+        bound: Precision contract.
+        plan: Fault scenario; ``None`` runs fault-free (supervision still
+            active, so its overhead is measurable).
+        config: Supervision knobs; default is strict mode.
+        base_delta: Contract δ used for the advertised bound.  Defaults to
+            the bound's fixed tolerance; relative bounds have none, so they
+            require an explicit value.
+    """
+
+    def __init__(
+        self,
+        stream: StreamSource,
+        model: ProcessModel,
+        bound: PrecisionBound,
+        plan: "FaultPlan | None" = None,
+        config: SupervisionConfig | None = None,
+        adaptation: AdaptationPolicy | None = None,
+        resync_interval: int | None = None,
+        stream_id: str = "stream-0",
+        robust_threshold: float | None = None,
+        base_delta: float | None = None,
+    ):
+        if base_delta is None:
+            base_delta = getattr(bound, "delta", None)
+            if base_delta is None:
+                raise ConfigurationError(
+                    "bound has no fixed tolerance; pass base_delta explicitly"
+                )
+        self.plan = plan
+        self.config = config if config is not None else SupervisionConfig()
+        self.stream = plan.wrap_stream(stream) if plan is not None else stream
+        self.channel = plan.build_channel() if plan is not None else Channel.ideal()
+        self.reverse = (
+            plan.build_reverse_channel() if plan is not None else Channel.ideal()
+        )
+        self.bound = bound
+        self.recovery = RecoveryStats()
+        self.source = SourceSupervisor(
+            SourceAgent(
+                stream_id,
+                model,
+                bound,
+                adaptation=adaptation,
+                resync_interval=resync_interval,
+                robust_threshold=robust_threshold,
+            ),
+            config=self.config,
+            stats=self.recovery,
+        )
+        self._now = 0.0
+        self.server = ServerSupervisor(
+            ServerStreamState(stream_id, model),
+            base_delta=float(base_delta),
+            config=self.config,
+            send_nack=lambda nack: self.reverse.send(nack, self._now),
+            stats=self.recovery,
+        )
+
+    def run(self, n_ticks: int) -> SupervisedTrace:
+        """Drive ``n_ticks`` readings through the supervised protocol."""
+        readings = self.stream.take(n_ticks)
+        dim = self.stream.dim
+        t = np.empty(n_ticks)
+        truth = np.full((n_ticks, dim), np.nan)
+        measured = np.full((n_ticks, dim), np.nan)
+        served = np.full((n_ticks, dim), np.nan)
+        sent = np.zeros(n_ticks, dtype=bool)
+        degraded = np.zeros(n_ticks, dtype=bool)
+        fresh = np.zeros(n_ticks, dtype=bool)
+        advertised = np.full(n_ticks, np.inf)
+        reasons: list[str | None] = []
+        for i, reading in enumerate(readings):
+            now = reading.t
+            self._now = now
+            # NACKs sent by the server on earlier ticks arrive here — one
+            # tick of reverse latency, matching the forward channel.
+            nacks = [d.message for d in self.reverse.poll(now)]
+            decision = self.source.process(reading, nacks=nacks)
+            for message in decision.messages:
+                self.channel.send(message, now)
+            arrivals = [d.message for d in self.channel.poll(now)]
+            snapshot = self.server.advance(arrivals)
+            t[i] = now
+            if reading.truth is not None:
+                truth[i] = reading.truth
+            if reading.value is not None:
+                measured[i] = reading.value
+            if snapshot.value is not None:
+                served[i] = snapshot.value
+            sent[i] = decision.sent
+            degraded[i] = snapshot.degraded
+            fresh[i] = snapshot.fresh
+            advertised[i] = snapshot.advertised_bound
+            reasons.append(snapshot.reason)
+        return SupervisedTrace(
+            t=t,
+            truth=truth,
+            measured=measured,
+            served=served,
+            sent=sent,
+            stats=self.channel.stats,
+            degraded=degraded,
+            fresh=fresh,
+            advertised_bound=advertised,
+            reasons=tuple(reasons),
+            recovery=self.recovery,
+            reverse_stats=self.reverse.stats,
         )

@@ -100,6 +100,20 @@ class SourceAgent:
         self._seq += 1
         return self._seq
 
+    @property
+    def seq(self) -> int:
+        """Newest state-bearing sequence number issued (0 before any)."""
+        return self._seq
+
+    def next_seq(self) -> int:
+        """Claim the next state-bearing sequence number.
+
+        Used by the supervision layer when it emits recovery messages on
+        the agent's behalf; every state-bearing message must draw from this
+        single counter or the server's gap detection would misfire.
+        """
+        return self._next_seq()
+
     def process(self, reading: Reading) -> SourceDecision:
         """Handle one stream tick; returns the decision and its messages."""
         self.ticks += 1

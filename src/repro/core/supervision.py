@@ -1,0 +1,645 @@
+"""Supervised recovery: heartbeats, NACK/backoff resync, graceful degradation.
+
+The dual-filter protocol is silent by design — and silence is ambiguous.
+A server that hears nothing cannot tell "the bound holds, the source is
+suppressing" from "the source is dead" or "the channel ate the update".
+This module resolves the ambiguity and bounds its cost:
+
+* **Heartbeats** (source side): while the dead-band suppresses traffic the
+  source emits tiny :class:`~repro.core.protocol.Heartbeat` beacons that
+  echo the last state-bearing sequence number, so a loss is discoverable
+  within one heartbeat interval even during silence.  Heartbeats also carry
+  a sensor-health flag fed by outage and stuck-at detectors.
+* **Watchdogs** (server side): a staleness watchdog (no arrival for longer
+  than the heartbeat interval), sequence-gap detection (missing
+  state-bearing sequence numbers), and an innovation-divergence detector
+  (normalized innovation squared outside its gate for several consecutive
+  updates) each declare the replica suspect.
+* **NACK / backoff resync**: a suspect server sends
+  :class:`~repro.core.protocol.Nack` on the reverse channel under
+  exponential backoff with a retry budget; the source answers with a model
+  repair plus a full state :class:`~repro.core.protocol.Resync`
+  (rate-limited).  Backoff resets the moment the channel shows life again,
+  so recovery after a fault clears is fast even if the fault was long.
+* **Graceful degradation**: while suspect, the server *widens the
+  precision bound it advertises* (using its own coasting covariance) and
+  flags every answer as degraded — stale values are never reported as
+  within-bound.  In strict mode (``heartbeat_interval=1``,
+  ``staleness_limit=0``) every tick the server serves an out-of-contract
+  value under loss/duplication/outage faults is provably flagged.
+
+:class:`~repro.core.session.SupervisedSession` wires these supervisors to
+a :class:`~repro.faults.plan.FaultPlan`; the chaos suite in
+``tests/integration/test_fault_recovery.py`` is the executable contract.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable
+
+import numpy as np
+
+from repro.core.protocol import (
+    Heartbeat,
+    MeasurementUpdate,
+    ModelSwitch,
+    Nack,
+    ProtocolMessage,
+    Resync,
+)
+from repro.core.server import ServerStreamState
+from repro.core.source import SourceAgent, SourceDecision
+from repro.errors import ConfigurationError
+from repro.streams.base import Reading
+
+__all__ = [
+    "SupervisionConfig",
+    "RecoveryStats",
+    "SupervisedSnapshot",
+    "SourceSupervisor",
+    "ServerSupervisor",
+]
+
+
+@dataclass(frozen=True)
+class SupervisionConfig:
+    """Knobs of the supervision/recovery layer.
+
+    Attributes:
+        heartbeat_interval: Consecutive silent ticks before the source emits
+            a heartbeat.  ``1`` is *strict mode*: every suppressed tick
+            beacons, so the server can flag any silent tick immediately.
+        staleness_limit: Ticks without any arrival before the server
+            declares the stream stale.  ``None`` derives
+            ``heartbeat_interval - 1`` — the longest silence a healthy
+            source ever produces.
+        nack_backoff_base: Ticks between the first NACK and the next.
+        nack_backoff_factor: Multiplier applied to the NACK interval after
+            every unanswered NACK.
+        nack_backoff_max: Upper bound on the NACK interval (ticks).
+        nack_budget: NACKs per fault episode before the server gives up and
+            stays (honestly) degraded until traffic resumes.
+        resync_min_gap: Source-side rate limit — minimum ticks between
+            NACK-triggered resyncs, so a NACK storm cannot amplify into a
+            resync storm.
+        divergence_gate: NIS threshold above which an applied update counts
+            as a divergence strike.  Generous by default: under suppression
+            every delivered update has innovation ≈ δ, so only genuine
+            replica drift produces sustained large NIS.
+        divergence_patience: Consecutive strikes before forcing a resync.
+        stuck_patience: Exactly-identical readings before the source flags
+            its sensor as stuck (noisy sensors never repeat a float).
+        degraded_sigma: Multiple of the replica's own coasting standard
+            deviation added to the advertised bound while degraded.
+    """
+
+    heartbeat_interval: int = 1
+    staleness_limit: int | None = None
+    nack_backoff_base: int = 1
+    nack_backoff_factor: float = 2.0
+    nack_backoff_max: int = 16
+    nack_budget: int = 10
+    resync_min_gap: int = 2
+    divergence_gate: float = 25.0
+    divergence_patience: int = 3
+    stuck_patience: int = 6
+    degraded_sigma: float = 3.0
+
+    def __post_init__(self) -> None:
+        if self.heartbeat_interval < 1:
+            raise ConfigurationError(
+                f"heartbeat_interval must be >= 1, got {self.heartbeat_interval!r}"
+            )
+        if self.staleness_limit is not None and self.staleness_limit < 0:
+            raise ConfigurationError(
+                f"staleness_limit must be >= 0, got {self.staleness_limit!r}"
+            )
+        if self.nack_backoff_base < 1 or self.nack_backoff_max < self.nack_backoff_base:
+            raise ConfigurationError(
+                "need 1 <= nack_backoff_base <= nack_backoff_max, got "
+                f"{self.nack_backoff_base!r}..{self.nack_backoff_max!r}"
+            )
+        if self.nack_backoff_factor < 1.0:
+            raise ConfigurationError(
+                f"nack_backoff_factor must be >= 1, got {self.nack_backoff_factor!r}"
+            )
+        if self.nack_budget < 1:
+            raise ConfigurationError(
+                f"nack_budget must be >= 1, got {self.nack_budget!r}"
+            )
+        if self.resync_min_gap < 1:
+            raise ConfigurationError(
+                f"resync_min_gap must be >= 1, got {self.resync_min_gap!r}"
+            )
+        if self.divergence_patience < 1 or self.stuck_patience < 2:
+            raise ConfigurationError(
+                "divergence_patience must be >= 1 and stuck_patience >= 2"
+            )
+
+    @property
+    def effective_staleness_limit(self) -> int:
+        """The staleness limit actually enforced (derives the default)."""
+        if self.staleness_limit is not None:
+            return self.staleness_limit
+        return max(0, self.heartbeat_interval - 1)
+
+
+@dataclass
+class RecoveryStats:
+    """Per-stream counters of the supervision layer's activity."""
+
+    heartbeats_sent: int = 0
+    nacks_sent: int = 0
+    resyncs_sent: int = 0
+    model_repairs_sent: int = 0
+    gap_detections: int = 0
+    staleness_trips: int = 0
+    divergence_trips: int = 0
+    late_arrival_ticks: int = 0
+    sensor_fault_ticks: int = 0
+    degraded_ticks: int = 0
+    recoveries: int = 0
+    nack_budget_exhausted: int = 0
+    recovery_durations: list[int] = field(default_factory=list)
+
+    @property
+    def mean_recovery_ticks(self) -> float:
+        """Mean degraded-episode length (NaN before any recovery)."""
+        if not self.recovery_durations:
+            return float("nan")
+        return float(np.mean(self.recovery_durations))
+
+    @property
+    def max_recovery_ticks(self) -> int:
+        """Longest degraded episode observed (0 before any recovery)."""
+        return max(self.recovery_durations, default=0)
+
+    def merge(self, other: "RecoveryStats") -> None:
+        """Fold another stream's counters into this one (fleet totals)."""
+        for name in (
+            "heartbeats_sent",
+            "nacks_sent",
+            "resyncs_sent",
+            "model_repairs_sent",
+            "gap_detections",
+            "staleness_trips",
+            "divergence_trips",
+            "late_arrival_ticks",
+            "sensor_fault_ticks",
+            "degraded_ticks",
+            "recoveries",
+            "nack_budget_exhausted",
+        ):
+            setattr(self, name, getattr(self, name) + getattr(other, name))
+        self.recovery_durations.extend(other.recovery_durations)
+
+    def summary(self) -> dict:
+        """Plain-dict snapshot for reports."""
+        return {
+            "heartbeats": self.heartbeats_sent,
+            "nacks": self.nacks_sent,
+            "resyncs": self.resyncs_sent,
+            "gaps": self.gap_detections,
+            "stale": self.staleness_trips,
+            "divergence": self.divergence_trips,
+            "late": self.late_arrival_ticks,
+            "degraded_ticks": self.degraded_ticks,
+            "recoveries": self.recoveries,
+            "mean_recovery_ticks": self.mean_recovery_ticks,
+        }
+
+
+@dataclass(frozen=True)
+class SupervisedSnapshot:
+    """A :class:`~repro.core.server.StreamSnapshot` plus honesty metadata.
+
+    Attributes:
+        value: Served value (``None`` before warm-up).
+        variance: The replica's own predicted-measurement covariance.
+        tick: Server-side tick counter.
+        fresh: True when the value came from a measurement this tick.
+        degraded: True while the supervisor cannot vouch for the contract —
+            query answers must surface this instead of claiming freshness.
+        reason: Why degraded (``"gap"``, ``"stale"``, ``"divergence"``,
+            ``"late"``, ``"sensor"``, or ``"resync"`` for the one settling
+            tick on which a repairing resync was applied) or ``None`` when
+            healthy.
+        advertised_bound: The precision bound the server honestly delivers
+            right now: the contract δ while healthy, widened by the coasting
+            uncertainty while degraded, ``inf`` before warm-up.
+        staleness: Ticks since the server last heard anything.
+    """
+
+    value: np.ndarray | None
+    variance: np.ndarray | None
+    tick: int
+    fresh: bool
+    degraded: bool
+    reason: str | None
+    advertised_bound: float
+    staleness: int
+
+
+class SourceSupervisor:
+    """Wraps a :class:`~repro.core.source.SourceAgent` with liveness duties.
+
+    Responsibilities: emit heartbeats while the suppression loop is silent,
+    detect sensor faults (outages and stuck-at readings) and advertise them
+    in the heartbeat health flag, and answer NACKs with a model repair plus
+    a full state resync, rate-limited by ``resync_min_gap``.
+    """
+
+    def __init__(
+        self,
+        agent: SourceAgent,
+        config: SupervisionConfig | None = None,
+        stats: RecoveryStats | None = None,
+    ):
+        self.agent = agent
+        self.config = config if config is not None else SupervisionConfig()
+        self.stats = stats if stats is not None else RecoveryStats()
+        self._hb_seq = 0
+        self._silent_ticks = 0
+        self._last_resync_tick = -(10**9)
+        self._last_value: np.ndarray | None = None
+        self._identical_run = 0
+        self._missing_run = 0
+
+    @property
+    def sensor_ok(self) -> bool:
+        """Current sensor-health judgement (outage or stuck-at ⇒ False)."""
+        return (
+            self._missing_run == 0
+            and self._identical_run < self.config.stuck_patience
+        )
+
+    def _observe_sensor(self, reading: Reading) -> None:
+        if reading.value is None:
+            self._missing_run += 1
+            self._identical_run = 0
+            return
+        self._missing_run = 0
+        if self._last_value is not None and np.array_equal(
+            reading.value, self._last_value
+        ):
+            self._identical_run += 1
+        else:
+            self._identical_run = 0
+        self._last_value = reading.value.copy()
+
+    def process(
+        self, reading: Reading, nacks: tuple[Nack, ...] | list[Nack] = ()
+    ) -> SourceDecision:
+        """One tick: run the suppression loop, then the supervision duties.
+
+        Args:
+            reading: This tick's sensor reading.
+            nacks: NACKs that arrived on the reverse channel since the last
+                tick.
+        """
+        decision = self.agent.process(reading)
+        messages: list[ProtocolMessage] = list(decision.messages)
+        tick = self.agent.replica.tick
+
+        self._observe_sensor(reading)
+        if not self.sensor_ok:
+            self.stats.sensor_fault_ticks += 1
+
+        # NACK → (model repair, resync), rate-limited.  The repair switch
+        # re-ships the currently cached model spec so a lost ModelSwitch
+        # cannot outlive the recovery; the source does not re-apply it
+        # locally (it already runs that model), keeping the no-op invisible.
+        if nacks and tick - self._last_resync_tick >= self.config.resync_min_gap:
+            repair = ModelSwitch(
+                stream_id=self.agent.stream_id,
+                seq=self.agent.next_seq(),
+                tick=tick,
+                change={"model": self.agent.replica.model.spec()},
+            )
+            snapshot = self.agent.replica.snapshot(
+                self.agent.stream_id, self.agent.next_seq()
+            )
+            messages.extend((repair, snapshot))
+            self._last_resync_tick = tick
+            self.stats.model_repairs_sent += 1
+            self.stats.resyncs_sent += 1
+
+        # Heartbeat while otherwise silent.
+        if messages:
+            self._silent_ticks = 0
+        else:
+            self._silent_ticks += 1
+            if self._silent_ticks >= self.config.heartbeat_interval:
+                self._hb_seq += 1
+                messages.append(
+                    Heartbeat(
+                        stream_id=self.agent.stream_id,
+                        seq=self._hb_seq,
+                        tick=tick,
+                        last_seq=self.agent.seq,
+                        sensor_ok=self.sensor_ok,
+                    )
+                )
+                self._silent_ticks = 0
+                self.stats.heartbeats_sent += 1
+
+        return SourceDecision(
+            served=decision.served, sent=decision.sent, messages=tuple(messages)
+        )
+
+
+class ServerSupervisor:
+    """Wraps a :class:`~repro.core.server.ServerStreamState` with watchdogs.
+
+    Args:
+        state: The per-stream replica state to supervise.
+        base_delta: The contract δ advertised while healthy.
+        config: Supervision knobs.
+        send_nack: Callback that puts a :class:`Nack` on the reverse
+            channel; ``None`` disables NACKs (detect-and-degrade only).
+        stats: Shared counter object (a fresh one is created if omitted).
+    """
+
+    def __init__(
+        self,
+        state: ServerStreamState,
+        base_delta: float,
+        config: SupervisionConfig | None = None,
+        send_nack: Callable[[Nack], None] | None = None,
+        stats: RecoveryStats | None = None,
+    ):
+        if base_delta <= 0:
+            raise ConfigurationError(f"base_delta must be positive, got {base_delta!r}")
+        self.state = state
+        self.base_delta = float(base_delta)
+        self.config = config if config is not None else SupervisionConfig()
+        self.send_nack = send_nack
+        self.stats = stats if stats is not None else RecoveryStats()
+        self._tick = 0
+        self._heard_once = False
+        self._ticks_since_heard = 0
+        self._last_hb_seq = 0
+        self._sensor_fault = False
+        self._nis_strikes = 0
+        self._pending: str | None = None  # outstanding resync request reason
+        self._late_mode = False
+        self._nack_seq = 0
+        self._nack_interval = self.config.nack_backoff_base
+        self._next_nack_tick = 0
+        self._nacks_this_episode = 0
+        self._degraded_since: int | None = None
+
+    # ------------------------------------------------------------------
+    # Detection helpers
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _seq_gap(prev_seq: int, state_msgs: list) -> bool:
+        """Missing state-bearing sequence numbers, unrepaired by a resync.
+
+        A resync among the arrivals repairs everything at or below its own
+        sequence number, so only discontinuities *above* the newest arrived
+        resync count as a gap.
+        """
+        seqs = sorted({m.seq for m in state_msgs if m.seq > prev_seq})
+        if not seqs:
+            return False
+        resync_seqs = [
+            m.seq for m in state_msgs if isinstance(m, Resync) and m.seq > prev_seq
+        ]
+        expected = (max(resync_seqs) if resync_seqs else prev_seq) + 1
+        for s in seqs:
+            if s < expected:
+                continue
+            if s != expected:
+                return True
+            expected += 1
+        return False
+
+    def _begin_episode(self, reason: str) -> None:
+        if self._pending is None:
+            self._nack_interval = self.config.nack_backoff_base
+            self._next_nack_tick = self._tick
+            self._nacks_this_episode = 0
+        self._pending = reason
+
+    def _resolve_episode(self) -> None:
+        self._pending = None
+        self._nis_strikes = 0
+        self._nack_interval = self.config.nack_backoff_base
+        self._nacks_this_episode = 0
+
+    # ------------------------------------------------------------------
+    # Per-tick advance
+    # ------------------------------------------------------------------
+    def advance(self, deliveries: list) -> SupervisedSnapshot:
+        """Apply one tick's arrivals with full supervision bookkeeping."""
+        self._tick += 1
+        heartbeats = [m for m in deliveries if isinstance(m, Heartbeat)]
+        state_msgs = [m for m in deliveries if not isinstance(m, Heartbeat)]
+        prev_seq = self.state.last_seq
+
+        # Late-arrival detector: a state-bearing message generated at source
+        # tick T must be applied while the replica is still at tick T, or
+        # lock-step is broken (delay/skew faults produce exactly this — and
+        # neither sequence numbers nor staleness can see a *consistent*
+        # one-tick delay).  Lateness is sticky: once the feed is observed to
+        # lag, every tick is honestly flagged as degraded until a message
+        # demonstrably arrives on time, because between late arrivals the
+        # served value still rests on old data.  No repair is attempted — a
+        # resync cannot fix latency.
+        # Baseline is the supervisor's own advance counter, not the replica
+        # tick: a replica that warmed up late (or was shifted by a late
+        # resync) runs on an offset timeline, which is precisely the desync
+        # this detector must not inherit.
+        expected_tick = self._tick - 1
+        fresh_state = [m for m in state_msgs if m.seq > prev_seq]
+        # Measurement updates stamp their tick *before* the source's tick
+        # operation; switches, resyncs and heartbeats stamp *after* it —
+        # normalize both to the source tick the message belongs to.
+        stamps = [
+            m.tick if isinstance(m, MeasurementUpdate) else m.tick - 1
+            for m in fresh_state
+        ] + [hb.tick - 1 for hb in heartbeats]
+        on_time_evidence = any(s >= expected_tick for s in stamps)
+        late_evidence = any(s < expected_tick for s in stamps)
+        if late_evidence:
+            self._late_mode = True
+        elif on_time_evidence:
+            self._late_mode = False
+        if self._late_mode:
+            self.stats.late_arrival_ticks += 1
+
+        gap_evidence = self._seq_gap(prev_seq, state_msgs)
+        resynced = any(
+            isinstance(m, Resync) and m.seq > prev_seq for m in state_msgs
+        )
+
+        snapshot = self.state.advance(state_msgs)
+        applied_seq = self.state.last_seq
+
+        # Liveness.  Only *fresh* evidence resets the staleness clock: a
+        # superseded straggler (reordered or duplicated copy of an already
+        # applied seq) proves the channel exists but says nothing about the
+        # source's present — counting it would let the server coast past
+        # the staleness limit on the strength of old news.
+        fresh_beacons = [
+            hb for hb in heartbeats if hb.seq > self._last_hb_seq
+        ]
+        if fresh_state or fresh_beacons:
+            self._heard_once = True
+            self._ticks_since_heard = 0
+        else:
+            self._ticks_since_heard += 1
+
+        # Heartbeat bookkeeping: newest beacon wins; stale ones (reordered
+        # or duplicated) were filtered above so an old echo cannot raise an
+        # alarm.
+        for hb in sorted(fresh_beacons, key=lambda m: m.seq):
+            self._last_hb_seq = hb.seq
+            self._sensor_fault = not hb.sensor_ok
+            if hb.last_seq > applied_seq:
+                gap_evidence = True
+        if snapshot.fresh:
+            # A real measurement arrived; the sensor is demonstrably live.
+            self._sensor_fault = False
+
+        # Divergence watchdog: sustained out-of-gate innovations mean the
+        # replica drifted even though sequence numbers look contiguous
+        # (delay/skew faults produce exactly this signature).
+        if snapshot.fresh:
+            nis = float(self.state.replica.filter.nis())
+            if nis > self.config.divergence_gate:
+                self._nis_strikes += 1
+            else:
+                self._nis_strikes = 0
+            if self._nis_strikes >= self.config.divergence_patience:
+                self.stats.divergence_trips += 1
+                self._nis_strikes = 0
+                self._begin_episode("divergence")
+
+        # Resolution / escalation.  A repairing resync restores lock-step,
+        # but the value served on the resync tick itself is the resynced
+        # *posterior*, not the measurement that was lost with the dropped
+        # update — only a fresh MeasurementUpdate makes the serve
+        # measurement-exact.  So when a resync lands while repair was
+        # needed (an episode pending, or a sequence gap alongside it) and
+        # no update arrived with it, this tick stays flagged; health
+        # resumes on the next tick.  A periodic resync on a healthy,
+        # suppressed stream does not settle: there the posterior equals
+        # the gate-checked prediction, which is within bound.
+        resync_settling = (
+            resynced
+            and not snapshot.fresh
+            and (self._pending is not None or gap_evidence)
+        )
+        if resynced:
+            self._resolve_episode()
+        elif gap_evidence:
+            if self._pending is None:
+                self.stats.gap_detections += 1
+            self._begin_episode("gap")
+        elif self._pending == "stale" and deliveries:
+            # The source spoke again and nothing is missing — the silence
+            # was loss of liveness only, no state needs repairing.
+            self._resolve_episode()
+
+        # Staleness watchdog (only meaningful once the stream ever spoke).
+        if (
+            self._pending is None
+            and self._heard_once
+            and self._ticks_since_heard > self.config.effective_staleness_limit
+        ):
+            self.stats.staleness_trips += 1
+            self._begin_episode("stale")
+
+        # While a repair is outstanding, any arrival proves the channel is
+        # alive again — collapse the backoff so recovery is immediate once
+        # the fault clears, instead of waiting out a long interval grown
+        # during the outage.
+        if self._pending is not None and deliveries:
+            self._nack_interval = self.config.nack_backoff_base
+            self._next_nack_tick = min(self._next_nack_tick, self._tick)
+
+        # NACK emission under exponential backoff with a retry budget.
+        if (
+            self._pending is not None
+            and self.send_nack is not None
+            and self._tick >= self._next_nack_tick
+        ):
+            if self._nacks_this_episode < self.config.nack_budget:
+                self._nack_seq += 1
+                self.send_nack(
+                    Nack(
+                        stream_id=self.state.stream_id,
+                        seq=self._nack_seq,
+                        tick=snapshot.tick,
+                        last_seq=applied_seq,
+                        reason=self._pending,
+                    )
+                )
+                self.stats.nacks_sent += 1
+                self._nacks_this_episode += 1
+                self._next_nack_tick = self._tick + self._nack_interval
+                self._nack_interval = min(
+                    int(
+                        max(
+                            self._nack_interval + 1,
+                            round(
+                                self._nack_interval * self.config.nack_backoff_factor
+                            ),
+                        )
+                    ),
+                    self.config.nack_backoff_max,
+                )
+            elif self._nacks_this_episode == self.config.nack_budget:
+                self.stats.nack_budget_exhausted += 1
+                self._nacks_this_episode += 1  # count the exhaustion once
+
+        # Degradation bookkeeping.
+        degraded = (
+            self._pending is not None
+            or self._sensor_fault
+            or self._late_mode
+            or resync_settling
+        )
+        if self._pending is not None:
+            reason: str | None = self._pending
+        elif resync_settling:
+            reason = "resync"
+        elif self._late_mode:
+            reason = "late"
+        elif self._sensor_fault:
+            reason = "sensor"
+        else:
+            reason = None
+        if degraded:
+            self.stats.degraded_ticks += 1
+            if self._degraded_since is None:
+                self._degraded_since = self._tick
+        elif self._degraded_since is not None:
+            self.stats.recoveries += 1
+            self.stats.recovery_durations.append(self._tick - self._degraded_since)
+            self._degraded_since = None
+
+        return SupervisedSnapshot(
+            value=snapshot.value,
+            variance=snapshot.variance,
+            tick=snapshot.tick,
+            fresh=snapshot.fresh,
+            degraded=degraded,
+            reason=reason,
+            advertised_bound=self._advertised_bound(snapshot.variance, degraded),
+            staleness=self._ticks_since_heard,
+        )
+
+    def _advertised_bound(
+        self, variance: np.ndarray | None, degraded: bool
+    ) -> float:
+        """The precision the server can honestly promise right now."""
+        if variance is None:
+            return float("inf")
+        if not degraded:
+            return self.base_delta
+        coasting_std = float(np.sqrt(np.max(np.diag(np.atleast_2d(variance)))))
+        return self.base_delta + self.config.degraded_sigma * coasting_std

@@ -54,6 +54,7 @@ __all__ = [
     "fig9_budget_allocation",
     "fig10_model_ablation",
     "fig11_lossy_channel",
+    "fig11b_fault_matrix",
     "fig12_outlier_robustness",
     "fig13_model_bank",
     "fig14_dynamic_allocation",
@@ -489,15 +490,22 @@ def fig11_lossy_channel(
     until the next delivery.  Periodic ``Resync`` snapshots cap that drift
     for a small byte overhead.  This is the robustness ablation for design
     decision 2 in DESIGN.md.
+
+    The third series runs the full supervised recovery layer (heartbeats,
+    gap-NACK resync, degraded-mode flagging) on the same loss grid: its
+    ``unflagged`` column is the rate of ticks where an out-of-bound value
+    was served *without* being flagged degraded — the honesty criterion —
+    which stays at zero across the sweep.
     """
-    from repro.core.session import DualKalmanSession
+    from repro.core.session import DualKalmanSession, SupervisedSession
+    from repro.faults import FaultPlan
     from repro.network.channel import Channel
 
     wl = workload("W8")
     fig = ExperimentFigure(
         experiment_id="F11",
         title=f"Loss robustness on W8 (δ={wl.default_delta:g}): "
-        f"resync every {resync_interval} ticks vs none",
+        f"resync every {resync_interval} ticks vs none vs supervised",
         x_name="loss rate",
     )
     series: dict[str, list] = {}
@@ -520,8 +528,139 @@ def fig11_lossy_channel(
             series.setdefault(f"{label} kB", []).append(
                 round(trace.stats.total_bytes / 1024.0, 1)
             )
+        sup = SupervisedSession(
+            wl.make_stream(seed),
+            wl.make_model(),
+            AbsoluteBound(wl.default_delta, norm=wl.norm),
+            plan=FaultPlan(seed=seed, iid_loss=loss) if loss else None,
+        )
+        strace = sup.run(n_ticks)
+        err = strace.served_error_vs_measured()
+        valid = err[~np.isnan(err)]
+        series.setdefault("supervised mean_err", []).append(float(np.mean(valid)))
+        series.setdefault("supervised unflagged", []).append(
+            float(np.mean(strace.unflagged_violations(wl.default_delta)))
+        )
+        series.setdefault("supervised kB", []).append(
+            round(strace.total_bytes / 1024.0, 1)
+        )
     fig.add_panel(f"W8: {wl.title}", list(loss_grid), series)
     return fig
+
+
+# ----------------------------------------------------------------------
+# F11b — fault matrix for the supervised recovery layer
+# ----------------------------------------------------------------------
+def fig11b_fault_matrix(
+    n_ticks: int = 800,
+    seed: int = DEFAULT_SEED,
+    delta: float = 0.5,
+) -> ExperimentTable:
+    """Recovery behaviour of the supervised session across fault classes.
+
+    One row per fault scenario — channel faults (iid/burst loss,
+    duplication, reordering, clock skew, blackout), sensor faults (outage,
+    stuck-at, spike bursts), and a kitchen-sink combination.  Columns
+    report the honesty criterion (``unflagged``: out-of-bound values served
+    without a degraded flag — must be 0), how often service was honestly
+    degraded, recovery episode statistics, supervision traffic, and the
+    byte cost relative to the fault-free supervised run.
+    """
+    from repro.core.session import SupervisedSession
+    from repro.faults import FaultPlan
+
+    scenarios: list[tuple[str, FaultPlan | None, float | None]] = [
+        ("fault-free", None, None),
+        ("iid loss 30%", FaultPlan(seed=seed, iid_loss=0.3), None),
+        (
+            "burst loss 20%/6",
+            FaultPlan(seed=seed, burst_loss_rate=0.2, burst_mean=6.0),
+            None,
+        ),
+        (
+            "burst + 50-tick outage",
+            FaultPlan(
+                seed=seed,
+                burst_loss_rate=0.2,
+                burst_mean=6.0,
+                outages=((200, 50),),
+            ),
+            None,
+        ),
+        ("duplication 50%", FaultPlan(seed=seed, duplication=0.5), None),
+        (
+            "reorder 25%/1.5t",
+            FaultPlan(seed=seed, reorder_rate=0.25, reorder_delay=1.5),
+            None,
+        ),
+        ("clock skew 1.2t", FaultPlan(seed=seed, clock_skew=1.2), None),
+        ("blackout 30t", FaultPlan(seed=seed, blackouts=((300, 30),)), None),
+        ("stuck sensor 40t", FaultPlan(seed=seed, stuck=((300, 40),)), None),
+        (
+            "spike burst (robust)",
+            FaultPlan(
+                seed=seed, spike_windows=((200, 30),), spike_magnitude=10.0
+            ),
+            4.0,
+        ),
+        (
+            "kitchen sink",
+            FaultPlan(
+                seed=seed,
+                burst_loss_rate=0.15,
+                burst_mean=5.0,
+                duplication=0.2,
+                reorder_rate=0.1,
+                reverse_loss=0.2,
+                outages=((400, 40),),
+            ),
+            None,
+        ),
+    ]
+
+    table = ExperimentTable(
+        experiment_id="F11b",
+        title=f"Supervised recovery fault matrix (δ={delta:g}, "
+        f"{n_ticks} ticks)",
+        headers=[
+            "scenario",
+            "unflagged",
+            "degraded%",
+            "recov",
+            "mean_rec",
+            "hb",
+            "nacks",
+            "resyncs",
+            "kB",
+            "×bytes",
+        ],
+    )
+    baseline_bytes: int | None = None
+    for name, plan, robust in scenarios:
+        trace = SupervisedSession(
+            RandomWalkStream(step_sigma=0.2, measurement_sigma=0.2, seed=seed),
+            models.random_walk(process_noise=0.05, measurement_sigma=0.2),
+            AbsoluteBound(delta),
+            plan=plan,
+            robust_threshold=robust,
+        ).run(n_ticks)
+        if baseline_bytes is None:
+            baseline_bytes = trace.total_bytes
+        table.rows.append(
+            [
+                name,
+                int(trace.unflagged_violations(delta).sum()),
+                round(100.0 * trace.degraded_fraction(), 1),
+                trace.recovery.recoveries,
+                round(trace.recovery.mean_recovery_ticks, 1),
+                trace.recovery.heartbeats_sent,
+                trace.recovery.nacks_sent,
+                trace.recovery.resyncs_sent,
+                round(trace.total_bytes / 1024.0, 1),
+                round(trace.total_bytes / baseline_bytes, 2),
+            ]
+        )
+    return table
 
 
 # ----------------------------------------------------------------------

@@ -1,0 +1,44 @@
+"""Fault injection: composable channel/sensor disturbance + declarative plans.
+
+This package turns the robustness story from a single loss-rate knob into
+real scenarios: Gilbert–Elliott burst loss, duplication, reordering and
+bounded clock skew on the wire; outage windows, stuck-at freezes and spike
+bursts at the sensor — all seeded, reproducible, and declared up front via
+:class:`~repro.faults.plan.FaultPlan`.  The supervision layer in
+:mod:`repro.core.supervision` is what detects and recovers from what this
+package injects.
+"""
+
+from repro.faults.channel_faults import (
+    BlackoutFault,
+    ChannelFault,
+    ClockSkewFault,
+    DuplicateFault,
+    FaultyChannel,
+    GilbertElliottLoss,
+    IidLossFault,
+    ReorderFault,
+)
+from repro.faults.plan import FaultPlan
+from repro.faults.stream_faults import (
+    FaultWindow,
+    SensorOutage,
+    SpikeBurst,
+    StuckSensor,
+)
+
+__all__ = [
+    "ChannelFault",
+    "IidLossFault",
+    "GilbertElliottLoss",
+    "BlackoutFault",
+    "DuplicateFault",
+    "ReorderFault",
+    "ClockSkewFault",
+    "FaultyChannel",
+    "FaultPlan",
+    "FaultWindow",
+    "SensorOutage",
+    "StuckSensor",
+    "SpikeBurst",
+]

@@ -1,0 +1,321 @@
+"""Composable channel-level fault injectors.
+
+Each :class:`ChannelFault` maps one outgoing message to zero or more
+deliveries, each with an extra delay — dropping, duplicating, delaying or
+skewing it.  A :class:`FaultyChannel` chains injectors over a base
+:class:`~repro.network.channel.Channel`, so experiments can declare
+realistic disturbance (burst loss, duplication, reordering, bounded clock
+skew) instead of the seed channel's i.i.d. loss only.
+
+Every injector is seeded and owns its RNG, so a fault scenario is
+reproducible regardless of which other injectors it is composed with.
+Byte accounting stays honest: the sender pays for each *original* send
+(delivered or not); network-made duplicates are free for the sender and
+are not double-counted.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from collections.abc import Sequence
+from typing import Any
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.network.channel import Channel, Delivery
+from repro.network.stats import CommunicationStats
+
+__all__ = [
+    "ChannelFault",
+    "IidLossFault",
+    "GilbertElliottLoss",
+    "BlackoutFault",
+    "DuplicateFault",
+    "ReorderFault",
+    "ClockSkewFault",
+    "FaultyChannel",
+]
+
+
+class ChannelFault(ABC):
+    """One composable disturbance applied to every outgoing message."""
+
+    @abstractmethod
+    def apply(self, message: Any, now: float) -> list[tuple[Any, float]]:
+        """Map a send to ``[(message, extra_delay), ...]``; ``[]`` drops it."""
+
+    def describe(self) -> str:
+        """One-line description used in fault-plan reports."""
+        return type(self).__name__
+
+
+class IidLossFault(ChannelFault):
+    """Independent per-message loss (the seed channel's model, as a fault)."""
+
+    def __init__(self, rate: float, seed: int = 0):
+        if not 0.0 <= rate < 1.0:
+            raise ConfigurationError(f"loss rate must be in [0,1), got {rate!r}")
+        self.rate = float(rate)
+        self._rng = np.random.default_rng(seed)
+
+    def apply(self, message: Any, now: float) -> list[tuple[Any, float]]:
+        if self._rng.random() < self.rate:
+            return []
+        return [(message, 0.0)]
+
+    def describe(self) -> str:
+        return f"iid_loss(rate={self.rate:g})"
+
+
+class GilbertElliottLoss(ChannelFault):
+    """Two-state (good/bad) burst-loss model.
+
+    The channel flips between a *good* state (losing with ``loss_good``)
+    and a *bad* state (losing with ``loss_bad``).  Sojourn times are
+    geometric, so ``1 / p_bad_to_good`` is the mean burst length in
+    messages.  Use :meth:`from_burst` to parameterize by the long-run loss
+    rate and mean burst length directly.
+    """
+
+    def __init__(
+        self,
+        p_good_to_bad: float,
+        p_bad_to_good: float,
+        loss_good: float = 0.0,
+        loss_bad: float = 1.0,
+        seed: int = 0,
+    ):
+        for name, p in (
+            ("p_good_to_bad", p_good_to_bad),
+            ("p_bad_to_good", p_bad_to_good),
+        ):
+            if not 0.0 < p <= 1.0:
+                raise ConfigurationError(f"{name} must be in (0,1], got {p!r}")
+        for name, p in (("loss_good", loss_good), ("loss_bad", loss_bad)):
+            if not 0.0 <= p <= 1.0:
+                raise ConfigurationError(f"{name} must be in [0,1], got {p!r}")
+        self.p_good_to_bad = float(p_good_to_bad)
+        self.p_bad_to_good = float(p_bad_to_good)
+        self.loss_good = float(loss_good)
+        self.loss_bad = float(loss_bad)
+        self._rng = np.random.default_rng(seed)
+        self._bad = False
+
+    @classmethod
+    def from_burst(
+        cls, loss_rate: float, mean_burst: float, seed: int = 0
+    ) -> "GilbertElliottLoss":
+        """Build from the long-run loss rate and mean burst length.
+
+        With ``loss_bad=1`` and ``loss_good=0`` the stationary bad-state
+        probability equals the loss rate, so
+        ``p_good_to_bad = loss_rate * p_bad_to_good / (1 - loss_rate)``.
+        """
+        if not 0.0 < loss_rate < 1.0:
+            raise ConfigurationError(f"loss_rate must be in (0,1), got {loss_rate!r}")
+        if mean_burst < 1.0:
+            raise ConfigurationError(f"mean_burst must be >= 1, got {mean_burst!r}")
+        p_bg = 1.0 / float(mean_burst)
+        p_gb = loss_rate * p_bg / (1.0 - loss_rate)
+        return cls(min(p_gb, 1.0), p_bg, seed=seed)
+
+    @property
+    def mean_burst(self) -> float:
+        """Mean bad-state sojourn in messages."""
+        return 1.0 / self.p_bad_to_good
+
+    def apply(self, message: Any, now: float) -> list[tuple[Any, float]]:
+        # Advance the Markov chain, then draw the loss for the new state.
+        if self._bad:
+            if self._rng.random() < self.p_bad_to_good:
+                self._bad = False
+        else:
+            if self._rng.random() < self.p_good_to_bad:
+                self._bad = True
+        loss = self.loss_bad if self._bad else self.loss_good
+        if loss and self._rng.random() < loss:
+            return []
+        return [(message, 0.0)]
+
+    def describe(self) -> str:
+        return (
+            f"gilbert_elliott(p_gb={self.p_good_to_bad:.3g}, "
+            f"p_bg={self.p_bad_to_good:.3g}, burst={self.mean_burst:g})"
+        )
+
+
+class BlackoutFault(ChannelFault):
+    """Total loss during declared send-time windows.
+
+    The deterministic cousin of :class:`GilbertElliottLoss`: every message
+    sent while ``start <= now < start + length`` is dropped.  Chaos tests
+    use it to assert recovery latency against a *known* fault-clearance
+    time, which a stochastic burst model cannot provide.
+    """
+
+    def __init__(self, windows: Sequence[tuple[float, float]]):
+        checked: list[tuple[float, float]] = []
+        for w in windows:
+            start, length = float(w[0]), float(w[1])
+            if start < 0 or length <= 0:
+                raise ConfigurationError(
+                    f"blackout window must have start >= 0 and length > 0, got {w!r}"
+                )
+            checked.append((start, length))
+        self.windows = tuple(sorted(checked))
+
+    def apply(self, message: Any, now: float) -> list[tuple[Any, float]]:
+        for start, length in self.windows:
+            if start <= now < start + length:
+                return []
+        return [(message, 0.0)]
+
+    def describe(self) -> str:
+        return f"blackout(windows={list(self.windows)})"
+
+
+class DuplicateFault(ChannelFault):
+    """Deliver some messages twice, the copy slightly later.
+
+    ``exempt_kinds`` skips duplication for the named message kinds — useful
+    when an experiment wants to stress data-path dedup without also
+    duplicating recovery traffic, though the server-side sequence dedup
+    makes duplicate ``Resync`` delivery safe either way (idempotent apply;
+    see the regression tests).
+    """
+
+    def __init__(
+        self,
+        rate: float,
+        copy_delay: float = 0.0,
+        exempt_kinds: tuple[str, ...] = (),
+        seed: int = 0,
+    ):
+        if not 0.0 <= rate <= 1.0:
+            raise ConfigurationError(f"duplication rate must be in [0,1], got {rate!r}")
+        if copy_delay < 0:
+            raise ConfigurationError(f"copy_delay must be >= 0, got {copy_delay!r}")
+        self.rate = float(rate)
+        self.copy_delay = float(copy_delay)
+        self.exempt_kinds = tuple(exempt_kinds)
+        self._rng = np.random.default_rng(seed)
+
+    def apply(self, message: Any, now: float) -> list[tuple[Any, float]]:
+        if message.kind in self.exempt_kinds or self._rng.random() >= self.rate:
+            return [(message, 0.0)]
+        return [(message, 0.0), (message, self.copy_delay)]
+
+    def describe(self) -> str:
+        return f"duplicate(rate={self.rate:g}, delay={self.copy_delay:g})"
+
+
+class ReorderFault(ChannelFault):
+    """Hold some messages back so later sends overtake them."""
+
+    def __init__(self, rate: float, delay: float = 1.0, seed: int = 0):
+        if not 0.0 <= rate <= 1.0:
+            raise ConfigurationError(f"reorder rate must be in [0,1], got {rate!r}")
+        if delay <= 0:
+            raise ConfigurationError(f"reorder delay must be > 0, got {delay!r}")
+        self.rate = float(rate)
+        self.delay = float(delay)
+        self._rng = np.random.default_rng(seed)
+
+    def apply(self, message: Any, now: float) -> list[tuple[Any, float]]:
+        if self._rng.random() < self.rate:
+            return [(message, self.delay)]
+        return [(message, 0.0)]
+
+    def describe(self) -> str:
+        return f"reorder(rate={self.rate:g}, delay={self.delay:g})"
+
+
+class ClockSkewFault(ChannelFault):
+    """Bounded, slowly drifting clock skew between sender and receiver.
+
+    The skew performs a clipped random walk in ``[0, max_skew]`` and is
+    added to every message's delivery delay, modelling a source clock that
+    runs behind the server's by a bounded, time-varying offset.  (A source
+    clock running *ahead* would deliver into the past, which a causal
+    channel cannot represent, hence the one-sided bound.)
+    """
+
+    def __init__(self, max_skew: float, drift: float = 0.05, seed: int = 0):
+        if max_skew < 0:
+            raise ConfigurationError(f"max_skew must be >= 0, got {max_skew!r}")
+        if drift < 0:
+            raise ConfigurationError(f"drift must be >= 0, got {drift!r}")
+        self.max_skew = float(max_skew)
+        self.drift = float(drift)
+        self._rng = np.random.default_rng(seed)
+        self._skew = 0.0
+
+    def apply(self, message: Any, now: float) -> list[tuple[Any, float]]:
+        self._skew = float(
+            np.clip(
+                self._skew + self._rng.normal(0.0, self.drift), 0.0, self.max_skew
+            )
+        )
+        return [(message, self._skew)]
+
+    def describe(self) -> str:
+        return f"clock_skew(max={self.max_skew:g}, drift={self.drift:g})"
+
+
+class FaultyChannel(Channel):
+    """A :class:`Channel` that routes every send through a fault chain.
+
+    Injectors run in order; each maps every pending delivery to zero or
+    more deliveries with accumulated extra delay.  The base channel's
+    latency/jitter still apply on top.  The sender is charged once per
+    original send; a send whose every copy is dropped counts as one drop.
+    """
+
+    def __init__(
+        self,
+        faults: tuple[ChannelFault, ...] | list[ChannelFault] = (),
+        latency: float = 0.0,
+        jitter: float = 0.0,
+        stats: CommunicationStats | None = None,
+        seed: int = 0,
+    ):
+        super().__init__(
+            latency=latency, jitter=jitter, loss_rate=0.0, stats=stats, seed=seed
+        )
+        self.faults: list[ChannelFault] = list(faults)
+
+    @property
+    def is_ideal(self) -> bool:
+        """A channel with injectors is never ideal."""
+        return not self.faults and super().is_ideal
+
+    def send(self, message: Any, now: float) -> bool:
+        self.stats.record_send(message.kind, message.payload_bytes())
+        deliveries: list[tuple[Any, float]] = [(message, 0.0)]
+        for fault in self.faults:
+            next_round: list[tuple[Any, float]] = []
+            for msg, extra in deliveries:
+                next_round.extend(
+                    (m2, extra + e2) for m2, e2 in fault.apply(msg, now)
+                )
+            deliveries = next_round
+        if not deliveries:
+            self.stats.record_drop(message.kind)
+            return False
+        for msg, extra in deliveries:
+            delay = self.latency + extra
+            if self.jitter:
+                delay += float(self._rng.exponential(self.jitter))
+            arrive = max(now + delay, self._scheduler.now)
+            self._scheduler.schedule(
+                arrive,
+                payload=Delivery(message=msg, sent_at=now, arrived_at=arrive),
+            )
+        return True
+
+    def describe(self) -> str:
+        """The fault chain as a one-line summary."""
+        if not self.faults:
+            return "faulty_channel(<no faults>)"
+        return "faulty_channel(" + " -> ".join(f.describe() for f in self.faults) + ")"

@@ -1,0 +1,254 @@
+"""Declarative fault scenarios.
+
+A :class:`FaultPlan` is the single object an experiment passes around to
+describe *everything* that goes wrong in a run: channel disturbance (burst
+loss, duplication, reordering, clock skew), reverse-channel loss, and
+sensor faults (outage windows, stuck-at windows, spike bursts).  Building
+the same plan twice yields identical injector chains — sub-seeds are
+derived deterministically from the plan seed — so a scenario is fully
+reproducible from its spec and round-trips through ``to_dict``/
+``from_dict`` for experiment configs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import asdict, dataclass, replace
+
+from repro.errors import ConfigurationError
+from repro.faults.channel_faults import (
+    BlackoutFault,
+    ChannelFault,
+    ClockSkewFault,
+    DuplicateFault,
+    FaultyChannel,
+    GilbertElliottLoss,
+    IidLossFault,
+    ReorderFault,
+)
+from repro.faults.stream_faults import (
+    FaultWindow,
+    SensorOutage,
+    SpikeBurst,
+    StuckSensor,
+)
+from repro.network.channel import Channel
+from repro.network.stats import CommunicationStats
+from repro.streams.base import StreamSource
+
+__all__ = ["FaultPlan"]
+
+# Deterministic sub-seed offsets so each injector gets an independent RNG.
+_SEED_IID = 1
+_SEED_BURST = 2
+_SEED_DUP = 3
+_SEED_REORDER = 4
+_SEED_SKEW = 5
+_SEED_SPIKES = 6
+_SEED_REVERSE = 7
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """Everything that goes wrong in one run, declared up front.
+
+    Attributes:
+        seed: Master seed; each injector derives its own sub-seed from it.
+        iid_loss: Independent per-message loss rate on the forward channel.
+        burst_loss_rate: Long-run loss rate of the Gilbert–Elliott model
+            (0 disables burst loss).
+        burst_mean: Mean burst length in messages for the burst-loss model.
+        duplication: Probability a forward message is delivered twice.
+        duplication_exempt: Message kinds exempt from duplication.
+        reorder_rate: Probability a forward message is held back.
+        reorder_delay: How long held-back messages are delayed (seconds).
+        clock_skew: Upper bound on the drifting sender-clock skew (seconds;
+            0 disables).
+        blackouts: ``(start, length)`` send-time windows where the forward
+            channel drops everything (deterministic bursts, so recovery
+            latency can be asserted against a known clearance time).
+        reverse_loss: Independent loss rate on the server→source NACK path.
+        outages: ``(start_tick, length)`` windows where the sensor is dark.
+        stuck: Windows where the sensor freezes at its last value.
+        spike_windows: Windows of dense measurement spikes.
+        spike_magnitude: Spike displacement added during spike windows.
+        latency: Fixed forward-channel propagation delay.
+        jitter: Mean exponential extra delay on the forward channel.
+    """
+
+    seed: int = 0
+    iid_loss: float = 0.0
+    burst_loss_rate: float = 0.0
+    burst_mean: float = 5.0
+    duplication: float = 0.0
+    duplication_exempt: tuple[str, ...] = ()
+    reorder_rate: float = 0.0
+    reorder_delay: float = 1.5
+    clock_skew: float = 0.0
+    blackouts: tuple[FaultWindow, ...] = ()
+    reverse_loss: float = 0.0
+    outages: tuple[FaultWindow, ...] = ()
+    stuck: tuple[FaultWindow, ...] = ()
+    spike_windows: tuple[FaultWindow, ...] = ()
+    spike_magnitude: float = 20.0
+    latency: float = 0.0
+    jitter: float = 0.0
+
+    def __post_init__(self) -> None:
+        # Normalize window tuples so equality and round-trips behave.
+        for name in ("outages", "stuck", "spike_windows", "blackouts"):
+            value = tuple(tuple(int(v) for v in w) for w in getattr(self, name))
+            object.__setattr__(self, name, value)
+        object.__setattr__(
+            self, "duplication_exempt", tuple(self.duplication_exempt)
+        )
+        if self.burst_loss_rate and not 0.0 < self.burst_loss_rate < 1.0:
+            raise ConfigurationError(
+                f"burst_loss_rate must be in (0,1), got {self.burst_loss_rate!r}"
+            )
+        # Fail at construction, not lazily when the injector chain is
+        # built — a plan travels through configs and with_seed() long
+        # before anything runs it.
+        for name in ("iid_loss", "duplication", "reorder_rate", "reverse_loss"):
+            rate = getattr(self, name)
+            if not 0.0 <= rate < 1.0:
+                raise ConfigurationError(
+                    f"{name} must be in [0,1), got {rate!r}"
+                )
+
+    # ------------------------------------------------------------------
+    # Builders
+    # ------------------------------------------------------------------
+    def channel_faults(self) -> list[ChannelFault]:
+        """The forward-channel injector chain this plan declares."""
+        faults: list[ChannelFault] = []
+        if self.iid_loss:
+            faults.append(IidLossFault(self.iid_loss, seed=self.seed + _SEED_IID))
+        if self.burst_loss_rate:
+            faults.append(
+                GilbertElliottLoss.from_burst(
+                    self.burst_loss_rate, self.burst_mean, seed=self.seed + _SEED_BURST
+                )
+            )
+        if self.blackouts:
+            faults.append(BlackoutFault(self.blackouts))
+        if self.duplication:
+            faults.append(
+                DuplicateFault(
+                    self.duplication,
+                    exempt_kinds=self.duplication_exempt,
+                    seed=self.seed + _SEED_DUP,
+                )
+            )
+        if self.reorder_rate:
+            faults.append(
+                ReorderFault(
+                    self.reorder_rate,
+                    delay=self.reorder_delay,
+                    seed=self.seed + _SEED_REORDER,
+                )
+            )
+        if self.clock_skew:
+            faults.append(
+                ClockSkewFault(self.clock_skew, seed=self.seed + _SEED_SKEW)
+            )
+        return faults
+
+    def build_channel(self, stats: CommunicationStats | None = None) -> Channel:
+        """Forward (source→server) channel with the declared disturbance."""
+        return FaultyChannel(
+            self.channel_faults(),
+            latency=self.latency,
+            jitter=self.jitter,
+            stats=stats,
+            seed=self.seed,
+        )
+
+    def build_reverse_channel(
+        self, stats: CommunicationStats | None = None
+    ) -> Channel:
+        """Reverse (server→source) channel used by NACKs."""
+        if not self.reverse_loss:
+            return Channel.ideal(stats=stats)
+        return FaultyChannel(
+            [IidLossFault(self.reverse_loss, seed=self.seed + _SEED_REVERSE)],
+            stats=stats,
+            seed=self.seed + _SEED_REVERSE,
+        )
+
+    def wrap_stream(self, stream: StreamSource) -> StreamSource:
+        """Apply the declared sensor faults around a stream."""
+        wrapped = stream
+        if self.stuck:
+            wrapped = StuckSensor(wrapped, self.stuck)
+        if self.spike_windows:
+            wrapped = SpikeBurst(
+                wrapped,
+                self.spike_windows,
+                magnitude=self.spike_magnitude,
+                seed=self.seed + _SEED_SPIKES,
+            )
+        if self.outages:
+            wrapped = SensorOutage(wrapped, self.outages)
+        return wrapped
+
+    # ------------------------------------------------------------------
+    # Introspection / round-trips
+    # ------------------------------------------------------------------
+    @property
+    def fault_free(self) -> bool:
+        """True when this plan injects nothing at all."""
+        return (
+            not self.channel_faults()
+            and not self.reverse_loss
+            and not self.outages
+            and not self.stuck
+            and not self.spike_windows
+            and self.latency == 0.0
+            and self.jitter == 0.0
+        )
+
+    def last_fault_tick(self) -> int:
+        """Last tick covered by any declared sensor-fault window.
+
+        Chaos tests use this as the earliest tick from which to assert
+        recovery; channel faults are stochastic and have no end tick.
+        """
+        ends = [
+            start + length
+            for windows in (
+                self.outages,
+                self.stuck,
+                self.spike_windows,
+                self.blackouts,
+            )
+            for start, length in windows
+        ]
+        return max(ends) if ends else 0
+
+    def with_seed(self, seed: int) -> "FaultPlan":
+        """The same scenario re-seeded (for property tests over seeds)."""
+        return replace(self, seed=seed)
+
+    def describe(self) -> str:
+        """Compact scenario summary for tables and logs."""
+        parts = [f.describe() for f in self.channel_faults()]
+        if self.reverse_loss:
+            parts.append(f"reverse_loss(rate={self.reverse_loss:g})")
+        if self.outages:
+            parts.append(f"outages{list(self.outages)}")
+        if self.stuck:
+            parts.append(f"stuck{list(self.stuck)}")
+        if self.spike_windows:
+            parts.append(
+                f"spikes{list(self.spike_windows)}@{self.spike_magnitude:g}"
+            )
+        return " + ".join(parts) if parts else "fault-free"
+
+    def to_dict(self) -> dict:
+        """Plain-dict form for experiment configs."""
+        return asdict(self)
+
+    @classmethod
+    def from_dict(cls, spec: dict) -> "FaultPlan":
+        """Rebuild a plan from :meth:`to_dict` output."""
+        return cls(**spec)

@@ -1,0 +1,140 @@
+"""Sensor-level fault injectors: outages, stuck-at readings, spike bursts.
+
+These complement the generic corruption wrappers in
+:mod:`repro.streams.noise` with *windowed*, scenario-style faults: each
+wrapper takes explicit ``(start_tick, length)`` windows so chaos tests can
+assert recovery relative to a known fault-clearance tick.  Ground truth
+passes through untouched, so scoring against reality stays honest even
+while the measured values lie.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, Sequence
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.streams.base import Reading, StreamSource
+
+__all__ = ["FaultWindow", "SensorOutage", "StuckSensor", "SpikeBurst"]
+
+FaultWindow = tuple[int, int]
+
+
+def _check_windows(windows: Sequence[FaultWindow]) -> tuple[FaultWindow, ...]:
+    out: list[FaultWindow] = []
+    for w in windows:
+        start, length = int(w[0]), int(w[1])
+        if start < 0 or length < 1:
+            raise ConfigurationError(
+                f"fault window must have start >= 0 and length >= 1, got {w!r}"
+            )
+        out.append((start, length))
+    return tuple(sorted(out))
+
+
+def _in_window(tick: int, windows: tuple[FaultWindow, ...]) -> bool:
+    return any(start <= tick < start + length for start, length in windows)
+
+
+class _WindowedFault(StreamSource):
+    """Shared plumbing for tick-windowed sensor faults."""
+
+    def __init__(self, inner: StreamSource, windows: Sequence[FaultWindow]):
+        self.inner = inner
+        self.windows = _check_windows(windows)
+        self.dt = inner.dt
+        self.dim = inner.dim
+
+
+class SensorOutage(_WindowedFault):
+    """The sensor produces nothing during the given windows.
+
+    Ticks inside a window still appear in the stream (``value=None``) so
+    timing stays aligned — the suppression loop coasts through them.
+    """
+
+    def _generate(self) -> Iterator[Reading]:
+        for tick, r in enumerate(self.inner):
+            if _in_window(tick, self.windows):
+                yield Reading(t=r.t, value=None, truth=r.truth)
+            else:
+                yield r
+
+    def describe(self) -> str:
+        return f"{self.inner.describe()} + outage windows {list(self.windows)}"
+
+
+class StuckSensor(_WindowedFault):
+    """The sensor freezes: windows repeat the last pre-window value exactly.
+
+    A stuck-at fault is the nastiest case for a dead-band cache — the
+    frozen readings *look* perfectly predictable, so the protocol happily
+    suppresses while reality walks away.  Exact bit-repetition is also the
+    detection signature: real noisy sensors never repeat a float exactly,
+    which is what the source-side stuck-at detector keys on.
+    """
+
+    def _generate(self) -> Iterator[Reading]:
+        last_value: np.ndarray | None = None
+        for tick, r in enumerate(self.inner):
+            if _in_window(tick, self.windows) and last_value is not None:
+                yield Reading(t=r.t, value=last_value.copy(), truth=r.truth)
+            else:
+                if r.value is not None:
+                    last_value = r.value
+                yield r
+
+    def describe(self) -> str:
+        return f"{self.inner.describe()} + stuck windows {list(self.windows)}"
+
+
+class SpikeBurst(_WindowedFault):
+    """Dense spikes during the given windows (a glitching sensor episode).
+
+    Unlike :class:`repro.streams.noise.OutlierInjector`'s i.i.d. spikes, a
+    burst violates the two-strike escape's assumption that spikes are
+    isolated, which is exactly the regime the supervision layer must
+    survive.
+    """
+
+    def __init__(
+        self,
+        inner: StreamSource,
+        windows: Sequence[FaultWindow],
+        magnitude: float = 20.0,
+        rate: float = 0.5,
+        seed: int = 0,
+    ):
+        super().__init__(inner, windows)
+        if magnitude < 0:
+            raise ConfigurationError(
+                f"magnitude must be non-negative, got {magnitude!r}"
+            )
+        if not 0.0 < rate <= 1.0:
+            raise ConfigurationError(f"rate must be in (0,1], got {rate!r}")
+        self.magnitude = float(magnitude)
+        self.rate = float(rate)
+        self.seed = seed
+
+    def _generate(self) -> Iterator[Reading]:
+        rng = np.random.default_rng(self.seed)
+        for tick, r in enumerate(self.inner):
+            if (
+                _in_window(tick, self.windows)
+                and r.value is not None
+                and rng.random() < self.rate
+            ):
+                direction = rng.choice([-1.0, 1.0], size=r.value.shape)
+                yield Reading(
+                    t=r.t, value=r.value + direction * self.magnitude, truth=r.truth
+                )
+            else:
+                yield r
+
+    def describe(self) -> str:
+        return (
+            f"{self.inner.describe()} + spike bursts {list(self.windows)} "
+            f"(mag={self.magnitude:g}, rate={self.rate:g})"
+        )

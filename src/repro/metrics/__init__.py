@@ -15,7 +15,12 @@ from repro.metrics.errors import (
     summarize_errors,
     violation_rate,
 )
-from repro.metrics.report import format_cell, render_series, render_table
+from repro.metrics.report import (
+    format_cell,
+    render_recovery_table,
+    render_series,
+    render_table,
+)
 
 __all__ = [
     "ErrorSummary",
@@ -32,4 +37,5 @@ __all__ = [
     "format_cell",
     "render_table",
     "render_series",
+    "render_recovery_table",
 ]

@@ -98,6 +98,22 @@ class TestServerStreamState:
         assert snapshot.value[0] == 3.7
         assert snapshot.fresh
 
+    def test_same_tick_resync_does_not_replace_update_serve(self, rw_model):
+        # Rule S1 regression: a repair resync arriving in the same batch as
+        # a measurement update (e.g. a NACK answer riding with the next
+        # update) replaces state but must not replace the served z — the
+        # filtered posterior can sit farther from the measurement than a
+        # tight bound allows.
+        source = SourceAgent("s", rw_model, AbsoluteBound(0.1))
+        server = ServerStreamState("s", rw_model)
+        server.advance(list(source.process(Reading(t=0.0, value=1.0)).messages))
+        decision = source.process(Reading(t=1.0, value=2.5))
+        update = list(decision.messages)
+        resync = source.replica.snapshot("s", seq=update[-1].seq + 1)
+        snapshot = server.advance(update + [resync])
+        assert snapshot.value[0] == 2.5
+        assert server.replica.state_equals(source.replica)
+
     def test_coasts_between_updates(self, rw_model):
         source = SourceAgent("s", rw_model, AbsoluteBound(100.0))
         server = ServerStreamState("s", rw_model)

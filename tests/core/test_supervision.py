@@ -1,0 +1,357 @@
+"""Unit tests for the supervision layer: heartbeats, watchdogs, NACK/backoff."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    AbsoluteBound,
+    ServerStreamState,
+    SourceAgent,
+    StreamServer,
+    SupervisionConfig,
+)
+from repro.core.protocol import Heartbeat, MeasurementUpdate, Nack, Resync
+from repro.core.supervision import ServerSupervisor, SourceSupervisor
+from repro.errors import ConfigurationError, ProtocolError
+from repro.kalman.models import random_walk
+from repro.streams.base import Reading
+
+MODEL = dict(process_noise=0.05, measurement_sigma=0.3)
+
+
+def make_source(config=None, **agent_kw):
+    agent = SourceAgent("s", random_walk(**MODEL), AbsoluteBound(0.5), **agent_kw)
+    return SourceSupervisor(agent, config=config)
+
+
+def make_server(config=None, nacks=None, delta=0.5):
+    state = ServerStreamState("s", random_walk(**MODEL))
+    send = nacks.append if nacks is not None else None
+    return ServerSupervisor(state, base_delta=delta, config=config, send_nack=send)
+
+
+def reading(t: float, value: float | None) -> Reading:
+    v = None if value is None else np.array([value])
+    return Reading(t=t, value=v, truth=v)
+
+
+# ----------------------------------------------------------------------
+# Config validation
+# ----------------------------------------------------------------------
+def test_config_rejects_bad_values():
+    for kw in (
+        dict(heartbeat_interval=0),
+        dict(staleness_limit=-1),
+        dict(nack_backoff_base=0),
+        dict(nack_backoff_max=1, nack_backoff_base=2),
+        dict(nack_backoff_factor=0.5),
+        dict(nack_budget=0),
+        dict(resync_min_gap=0),
+        dict(divergence_patience=0),
+        dict(stuck_patience=1),
+    ):
+        with pytest.raises(ConfigurationError):
+            SupervisionConfig(**kw)
+
+
+def test_effective_staleness_limit_derives_from_heartbeat_interval():
+    assert SupervisionConfig(heartbeat_interval=1).effective_staleness_limit == 0
+    assert SupervisionConfig(heartbeat_interval=4).effective_staleness_limit == 3
+    assert (
+        SupervisionConfig(heartbeat_interval=4, staleness_limit=1)
+        .effective_staleness_limit
+        == 1
+    )
+
+
+# ----------------------------------------------------------------------
+# Source side: heartbeats
+# ----------------------------------------------------------------------
+def test_strict_mode_beacons_every_silent_tick():
+    sup = make_source(SupervisionConfig(heartbeat_interval=1))
+    flat = [reading(float(i), 1.0) for i in range(20)]
+    kinds = [
+        [m.kind for m in sup.process(r).messages] for r in flat
+    ]
+    # First tick transmits the measurement; every suppressed tick beacons.
+    assert kinds[0] == ["update"]
+    assert all(k == ["heartbeat"] for k in kinds[1:])
+
+
+def test_heartbeat_interval_throttles_beacons():
+    sup = make_source(SupervisionConfig(heartbeat_interval=3))
+    sup.process(reading(0.0, 1.0))
+    silent_kinds = [
+        [m.kind for m in sup.process(reading(float(i), 1.0)).messages]
+        for i in range(1, 10)
+    ]
+    assert silent_kinds == [[], [], ["heartbeat"]] * 3
+
+
+def test_heartbeat_echoes_last_state_bearing_seq_not_its_own():
+    sup = make_source(SupervisionConfig(heartbeat_interval=1))
+    sup.process(reading(0.0, 1.0))
+    hb1 = sup.process(reading(1.0, 1.0)).messages[0]
+    hb2 = sup.process(reading(2.0, 1.0)).messages[0]
+    assert isinstance(hb1, Heartbeat)
+    assert (hb1.last_seq, hb2.last_seq) == (1, 1)  # no new state sent
+    assert hb2.seq == hb1.seq + 1  # own counter advances
+
+
+def test_heartbeat_flags_sensor_outage_and_recovery():
+    sup = make_source(SupervisionConfig(heartbeat_interval=1))
+    sup.process(reading(0.0, 1.0))
+    hb_dark = sup.process(reading(1.0, None)).messages[0]
+    assert isinstance(hb_dark, Heartbeat) and hb_dark.sensor_ok is False
+    sup.process(reading(2.0, 1.001))  # sensor back: judged live immediately
+    assert sup.sensor_ok is True
+    hb_ok = sup.process(reading(3.0, 1.002)).messages[0]
+    assert isinstance(hb_ok, Heartbeat) and hb_ok.sensor_ok is True
+
+
+def test_stuck_sensor_detected_after_patience_exact_repeats():
+    cfg = SupervisionConfig(heartbeat_interval=1, stuck_patience=3)
+    sup = make_source(cfg)
+    # 1.0 repeats exactly; the identical-run counter reaches the patience
+    # threshold (3) on the 4th identical reading.
+    for i in range(4):
+        sup.process(reading(float(i), 1.0))
+    assert sup.sensor_ok is False
+    sup.process(reading(4.0, 1.0001))
+    assert sup.sensor_ok is True
+
+
+# ----------------------------------------------------------------------
+# Source side: NACK -> model repair + resync, rate-limited
+# ----------------------------------------------------------------------
+def test_nack_triggers_model_repair_plus_resync():
+    sup = make_source()
+    sup.process(reading(0.0, 1.0))
+    nack = Nack(stream_id="s", seq=1, tick=1, last_seq=0)
+    decision = sup.process(reading(1.0, 1.0), nacks=[nack])
+    kinds = [m.kind for m in decision.messages]
+    assert kinds == ["model_switch", "resync"]
+    switch, resync = decision.messages
+    assert switch.change["model"] == sup.agent.replica.model.spec()
+    assert resync.seq == switch.seq + 1  # contiguous state-bearing seqs
+    # The repair pair leaves the source replica untouched (no-op locally):
+    # a fresh server applying it lands exactly on the source state.
+    state = ServerStreamState("s", random_walk(**MODEL))
+    state.advance([switch, resync])
+    assert state.replica.state_equals(sup.agent.replica)
+
+
+def test_resyncs_are_rate_limited_by_min_gap():
+    sup = make_source(SupervisionConfig(resync_min_gap=3))
+    sup.process(reading(0.0, 1.0))
+    nack = Nack(stream_id="s", seq=1, tick=1, last_seq=0)
+    sent = [
+        "resync" in [m.kind for m in sup.process(reading(float(i), 1.0), nacks=[nack]).messages]
+        for i in range(1, 8)
+    ]
+    assert sent == [True, False, False, True, False, False, True]
+
+
+# ----------------------------------------------------------------------
+# Server side: watchdogs and degradation
+# ----------------------------------------------------------------------
+def _fed_server(nacks, config=None, n_warm=3, delta=0.5):
+    """A server that has heard a healthy source for a few ticks."""
+    src = make_source(config)
+    srv = make_server(config, nacks=nacks, delta=delta)
+    for i in range(n_warm):
+        msgs = list(src.process(reading(float(i), 1.0 + 0.01 * i)).messages)
+        srv.advance(msgs)
+    return src, srv
+
+
+def test_silence_trips_staleness_and_degrades():
+    nacks: list[Nack] = []
+    cfg = SupervisionConfig(heartbeat_interval=1)
+    _, srv = _fed_server(nacks, cfg)
+    snap = srv.advance([])  # total silence: not even a heartbeat
+    assert snap.degraded and snap.reason == "stale"
+    assert srv.stats.staleness_trips == 1
+    assert len(nacks) == 1 and nacks[0].reason == "stale"
+
+
+def test_heartbeat_keeps_server_healthy_through_suppression():
+    nacks: list[Nack] = []
+    src, srv = _fed_server(nacks, SupervisionConfig(heartbeat_interval=1))
+    for i in range(3, 30):
+        # Tiny unique wiggles: within the dead band, but never an exact
+        # repeat (which would — correctly — trip the stuck-at detector).
+        msgs = list(src.process(reading(float(i), 1.02 + 1e-6 * i)).messages)
+        snap = srv.advance(msgs)
+        assert not snap.degraded
+    assert nacks == []
+
+
+def test_lost_heartbeat_trips_staleness_but_liveness_resolves_it():
+    nacks: list[Nack] = []
+    src, srv = _fed_server(nacks, SupervisionConfig(heartbeat_interval=1))
+    src.process(reading(3.0, 1.03))  # heartbeat eaten by the channel
+    assert srv.advance([]).degraded
+    msgs = list(src.process(reading(4.0, 1.03)).messages)
+    snap = srv.advance(msgs)  # next beacon arrives; nothing was missing
+    assert not snap.degraded
+    assert srv.stats.recoveries == 1
+
+
+def test_seq_gap_detected_and_resolved_by_resync():
+    nacks: list[Nack] = []
+    src, srv = _fed_server(nacks, SupervisionConfig(heartbeat_interval=1))
+    # A just-over-the-bound update is generated but lost; the source then
+    # settles back into suppression, so only the next heartbeat's echo
+    # (last_seq ahead of what the server applied) reveals the gap.
+    src.process(reading(3.0, 1.6))
+    hb = list(src.process(reading(4.0, 1.601)).messages)
+    assert [m.kind for m in hb] == ["heartbeat"]
+    snap = srv.advance(hb)
+    assert snap.degraded and snap.reason == "gap"
+    assert srv.stats.gap_detections == 1
+    assert nacks and nacks[-1].reason == "gap"
+    # The source answers; the repair pair restores lock-step, but the
+    # resync tick itself serves the resynced posterior (the lost update's
+    # measurement is gone), so it stays flagged for one settling tick.
+    repair = list(src.process(reading(5.0, 1.602), nacks=[nacks[-1]]).messages)
+    snap = srv.advance(repair)
+    assert snap.degraded and snap.reason == "resync"
+    assert srv.state.replica.state_equals(src.agent.replica)
+    # Health resumes on the next tick's on-time traffic.
+    snap = srv.advance(list(src.process(reading(6.0, 1.602)).messages))
+    assert not snap.degraded
+
+
+def test_direct_seq_discontinuity_counts_as_gap():
+    nacks: list[Nack] = []
+    _, srv = _fed_server(nacks, SupervisionConfig(heartbeat_interval=1))
+    late = MeasurementUpdate(stream_id="s", seq=5, tick=5, z=np.array([2.0]))
+    snap = srv.advance([late])  # seqs 2..4 never arrived
+    assert snap.degraded and snap.reason == "gap"
+
+
+def test_nack_backoff_schedule_and_budget():
+    nacks: list[Nack] = []
+    cfg = SupervisionConfig(
+        heartbeat_interval=1,
+        nack_backoff_base=1,
+        nack_backoff_factor=2.0,
+        nack_backoff_max=8,
+        nack_budget=4,
+    )
+    _, srv = _fed_server(nacks, cfg)
+    sent_at = []
+    for i in range(30):  # the source goes permanently silent
+        before = len(nacks)
+        srv.advance([])
+        if len(nacks) > before:
+            sent_at.append(i)
+    # Intervals double (1, 2, 4) and the budget caps the count at 4.
+    assert len(nacks) == 4
+    assert [b - a for a, b in zip(sent_at, sent_at[1:])] == [1, 2, 4]
+    assert srv.stats.nack_budget_exhausted == 1
+
+
+def test_backoff_collapses_when_channel_shows_life():
+    nacks: list[Nack] = []
+    cfg = SupervisionConfig(
+        heartbeat_interval=1, nack_backoff_base=1, nack_backoff_max=16
+    )
+    src, srv = _fed_server(nacks, cfg)
+    src.process(reading(3.0, 1.6))  # lost update opens a gap episode
+    hb = list(src.process(reading(4.0, 1.601)).messages)
+    srv.advance(hb)
+    for _ in range(6):  # long silence grows the backoff interval
+        srv.advance([])
+    grown = srv._nack_interval
+    assert grown > cfg.nack_backoff_factor * cfg.nack_backoff_base
+    # A heartbeat (still reporting the gap) proves the channel is alive:
+    hb2 = list(src.process(reading(5.0, 1.602)).messages)
+    before = len(nacks)
+    srv.advance(hb2)
+    assert len(nacks) == before + 1  # re-NACKed immediately, no waiting
+    # ... and the retry cadence restarted from base (x factor), not `grown`.
+    srv.advance([])
+    srv.advance([])
+    assert len(nacks) == before + 2
+
+
+def test_divergence_watchdog_trips_on_sustained_bad_innovations():
+    nacks: list[Nack] = []
+    cfg = SupervisionConfig(
+        heartbeat_interval=1, divergence_gate=9.0, divergence_patience=2
+    )
+    _, srv = _fed_server(nacks, cfg)
+    # Feed updates wildly inconsistent with the replica's prediction,
+    # with contiguous seqs so only the NIS detector can notice.
+    seq = srv.state.last_seq
+    tripped = False
+    for i, z in enumerate((50.0, -50.0, 50.0, -50.0)):
+        seq += 1
+        snap = srv.advance(
+            [MeasurementUpdate(stream_id="s", seq=seq, tick=3 + i, z=np.array([z]))]
+        )
+        tripped = tripped or snap.reason == "divergence"
+    assert tripped
+    assert srv.stats.divergence_trips >= 1
+    assert any(n.reason == "divergence" for n in nacks)
+
+
+def test_advertised_bound_widens_while_degraded():
+    nacks: list[Nack] = []
+    _, srv = _fed_server(nacks, SupervisionConfig(heartbeat_interval=1), delta=0.5)
+    next_seq = srv.state.last_seq + 1
+    healthy = srv.advance(
+        [MeasurementUpdate(stream_id="s", seq=next_seq, tick=3, z=np.array([1.05]))]
+    )
+    assert healthy.advertised_bound == pytest.approx(0.5)
+    bounds = [srv.advance([]).advertised_bound for _ in range(10)]
+    assert all(b > 0.5 for b in bounds)
+    # Coasting uncertainty grows, so the honest bound keeps widening.
+    assert bounds[-1] > bounds[0]
+
+
+def test_pre_warm_server_advertises_infinite_bound():
+    srv = make_server(SupervisionConfig(heartbeat_interval=1))
+    assert srv.advance([]).advertised_bound == np.inf
+
+
+def test_sensor_fault_flag_degrades_without_nacking():
+    nacks: list[Nack] = []
+    src, srv = _fed_server(nacks, SupervisionConfig(heartbeat_interval=1))
+    src.process(reading(3.0, None))  # outage: heartbeat carries sensor_ok=False
+    hb = list(src.process(reading(4.0, None)).messages)
+    snap = srv.advance(hb)
+    assert snap.degraded and snap.reason == "sensor"
+    assert nacks == []  # replica is fine; a resync would not help
+
+
+# ----------------------------------------------------------------------
+# Satellite: unknown stream ids raise a typed ProtocolError
+# ----------------------------------------------------------------------
+def test_dispatch_rejects_unknown_stream_with_typed_error():
+    server = StreamServer()
+    server.register("known", random_walk(**MODEL))
+    rogue = MeasurementUpdate(stream_id="ghost", seq=1, tick=1, z=np.array([1.0]))
+    with pytest.raises(ProtocolError, match="ghost"):
+        server.dispatch([rogue])
+    # Definitely the typed error, not a bare KeyError.
+    with pytest.raises(ProtocolError):
+        try:
+            server.dispatch([rogue])
+        except KeyError:  # pragma: no cover - would be the bug
+            pytest.fail("unknown stream must raise ProtocolError, not KeyError")
+
+
+def test_dispatch_routes_multiple_streams_and_advances_all():
+    server = StreamServer()
+    server.register("a", random_walk(**MODEL))
+    server.register("b", random_walk(**MODEL))
+    snaps = server.dispatch(
+        [MeasurementUpdate(stream_id="a", seq=1, tick=1, z=np.array([2.0]))]
+    )
+    assert snaps["a"].value is not None and snaps["a"].fresh
+    assert snaps["b"].value is None  # advanced, still cold

@@ -1,0 +1,264 @@
+"""Unit tests for the fault injectors and the declarative FaultPlan."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.protocol import MeasurementUpdate, Resync
+from repro.core.replica import FilterReplica
+from repro.core.server import ServerStreamState
+from repro.errors import ConfigurationError
+from repro.faults import (
+    BlackoutFault,
+    ClockSkewFault,
+    DuplicateFault,
+    FaultPlan,
+    FaultyChannel,
+    GilbertElliottLoss,
+    IidLossFault,
+    ReorderFault,
+    SensorOutage,
+    SpikeBurst,
+    StuckSensor,
+)
+from repro.kalman.models import random_walk
+from repro.streams import RandomWalkStream
+
+
+def _update(seq: int, value: float = 1.0) -> MeasurementUpdate:
+    return MeasurementUpdate(
+        stream_id="s", seq=seq, tick=seq, z=np.array([value])
+    )
+
+
+# ----------------------------------------------------------------------
+# Channel injectors
+# ----------------------------------------------------------------------
+def test_iid_loss_is_seed_deterministic():
+    def outcomes(seed):
+        fault = IidLossFault(0.4, seed=seed)
+        return [bool(fault.apply(_update(i), float(i))) for i in range(200)]
+
+    assert outcomes(7) == outcomes(7)
+    assert outcomes(7) != outcomes(8)
+
+
+def test_gilbert_elliott_matches_requested_loss_and_burst():
+    ge = GilbertElliottLoss.from_burst(loss_rate=0.2, mean_burst=6.0, seed=3)
+    assert ge.mean_burst == pytest.approx(6.0)
+    dropped = np.array(
+        [not ge.apply(_update(i), float(i)) for i in range(60_000)]
+    )
+    assert dropped.mean() == pytest.approx(0.2, abs=0.02)
+    # Mean run length of consecutive drops should be near the burst target.
+    runs, run = [], 0
+    for d in dropped:
+        if d:
+            run += 1
+        elif run:
+            runs.append(run)
+            run = 0
+    assert np.mean(runs) == pytest.approx(6.0, rel=0.15)
+
+
+def test_blackout_drops_exactly_inside_windows():
+    fault = BlackoutFault([(10, 5), (30, 2)])
+    dropped = [now for now in range(40) if not fault.apply(_update(now), now)]
+    assert dropped == [10, 11, 12, 13, 14, 30, 31]
+
+
+def test_blackout_rejects_bad_windows():
+    with pytest.raises(ConfigurationError):
+        BlackoutFault([(-1, 5)])
+    with pytest.raises(ConfigurationError):
+        BlackoutFault([(0, 0)])
+
+
+def test_duplicate_fault_emits_copy_and_respects_exemptions():
+    dup = DuplicateFault(1.0, copy_delay=0.5, exempt_kinds=("resync",))
+    out = dup.apply(_update(1), 0.0)
+    assert len(out) == 2
+    assert out[0][1] == 0.0 and out[1][1] == 0.5
+    resync = FilterReplica(random_walk()).snapshot("s", 2)
+    assert len(dup.apply(resync, 0.0)) == 1
+
+
+def test_reorder_fault_delays_some_messages():
+    fault = ReorderFault(0.5, delay=2.0, seed=1)
+    delays = [fault.apply(_update(i), 0.0)[0][1] for i in range(200)]
+    assert set(delays) == {0.0, 2.0}
+
+
+def test_clock_skew_stays_bounded():
+    fault = ClockSkewFault(max_skew=1.5, drift=0.3, seed=2)
+    skews = [fault.apply(_update(i), 0.0)[0][1] for i in range(500)]
+    assert all(0.0 <= s <= 1.5 for s in skews)
+    assert max(skews) > 0.5  # the walk actually moves
+
+
+# ----------------------------------------------------------------------
+# FaultyChannel semantics
+# ----------------------------------------------------------------------
+def test_faulty_channel_charges_sender_once_per_send():
+    chan = FaultyChannel([DuplicateFault(1.0, copy_delay=0.0)])
+    msg = _update(1)
+    chan.send(msg, 0.0)
+    # One send charged, but two deliveries arrive.
+    assert chan.stats.total_messages == 1
+    assert len(chan.poll(1.0)) == 2
+
+
+def test_faulty_channel_counts_fully_dropped_send_once():
+    chan = FaultyChannel([BlackoutFault([(0, 10)])])
+    assert chan.send(_update(1), 5.0) is False
+    assert chan.stats.dropped_messages["update"] == 1
+    assert chan.poll(100.0) == []
+
+
+def test_faulty_channel_is_never_ideal_with_faults():
+    assert FaultyChannel([IidLossFault(0.1)]).is_ideal is False
+    assert FaultyChannel([]).is_ideal is True
+
+
+# ----------------------------------------------------------------------
+# Satellite regression: duplicated Resync delivery is idempotent
+# ----------------------------------------------------------------------
+def test_duplicate_resync_delivery_is_idempotent():
+    model = random_walk(process_noise=0.1, measurement_sigma=0.5)
+    source = FilterReplica(model)
+    source.apply_update(np.array([1.0]))
+    source.apply_update(np.array([1.3]))
+    resync = source.snapshot("s", seq=3)
+
+    server = ServerStreamState("s", model)
+    server.advance([_update(1, 1.0)])
+    # The resync arrives twice in one tick (network duplication).
+    server.advance([resync, resync])
+    fingerprint = server.replica.fingerprint()
+    assert server.duplicates_dropped == 1
+    # And a stale third copy arrives a tick later: state must not rewind —
+    # the server coasts exactly as if nothing had arrived.
+    server.advance([resync])
+    assert server.duplicates_dropped == 2
+    reference = FilterReplica(model)
+    reference.apply_resync(resync)
+    reference.coast()
+    assert server.replica.fingerprint() == reference.fingerprint()
+    assert fingerprint != reference.fingerprint()  # it did coast, not freeze
+
+
+def test_duplicate_resync_through_faulty_channel():
+    model = random_walk(process_noise=0.1, measurement_sigma=0.5)
+    source = FilterReplica(model)
+    source.apply_update(np.array([2.0]))
+    resync = source.snapshot("s", seq=2)
+    chan = FaultyChannel([DuplicateFault(1.0, copy_delay=0.0)])
+    chan.send(_update(1, 2.0), 0.0)
+    chan.send(resync, 0.0)
+    server = ServerStreamState("s", model)
+    server.advance([d.message for d in chan.poll(1.0)])
+    assert server.duplicates_dropped == 2  # one dup of each message
+    assert server.replica.state_equals(source)
+
+
+# ----------------------------------------------------------------------
+# Stream injectors
+# ----------------------------------------------------------------------
+def _stream():
+    return RandomWalkStream(step_sigma=0.5, measurement_sigma=0.3, seed=9)
+
+
+def test_sensor_outage_blanks_windows_but_keeps_truth():
+    readings = SensorOutage(_stream(), [(5, 3)]).take(10)
+    clean = _stream().take(10)
+    for i, (r, c) in enumerate(zip(readings, clean)):
+        assert np.array_equal(r.truth, c.truth)
+        if 5 <= i < 8:
+            assert r.value is None
+        else:
+            assert np.array_equal(r.value, c.value)
+
+
+def test_stuck_sensor_repeats_last_pre_window_value_exactly():
+    readings = StuckSensor(_stream(), [(4, 4)]).take(10)
+    frozen = readings[3].value
+    for i in range(4, 8):
+        assert np.array_equal(readings[i].value, frozen)
+    assert not np.array_equal(readings[8].value, frozen)
+
+
+def test_spike_burst_displaces_values_inside_windows_only():
+    readings = SpikeBurst(_stream(), [(2, 5)], magnitude=50.0, rate=1.0, seed=1).take(10)
+    clean = _stream().take(10)
+    for i, (r, c) in enumerate(zip(readings, clean)):
+        deviation = float(np.max(np.abs(r.value - c.value)))
+        if 2 <= i < 7:
+            assert deviation == pytest.approx(50.0)
+        else:
+            assert deviation == 0.0
+
+
+def test_stream_faults_are_reproducible():
+    a = SpikeBurst(_stream(), [(0, 50)], magnitude=5.0, rate=0.5, seed=3).take(50)
+    b = SpikeBurst(_stream(), [(0, 50)], magnitude=5.0, rate=0.5, seed=3).take(50)
+    for ra, rb in zip(a, b):
+        assert np.array_equal(ra.value, rb.value)
+
+
+# ----------------------------------------------------------------------
+# FaultPlan
+# ----------------------------------------------------------------------
+def test_fault_plan_round_trips_through_dict():
+    plan = FaultPlan(
+        seed=5,
+        burst_loss_rate=0.2,
+        burst_mean=4.0,
+        duplication=0.1,
+        reorder_rate=0.05,
+        clock_skew=0.5,
+        blackouts=((40, 10),),
+        reverse_loss=0.1,
+        outages=((10, 5),),
+        stuck=((30, 6),),
+        spike_windows=((50, 4),),
+    )
+    assert FaultPlan.from_dict(plan.to_dict()) == plan
+
+
+def test_fault_plan_builds_identical_chains_twice():
+    plan = FaultPlan(seed=2, iid_loss=0.3, duplication=0.2)
+    msgs = [_update(i) for i in range(300)]
+
+    def run(chain):
+        return [len(f.apply(m, 0.0)) for m in msgs for f in chain]
+
+    assert run(plan.channel_faults()) == run(plan.channel_faults())
+
+
+def test_fault_plan_fault_free_and_last_fault_tick():
+    assert FaultPlan().fault_free is True
+    plan = FaultPlan(outages=((100, 50),), blackouts=((10, 20),))
+    assert plan.fault_free is False
+    assert plan.last_fault_tick() == 150
+    assert plan.with_seed(9).seed == 9
+
+
+def test_fault_plan_validates_rates_at_construction():
+    for bad in (
+        dict(iid_loss=-0.5),
+        dict(duplication=1.0),
+        dict(reorder_rate=1.5),
+        dict(reverse_loss=2.0),
+        dict(burst_loss_rate=1.0),
+    ):
+        with pytest.raises(ConfigurationError):
+            FaultPlan(**bad)
+
+
+def test_fault_plan_describe_names_every_fault():
+    text = FaultPlan(
+        burst_loss_rate=0.1, duplication=0.1, outages=((1, 2),)
+    ).describe()
+    assert "gilbert_elliott" in text and "duplicate" in text and "outages" in text
+    assert FaultPlan().describe() == "fault-free"
