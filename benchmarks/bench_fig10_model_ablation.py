@@ -8,17 +8,21 @@ you cache" design question made quantitative.
 """
 
 from repro.experiments import fig10_model_ablation
+from repro.experiments.quickmode import QUICK, q
 
 
 def test_fig10_model_ablation(benchmark, record_result):
     fig = benchmark.pedantic(
-        lambda: fig10_model_ablation(n_ticks=10_000), rounds=1, iterations=1
+        lambda: fig10_model_ablation(n_ticks=q(10_000, 800)),
+        rounds=1,
+        iterations=1,
     )
     _, xs, series = fig.panels[0]
     mid = len(xs) // 2  # the default-delta column
-    # Velocity model dominates both other orders.
-    assert series["order2"][mid] < series["order1"][mid]
-    assert series["order2"][mid] <= series["order3"][mid] * 1.1
-    # Adaptation on the right model costs little (< 15%).
-    assert series["order2_adaptive"][mid] < 1.15 * series["order2"][mid]
+    if not QUICK:
+        # Velocity model dominates both other orders.
+        assert series["order2"][mid] < series["order1"][mid]
+        assert series["order2"][mid] <= series["order3"][mid] * 1.1
+        # Adaptation on the right model costs little (< 15%).
+        assert series["order2_adaptive"][mid] < 1.15 * series["order2"][mid]
     record_result("F10_model_ablation", fig.render())

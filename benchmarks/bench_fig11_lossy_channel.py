@@ -11,23 +11,27 @@ sweep (the blast-radius comparison lives in F11b's fault matrix).
 """
 
 from repro.experiments import fig11_lossy_channel
+from repro.experiments.quickmode import QUICK, q
 
 
 def test_fig11_lossy_channel(benchmark, record_result):
     fig = benchmark.pedantic(
-        lambda: fig11_lossy_channel(n_ticks=8_000), rounds=1, iterations=1
+        lambda: fig11_lossy_channel(n_ticks=q(8_000, 800)),
+        rounds=1,
+        iterations=1,
     )
     _, loss_grid, series = fig.panels[0]
-    # Lossless: no violations either way.
+    # Lossless: no violations either way (holds at any run length).
     assert series["no_resync viol_rate"][0] == 0.0
     assert series["resync viol_rate"][0] == 0.0
-    # At the heaviest loss, resync reduces mean error and violations a lot.
-    assert series["resync mean_err"][-1] < 0.6 * series["no_resync mean_err"][-1]
-    assert series["resync viol_rate"][-1] < series["no_resync viol_rate"][-1]
     # The supervised layer never serves an out-of-bound value unflagged,
     # at any loss rate on the grid.
     assert all(u == 0.0 for u in series["supervised unflagged"])
-    # And its honesty is not bought with unbounded traffic: stays within
-    # 4x of its own lossless byte cost even at 40% loss.
-    assert series["supervised kB"][-1] <= 4.0 * series["supervised kB"][0]
+    if not QUICK:
+        # At the heaviest loss, resync cuts mean error and violations a lot.
+        assert series["resync mean_err"][-1] < 0.6 * series["no_resync mean_err"][-1]
+        assert series["resync viol_rate"][-1] < series["no_resync viol_rate"][-1]
+        # And honesty is not bought with unbounded traffic: stays within
+        # 4x of its own lossless byte cost even at 40% loss.
+        assert series["supervised kB"][-1] <= 4.0 * series["supervised kB"][0]
     record_result("F11_lossy_channel", fig.render())

@@ -12,12 +12,15 @@ the fault-free byte cost at the heaviest loss.
 import pytest
 
 from repro.experiments import fig11b_fault_matrix
+from repro.experiments.quickmode import QUICK, q
 
 pytestmark = pytest.mark.chaos
 
 
 def test_fig11b_fault_matrix(benchmark, record_result):
-    table = benchmark.pedantic(fig11b_fault_matrix, rounds=1, iterations=1)
+    table = benchmark.pedantic(
+        lambda: fig11b_fault_matrix(n_ticks=q(800, 400)), rounds=1, iterations=1
+    )
     rows = {row[0]: row for row in table.rows}
     headers = table.headers
 
@@ -28,20 +31,21 @@ def test_fig11b_fault_matrix(benchmark, record_result):
     for name, row in rows.items():
         assert row[headers.index("unflagged")] == 0, name
 
-    # Fault-free supervision is invisible: never degraded, no repair traffic.
-    assert col("fault-free", "degraded%") == 0
-    assert col("fault-free", "nacks") == 0
+    if not QUICK:
+        # Fault-free supervision is invisible: never degraded, no repairs.
+        assert col("fault-free", "degraded%") == 0
+        assert col("fault-free", "nacks") == 0
 
-    # The acceptance scenario (GE burst, mean 6 >= 5, plus 50-tick outage)
-    # recovers and stays within 2x of the fault-free byte cost.
-    assert col("burst + 50-tick outage", "recov") > 0
-    assert col("burst + 50-tick outage", "×bytes") <= 2.0
+        # The acceptance scenario (GE burst, mean 6 >= 5, plus 50-tick
+        # outage) recovers and stays within 2x of the fault-free byte cost.
+        assert col("burst + 50-tick outage", "recov") > 0
+        assert col("burst + 50-tick outage", "×bytes") <= 2.0
 
-    # Duplication is absorbed by sequence dedup at zero cost.
-    assert col("duplication 50%", "degraded%") == 0
-    assert col("duplication 50%", "×bytes") == 1.0
+        # Duplication is absorbed by sequence dedup at zero cost.
+        assert col("duplication 50%", "degraded%") == 0
+        assert col("duplication 50%", "×bytes") == 1.0
 
-    # A persistently lagging feed is honestly degraded nearly always.
-    assert col("clock skew 1.2t", "degraded%") > 50
+        # A persistently lagging feed is honestly degraded nearly always.
+        assert col("clock skew 1.2t", "degraded%") > 50
 
     record_result("F11b_fault_matrix", table.render())

@@ -8,17 +8,21 @@ exactly (the precision contract is unconditional).
 """
 
 from repro.experiments import fig12_outlier_robustness
+from repro.experiments.quickmode import QUICK, q
 
 
 def test_fig12_outlier_robustness(benchmark, record_result):
     fig = benchmark.pedantic(
-        lambda: fig12_outlier_robustness(n_ticks=8_000), rounds=1, iterations=1
+        lambda: fig12_outlier_robustness(n_ticks=q(8_000, 800)),
+        rounds=1,
+        iterations=1,
     )
     _, spike_grid, series = fig.panels[0]
     # With no spikes the variants behave identically.
     assert series["dkf_robust msgs"][0] == series["dkf_blind msgs"][0]
-    # At the heaviest spike rate, robust gating clearly wins.
-    assert series["dkf_robust msgs"][-1] < 0.8 * series["dkf_blind msgs"][-1]
-    # And the contract holds throughout.
+    # And the contract holds throughout (by construction, any run length).
     assert all(e <= 3.0 + 1e-9 for e in series["dkf_robust max_err"])
+    if not QUICK:
+        # At the heaviest spike rate, robust gating clearly wins.
+        assert series["dkf_robust msgs"][-1] < 0.8 * series["dkf_blind msgs"][-1]
     record_result("F12_outlier_ablation", fig.render())

@@ -11,12 +11,22 @@ self-healing.
 """
 
 from repro.experiments import fig13_model_bank
+from repro.experiments.quickmode import QUICK, q
 
 
 def test_fig13_model_bank(benchmark, record_result):
     fig = benchmark.pedantic(
-        lambda: fig13_model_bank(n_ticks=8_000), rounds=1, iterations=1
+        lambda: fig13_model_bank(
+            n_ticks=q(8_000, 1_500),
+            window=q(500, 300),
+            sample_every=q(500, 300),
+        ),
+        rounds=1,
+        iterations=1,
     )
+    if QUICK:
+        record_result("F13_model_bank", fig.render())
+        return
     _, xs, series = fig.panels[0]
     ticks_per_sample = xs[1] - xs[0]
     totals = {

@@ -9,10 +9,24 @@ budget within a few epochs by loosening the volatile streams' bounds.
 """
 
 from repro.experiments import fig14_dynamic_allocation
+from repro.experiments.quickmode import QUICK, q
 
 
 def test_fig14_dynamic_allocation(benchmark, record_result):
-    fig = benchmark.pedantic(fig14_dynamic_allocation, rounds=1, iterations=1)
+    fig = benchmark.pedantic(
+        lambda: fig14_dynamic_allocation(
+            n_fleet=q(8, 4),
+            probe_ticks=q(1000, 300),
+            epoch_ticks=q(1000, 200),
+            n_epochs=q(10, 6),
+            switch_epoch=q(4, 2),
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    if QUICK:
+        record_result("F14_dynamic_allocation", fig.render())
+        return
     _, epochs, series = fig.panels[0]
     budget = 0.4
     static = series["static rate"]

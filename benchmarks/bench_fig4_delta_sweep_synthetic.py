@@ -7,15 +7,19 @@ model can help), mirroring the paper's synthetic-stream study.
 """
 
 from repro.experiments import fig4_messages_vs_delta_synthetic
+from repro.experiments.quickmode import QUICK, q
 
 
 def test_fig4_delta_sweep_synthetic(benchmark, record_result):
     fig = benchmark.pedantic(
-        lambda: fig4_messages_vs_delta_synthetic(n_ticks=10_000),
+        lambda: fig4_messages_vs_delta_synthetic(n_ticks=q(10_000, 600)),
         rounds=1,
         iterations=1,
     )
     assert len(fig.panels) == 3
+    if QUICK:
+        record_result("F4_delta_sweep_synthetic", fig.render())
+        return
     for title, xs, series in fig.panels:
         dkf = series["dual_kalman"]
         band = series["dead_band"]

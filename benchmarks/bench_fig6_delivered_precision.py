@@ -8,19 +8,24 @@ the filtering approach from ad-hoc refresh heuristics.
 """
 
 from repro.experiments import fig6_delivered_precision
+from repro.experiments.quickmode import QUICK, q
 
 
 def test_fig6_delivered_precision(benchmark, record_result):
     fig = benchmark.pedantic(
-        lambda: fig6_delivered_precision(n_ticks=10_000), rounds=1, iterations=1
+        lambda: fig6_delivered_precision(n_ticks=q(10_000, 600)),
+        rounds=1,
+        iterations=1,
     )
     for title, xs, series in fig.panels:
         for i, delta in enumerate(xs):
             for name, ys in series.items():
                 if name.startswith("periodic"):
                     continue
+                # The δ-contract holds by construction at any run length.
                 assert ys[i] <= delta + 1e-9, (title, name, delta)
-        # The periodic cache violates at least one bound per panel.
-        periodic = series["periodic max_err"]
-        assert any(p > d for p, d in zip(periodic, xs)), title
+        if not QUICK:
+            # The periodic cache violates at least one bound per panel.
+            periodic = series["periodic max_err"]
+            assert any(p > d for p, d in zip(periodic, xs)), title
     record_result("F6_delivered_precision", fig.render())

@@ -9,14 +9,22 @@ and time variance".
 """
 
 from repro.experiments import fig7_time_variance
+from repro.experiments.quickmode import QUICK, q
 
 
 def test_fig7_time_variance(benchmark, record_result):
     fig = benchmark.pedantic(
-        lambda: fig7_time_variance(n_ticks=9_000, window=500, sample_every=500),
+        lambda: fig7_time_variance(
+            n_ticks=q(9_000, 1_500),
+            window=q(500, 300),
+            sample_every=q(500, 300),
+        ),
         rounds=1,
         iterations=1,
     )
+    if QUICK:
+        record_result("F7_time_variance", fig.render())
+        return
     _, xs, series = fig.panels[0]
     adaptive = series["dual_kalman_adaptive"]
     fixed = series["dual_kalman"]

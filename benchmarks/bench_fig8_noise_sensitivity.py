@@ -8,17 +8,21 @@ the paper's "ability to adapt to ... sensor noise".
 """
 
 from repro.experiments import fig8_noise_sensitivity
+from repro.experiments.quickmode import QUICK, q
 
 
 def test_fig8_noise_sensitivity(benchmark, record_result):
     fig = benchmark.pedantic(
-        lambda: fig8_noise_sensitivity(n_ticks=10_000), rounds=1, iterations=1
+        lambda: fig8_noise_sensitivity(n_ticks=q(10_000, 800)),
+        rounds=1,
+        iterations=1,
     )
     _, xs, series = fig.panels[0]
-    # At the highest noise level, the Kalman cache clearly beats dead-band
-    # and dead-reckoning.
-    assert series["dead_band"][-1] > 1.3 * series["dkf_matched_R"][-1]
-    assert series["dead_reckoning"][-1] > 1.5 * series["dkf_matched_R"][-1]
-    # Adaptive-R (started wrong) lands within 40% of the matched filter.
-    assert series["dkf_adaptive_R"][-1] < 1.4 * series["dkf_matched_R"][-1]
+    if not QUICK:
+        # At the highest noise level, the Kalman cache clearly beats
+        # dead-band and dead-reckoning.
+        assert series["dead_band"][-1] > 1.3 * series["dkf_matched_R"][-1]
+        assert series["dead_reckoning"][-1] > 1.5 * series["dkf_matched_R"][-1]
+        # Adaptive-R (started wrong) lands within 40% of the matched filter.
+        assert series["dkf_adaptive_R"][-1] < 1.4 * series["dkf_matched_R"][-1]
     record_result("F8_noise_sensitivity", fig.render())

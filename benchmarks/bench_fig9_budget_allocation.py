@@ -8,17 +8,23 @@ track the requested budget.
 """
 
 from repro.experiments import fig9_budget_allocation
+from repro.experiments.quickmode import QUICK, q
 
 
 def test_fig9_budget_allocation(benchmark, record_result):
     fig = benchmark.pedantic(
         lambda: fig9_budget_allocation(
-            n_fleet=12, probe_ticks=1000, run_ticks=4000,
-            budgets=(0.1, 0.2, 0.4, 0.8),
+            n_fleet=q(12, 4),
+            probe_ticks=q(1000, 300),
+            run_ticks=q(4000, 600),
+            budgets=q((0.1, 0.2, 0.4, 0.8), (0.2, 0.6)),
         ),
         rounds=1,
         iterations=1,
     )
+    if QUICK:
+        record_result("F9_budget_allocation", fig.render())
+        return
     errors = fig.panels[0][2]
     rates = fig.panels[1][2]
     budgets = fig.panels[0][1]

@@ -5,11 +5,12 @@ workloads the rest of the evaluation runs on.
 """
 
 from repro.experiments import table1_workloads
+from repro.experiments.quickmode import q
 
 
 def test_table1_workloads(benchmark, record_result):
     table = benchmark.pedantic(
-        lambda: table1_workloads(n_ticks=10_000), rounds=1, iterations=1
+        lambda: table1_workloads(n_ticks=q(10_000, 600)), rounds=1, iterations=1
     )
     assert len(table.rows) == 8
     record_result("T1_workloads", table.render())

@@ -8,14 +8,16 @@ switching from caching static data to caching dynamic procedures".
 """
 
 from repro.experiments import table2_headline
+from repro.experiments.quickmode import QUICK, q
 
 
 def test_table2_headline(benchmark, record_result):
     table = benchmark.pedantic(
-        lambda: table2_headline(n_ticks=10_000), rounds=1, iterations=1
+        lambda: table2_headline(n_ticks=q(10_000, 600)), rounds=1, iterations=1
     )
-    ratios = [row[-1] for row in table.rows]
-    # DKF never loses badly, and wins clearly somewhere.
-    assert min(ratios) > 0.85
-    assert max(ratios) > 2.0
+    if not QUICK:
+        ratios = [row[-1] for row in table.rows]
+        # DKF never loses badly, and wins clearly somewhere.
+        assert min(ratios) > 0.85
+        assert max(ratios) > 2.0
     record_result("T2_headline", table.render())

@@ -8,11 +8,12 @@ precision contract matters to query processing.
 """
 
 from repro.experiments import table3_query_precision
+from repro.experiments.quickmode import q
 
 
 def test_table3_query_precision(benchmark, record_result):
     table = benchmark.pedantic(
-        lambda: table3_query_precision(n_ticks=10_000), rounds=1, iterations=1
+        lambda: table3_query_precision(n_ticks=q(10_000, 800)), rounds=1, iterations=1
     )
     assert len(table.rows) == 12  # 2 workloads x 2 deltas x 3 aggregates
     for row in table.rows:

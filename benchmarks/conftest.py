@@ -13,14 +13,23 @@ from pathlib import Path
 
 import pytest
 
+from repro.experiments.quickmode import QUICK
+
 RESULTS_DIR = Path(__file__).parent / "results"
 
 
 @pytest.fixture
 def record_result():
-    """Write a rendered experiment to benchmarks/results/ and echo it."""
+    """Write a rendered experiment to benchmarks/results/ and echo it.
+
+    In quick mode (``REPRO_BENCH_QUICK=1``) the rendered text is echoed but
+    *not* written: trimmed smoke runs must never clobber full-size results.
+    """
 
     def _record(experiment_id: str, text: str) -> None:
+        if QUICK:
+            print(f"\n{text}\n[quick mode: not written]")
+            return
         RESULTS_DIR.mkdir(exist_ok=True)
         path = RESULTS_DIR / f"{experiment_id}.txt"
         path.write_text(text + "\n")

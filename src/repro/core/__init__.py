@@ -30,7 +30,9 @@ from repro.core.fusion import FusedEstimate, FusedView, fuse
 from repro.core.manager import (
     DynamicFleetResult,
     EpochReport,
+    FleetEngine,
     FleetResult,
+    FleetTrace,
     ManagedStream,
     StreamReport,
     StreamResourceManager,
@@ -130,6 +132,8 @@ __all__ = [
     "allocate_equal_rate",
     "allocate_waterfilling",
     "allocate_scipy",
+    "FleetEngine",
+    "FleetTrace",
     "ManagedStream",
     "StreamReport",
     "FleetResult",

@@ -127,6 +127,14 @@ class FilterReplica:
             P=self.filter.P,
         )
 
+    def state(self) -> tuple[int, np.ndarray, np.ndarray]:
+        """``(tick, mean, covariance)`` snapshot (copies).
+
+        The batch-equivalence suite compares this against the matching
+        :class:`~repro.kalman.batch.BatchKalmanFilter` lane state.
+        """
+        return self.tick, self.filter.x.copy(), self.filter.P.copy()
+
     def fingerprint(self) -> str:
         """Order-stable hash of (tick, mean, covariance) for desync checks."""
         h = hashlib.sha256()

@@ -111,6 +111,17 @@ class DualKalmanPolicy(SuppressionPolicy):
             )
         return TickOutcome(estimate=snapshot.value, sent=decision.sent)
 
+    def filter_state(self) -> tuple[int, np.ndarray, np.ndarray]:
+        """The source replica's ``(tick, mean, covariance)`` snapshot.
+
+        On an ideal channel the server replica is bit-identical (asserted
+        per tick when ``check_sync`` is on), so this is *the* filter state
+        of the stream — the quantity the vectorized fleet backend
+        (:class:`~repro.core.manager.FleetEngine`) must reproduce; the
+        equivalence suite diffs it against the batch engine per step.
+        """
+        return self.source.replica.state()
+
     def describe(self) -> str:
         adaptive = "adaptive" if self.source.adaptation is not None else "fixed"
         return (

@@ -383,13 +383,16 @@ def fig9_budget_allocation(
     run_ticks: int = 4000,
     seed: int = DEFAULT_SEED,
     budgets: tuple[float, ...] = (0.05, 0.1, 0.2, 0.4, 0.8),
+    backend: str = "scalar",
 ) -> ExperimentFigure:
     """Scale-normalized fleet error vs total message budget, per allocator.
 
     The fleet mixes random walks of very different volatilities, so a
     shared δ (uniform) over-serves calm streams and starves volatile ones;
     waterfilling equalizes the marginal message cost of precision and
-    dominates at every budget.
+    dominates at every budget.  ``backend`` selects the manager's
+    execution path; the golden regression suite pins both to the same
+    numbers.
     """
     rng = np.random.default_rng(seed)
     fleet: list[ManagedStream] = []
@@ -410,7 +413,7 @@ def fig9_budget_allocation(
                 ),
             )
         )
-    manager = StreamResourceManager(fleet, probe_ticks=probe_ticks)
+    manager = StreamResourceManager(fleet, probe_ticks=probe_ticks, backend=backend)
     scales = np.array(manager.scales)
     fig = ExperimentFigure(
         experiment_id="F9",
@@ -783,6 +786,7 @@ def fig14_dynamic_allocation(
     switch_epoch: int = 4,
     budget: float = 0.4,
     seed: int = DEFAULT_SEED,
+    backend: str = "scalar",
 ) -> ExperimentFigure:
     """Fleet message rate per epoch when half the fleet turns volatile.
 
@@ -844,7 +848,9 @@ def fig14_dynamic_allocation(
     series: dict[str, list] = {}
     flip_index = n_fleet // 2  # first flipping stream
     for label, gamma in (("static", 0.0), ("dynamic", 0.5)):
-        manager = StreamResourceManager(build_fleet(), probe_ticks=probe_ticks)
+        manager = StreamResourceManager(
+            build_fleet(), probe_ticks=probe_ticks, backend=backend
+        )
         result = manager.run_dynamic(
             budget, epoch_ticks=epoch_ticks, anchor_gamma=gamma
         )

@@ -1,0 +1,27 @@
+"""Quick-mode switch for the benchmark harness.
+
+Setting ``REPRO_BENCH_QUICK=1`` in the environment puts every benchmark in
+a trimmed smoke configuration: experiment sizes shrink to a few hundred
+ticks, the claim assertions (calibrated against full-size runs) are
+skipped, and nothing is written to ``benchmarks/results/``.  The smoke
+suite (``tests/benchmarks/test_bench_smoke.py``) uses this to prove each
+benchmark still runs end-to-end without paying full-size wall-clock.
+
+The flag is read once at import time, which is exactly what the smoke
+suite needs: it launches each benchmark in a subprocess with the variable
+set.
+"""
+
+from __future__ import annotations
+
+import os
+
+__all__ = ["QUICK", "q"]
+
+#: True when the benchmark harness runs in trimmed smoke mode.
+QUICK = os.environ.get("REPRO_BENCH_QUICK", "") == "1"
+
+
+def q(full, quick):
+    """Pick the full-size or quick-mode value for a benchmark parameter."""
+    return quick if QUICK else full

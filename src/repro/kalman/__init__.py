@@ -8,6 +8,7 @@ for the filter itself and :mod:`repro.kalman.models` for the model factories
 """
 
 from repro.kalman.adaptive_noise import MeasurementNoiseEstimator, ProcessNoiseScaler
+from repro.kalman.batch import BatchKalmanFilter
 from repro.kalman.consistency import NisMonitor, nees_consistency
 from repro.kalman.ekf import (
     ExtendedKalmanFilter,
@@ -37,6 +38,7 @@ from repro.kalman.smoother import SmoothedStep, rts_smooth
 
 __all__ = [
     "KalmanFilter",
+    "BatchKalmanFilter",
     "ExtendedKalmanFilter",
     "MeasurementFunction",
     "range_bearing",

@@ -1,0 +1,83 @@
+"""Smoke-run every benchmark end-to-end in trimmed quick mode.
+
+Each ``benchmarks/bench_*.py`` file is launched in its own subprocess with
+``REPRO_BENCH_QUICK=1``, which shrinks experiment sizes to a few hundred
+ticks, skips the calibrated claim assertions, and suppresses writes to
+``benchmarks/results/``.  This proves the full harness — experiment code,
+benchmark wiring, rendering — still runs after a refactor, without paying
+full-size wall-clock or clobbering the committed full-size results.
+
+The suite is marked ``slow`` (deselected by default; run with
+``-m slow``): it is still a minute of subprocesses, which is too heavy for
+the tier-1 loop but exactly right for CI's non-blocking job.
+"""
+
+from __future__ import annotations
+
+import os
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+pytestmark = pytest.mark.slow
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+BENCH_DIR = REPO_ROOT / "benchmarks"
+RESULTS_DIR = BENCH_DIR / "results"
+
+BENCH_FILES = sorted(BENCH_DIR.glob("bench_*.py"))
+
+
+def _results_snapshot() -> dict[str, tuple[int, int]]:
+    """Name -> (size, mtime_ns) for everything under benchmarks/results/."""
+    if not RESULTS_DIR.is_dir():
+        return {}
+    return {
+        p.name: (p.stat().st_size, p.stat().st_mtime_ns)
+        for p in sorted(RESULTS_DIR.iterdir())
+    }
+
+
+def test_bench_files_discovered():
+    """The glob actually finds the harness (guards against renames)."""
+    assert len(BENCH_FILES) >= 15
+    names = {p.name for p in BENCH_FILES}
+    assert "bench_table5_fleet_scaling.py" in names
+
+
+@pytest.mark.parametrize("bench_file", BENCH_FILES, ids=lambda p: p.name)
+def test_bench_quick_smoke(bench_file: Path):
+    env = dict(os.environ)
+    env["REPRO_BENCH_QUICK"] = "1"
+    src = str(REPO_ROOT / "src")
+    env["PYTHONPATH"] = (
+        src + os.pathsep + env["PYTHONPATH"] if env.get("PYTHONPATH") else src
+    )
+
+    before = _results_snapshot()
+    proc = subprocess.run(
+        [
+            sys.executable,
+            "-m",
+            "pytest",
+            str(bench_file),
+            "-q",
+            "-p",
+            "no:cacheprovider",
+        ],
+        cwd=REPO_ROOT,
+        env=env,
+        capture_output=True,
+        text=True,
+        timeout=600,
+    )
+    assert proc.returncode == 0, (
+        f"{bench_file.name} failed in quick mode:\n"
+        f"--- stdout ---\n{proc.stdout}\n--- stderr ---\n{proc.stderr}"
+    )
+    # Quick mode must never touch the committed full-size results.
+    assert _results_snapshot() == before, (
+        f"{bench_file.name} modified benchmarks/results/ in quick mode"
+    )

@@ -1,0 +1,172 @@
+"""Backend equivalence: FleetEngine / batch manager vs the scalar paths.
+
+The ``backend="batch"`` knob must be a pure performance choice: probe
+curves, allocations, per-stream message counts and served-error statistics
+all have to come out identical to the scalar reference (the per-stream
+``DualKalmanPolicy`` loops).  These tests pin that, plus the knob's own
+validation surface.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.manager import (
+    FleetEngine,
+    ManagedStream,
+    StreamResourceManager,
+    _stack_fleet,
+)
+from repro.core.precision import AbsoluteBound
+from repro.core.session import DualKalmanPolicy
+from repro.errors import ConfigurationError
+from repro.kalman.models import constant_velocity, random_walk
+from repro.streams.replay import record
+from repro.streams.synthetic import RandomWalkStream, SinusoidStream
+
+
+def _fleet(n=4, ticks=1600):
+    sigmas = np.geomspace(0.2, 2.0, n)
+    fleet = []
+    for i, sigma in enumerate(sigmas):
+        stream = RandomWalkStream(
+            step_sigma=float(sigma), measurement_sigma=0.1 * float(sigma), seed=300 + i
+        )
+        fleet.append(
+            ManagedStream(
+                stream_id=f"s{i}",
+                recording=record(stream, ticks),
+                model=random_walk(
+                    process_noise=float(sigma) ** 2,
+                    measurement_sigma=0.1 * float(sigma),
+                ),
+            )
+        )
+    return fleet
+
+
+def _managers(**kwargs):
+    return (
+        StreamResourceManager(_fleet(), probe_ticks=400, backend="scalar", **kwargs),
+        StreamResourceManager(_fleet(), probe_ticks=400, backend="batch", **kwargs),
+    )
+
+
+class TestEngineValidation:
+    def test_unknown_norm_rejected(self):
+        with pytest.raises(ConfigurationError):
+            FleetEngine([random_walk()], np.ones(1), norm="l1")
+
+    def test_deltas_shape_and_sign_checked(self):
+        engine = FleetEngine([random_walk(), random_walk()], np.ones(2))
+        with pytest.raises(ConfigurationError):
+            engine.set_deltas(np.ones(3))
+        with pytest.raises(ConfigurationError):
+            engine.set_deltas(np.array([1.0, 0.0]))
+
+    def test_run_shape_checked(self):
+        engine = FleetEngine([random_walk(), random_walk()], np.ones(2))
+        with pytest.raises(ConfigurationError):
+            engine.run(np.zeros((10, 3, 1)))
+
+
+class TestEngineVsPolicy:
+    def test_engine_reproduces_policy_tick_for_tick(self):
+        """Served values, send decisions and filter state all match."""
+        models = [
+            random_walk(process_noise=0.5, measurement_sigma=0.2),
+            constant_velocity(process_noise=0.02, measurement_sigma=0.3),
+        ]
+        streams = [
+            RandomWalkStream(step_sigma=0.7, measurement_sigma=0.2, seed=11),
+            SinusoidStream(amplitude=5.0, period=90.0, measurement_sigma=0.3, seed=12),
+        ]
+        deltas = np.array([0.8, 1.1])
+        readings = [s.take(400) for s in streams]
+        values, _ = _stack_fleet(readings, 1)
+
+        engine = FleetEngine(models, deltas)
+        policies = [
+            DualKalmanPolicy(m, AbsoluteBound(float(d)))
+            for m, d in zip(models, deltas)
+        ]
+        for t in range(values.shape[0]):
+            served, sent = engine.step(values[t])
+            for k, policy in enumerate(policies):
+                outcome = policy.tick(readings[k][t])
+                assert bool(sent[k]) == outcome.sent, (t, k)
+                if outcome.estimate is None:
+                    assert np.isnan(served[k]).all(), (t, k)
+                else:
+                    np.testing.assert_allclose(
+                        served[k, :1], outcome.estimate, atol=1e-12
+                    )
+                # The stream's one true filter state matches the batch lane.
+                _, x, P = policy.filter_state()
+                np.testing.assert_allclose(engine.filters.x_of(k), x, atol=1e-12)
+                np.testing.assert_allclose(engine.filters.P_of(k), P, atol=1e-12)
+        np.testing.assert_array_equal(
+            engine.messages, [p.stats.total_messages for p in policies]
+        )
+
+    def test_dropped_readings_coast(self):
+        model = random_walk(process_noise=0.5, measurement_sigma=0.2)
+        engine = FleetEngine([model], np.array([0.5]))
+        values = RandomWalkStream(step_sigma=0.7, measurement_sigma=0.2, seed=4).take(
+            50
+        )
+        for r in values:
+            engine.step(r.value.reshape(1, 1))
+        msgs_before = engine.messages.copy()
+        served, sent = engine.step(np.array([[np.nan]]))
+        # A dropped tick never sends and serves the coasting prediction.
+        assert not sent[0]
+        assert not np.isnan(served[0]).any()
+        np.testing.assert_array_equal(engine.messages, msgs_before)
+
+    def test_cold_stream_serves_nothing_until_first_send(self):
+        engine = FleetEngine([random_walk()], np.array([1e9]))
+        served, sent = engine.step(np.array([[np.nan]]))
+        assert not sent[0] and np.isnan(served[0]).all()
+        # First real measurement always sends (cold stream -> err = inf).
+        served, sent = engine.step(np.array([[2.5]]))
+        assert sent[0] and served[0, 0] == 2.5
+
+
+class TestManagerBackendKnob:
+    def test_unknown_backend_rejected(self):
+        with pytest.raises(ConfigurationError):
+            StreamResourceManager(_fleet(), backend="gpu")
+
+    def test_batch_plus_adaptive_rejected(self):
+        with pytest.raises(ConfigurationError):
+            StreamResourceManager(_fleet(), backend="batch", adaptive=True)
+
+    def test_probe_curves_identical(self):
+        scalar, batch = _managers()
+        for cs, cb in zip(scalar.probe(), batch.probe()):
+            assert cs.a == pytest.approx(cb.a, rel=1e-12)
+            assert cs.b == pytest.approx(cb.b, rel=1e-12)
+
+    def test_run_identical(self):
+        scalar, batch = _managers()
+        rs = scalar.run(budget=0.3, run_ticks=900)
+        rb = batch.run(budget=0.3, run_ticks=900)
+        for s, b in zip(rs.reports, rb.reports):
+            assert s.stream_id == b.stream_id
+            assert s.delta == pytest.approx(b.delta, rel=1e-12)
+            assert s.messages == b.messages
+            assert s.ticks == b.ticks
+            assert s.mean_abs_error == pytest.approx(b.mean_abs_error, abs=1e-9)
+            assert s.max_abs_error == pytest.approx(b.max_abs_error, abs=1e-9)
+
+    def test_run_dynamic_identical(self):
+        scalar, batch = _managers()
+        ds = scalar.run_dynamic(budget=0.3, epoch_ticks=300)
+        db = batch.run_dynamic(budget=0.3, epoch_ticks=300)
+        assert len(ds.epochs) == len(db.epochs)
+        for es, eb in zip(ds.epochs, db.epochs):
+            assert es.messages == eb.messages
+            np.testing.assert_allclose(es.deltas, eb.deltas, rtol=1e-12)
+            np.testing.assert_allclose(
+                es.mean_abs_errors, eb.mean_abs_errors, atol=1e-9
+            )

@@ -1,0 +1,96 @@
+"""Golden regression pins for the fleet-allocation headline figures.
+
+F9 (budget allocation) and F14 (dynamic re-allocation) are the
+experiments the batch backend accelerates end-to-end, so they double as
+the regression canary for the whole probe/fit/allocate/run pipeline:
+under a fixed seed and trimmed sizes, the headline numbers below must
+reproduce exactly, and the scalar and batch backends must agree on every
+one of them.  If an intentional change to the allocator, the suppression
+protocol or the filter moves these numbers, regenerate the constants and
+say so in the commit — any other diff here is a regression.
+
+Golden values were generated at seed 7 (DEFAULT_SEED) with numpy's
+default BLAS; message *counts* are pinned exactly, error floats at 1e-6
+relative.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.figures import fig9_budget_allocation, fig14_dynamic_allocation
+
+BACKENDS = ("scalar", "batch")
+
+# --- F9, trimmed: n_fleet=6, probe=400, run=1200, budgets=(0.2, 0.6) ------
+F9_KWARGS = dict(n_fleet=6, probe_ticks=400, run_ticks=1200, budgets=(0.2, 0.6))
+F9_RUN_TICKS = 1200
+# Normalized mean |error| per allocator at each budget.
+F9_ERRORS = {
+    "uniform": (6.393119460540311, 3.3975398177147214),
+    "equal_rate": (1.7310635043917093, 0.8123830494942181),
+    "waterfilling": (1.7188039984144048, 0.8064022549458892),
+    "scipy": (1.7188039984144048, 0.8064022549458892),
+}
+# Fleet-total messages per allocator at each budget (rate x run_ticks).
+F9_MESSAGES = {
+    "uniform": (293, 820),
+    "equal_rate": (242, 863),
+    "waterfilling": (246, 856),
+    "scipy": (246, 856),
+}
+
+# --- F14, trimmed: n_fleet=4, probe=300, epoch=200, 6 epochs, switch@2 ----
+F14_KWARGS = dict(
+    n_fleet=4, probe_ticks=300, epoch_ticks=200, n_epochs=6, switch_epoch=2
+)
+F14_EPOCH_TICKS = 200
+# Fleet messages per epoch (rate x epoch_ticks).
+F14_STATIC_MESSAGES = (87, 96, 362, 377, 370, 367)
+F14_DYNAMIC_MESSAGES = (87, 89, 357, 278, 198, 149)
+# The volatility-flipped stream's allocated bound per epoch: static never
+# moves, dynamic loosens it as the re-anchored curve pulls budget around.
+F14_STATIC_FLIP_DELTA = (0.77, 0.77, 0.77, 0.77, 0.77, 0.77)
+F14_DYNAMIC_FLIP_DELTA = (0.77, 0.8, 0.85, 1.53, 2.46, 3.48)
+
+
+@pytest.mark.parametrize("backend", BACKENDS)
+def test_fig9_budget_allocation_golden(backend):
+    fig = fig9_budget_allocation(backend=backend, **F9_KWARGS)
+    _, budgets, errors = fig.panels[0]
+    _, _, rates = fig.panels[1]
+    assert tuple(budgets) == F9_KWARGS["budgets"]
+    assert set(errors) == set(F9_ERRORS)
+    for method, golden in F9_ERRORS.items():
+        assert errors[method] == pytest.approx(golden, rel=1e-6), method
+    for method, golden in F9_MESSAGES.items():
+        got = tuple(round(r * F9_RUN_TICKS) for r in rates[method])
+        assert got == golden, method
+
+
+@pytest.mark.parametrize("backend", BACKENDS)
+def test_fig14_dynamic_allocation_golden(backend):
+    fig = fig14_dynamic_allocation(backend=backend, **F14_KWARGS)
+    _, epochs, series = fig.panels[0]
+    assert list(epochs) == list(range(6))
+    static = tuple(round(r * F14_EPOCH_TICKS) for r in series["static rate"])
+    dynamic = tuple(round(r * F14_EPOCH_TICKS) for r in series["dynamic rate"])
+    assert static == F14_STATIC_MESSAGES
+    assert dynamic == F14_DYNAMIC_MESSAGES
+    assert tuple(series["static flip δ"]) == pytest.approx(
+        F14_STATIC_FLIP_DELTA, rel=1e-6
+    )
+    assert tuple(series["dynamic flip δ"]) == pytest.approx(
+        F14_DYNAMIC_FLIP_DELTA, rel=1e-6
+    )
+
+
+def test_backends_agree_exactly_on_fig9():
+    """Beyond the pins: scalar and batch produce the same figure object."""
+    scalar = fig9_budget_allocation(backend="scalar", **F9_KWARGS)
+    batch = fig9_budget_allocation(backend="batch", **F9_KWARGS)
+    for (ts, xs, ss), (tb, xb, sb) in zip(scalar.panels, batch.panels):
+        assert ts == tb and list(xs) == list(xb)
+        assert set(ss) == set(sb)
+        for name in ss:
+            assert list(ss[name]) == pytest.approx(list(sb[name]), rel=1e-12), name

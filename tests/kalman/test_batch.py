@@ -1,0 +1,147 @@
+"""Unit tests for the vectorized filter bank (BatchKalmanFilter).
+
+Numerical equivalence with the scalar filter is property-tested in
+``tests/properties/test_batch_equivalence.py``; this file covers the
+surface the batch API adds on top — validation, counters, lane layout,
+state injection.
+"""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError, DimensionError
+from repro.kalman import BatchKalmanFilter
+from repro.kalman.models import harmonic, kinematic, planar
+
+
+def _mixed_models():
+    return [
+        kinematic(1, process_noise=0.2, measurement_sigma=0.3),
+        kinematic(2, process_noise=0.05, measurement_sigma=0.5),
+        harmonic(0.4, process_noise=0.01, measurement_sigma=0.4),
+        planar(kinematic(2, process_noise=0.05, measurement_sigma=0.5)),
+    ]
+
+
+class TestConstruction:
+    def test_empty_fleet_rejected(self):
+        with pytest.raises(ConfigurationError):
+            BatchKalmanFilter([])
+
+    def test_x0s_length_mismatch_rejected(self):
+        models = _mixed_models()
+        with pytest.raises(ConfigurationError):
+            BatchKalmanFilter(models, x0s=[None] * (len(models) - 1))
+
+    def test_x0_shape_mismatch_rejected(self):
+        models = _mixed_models()
+        x0s = [None] * len(models)
+        x0s[1] = np.zeros(3)  # kinematic(2) has dim_x == 2
+        with pytest.raises(DimensionError):
+            BatchKalmanFilter(models, x0s=x0s)
+
+    def test_none_x0_entries_start_at_zero(self):
+        models = _mixed_models()
+        x0s = [None, np.array([1.0, -2.0]), None, None]
+        batch = BatchKalmanFilter(models, x0s=x0s)
+        np.testing.assert_array_equal(batch.x_of(0), np.zeros(1))
+        np.testing.assert_array_equal(batch.x_of(1), [1.0, -2.0])
+
+    def test_mixed_fleet_layout(self):
+        batch = BatchKalmanFilter(_mixed_models())
+        assert batch.n == 4
+        # planar lifts the measurement to (x, y).
+        assert batch.dim_z_max == 2
+        # Covariances start at each model's P0, in fleet order.
+        for i, m in enumerate(_mixed_models()):
+            np.testing.assert_array_equal(batch.P_of(i), m.P0)
+
+
+class TestValidation:
+    def test_update_shape_rejected(self):
+        batch = BatchKalmanFilter(_mixed_models())
+        with pytest.raises(DimensionError):
+            batch.update(np.zeros((batch.n, batch.dim_z_max + 1)))
+
+    def test_mask_shape_rejected(self):
+        batch = BatchKalmanFilter(_mixed_models())
+        with pytest.raises(DimensionError):
+            batch.predict(mask=np.ones(batch.n + 1, dtype=bool))
+
+    def test_negative_lookahead_rejected(self):
+        batch = BatchKalmanFilter(_mixed_models())
+        with pytest.raises(ValueError):
+            batch.predicted_measurements(steps=-1)
+
+
+class TestCounters:
+    def test_masked_ops_count_only_selected(self):
+        batch = BatchKalmanFilter(_mixed_models())
+        mask = np.array([True, False, True, False])
+        batch.predict(mask)
+        batch.predict()
+        np.testing.assert_array_equal(batch.n_predicts, [2, 1, 2, 1])
+        zs = np.zeros((batch.n, batch.dim_z_max))
+        batch.update(zs, ~mask)
+        np.testing.assert_array_equal(batch.n_updates, [0, 1, 0, 1])
+
+    def test_step_counts_predict_everywhere_update_where_masked(self):
+        batch = BatchKalmanFilter(_mixed_models())
+        mask = np.array([True, True, False, False])
+        batch.step(np.zeros((batch.n, batch.dim_z_max)), mask)
+        np.testing.assert_array_equal(batch.n_predicts, [1, 1, 1, 1])
+        np.testing.assert_array_equal(batch.n_updates, [1, 1, 0, 0])
+
+
+class TestStateInjection:
+    def test_set_state_roundtrip(self):
+        batch = BatchKalmanFilter(_mixed_models())
+        x = np.array([3.0, -1.5])
+        P = np.array([[2.0, 0.3], [0.3, 1.0]])
+        batch.set_state(1, x, P)
+        np.testing.assert_array_equal(batch.x_of(1), x)
+        np.testing.assert_array_equal(batch.P_of(1), P)
+        # Other members untouched.
+        np.testing.assert_array_equal(batch.x_of(0), np.zeros(1))
+
+    def test_set_state_symmetrizes(self):
+        batch = BatchKalmanFilter(_mixed_models())
+        P = np.array([[2.0, 0.4], [0.0, 1.0]])  # asymmetric on purpose
+        batch.set_state(1, np.zeros(2), P)
+        got = batch.P_of(1)
+        np.testing.assert_array_equal(got, got.T)
+
+    def test_set_state_shape_checks(self):
+        batch = BatchKalmanFilter(_mixed_models())
+        with pytest.raises(DimensionError):
+            batch.set_state(1, np.zeros(3), np.eye(2))
+        with pytest.raises(DimensionError):
+            batch.set_state(1, np.zeros(2), np.eye(3))
+
+
+class TestViews:
+    def test_views_are_nan_padded_to_dim_z_max(self):
+        batch = BatchKalmanFilter(_mixed_models())
+        est = batch.measurement_estimates()
+        var = batch.measurement_variances()
+        assert est.shape == (4, 2)
+        assert var.shape == (4, 2, 2)
+        # 1-D measurement members have NaN in the padded column...
+        assert np.isnan(est[0, 1]) and np.isnan(var[0, 1, 1])
+        # ...the planar member fills both.
+        assert not np.isnan(est[3]).any()
+
+    def test_zero_step_lookahead_is_current_estimate(self):
+        batch = BatchKalmanFilter(_mixed_models())
+        batch.step(np.ones((batch.n, batch.dim_z_max)), None)
+        np.testing.assert_allclose(
+            batch.predicted_measurements(steps=0),
+            batch.measurement_estimates(),
+        )
+
+    def test_state_accessors_return_copies(self):
+        batch = BatchKalmanFilter(_mixed_models())
+        batch.x_of(0)[:] = 99.0
+        batch.P_of(0)[:] = 99.0
+        np.testing.assert_array_equal(batch.x_of(0), np.zeros(1))
+        assert not np.any(batch.P_of(0) == 99.0)

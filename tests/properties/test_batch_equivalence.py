@@ -1,0 +1,219 @@
+"""Property-based equivalence: BatchKalmanFilter == N scalar KalmanFilters.
+
+The batch engine's whole contract is that stacking N independent filters
+into ``(N, d, d)`` arrays changes wall-clock, not numbers.  These tests
+drive a batch and the corresponding list of scalar filters through the
+same randomized schedule — random model mixes (different kinematic orders,
+harmonic oscillators, planar lifts, so lanes of different shapes coexist),
+random measurements, random missing-update patterns — and require the
+prior (post-predict) and posterior (post-update) mean and covariance of
+every member to agree step-for-step at atol 1e-9.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.kalman import BatchKalmanFilter, KalmanFilter
+from repro.kalman.models import harmonic, kinematic, planar
+
+ATOL = 1e-9
+
+N_STEPS = 25
+
+
+def model_strategies():
+    """One random low-dimensional ProcessModel."""
+    noise = st.floats(0.01, 2.0, allow_nan=False, allow_infinity=False)
+    sigma = st.floats(0.1, 2.0, allow_nan=False, allow_infinity=False)
+    kin = st.builds(
+        kinematic,
+        order=st.integers(1, 3),
+        process_noise=noise,
+        measurement_sigma=sigma,
+    )
+    osc = st.builds(
+        harmonic,
+        omega=st.floats(0.1, 2.0, allow_nan=False, allow_infinity=False),
+        process_noise=noise,
+        measurement_sigma=sigma,
+    )
+    gps = st.builds(
+        lambda process_noise, measurement_sigma: planar(
+            kinematic(2, process_noise=process_noise, measurement_sigma=measurement_sigma)
+        ),
+        process_noise=noise,
+        measurement_sigma=sigma,
+    )
+    return st.one_of(kin, osc, gps)
+
+
+fleets = st.lists(model_strategies(), min_size=1, max_size=5)
+
+
+def _assert_states_match(batch, scalars, phase):
+    for i, f in enumerate(scalars):
+        np.testing.assert_allclose(
+            batch.x_of(i), f.x, atol=ATOL, rtol=0, err_msg=f"{phase} mean, filter {i}"
+        )
+        np.testing.assert_allclose(
+            batch.P_of(i),
+            f.P,
+            atol=ATOL,
+            rtol=0,
+            err_msg=f"{phase} covariance, filter {i}",
+        )
+
+
+def _measurements(rng, scalars, dim_z_max):
+    """Plausible measurements near each filter's prediction, NaN-padded."""
+    zs = np.full((len(scalars), dim_z_max), np.nan)
+    for i, f in enumerate(scalars):
+        dim_z = f.model.dim_z
+        center = np.nan_to_num(f.measurement_estimate(), nan=0.0)
+        zs[i, :dim_z] = center + rng.normal(0.0, 2.0, size=dim_z)
+    return zs
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    models=fleets,
+    data_seed=st.integers(0, 2**16),
+    p_missing=st.floats(0.0, 0.7),
+)
+def test_batch_matches_scalars_step_for_step(models, data_seed, p_missing):
+    rng = np.random.default_rng(data_seed)
+    batch = BatchKalmanFilter(models)
+    scalars = [KalmanFilter(m) for m in models]
+    n = len(models)
+
+    for _ in range(N_STEPS):
+        zs = _measurements(rng, scalars, batch.dim_z_max)
+        mask = rng.random(n) >= p_missing
+
+        batch.predict()
+        for f in scalars:
+            f.predict()
+        _assert_states_match(batch, scalars, "prior")
+
+        batch.update(zs, mask)
+        for i, f in enumerate(scalars):
+            if mask[i]:
+                f.update(zs[i, : f.model.dim_z])
+        _assert_states_match(batch, scalars, "posterior")
+
+    for i, f in enumerate(scalars):
+        assert batch.n_predicts[i] == f.n_predicts
+        assert batch.n_updates[i] == f.n_updates
+
+
+@settings(max_examples=20, deadline=None)
+@given(models=fleets, data_seed=st.integers(0, 2**16), p_missing=st.floats(0.0, 0.7))
+def test_batch_step_matches_scalar_step(models, data_seed, p_missing):
+    """step() == N scalar step() calls (None for the unmasked members)."""
+    rng = np.random.default_rng(data_seed)
+    batch = BatchKalmanFilter(models)
+    scalars = [KalmanFilter(m) for m in models]
+    n = len(models)
+
+    for _ in range(N_STEPS):
+        zs = _measurements(rng, scalars, batch.dim_z_max)
+        mask = rng.random(n) >= p_missing
+        batch.step(zs, mask)
+        for i, f in enumerate(scalars):
+            f.step(zs[i, : f.model.dim_z] if mask[i] else None)
+        _assert_states_match(batch, scalars, "post-step")
+
+
+@settings(max_examples=20, deadline=None)
+@given(models=fleets, data_seed=st.integers(0, 2**16))
+def test_partial_predict_freezes_unselected(models, data_seed):
+    """A masked predict advances exactly the selected members."""
+    rng = np.random.default_rng(data_seed)
+    batch = BatchKalmanFilter(models)
+    scalars = [KalmanFilter(m) for m in models]
+    n = len(models)
+
+    # Warm everything up with one full step first.
+    zs = _measurements(rng, scalars, batch.dim_z_max)
+    batch.step(zs, None)
+    for i, f in enumerate(scalars):
+        f.step(zs[i, : f.model.dim_z])
+
+    for _ in range(10):
+        mask = rng.random(n) < 0.5
+        batch.predict(mask)
+        for i, f in enumerate(scalars):
+            if mask[i]:
+                f.predict()
+        _assert_states_match(batch, scalars, "masked-predict")
+
+
+@settings(max_examples=20, deadline=None)
+@given(models=fleets, data_seed=st.integers(0, 2**16))
+def test_read_only_views_match_scalars(models, data_seed):
+    rng = np.random.default_rng(data_seed)
+    batch = BatchKalmanFilter(models)
+    scalars = [KalmanFilter(m) for m in models]
+
+    zs = _measurements(rng, scalars, batch.dim_z_max)
+    batch.step(zs, None)
+    for i, f in enumerate(scalars):
+        f.step(zs[i, : f.model.dim_z])
+
+    est = batch.measurement_estimates()
+    pred = batch.predicted_measurements(steps=2)
+    var = batch.measurement_variances()
+    for i, f in enumerate(scalars):
+        dz = f.model.dim_z
+        np.testing.assert_allclose(est[i, :dz], f.measurement_estimate(), atol=ATOL)
+        np.testing.assert_allclose(
+            pred[i, :dz], f.predicted_measurement(steps=2), atol=ATOL
+        )
+        np.testing.assert_allclose(var[i, :dz, :dz], f.measurement_variance(), atol=ATOL)
+        # Padding past each member's own dim_z stays NaN.
+        assert np.isnan(est[i, dz:]).all()
+        assert np.isnan(pred[i, dz:]).all()
+
+
+@settings(max_examples=15, deadline=None)
+@given(models=fleets, data_seed=st.integers(0, 2**16))
+def test_x0_seeding_matches_scalar(models, data_seed):
+    """Explicit initial means behave exactly like the scalar constructor's."""
+    rng = np.random.default_rng(data_seed)
+    x0s = [rng.normal(0.0, 5.0, size=m.dim_x) for m in models]
+    batch = BatchKalmanFilter(models, x0s=x0s)
+    scalars = [KalmanFilter(m, x0=x0) for m, x0 in zip(models, x0s)]
+    _assert_states_match(batch, scalars, "initial")
+
+    zs = _measurements(rng, scalars, batch.dim_z_max)
+    batch.step(zs, None)
+    for i, f in enumerate(scalars):
+        f.step(zs[i, : f.model.dim_z])
+    _assert_states_match(batch, scalars, "post-step")
+
+
+def test_mixed_dimension_fleet_exact():
+    """Deterministic spot check: 1-D, 2-D, 3-D and planar lanes coexist."""
+    models = [
+        kinematic(1, process_noise=0.3, measurement_sigma=0.4),
+        kinematic(2, process_noise=0.05, measurement_sigma=0.6),
+        kinematic(3, process_noise=0.02, measurement_sigma=0.5),
+        harmonic(0.31, process_noise=0.01, measurement_sigma=0.3),
+        planar(kinematic(2, process_noise=0.05, measurement_sigma=0.6)),
+    ]
+    rng = np.random.default_rng(7)
+    batch = BatchKalmanFilter(models)
+    scalars = [KalmanFilter(m) for m in models]
+    assert batch.dim_z_max == 2
+
+    for t in range(50):
+        zs = _measurements(rng, scalars, batch.dim_z_max)
+        mask = rng.random(len(models)) < 0.8
+        batch.step(zs, mask)
+        for i, f in enumerate(scalars):
+            f.step(zs[i, : f.model.dim_z] if mask[i] else None)
+        _assert_states_match(batch, scalars, f"tick {t}")
