@@ -25,4 +25,14 @@ def test_fig10_model_ablation(benchmark, record_result):
         assert series["order2"][mid] <= series["order3"][mid] * 1.1
         # Adaptation on the right model costs little (< 15%).
         assert series["order2_adaptive"][mid] < 1.15 * series["order2"][mid]
-    record_result("F10_model_ablation", fig.render())
+    record_result(
+        "F10_model_ablation",
+        fig.render(),
+        params={"n_ticks": q(10_000, 800)},
+        headline={
+            "order1_mid": series["order1"][mid],
+            "order2_mid": series["order2"][mid],
+            "order3_mid": series["order3"][mid],
+            "order2_adaptive_mid": series["order2_adaptive"][mid],
+        },
+    )

@@ -34,4 +34,13 @@ def test_fig11_lossy_channel(benchmark, record_result):
         # And honesty is not bought with unbounded traffic: stays within
         # 4x of its own lossless byte cost even at 40% loss.
         assert series["supervised kB"][-1] <= 4.0 * series["supervised kB"][0]
-    record_result("F11_lossy_channel", fig.render())
+    record_result(
+        "F11_lossy_channel",
+        fig.render(),
+        params={"n_ticks": q(8_000, 800)},
+        headline={
+            "resync_viol_rate_last": series["resync viol_rate"][-1],
+            "no_resync_viol_rate_last": series["no_resync viol_rate"][-1],
+            "supervised_unflagged_max": max(series["supervised unflagged"]),
+        },
+    )

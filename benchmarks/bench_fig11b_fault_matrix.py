@@ -48,4 +48,14 @@ def test_fig11b_fault_matrix(benchmark, record_result):
         # A persistently lagging feed is honestly degraded nearly always.
         assert col("clock skew 1.2t", "degraded%") > 50
 
-    record_result("F11b_fault_matrix", table.render())
+    record_result(
+        "F11b_fault_matrix",
+        table.render(),
+        params={"n_ticks": q(800, 400)},
+        headline={
+            "n_scenarios": len(rows),
+            "unflagged_total": int(
+                sum(row[headers.index("unflagged")] for row in rows.values())
+            ),
+        },
+    )

@@ -25,4 +25,13 @@ def test_fig12_outlier_robustness(benchmark, record_result):
     if not QUICK:
         # At the heaviest spike rate, robust gating clearly wins.
         assert series["dkf_robust msgs"][-1] < 0.8 * series["dkf_blind msgs"][-1]
-    record_result("F12_outlier_ablation", fig.render())
+    record_result(
+        "F12_outlier_ablation",
+        fig.render(),
+        params={"n_ticks": q(8_000, 800)},
+        headline={
+            "robust_msgs_heaviest": series["dkf_robust msgs"][-1],
+            "blind_msgs_heaviest": series["dkf_blind msgs"][-1],
+            "robust_max_err_worst": max(series["dkf_robust max_err"]),
+        },
+    )

@@ -24,8 +24,27 @@ def test_fig13_model_bank(benchmark, record_result):
         rounds=1,
         iterations=1,
     )
+    def _record():
+        _, xs, series = fig.panels[0]
+        step = xs[1] - xs[0] if len(xs) > 1 else 1
+        totals = {name: float(sum(ys)) * step for name, ys in series.items()}
+        record_result(
+            "F13_model_bank",
+            fig.render(),
+            params={
+                "n_ticks": q(8_000, 1_500),
+                "window": q(500, 300),
+                "sample_every": q(500, 300),
+            },
+            headline={
+                "msgs_wrong_class": round(totals["cv_fixed (wrong class)"], 1),
+                "msgs_oracle": round(totals["harmonic_fixed (oracle)"], 1),
+                "msgs_model_bank": round(totals["model_bank (cv start)"], 1),
+            },
+        )
+
     if QUICK:
-        record_result("F13_model_bank", fig.render())
+        _record()
         return
     _, xs, series = fig.panels[0]
     ticks_per_sample = xs[1] - xs[0]
@@ -39,4 +58,4 @@ def test_fig13_model_bank(benchmark, record_result):
     assert oracle < banked < 0.6 * wrong
     # One switch happened, and it shows up in the title.
     assert "switched at [" in fig.title
-    record_result("F13_model_bank", fig.render())
+    _record()

@@ -24,8 +24,31 @@ def test_fig14_dynamic_allocation(benchmark, record_result):
         rounds=1,
         iterations=1,
     )
+    def _record():
+        series = fig.panels[0][2]
+        record_result(
+            "F14_dynamic_allocation",
+            fig.render(),
+            params={
+                "n_fleet": q(8, 4),
+                "probe_ticks": q(1000, 300),
+                "epoch_ticks": q(1000, 200),
+                "n_epochs": q(10, 6),
+                "switch_epoch": q(4, 2),
+            },
+            headline={
+                "static_rate_last": series["static rate"][-1],
+                "dynamic_rate_last": series["dynamic rate"][-1],
+                "flip_delta_growth": round(
+                    series["dynamic flip δ"][-1]
+                    / max(series["dynamic flip δ"][0], 1e-12),
+                    3,
+                ),
+            },
+        )
+
     if QUICK:
-        record_result("F14_dynamic_allocation", fig.render())
+        _record()
         return
     _, epochs, series = fig.panels[0]
     budget = 0.4
@@ -39,4 +62,4 @@ def test_fig14_dynamic_allocation(benchmark, record_result):
     assert dynamic[-1] < 1.5 * budget
     # Recovery mechanism: the volatile streams' bounds were loosened.
     assert series["dynamic flip δ"][-1] > 3 * series["dynamic flip δ"][0]
-    record_result("F14_dynamic_allocation", fig.render())
+    _record()

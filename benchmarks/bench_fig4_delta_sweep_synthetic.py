@@ -17,8 +17,21 @@ def test_fig4_delta_sweep_synthetic(benchmark, record_result):
         iterations=1,
     )
     assert len(fig.panels) == 3
+    def _record():
+        _, xs, sine = fig.panels[2]
+        mid = len(xs) // 2
+        record_result(
+            "F4_delta_sweep_synthetic",
+            fig.render(),
+            params={"n_ticks": q(10_000, 600)},
+            headline={
+                "sine_dead_band_mid": sine["dead_band"][mid],
+                "sine_dual_kalman_mid": sine["dual_kalman"][mid],
+            },
+        )
+
     if QUICK:
-        record_result("F4_delta_sweep_synthetic", fig.render())
+        _record()
         return
     for title, xs, series in fig.panels:
         dkf = series["dual_kalman"]
@@ -30,4 +43,4 @@ def test_fig4_delta_sweep_synthetic(benchmark, record_result):
     # Sinusoid panel: model-based caching wins by multiples.
     _, _, sine = fig.panels[2]
     assert sine["dead_band"][2] > 2.0 * sine["dual_kalman"][2]
-    record_result("F4_delta_sweep_synthetic", fig.render())
+    _record()

@@ -23,4 +23,14 @@ def test_fig5_delta_sweep_realworld(benchmark, record_result):
         # GPS at the default bound (index 2): clear dual-Kalman win.
         assert gps["dead_band"][2] > 2.0 * gps["dual_kalman"][2]
         assert gps["dead_reckoning"][2] > 1.2 * gps["dual_kalman"][2]
-    record_result("F5_delta_sweep_realworld", fig.render())
+    mid = len(fig.panels[0][1]) // 2
+    record_result(
+        "F5_delta_sweep_realworld",
+        fig.render(),
+        params={"n_ticks": q(10_000, 600)},
+        headline={
+            "gps_dual_kalman_mid": gps["dual_kalman"][mid],
+            "gps_dead_band_mid": gps["dead_band"][mid],
+            "gps_dead_reckoning_mid": gps["dead_reckoning"][mid],
+        },
+    )

@@ -28,4 +28,19 @@ def test_fig6_delivered_precision(benchmark, record_result):
             # The periodic cache violates at least one bound per panel.
             periodic = series["periodic max_err"]
             assert any(p > d for p, d in zip(periodic, xs)), title
-    record_result("F6_delivered_precision", fig.render())
+    worst_gated_overshoot = max(
+        ys[i] - delta
+        for _, xs, series in fig.panels
+        for i, delta in enumerate(xs)
+        for name, ys in series.items()
+        if not name.startswith("periodic")
+    )
+    record_result(
+        "F6_delivered_precision",
+        fig.render(),
+        params={"n_ticks": q(10_000, 600)},
+        headline={
+            "worst_gated_overshoot": round(worst_gated_overshoot, 6),
+            "periodic_max_err_last": fig.panels[0][2]["periodic max_err"][-1],
+        },
+    )

@@ -22,8 +22,26 @@ def test_fig7_time_variance(benchmark, record_result):
         rounds=1,
         iterations=1,
     )
+    def _record():
+        _, _, series = fig.panels[0]
+        record_result(
+            "F7_time_variance",
+            fig.render(),
+            params={
+                "n_ticks": q(9_000, 1_500),
+                "window": q(500, 300),
+                "sample_every": q(500, 300),
+            },
+            headline={
+                "adaptive_total_rate": round(
+                    float(sum(series["dual_kalman_adaptive"])), 4
+                ),
+                "fixed_total_rate": round(float(sum(series["dual_kalman"])), 4),
+            },
+        )
+
     if QUICK:
-        record_result("F7_time_variance", fig.render())
+        _record()
         return
     _, xs, series = fig.panels[0]
     adaptive = series["dual_kalman_adaptive"]
@@ -36,4 +54,4 @@ def test_fig7_time_variance(benchmark, record_result):
     assert sum(adaptive[volatile]) < sum(fixed[volatile])
     # ...and after the sensor recovers the rate comes back down.
     assert adaptive[-1] < 0.6 * max(adaptive[volatile])
-    record_result("F7_time_variance", fig.render())
+    _record()

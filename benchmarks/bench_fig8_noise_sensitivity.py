@@ -25,4 +25,13 @@ def test_fig8_noise_sensitivity(benchmark, record_result):
         assert series["dead_reckoning"][-1] > 1.5 * series["dkf_matched_R"][-1]
         # Adaptive-R (started wrong) lands within 40% of the matched filter.
         assert series["dkf_adaptive_R"][-1] < 1.4 * series["dkf_matched_R"][-1]
-    record_result("F8_noise_sensitivity", fig.render())
+    record_result(
+        "F8_noise_sensitivity",
+        fig.render(),
+        params={"n_ticks": q(10_000, 800)},
+        headline={
+            "dead_band_high_noise": series["dead_band"][-1],
+            "dkf_matched_high_noise": series["dkf_matched_R"][-1],
+            "dkf_adaptive_high_noise": series["dkf_adaptive_R"][-1],
+        },
+    )

@@ -22,8 +22,27 @@ def test_fig9_budget_allocation(benchmark, record_result):
         rounds=1,
         iterations=1,
     )
+    def _record():
+        errs = fig.panels[0][2]
+        achieved = fig.panels[1][2]
+        record_result(
+            "F9_budget_allocation",
+            fig.render(),
+            params={
+                "n_fleet": q(12, 4),
+                "probe_ticks": q(1000, 300),
+                "run_ticks": q(4000, 600),
+                "budgets": list(q((0.1, 0.2, 0.4, 0.8), (0.2, 0.6))),
+            },
+            headline={
+                "waterfilling_err_last": errs["waterfilling"][-1],
+                "uniform_err_last": errs["uniform"][-1],
+                "waterfilling_rate_last": achieved["waterfilling"][-1],
+            },
+        )
+
     if QUICK:
-        record_result("F9_budget_allocation", fig.render())
+        _record()
         return
     errors = fig.panels[0][2]
     rates = fig.panels[1][2]
@@ -36,4 +55,4 @@ def test_fig9_budget_allocation(benchmark, record_result):
     # More budget -> less error, for every method.
     for method, ys in errors.items():
         assert ys[-1] < ys[0], method
-    record_result("F9_budget_allocation", fig.render())
+    _record()

@@ -13,4 +13,9 @@ def test_table1_workloads(benchmark, record_result):
         lambda: table1_workloads(n_ticks=q(10_000, 600)), rounds=1, iterations=1
     )
     assert len(table.rows) == 8
-    record_result("T1_workloads", table.render())
+    record_result(
+        "T1_workloads",
+        table.render(),
+        params={"n_ticks": q(10_000, 600)},
+        headline={"n_workloads": len(table.rows)},
+    )

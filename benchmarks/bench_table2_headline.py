@@ -20,4 +20,13 @@ def test_table2_headline(benchmark, record_result):
         # DKF never loses badly, and wins clearly somewhere.
         assert min(ratios) > 0.85
         assert max(ratios) > 2.0
-    record_result("T2_headline", table.render())
+    all_ratios = [row[-1] for row in table.rows]
+    record_result(
+        "T2_headline",
+        table.render(),
+        params={"n_ticks": q(10_000, 600)},
+        headline={
+            "worst_ratio": round(min(all_ratios), 3),
+            "best_ratio": round(max(all_ratios), 3),
+        },
+    )

@@ -20,4 +20,14 @@ def test_table3_query_precision(benchmark, record_result):
         max_err, bound, violations = row[3], row[4], row[5]
         assert violations == 0
         assert max_err <= bound + 1e-9
-    record_result("T3_query_precision", table.render())
+    record_result(
+        "T3_query_precision",
+        table.render(),
+        params={"n_ticks": q(10_000, 800)},
+        headline={
+            "total_violations": int(sum(row[5] for row in table.rows)),
+            "worst_bound_slack": round(
+                min(row[4] - row[3] for row in table.rows), 6
+            ),
+        },
+    )

@@ -113,4 +113,11 @@ def test_table5_fleet_scaling(benchmark, record_result):
         # 256 streams, and keeps scaling at 4096.
         assert speedups[256] >= 5.0, speedups
         assert speedups[4096] >= 5.0, speedups
-    record_result("T5_fleet_scaling", table.render())
+    record_result(
+        "T5_fleet_scaling",
+        table.render(),
+        params={"fleet_grid": [list(cell) for cell in FLEET_GRID], "delta": DELTA},
+        headline={
+            "speedups": {str(n): round(s, 2) for n, s in speedups.items()}
+        },
+    )

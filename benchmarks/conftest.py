@@ -5,11 +5,20 @@ Each benchmark regenerates one table or figure of the reproduced evaluation
 repository's equivalent of the paper's plot — is printed and also written
 to ``benchmarks/results/<experiment>.txt`` so it survives pytest's output
 capture and can be diffed across runs.
+
+Alongside the text artifact each benchmark also emits a machine-readable
+``benchmarks/results/<experiment>.json`` record (schema: bench id, the
+parameters the run used, a few headline numbers, and wall time) so the
+benchmark trajectory can be tracked by tooling instead of by diffing ASCII.
 """
 
 from __future__ import annotations
 
+import json
+import os
+import time
 from pathlib import Path
+from typing import Any
 
 import pytest
 
@@ -17,22 +26,67 @@ from repro.experiments.quickmode import QUICK
 
 RESULTS_DIR = Path(__file__).parent / "results"
 
+#: Bump when the JSON record layout changes incompatibly.
+RESULT_SCHEMA_VERSION = 1
+
+
+def _json_record(
+    experiment_id: str,
+    params: dict[str, Any] | None,
+    headline: dict[str, Any] | None,
+    wall_time_s: float,
+) -> dict[str, Any]:
+    return {
+        "schema_version": RESULT_SCHEMA_VERSION,
+        "bench": experiment_id,
+        "quick": QUICK,
+        "params": dict(params or {}),
+        "headline": dict(headline or {}),
+        "wall_time_s": round(wall_time_s, 6),
+    }
+
 
 @pytest.fixture
 def record_result():
     """Write a rendered experiment to benchmarks/results/ and echo it.
 
+    Call as ``record_result(experiment_id, text, params=..., headline=...)``;
+    the optional dicts feed the JSON sidecar (``<experiment_id>.json``).
+    Wall time is measured from fixture setup, so it covers the benchmarked
+    computation, not just the recording call.
+
     In quick mode (``REPRO_BENCH_QUICK=1``) the rendered text is echoed but
     *not* written: trimmed smoke runs must never clobber full-size results.
+    The JSON record is still written in quick mode when
+    ``REPRO_BENCH_JSON_DIR`` names an alternate directory (CI uses this to
+    capture artifacts from smoke runs without touching the committed
+    full-size results).
     """
+    t0 = time.perf_counter()
 
-    def _record(experiment_id: str, text: str) -> None:
+    def _record(
+        experiment_id: str,
+        text: str,
+        params: dict[str, Any] | None = None,
+        headline: dict[str, Any] | None = None,
+    ) -> None:
+        wall = time.perf_counter() - t0
+        record = _json_record(experiment_id, params, headline, wall)
+        json_dir = os.environ.get("REPRO_BENCH_JSON_DIR")
         if QUICK:
+            if json_dir:
+                out = Path(json_dir)
+                out.mkdir(parents=True, exist_ok=True)
+                (out / f"{experiment_id}.json").write_text(
+                    json.dumps(record, indent=2, sort_keys=True) + "\n"
+                )
             print(f"\n{text}\n[quick mode: not written]")
             return
         RESULTS_DIR.mkdir(exist_ok=True)
         path = RESULTS_DIR / f"{experiment_id}.txt"
         path.write_text(text + "\n")
-        print(f"\n{text}\n[written to {path}]")
+        json_path = RESULTS_DIR / f"{experiment_id}.json"
+        json_path.write_text(json.dumps(record, indent=2, sort_keys=True) + "\n")
+        print(f"\n{text}\n[written to {path} and {json_path}]")
 
     return _record

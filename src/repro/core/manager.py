@@ -43,11 +43,14 @@ from repro.core.allocation import (
     allocate_waterfilling,
 )
 from repro.core.precision import AbsoluteBound
+from repro.core.protocol import HEADER_BYTES
 from repro.core.session import DualKalmanPolicy, SupervisedSession
 from repro.core.supervision import RecoveryStats, SupervisionConfig
 from repro.errors import AllocationError, ConfigurationError
 from repro.kalman.batch import BatchKalmanFilter
 from repro.kalman.models import ProcessModel
+from repro.obs import tracing
+from repro.obs.telemetry import resolve_telemetry
 from repro.streams.base import Reading
 from repro.streams.replay import RecordedStream
 
@@ -272,6 +275,12 @@ class FleetEngine:
         deltas: Per-stream absolute bounds (the dead band half-width).
         norm: ``"max"`` (componentwise) or ``"l2"``, matching
             :class:`~repro.core.precision.AbsoluteBound`.
+        telemetry: Optional :class:`~repro.obs.Telemetry` sink.  The
+            batch path records the same ``repro_ticks_total`` /
+            ``repro_messages_total`` / ``repro_suppressed_ticks_total``
+            counters the scalar policy does (one per stream-tick /
+            update), plus a ``batch_step`` span per fleet tick; it emits
+            no per-stream trace events, which would defeat vectorization.
     """
 
     def __init__(
@@ -279,6 +288,7 @@ class FleetEngine:
         models: list[ProcessModel],
         deltas: np.ndarray,
         norm: str = "max",
+        telemetry=None,
     ):
         if norm not in ("max", "l2"):
             raise ConfigurationError(f"unknown norm {norm!r}; expected 'max' or 'l2'")
@@ -289,6 +299,12 @@ class FleetEngine:
         self.warm = np.zeros(self.n, dtype=bool)
         self.messages = np.zeros(self.n, dtype=int)
         self.ticks = 0
+        self._tel = resolve_telemetry(telemetry)
+        # Per-stream update payload (matches MeasurementUpdate: header +
+        # 8 bytes per measurement float + the outlier flag byte).
+        self._payload = np.array(
+            [HEADER_BYTES + 8 * m.dim_z + 1 for m in models], dtype=int
+        )
 
     def set_deltas(self, deltas: np.ndarray) -> None:
         """Install new per-stream bounds (used between dynamic epochs)."""
@@ -312,6 +328,24 @@ class FleetEngine:
             ``(served, sent)`` — the ``(N, dim_z_max)`` served values and
             the ``(N,)`` boolean send mask for this tick.
         """
+        tel = self._tel
+        if tel.enabled:
+            with tel.span("batch_step"):
+                served, sent = self._step(values)
+            n_sent = int(np.count_nonzero(sent))
+            tel.inc("repro_ticks_total", self.n)
+            tel.inc("repro_suppressed_ticks_total", self.n - n_sent)
+            if n_sent:
+                tel.inc("repro_messages_total", n_sent, kind="update")
+                tel.inc(
+                    "repro_payload_bytes_total",
+                    int(self._payload[sent].sum()),
+                    kind="update",
+                )
+            return served, sent
+        return self._step(values)
+
+    def _step(self, values: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
         values = np.asarray(values, dtype=float)
         pred = self.filters.predicted_measurements()
         have = ~np.all(np.isnan(values), axis=1)
@@ -421,6 +455,11 @@ class StreamResourceManager:
             equivalent, requires ``adaptive=False``).  Probe, main and
             dynamic phases honour the knob; supervised runs always use the
             scalar path (faults and supervision are per-stream stateful).
+        telemetry: Optional :class:`~repro.obs.Telemetry` sink threaded
+            through every phase: the probe, allocation solve and main
+            run are span-timed, dynamic re-allocations are traced as
+            ``epoch_realloc`` events, and the per-stream engines/policies
+            of both backends report the shared protocol counters.
     """
 
     def __init__(
@@ -430,6 +469,7 @@ class StreamResourceManager:
         probe_ticks: int = 1000,
         adaptive: bool = False,
         backend: str = "scalar",
+        telemetry=None,
     ):
         if not streams:
             raise ConfigurationError("the fleet must contain at least one stream")
@@ -452,6 +492,7 @@ class StreamResourceManager:
         self.probe_ticks = probe_ticks
         self.adaptive = adaptive
         self.backend = backend
+        self._tel = resolve_telemetry(telemetry)
         self._curves: list[RateCurve] | None = None
         self._scales: list[float] | None = None
 
@@ -482,10 +523,11 @@ class StreamResourceManager:
                 )
             probe_readings.append(readings)
             scales.append(_stream_scale(readings))
-        if self.backend == "batch":
-            curves = self._probe_batch(probe_readings, scales)
-        else:
-            curves = self._probe_scalar(probe_readings, scales)
+        with self._tel.span("probe"):
+            if self.backend == "batch":
+                curves = self._probe_batch(probe_readings, scales)
+            else:
+                curves = self._probe_scalar(probe_readings, scales)
         self._curves = curves
         self._scales = scales
         return curves
@@ -517,7 +559,7 @@ class StreamResourceManager:
         # so each stream's value column is repeated n_rel times in place.
         models = [m.model for m in self.streams for _ in rels]
         deltas = np.array([rel * scale for scale in scales for rel in rels])
-        engine = FleetEngine(models, deltas)
+        engine = FleetEngine(models, deltas, telemetry=self._tel)
         trace = engine.run(np.repeat(values, n_rel, axis=1))
         sent = trace.messages_per_stream.reshape(len(self.streams), n_rel)
         curves: list[RateCurve] = []
@@ -548,14 +590,19 @@ class StreamResourceManager:
                 f"expected one of {sorted(_ALLOCATORS)}"
             ) from None
         curves = self.probe()
-        if method in ("waterfilling", "scipy"):
-            # Weight imprecision by stream importance and normalize by scale
-            # so a degree of temperature and a metre of position compare.
-            weights = np.array(
-                [s.weight / max(sc, 1e-12) for s, sc in zip(self.streams, self.scales)]
-            )
-            return allocator(curves, budget, weights=weights)
-        return allocator(curves, budget)
+        with self._tel.span("allocation_solve"):
+            if method in ("waterfilling", "scipy"):
+                # Weight imprecision by stream importance and normalize by
+                # scale so a degree of temperature and a metre of position
+                # compare.
+                weights = np.array(
+                    [
+                        s.weight / max(sc, 1e-12)
+                        for s, sc in zip(self.streams, self.scales)
+                    ]
+                )
+                return allocator(curves, budget, weights=weights)
+            return allocator(curves, budget)
 
     # ------------------------------------------------------------------
     # Phase 4: run
@@ -580,10 +627,15 @@ class StreamResourceManager:
                     "main phase; record more ticks"
                 )
             readings_per_stream.append(readings)
-        if self.backend == "batch":
-            self._run_batch(result, allocation, readings_per_stream)
-        else:
-            self._run_scalar(result, allocation, readings_per_stream)
+        tel = self._tel
+        if tel.enabled:
+            tel.set_gauge("repro_fleet_size", len(self.streams))
+            tel.set_gauge("repro_fleet_budget", budget)
+        with tel.span("main_run"):
+            if self.backend == "batch":
+                self._run_batch(result, allocation, readings_per_stream)
+            else:
+                self._run_scalar(result, allocation, readings_per_stream)
         return result
 
     def _run_scalar(
@@ -622,7 +674,9 @@ class StreamResourceManager:
     ) -> None:
         values, truths = _stack_fleet(readings_per_stream, self._dim_z_max)
         engine = FleetEngine(
-            [m.model for m in self.streams], np.asarray(allocation.deltas, float)
+            [m.model for m in self.streams],
+            np.asarray(allocation.deltas, float),
+            telemetry=self._tel,
         )
         trace = engine.run(values)
         mean_err, max_err = _fleet_abs_errors(trace.served, truths)
@@ -687,6 +741,7 @@ class StreamResourceManager:
                 plan=stream_plan,
                 config=config,
                 stream_id=managed.stream_id,
+                telemetry=self._tel,
             )
             trace = session.run(len(readings))
             result.reports.append(
@@ -762,7 +817,9 @@ class StreamResourceManager:
         # dict: only the bounds change between epochs, never filter state.
         engine = (
             FleetEngine(
-                [m.model for m in self.streams], np.ones(len(self.streams))
+                [m.model for m in self.streams],
+                np.ones(len(self.streams)),
+                telemetry=self._tel,
             )
             if self.backend == "batch"
             else None
@@ -777,11 +834,16 @@ class StreamResourceManager:
         weights = np.array(
             [m.weight / max(sc, 1e-12) for m, sc in zip(self.streams, self.scales)]
         )
+        tel = self._tel
+        if tel.enabled:
+            tel.set_gauge("repro_fleet_size", len(self.streams))
+            tel.set_gauge("repro_fleet_budget", budget)
         for epoch in range(n_epochs):
-            if method in ("waterfilling", "scipy"):
-                allocation = allocator(curves, budget, weights=weights)
-            else:
-                allocation = allocator(curves, budget)
+            with tel.span("allocation_solve"):
+                if method in ("waterfilling", "scipy"):
+                    allocation = allocator(curves, budget, weights=weights)
+                else:
+                    allocation = allocator(curves, budget)
             start = self.probe_ticks + epoch * epoch_ticks
             if engine is not None:
                 sent_per_stream, errors = self._dynamic_epoch_batch(
@@ -803,11 +865,24 @@ class StreamResourceManager:
                     )
                 )
                 curves[k] = RateCurve(a=new_a, b=curves[k].b)
+            epoch_messages = int(np.sum(sent_per_stream))
+            if tel.enabled:
+                tel.inc("repro_epoch_reallocations_total")
+                tel.event(
+                    tracing.EPOCH_REALLOC,
+                    start + epoch_ticks,
+                    epoch=epoch,
+                    messages=epoch_messages,
+                    rate=epoch_messages / epoch_ticks,
+                    delta_min=float(np.min(allocation.deltas)),
+                    delta_mean=float(np.mean(allocation.deltas)),
+                    delta_max=float(np.max(allocation.deltas)),
+                )
             result.epochs.append(
                 EpochReport(
                     epoch=epoch,
                     deltas=allocation.deltas.copy(),
-                    messages=int(np.sum(sent_per_stream)),
+                    messages=epoch_messages,
                     ticks=epoch_ticks,
                     mean_abs_errors=errors,
                 )
@@ -857,7 +932,12 @@ class StreamResourceManager:
 
     def _make_policy(self, model: ProcessModel, delta: float) -> DualKalmanPolicy:
         adaptation = AdaptationPolicy(model) if self.adaptive else None
-        return DualKalmanPolicy(model, AbsoluteBound(delta), adaptation=adaptation)
+        return DualKalmanPolicy(
+            model,
+            AbsoluteBound(delta),
+            adaptation=adaptation,
+            telemetry=self._tel,
+        )
 
 
 def _stream_scale(readings: list[Reading]) -> float:

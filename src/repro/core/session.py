@@ -41,6 +41,8 @@ from repro.errors import ConfigurationError, ReplicaDesyncError
 from repro.kalman.models import ProcessModel
 from repro.network.channel import Channel
 from repro.network.stats import CommunicationStats
+from repro.obs import tracing
+from repro.obs.telemetry import resolve_telemetry
 from repro.streams.base import Reading, StreamSource
 
 __all__ = [
@@ -50,6 +52,38 @@ __all__ = [
     "SupervisedSession",
     "SupervisedTrace",
 ]
+
+
+def _trace_messages(tel, tick: int, stream_id: str, messages) -> None:
+    """Count and trace one tick's outgoing protocol messages.
+
+    Shared by every session flavour so the metric names and event kinds
+    stay identical across the scalar policy, the networked session and
+    the supervised session (see docs/observability.md).  Callers guard
+    with ``tel.enabled``.
+    """
+    for message in messages:
+        kind = message.kind
+        tel.inc("repro_messages_total", kind=kind)
+        tel.inc("repro_payload_bytes_total", message.payload_bytes(), kind=kind)
+        if kind == "update":
+            tel.event(tracing.MSG_SENT, tick, stream_id, msg=kind)
+        elif kind == "model_switch":
+            tel.event(tracing.MODEL_SWITCH, tick, stream_id)
+        elif kind == "resync":
+            tel.event(tracing.RESYNC_BEGIN, tick, stream_id)
+        elif kind == "heartbeat":
+            tel.event(tracing.HEARTBEAT, tick, stream_id)
+
+
+def _trace_tick(tel, tick: int, stream_id: str, messages) -> None:
+    """Per-tick telemetry: message accounting or a suppression mark."""
+    tel.inc("repro_ticks_total")
+    if messages:
+        _trace_messages(tel, tick, stream_id, messages)
+    else:
+        tel.inc("repro_suppressed_ticks_total")
+        tel.event(tracing.MSG_SUPPRESSED, tick, stream_id)
 
 
 def _rowwise_max_abs(diff: np.ndarray) -> np.ndarray:
@@ -75,6 +109,10 @@ class DualKalmanPolicy(SuppressionPolicy):
         check_sync: Assert source/server lock-step every tick; cheap and on
             by default, because a desync here is a protocol bug.
         name: Override the policy name shown in result tables.
+        telemetry: Optional :class:`~repro.obs.Telemetry` sink; per-tick
+            suppression decisions are traced and the ``predict_update``
+            hot path is span-timed.  Defaults to the ambient (usually
+            no-op) sink, which costs one branch per tick.
     """
 
     name = "dual_kalman"
@@ -87,6 +125,7 @@ class DualKalmanPolicy(SuppressionPolicy):
         check_sync: bool = True,
         name: str | None = None,
         robust_threshold: float | None = None,
+        telemetry=None,
     ):
         super().__init__()
         if name is not None:
@@ -97,9 +136,17 @@ class DualKalmanPolicy(SuppressionPolicy):
         self.server = ServerStreamState("s", model)
         self.bound = bound
         self.check_sync = check_sync
+        self._tel = resolve_telemetry(telemetry)
 
     def tick(self, reading: Reading) -> TickOutcome:
-        decision = self.source.process(reading)
+        tel = self._tel
+        if tel.enabled:
+            with tel.span("predict_update"):
+                decision = self.source.process(reading)
+            _trace_tick(tel, self.source.replica.tick, self.source.stream_id,
+                        decision.messages)
+        else:
+            decision = self.source.process(reading)
         for message in decision.messages:
             self.stats.record_send(message.kind, message.payload_bytes())
         snapshot = self.server.advance(list(decision.messages))
@@ -170,6 +217,9 @@ class DualKalmanSession:
         adaptation: Optional adaptation policy at the source.
         resync_interval: Periodic state snapshots (recommended for lossy
             channels; pointless on ideal ones).
+        telemetry: Optional :class:`~repro.obs.Telemetry` sink.  When
+            given explicitly it is also bound to the channel, so wire
+            drops and protocol traffic land in the same trace.
     """
 
     def __init__(
@@ -182,9 +232,13 @@ class DualKalmanSession:
         resync_interval: int | None = None,
         stream_id: str = "stream-0",
         robust_threshold: float | None = None,
+        telemetry=None,
     ):
         self.stream = stream
+        self._tel = resolve_telemetry(telemetry)
         self.channel = channel if channel is not None else Channel.ideal()
+        if telemetry is not None:
+            self.channel.bind_telemetry(telemetry)
         self.source = SourceAgent(
             stream_id,
             model,
@@ -205,13 +259,24 @@ class DualKalmanSession:
         measured = np.full((n_ticks, dim), np.nan)
         served = np.full((n_ticks, dim), np.nan)
         sent = np.zeros(n_ticks, dtype=bool)
+        tel = self._tel
         for i, reading in enumerate(readings):
             now = reading.t
-            decision = self.source.process(reading)
+            if tel.enabled:
+                with tel.span("predict_update"):
+                    decision = self.source.process(reading)
+                _trace_tick(
+                    tel, self.source.replica.tick, self.source.stream_id,
+                    decision.messages,
+                )
+            else:
+                decision = self.source.process(reading)
             for message in decision.messages:
                 self.channel.send(message, now)
             arrivals = [d.message for d in self.channel.poll(now)]
             snapshot = self.server.advance(arrivals)
+            if tel.enabled:
+                tel.set_gauge("repro_channel_inflight", self.channel.pending())
             t[i] = now
             if reading.truth is not None:
                 truth[i] = reading.truth
@@ -308,6 +373,9 @@ class SupervisedSession:
         base_delta: Contract δ used for the advertised bound.  Defaults to
             the bound's fixed tolerance; relative bounds have none, so they
             require an explicit value.
+        telemetry: Optional :class:`~repro.obs.Telemetry` sink, shared by
+            both channels and both supervisors so protocol traffic,
+            degradation episodes and recovery actions land in one trace.
     """
 
     def __init__(
@@ -322,6 +390,7 @@ class SupervisedSession:
         stream_id: str = "stream-0",
         robust_threshold: float | None = None,
         base_delta: float | None = None,
+        telemetry=None,
     ):
         if base_delta is None:
             base_delta = getattr(bound, "delta", None)
@@ -331,11 +400,15 @@ class SupervisedSession:
                 )
         self.plan = plan
         self.config = config if config is not None else SupervisionConfig()
+        self._tel = resolve_telemetry(telemetry)
         self.stream = plan.wrap_stream(stream) if plan is not None else stream
         self.channel = plan.build_channel() if plan is not None else Channel.ideal()
         self.reverse = (
             plan.build_reverse_channel() if plan is not None else Channel.ideal()
         )
+        if telemetry is not None:
+            self.channel.bind_telemetry(telemetry)
+            self.reverse.bind_telemetry(telemetry)
         self.bound = bound
         self.recovery = RecoveryStats()
         self.source = SourceSupervisor(
@@ -349,6 +422,7 @@ class SupervisedSession:
             ),
             config=self.config,
             stats=self.recovery,
+            telemetry=telemetry,
         )
         self._now = 0.0
         self.server = ServerSupervisor(
@@ -357,6 +431,7 @@ class SupervisedSession:
             config=self.config,
             send_nack=lambda nack: self.reverse.send(nack, self._now),
             stats=self.recovery,
+            telemetry=telemetry,
         )
 
     def run(self, n_ticks: int) -> SupervisedTrace:
@@ -372,13 +447,22 @@ class SupervisedSession:
         fresh = np.zeros(n_ticks, dtype=bool)
         advertised = np.full(n_ticks, np.inf)
         reasons: list[str | None] = []
+        tel = self._tel
         for i, reading in enumerate(readings):
             now = reading.t
             self._now = now
             # NACKs sent by the server on earlier ticks arrive here — one
             # tick of reverse latency, matching the forward channel.
             nacks = [d.message for d in self.reverse.poll(now)]
-            decision = self.source.process(reading, nacks=nacks)
+            if tel.enabled:
+                with tel.span("predict_update"):
+                    decision = self.source.process(reading, nacks=nacks)
+                _trace_tick(
+                    tel, self.source.agent.replica.tick,
+                    self.source.agent.stream_id, decision.messages,
+                )
+            else:
+                decision = self.source.process(reading, nacks=nacks)
             for message in decision.messages:
                 self.channel.send(message, now)
             arrivals = [d.message for d in self.channel.poll(now)]

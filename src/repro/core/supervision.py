@@ -51,6 +51,8 @@ from repro.core.protocol import (
 from repro.core.server import ServerStreamState
 from repro.core.source import SourceAgent, SourceDecision
 from repro.errors import ConfigurationError
+from repro.obs import tracing
+from repro.obs.telemetry import resolve_telemetry
 from repro.streams.base import Reading
 
 __all__ = [
@@ -255,10 +257,12 @@ class SourceSupervisor:
         agent: SourceAgent,
         config: SupervisionConfig | None = None,
         stats: RecoveryStats | None = None,
+        telemetry=None,
     ):
         self.agent = agent
         self.config = config if config is not None else SupervisionConfig()
         self.stats = stats if stats is not None else RecoveryStats()
+        self._tel = resolve_telemetry(telemetry)
         self._hb_seq = 0
         self._silent_ticks = 0
         self._last_resync_tick = -(10**9)
@@ -302,9 +306,20 @@ class SourceSupervisor:
         messages: list[ProtocolMessage] = list(decision.messages)
         tick = self.agent.replica.tick
 
+        was_ok = self.sensor_ok
         self._observe_sensor(reading)
         if not self.sensor_ok:
             self.stats.sensor_fault_ticks += 1
+            tel = self._tel
+            if tel.enabled:
+                tel.inc("repro_sensor_fault_ticks_total")
+                if was_ok:
+                    tel.event(
+                        tracing.FAULT_ONSET,
+                        tick,
+                        self.agent.stream_id,
+                        fault="outage" if self._missing_run else "stuck",
+                    )
 
         # NACK → (model repair, resync), rate-limited.  The repair switch
         # re-ships the currently cached model spec so a lost ModelSwitch
@@ -368,6 +383,7 @@ class ServerSupervisor:
         config: SupervisionConfig | None = None,
         send_nack: Callable[[Nack], None] | None = None,
         stats: RecoveryStats | None = None,
+        telemetry=None,
     ):
         if base_delta <= 0:
             raise ConfigurationError(f"base_delta must be positive, got {base_delta!r}")
@@ -376,6 +392,7 @@ class ServerSupervisor:
         self.config = config if config is not None else SupervisionConfig()
         self.send_nack = send_nack
         self.stats = stats if stats is not None else RecoveryStats()
+        self._tel = resolve_telemetry(telemetry)
         self._tick = 0
         self._heard_once = False
         self._ticks_since_heard = 0
@@ -516,6 +533,8 @@ class ServerSupervisor:
             if self._nis_strikes >= self.config.divergence_patience:
                 self.stats.divergence_trips += 1
                 self._nis_strikes = 0
+                if self._tel.enabled:
+                    self._tel.inc("repro_watchdog_trips_total", kind="divergence")
                 self._begin_episode("divergence")
 
         # Resolution / escalation.  A repairing resync restores lock-step,
@@ -534,10 +553,16 @@ class ServerSupervisor:
             and (self._pending is not None or gap_evidence)
         )
         if resynced:
+            if self._tel.enabled:
+                self._tel.event(
+                    tracing.RESYNC_END, self._tick, self.state.stream_id
+                )
             self._resolve_episode()
         elif gap_evidence:
             if self._pending is None:
                 self.stats.gap_detections += 1
+                if self._tel.enabled:
+                    self._tel.inc("repro_watchdog_trips_total", kind="gap")
             self._begin_episode("gap")
         elif self._pending == "stale" and deliveries:
             # The source spoke again and nothing is missing — the silence
@@ -551,6 +576,8 @@ class ServerSupervisor:
             and self._ticks_since_heard > self.config.effective_staleness_limit
         ):
             self.stats.staleness_trips += 1
+            if self._tel.enabled:
+                self._tel.inc("repro_watchdog_trips_total", kind="stale")
             self._begin_episode("stale")
 
         # While a repair is outstanding, any arrival proves the channel is
@@ -579,6 +606,14 @@ class ServerSupervisor:
                     )
                 )
                 self.stats.nacks_sent += 1
+                if self._tel.enabled:
+                    self._tel.inc("repro_nacks_total", reason=self._pending)
+                    self._tel.event(
+                        tracing.NACK,
+                        self._tick,
+                        self.state.stream_id,
+                        reason=self._pending,
+                    )
                 self._nacks_this_episode += 1
                 self._next_nack_tick = self._tick + self._nack_interval
                 self._nack_interval = min(
@@ -613,15 +648,40 @@ class ServerSupervisor:
             reason = "sensor"
         else:
             reason = None
+        tel = self._tel
         if degraded:
             self.stats.degraded_ticks += 1
+            if tel.enabled:
+                tel.inc("repro_degraded_ticks_total")
             if self._degraded_since is None:
                 self._degraded_since = self._tick
+                if tel.enabled:
+                    tel.event(
+                        tracing.DEGRADE_ENTER,
+                        self._tick,
+                        self.state.stream_id,
+                        reason=reason,
+                    )
         elif self._degraded_since is not None:
             self.stats.recoveries += 1
-            self.stats.recovery_durations.append(self._tick - self._degraded_since)
+            duration = self._tick - self._degraded_since
+            self.stats.recovery_durations.append(duration)
+            if tel.enabled:
+                tel.inc("repro_recoveries_total")
+                tel.event(
+                    tracing.DEGRADE_EXIT,
+                    self._tick,
+                    self.state.stream_id,
+                    duration=duration,
+                )
             self._degraded_since = None
 
+        advertised = self._advertised_bound(snapshot.variance, degraded)
+        if tel.enabled:
+            tel.set_gauge(
+                "repro_advertised_bound", advertised,
+                stream=self.state.stream_id,
+            )
         return SupervisedSnapshot(
             value=snapshot.value,
             variance=snapshot.variance,
@@ -629,7 +689,7 @@ class ServerSupervisor:
             fresh=snapshot.fresh,
             degraded=degraded,
             reason=reason,
-            advertised_bound=self._advertised_bound(snapshot.variance, degraded),
+            advertised_bound=advertised,
             staleness=self._ticks_since_heard,
         )
 

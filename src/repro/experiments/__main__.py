@@ -13,10 +13,12 @@ pytest-benchmark harness runs, minus the timing machinery.
 from __future__ import annotations
 
 import argparse
+import contextlib
 import sys
 import time
 
 from repro.experiments import figures
+from repro.obs import Telemetry, use_telemetry
 
 _EXPERIMENTS = {
     "T1": lambda n: figures.table1_workloads(n_ticks=n),
@@ -58,6 +60,15 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument(
         "--ticks", type=int, default=None, help="explicit tick count per experiment"
     )
+    parser.add_argument(
+        "--telemetry-out",
+        metavar="PATH",
+        default=None,
+        help=(
+            "directory to dump run telemetry into (trace.jsonl, metrics.prom, "
+            "summary.json); created if missing.  See docs/observability.md"
+        ),
+    )
     args = parser.parse_args(argv)
 
     ids = [i.upper() for i in args.ids] or list(_EXPERIMENTS)
@@ -66,12 +77,24 @@ def main(argv: list[str] | None = None) -> int:
         parser.error(f"unknown experiment ids {unknown}; known: {list(_EXPERIMENTS)}")
     n_ticks = args.ticks if args.ticks is not None else (2000 if args.quick else 8000)
 
-    for exp_id in ids:
-        start = time.perf_counter()
-        result = _EXPERIMENTS[exp_id](n_ticks)
-        elapsed = time.perf_counter() - start
-        print(result.render())
-        print(f"[{exp_id} regenerated in {elapsed:.1f}s]\n")
+    telemetry = Telemetry() if args.telemetry_out else None
+    scope = use_telemetry(telemetry) if telemetry else contextlib.nullcontext()
+    with scope:
+        for exp_id in ids:
+            start = time.perf_counter()
+            result = _EXPERIMENTS[exp_id](n_ticks)
+            elapsed = time.perf_counter() - start
+            print(result.render())
+            print(f"[{exp_id} regenerated in {elapsed:.1f}s]\n")
+
+    if telemetry:
+        paths = telemetry.dump(args.telemetry_out)
+        print(
+            f"[telemetry: {telemetry.tracer.recorded} events "
+            f"({telemetry.tracer.dropped} dropped) -> "
+            + ", ".join(str(p) for p in paths.values())
+            + "]"
+        )
     return 0
 
 

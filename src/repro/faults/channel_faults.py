@@ -25,6 +25,7 @@ import numpy as np
 from repro.errors import ConfigurationError
 from repro.network.channel import Channel, Delivery
 from repro.network.stats import CommunicationStats
+from repro.obs import tracing
 
 __all__ = [
     "ChannelFault",
@@ -292,6 +293,14 @@ class FaultyChannel(Channel):
 
     def send(self, message: Any, now: float) -> bool:
         self.stats.record_send(message.kind, message.payload_bytes())
+        tel = self._tel
+        if tel.enabled:
+            tel.inc("repro_channel_messages_total", kind=message.kind)
+            tel.inc(
+                "repro_channel_payload_bytes_total",
+                message.payload_bytes(),
+                kind=message.kind,
+            )
         deliveries: list[tuple[Any, float]] = [(message, 0.0)]
         for fault in self.faults:
             next_round: list[tuple[Any, float]] = []
@@ -302,6 +311,14 @@ class FaultyChannel(Channel):
             deliveries = next_round
         if not deliveries:
             self.stats.record_drop(message.kind)
+            if tel.enabled:
+                tel.inc("repro_channel_dropped_total", kind=message.kind)
+                tel.event(
+                    tracing.MSG_DROPPED,
+                    int(now),
+                    stream_id=getattr(message, "stream_id", None),
+                    msg=message.kind,
+                )
             return False
         for msg, extra in deliveries:
             delay = self.latency + extra

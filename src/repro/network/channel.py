@@ -23,6 +23,8 @@ import numpy as np
 from repro.errors import ConfigurationError
 from repro.network.events import EventScheduler
 from repro.network.stats import CommunicationStats
+from repro.obs import tracing
+from repro.obs.telemetry import resolve_telemetry
 
 __all__ = ["Message", "Delivery", "Channel"]
 
@@ -55,6 +57,9 @@ class Channel:
         loss_rate: Independent per-message loss probability.
         stats: Byte/message tally; a fresh one is created if omitted.
         seed: RNG seed for jitter and loss draws.
+        telemetry: Optional :class:`~repro.obs.Telemetry` sink; wire
+            traffic is counted per message kind and in-flight losses are
+            traced.  Defaults to the ambient (usually no-op) sink.
     """
 
     def __init__(
@@ -64,6 +69,7 @@ class Channel:
         loss_rate: float = 0.0,
         stats: CommunicationStats | None = None,
         seed: int = 0,
+        telemetry=None,
     ):
         if latency < 0 or jitter < 0:
             raise ConfigurationError("latency and jitter must be non-negative")
@@ -75,6 +81,15 @@ class Channel:
         self.stats = stats if stats is not None else CommunicationStats()
         self._rng = np.random.default_rng(seed)
         self._scheduler = EventScheduler()
+        self._tel = resolve_telemetry(telemetry)
+
+    def bind_telemetry(self, telemetry) -> None:
+        """Attach a telemetry sink after construction.
+
+        Used by sessions that receive fully-built channels (e.g. from a
+        :class:`~repro.faults.plan.FaultPlan`) but own the run's sink.
+        """
+        self._tel = resolve_telemetry(telemetry)
 
     @classmethod
     def ideal(cls, stats: CommunicationStats | None = None) -> "Channel":
@@ -94,8 +109,24 @@ class Channel:
         the sender paid for the bandwidth either way.
         """
         self.stats.record_send(message.kind, message.payload_bytes())
+        tel = self._tel
+        if tel.enabled:
+            tel.inc("repro_channel_messages_total", kind=message.kind)
+            tel.inc(
+                "repro_channel_payload_bytes_total",
+                message.payload_bytes(),
+                kind=message.kind,
+            )
         if self.loss_rate and self._rng.random() < self.loss_rate:
             self.stats.record_drop(message.kind)
+            if tel.enabled:
+                tel.inc("repro_channel_dropped_total", kind=message.kind)
+                tel.event(
+                    tracing.MSG_DROPPED,
+                    int(now),
+                    stream_id=getattr(message, "stream_id", None),
+                    msg=message.kind,
+                )
             return False
         delay = self.latency
         if self.jitter:

@@ -1,0 +1,68 @@
+"""Runtime observability: metrics, event tracing, profiling spans, exporters.
+
+The subsystem the rest of the runtime reports into.  Everything is
+dependency-free and tick-driven, designed around one rule: **telemetry
+off must cost (near) nothing**.  Instrumented components take an
+optional ``telemetry=`` parameter resolving to the no-op :data:`NULL`
+sink by default; see :mod:`repro.obs.telemetry` for the resolution
+rules and ``docs/observability.md`` for the metric/event vocabulary.
+
+Typical use::
+
+    from repro.obs import Telemetry
+
+    tel = Telemetry()
+    session = SupervisedSession(stream, model, bound, plan=plan, telemetry=tel)
+    session.run(5000)
+    print(tel.render_prometheus())
+    tel.dump("telemetry_out/")   # trace.jsonl + metrics.prom + summary.json
+"""
+
+from repro.obs.exporters import (
+    events_to_jsonl,
+    parse_jsonl,
+    parse_prometheus,
+    render_prometheus,
+    run_summary,
+)
+from repro.obs.metrics import (
+    DEFAULT_BUCKETS,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+)
+from repro.obs.spans import SpanStats, SpanTable
+from repro.obs.telemetry import (
+    NULL,
+    NullTelemetry,
+    Telemetry,
+    current_telemetry,
+    resolve_telemetry,
+    use_telemetry,
+)
+from repro.obs.tracing import EVENT_TYPES, EventTracer, TraceEvent
+
+__all__ = [
+    "Telemetry",
+    "NullTelemetry",
+    "NULL",
+    "resolve_telemetry",
+    "current_telemetry",
+    "use_telemetry",
+    "MetricsRegistry",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "DEFAULT_BUCKETS",
+    "EventTracer",
+    "TraceEvent",
+    "EVENT_TYPES",
+    "SpanTable",
+    "SpanStats",
+    "render_prometheus",
+    "parse_prometheus",
+    "events_to_jsonl",
+    "parse_jsonl",
+    "run_summary",
+]

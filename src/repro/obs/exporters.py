@@ -1,0 +1,208 @@
+"""Machine-readable exporters (and their parsers, for round-tripping).
+
+Three output formats cover the consumption paths named in ROADMAP's
+north star (regression tracking, live dashboards, post-hoc analysis):
+
+* **Prometheus text exposition** — ``render_prometheus`` emits the
+  registry (plus span timings) in the ``# HELP`` / ``# TYPE`` / sample
+  line format every scrape-based stack ingests.  ``parse_prometheus``
+  reads it back into ``{(name, labels): value}``; tests round-trip
+  through it so the format stays honest.
+* **JSONL trace dump** — one JSON object per trace event, in record
+  order; greppable, streamable, loadable line-by-line.
+* **Run summary dict** — a single JSON-serializable dict bundling the
+  metric snapshot, span table and trace statistics; what a benchmark or
+  CI job attaches as an artifact.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+
+from repro.errors import ConfigurationError
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.spans import SpanTable
+from repro.obs.tracing import EventTracer, TraceEvent
+
+__all__ = [
+    "render_prometheus",
+    "parse_prometheus",
+    "events_to_jsonl",
+    "parse_jsonl",
+    "run_summary",
+]
+
+
+def _escape_label(value: str) -> str:
+    return value.replace("\\", "\\\\").replace('"', '\\"').replace("\n", "\\n")
+
+
+def _unescape_label(value: str) -> str:
+    out = []
+    it = iter(value)
+    for ch in it:
+        if ch != "\\":
+            out.append(ch)
+            continue
+        nxt = next(it, "")
+        out.append({"n": "\n", '"': '"', "\\": "\\"}.get(nxt, "\\" + nxt))
+    return "".join(out)
+
+
+def _format_value(value: float) -> str:
+    if math.isinf(value):
+        return "+Inf" if value > 0 else "-Inf"
+    if float(value).is_integer() and abs(value) < 1e15:
+        return str(int(value))
+    return repr(float(value))
+
+
+def _sample(name: str, labels: tuple[tuple[str, str], ...], value: float) -> str:
+    if labels:
+        inner = ",".join(f'{k}="{_escape_label(v)}"' for k, v in labels)
+        return f"{name}{{{inner}}} {_format_value(value)}"
+    return f"{name} {_format_value(value)}"
+
+
+def render_prometheus(
+    registry: MetricsRegistry, spans: SpanTable | None = None
+) -> str:
+    """The registry (and optional span table) in Prometheus text format."""
+    lines: list[str] = []
+    for family in registry.families():
+        if family.help:
+            lines.append(f"# HELP {family.name} {family.help}")
+        lines.append(f"# TYPE {family.name} {family.kind}")
+        for labels, metric in family.instances.items():
+            if family.kind == "histogram":
+                for bound, count in metric.cumulative_counts():  # type: ignore[union-attr]
+                    le = "+Inf" if math.isinf(bound) else _format_value(bound)
+                    lines.append(
+                        _sample(
+                            f"{family.name}_bucket",
+                            labels + (("le", le),),
+                            count,
+                        )
+                    )
+                lines.append(_sample(f"{family.name}_sum", labels, metric.sum))  # type: ignore[union-attr]
+                lines.append(_sample(f"{family.name}_count", labels, metric.count))  # type: ignore[union-attr]
+            else:
+                lines.append(_sample(family.name, labels, metric.value))  # type: ignore[union-attr]
+    if spans is not None and spans.names():
+        lines.append(
+            "# HELP repro_span_seconds_total "
+            "Cumulative wall time inside each profiling span"
+        )
+        lines.append("# TYPE repro_span_seconds_total counter")
+        for name in spans.names():
+            stats = spans.get(name)
+            assert stats is not None
+            lines.append(
+                _sample("repro_span_seconds_total", (("span", name),), stats.total_s)
+            )
+        lines.append(
+            "# HELP repro_span_entries_total "
+            "Number of timed executions of each profiling span"
+        )
+        lines.append("# TYPE repro_span_entries_total counter")
+        for name in spans.names():
+            stats = spans.get(name)
+            assert stats is not None
+            lines.append(
+                _sample("repro_span_entries_total", (("span", name),), stats.count)
+            )
+    return "\n".join(lines) + "\n"
+
+
+def _parse_labels(inner: str) -> tuple[tuple[str, str], ...]:
+    labels: list[tuple[str, str]] = []
+    i = 0
+    while i < len(inner):
+        eq = inner.index("=", i)
+        key = inner[i:eq].strip()
+        if inner[eq + 1] != '"':
+            raise ConfigurationError(f"malformed label value near {inner[eq:]!r}")
+        j = eq + 2
+        raw = []
+        while j < len(inner):
+            ch = inner[j]
+            if ch == "\\":
+                raw.append(inner[j : j + 2])
+                j += 2
+                continue
+            if ch == '"':
+                break
+            raw.append(ch)
+            j += 1
+        labels.append((key, _unescape_label("".join(raw))))
+        i = j + 1
+        if i < len(inner) and inner[i] == ",":
+            i += 1
+    return tuple(labels)
+
+
+def parse_prometheus(text: str) -> dict[tuple[str, tuple[tuple[str, str], ...]], float]:
+    """Parse text exposition back to ``{(name, labels): value}``.
+
+    Understands exactly what :func:`render_prometheus` emits (sample
+    lines with optional labels; ``# HELP`` / ``# TYPE`` comments are
+    skipped).  Used by the round-trip tests and handy for quick asserts
+    against a dumped snapshot.
+    """
+    out: dict[tuple[str, tuple[tuple[str, str], ...]], float] = {}
+    for line in text.splitlines():
+        line = line.strip()
+        if not line or line.startswith("#"):
+            continue
+        if "{" in line:
+            name, rest = line.split("{", 1)
+            inner, value_part = rest.rsplit("}", 1)
+            labels = _parse_labels(inner)
+        else:
+            parts = line.rsplit(None, 1)
+            if len(parts) != 2:
+                raise ConfigurationError(f"malformed sample line {line!r}")
+            name, value_part = parts
+            labels = ()
+        value_str = value_part.strip()
+        if value_str == "+Inf":
+            value = math.inf
+        elif value_str == "-Inf":
+            value = -math.inf
+        else:
+            value = float(value_str)
+        out[(name.strip(), labels)] = value
+    return out
+
+
+def events_to_jsonl(events: list[TraceEvent]) -> str:
+    """One compact JSON object per event, newline-separated."""
+    return "\n".join(
+        json.dumps(e.to_dict(), separators=(",", ":"), sort_keys=True)
+        for e in events
+    ) + ("\n" if events else "")
+
+
+def parse_jsonl(text: str) -> list[dict]:
+    """Load a JSONL trace dump back into a list of event dicts."""
+    return [json.loads(line) for line in text.splitlines() if line.strip()]
+
+
+def run_summary(
+    metrics: MetricsRegistry,
+    spans: SpanTable | None = None,
+    tracer: EventTracer | None = None,
+) -> dict:
+    """One JSON-serializable dict describing the whole instrumented run."""
+    summary: dict = {"metrics": metrics.snapshot()}
+    if spans is not None:
+        summary["spans"] = spans.summary()
+    if tracer is not None:
+        summary["events"] = {
+            "recorded": tracer.recorded,
+            "retained": len(tracer),
+            "dropped": tracer.dropped,
+            "by_kind": tracer.counts_by_kind(),
+        }
+    return summary

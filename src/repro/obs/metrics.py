@@ -1,0 +1,261 @@
+"""Metric primitives: counters, gauges, fixed-bucket histograms.
+
+A :class:`MetricsRegistry` owns every metric of a run, keyed by name and
+label set, in the Prometheus data model: a *family* (one name, one kind,
+one help string) contains one instance per distinct label combination.
+Everything is plain Python — no locks, no background threads — because the
+whole runtime is single-threaded tick-driven simulation; the registry's
+job is cheap aggregation, and the exporters (see
+:mod:`repro.obs.exporters`) do the formatting.
+"""
+
+from __future__ import annotations
+
+import math
+import re
+from dataclasses import dataclass, field
+
+from repro.errors import ConfigurationError
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricFamily",
+    "MetricsRegistry",
+    "DEFAULT_BUCKETS",
+]
+
+_NAME_RE = re.compile(r"^[a-zA-Z_:][a-zA-Z0-9_:]*$")
+_LABEL_RE = re.compile(r"^[a-zA-Z_][a-zA-Z0-9_]*$")
+
+#: Default histogram bucket upper bounds (seconds-ish scale, works for
+#: latencies and for small counts alike); +inf is implicit.
+DEFAULT_BUCKETS = (
+    0.0001,
+    0.00025,
+    0.0005,
+    0.001,
+    0.0025,
+    0.005,
+    0.01,
+    0.025,
+    0.05,
+    0.1,
+    0.25,
+    0.5,
+    1.0,
+    2.5,
+    5.0,
+    10.0,
+)
+
+
+class Counter:
+    """Monotonically increasing count."""
+
+    kind = "counter"
+
+    __slots__ = ("value",)
+
+    def __init__(self) -> None:
+        self.value = 0.0
+
+    def inc(self, amount: float = 1.0) -> None:
+        """Add ``amount`` (must be non-negative — counters never go down)."""
+        if amount < 0:
+            raise ConfigurationError(
+                f"counters only increase; got inc({amount!r})"
+            )
+        self.value += amount
+
+
+class Gauge:
+    """Instantaneous value that can move in either direction."""
+
+    kind = "gauge"
+
+    __slots__ = ("value",)
+
+    def __init__(self) -> None:
+        self.value = 0.0
+
+    def set(self, value: float) -> None:
+        """Overwrite the gauge."""
+        self.value = float(value)
+
+    def inc(self, amount: float = 1.0) -> None:
+        """Move the gauge up."""
+        self.value += amount
+
+    def dec(self, amount: float = 1.0) -> None:
+        """Move the gauge down."""
+        self.value -= amount
+
+
+class Histogram:
+    """Fixed-bucket cumulative histogram (Prometheus semantics).
+
+    ``buckets`` are upper bounds; an implicit +inf bucket catches the
+    tail.  ``counts[i]`` is the number of observations ``<= buckets[i]``
+    *for that bucket alone* — cumulation happens at export time.
+    """
+
+    kind = "histogram"
+
+    __slots__ = ("buckets", "counts", "inf_count", "sum", "count")
+
+    def __init__(self, buckets: tuple[float, ...] = DEFAULT_BUCKETS) -> None:
+        bounds = tuple(float(b) for b in buckets)
+        if not bounds or any(nxt <= prev for nxt, prev in zip(bounds[1:], bounds)):
+            raise ConfigurationError(
+                f"histogram buckets must be non-empty and strictly increasing, "
+                f"got {buckets!r}"
+            )
+        if any(math.isinf(b) for b in bounds):
+            raise ConfigurationError("+inf bucket is implicit; do not pass it")
+        self.buckets = bounds
+        self.counts = [0] * len(bounds)
+        self.inf_count = 0
+        self.sum = 0.0
+        self.count = 0
+
+    def observe(self, value: float) -> None:
+        """Record one observation."""
+        value = float(value)
+        self.sum += value
+        self.count += 1
+        for i, bound in enumerate(self.buckets):
+            if value <= bound:
+                self.counts[i] += 1
+                return
+        self.inf_count += 1
+
+    def cumulative_counts(self) -> list[tuple[float, int]]:
+        """``(upper_bound, cumulative_count)`` pairs, ending at +inf."""
+        out = []
+        running = 0
+        for bound, count in zip(self.buckets, self.counts):
+            running += count
+            out.append((bound, running))
+        out.append((math.inf, running + self.inf_count))
+        return out
+
+
+@dataclass
+class MetricFamily:
+    """All instances of one metric name (one per label combination)."""
+
+    name: str
+    kind: str
+    help: str = ""
+    instances: dict[tuple[tuple[str, str], ...], object] = field(
+        default_factory=dict
+    )
+
+
+def _label_key(labels: dict[str, str]) -> tuple[tuple[str, str], ...]:
+    for name in labels:
+        if not _LABEL_RE.match(name):
+            raise ConfigurationError(f"invalid label name {name!r}")
+    return tuple(sorted((k, str(v)) for k, v in labels.items()))
+
+
+class MetricsRegistry:
+    """Name-addressed store of every metric a run produces.
+
+    ``counter``/``gauge``/``histogram`` are get-or-create: the first call
+    for a name fixes its kind (and, for histograms, its buckets); a later
+    call with a conflicting kind is a programming error and raises.
+    """
+
+    def __init__(self) -> None:
+        self._families: dict[str, MetricFamily] = {}
+
+    def _family(self, name: str, kind: str, help: str) -> MetricFamily:
+        if not _NAME_RE.match(name):
+            raise ConfigurationError(f"invalid metric name {name!r}")
+        family = self._families.get(name)
+        if family is None:
+            family = MetricFamily(name=name, kind=kind, help=help)
+            self._families[name] = family
+        elif family.kind != kind:
+            raise ConfigurationError(
+                f"metric {name!r} already registered as {family.kind}, "
+                f"requested {kind}"
+            )
+        if help and not family.help:
+            family.help = help
+        return family
+
+    def counter(self, name: str, help: str = "", **labels: str) -> Counter:
+        """Get or create the counter instance for ``name`` + ``labels``."""
+        family = self._family(name, "counter", help)
+        key = _label_key(labels)
+        metric = family.instances.get(key)
+        if metric is None:
+            metric = family.instances[key] = Counter()
+        return metric  # type: ignore[return-value]
+
+    def gauge(self, name: str, help: str = "", **labels: str) -> Gauge:
+        """Get or create the gauge instance for ``name`` + ``labels``."""
+        family = self._family(name, "gauge", help)
+        key = _label_key(labels)
+        metric = family.instances.get(key)
+        if metric is None:
+            metric = family.instances[key] = Gauge()
+        return metric  # type: ignore[return-value]
+
+    def histogram(
+        self,
+        name: str,
+        help: str = "",
+        buckets: tuple[float, ...] = DEFAULT_BUCKETS,
+        **labels: str,
+    ) -> Histogram:
+        """Get or create the histogram instance for ``name`` + ``labels``."""
+        family = self._family(name, "histogram", help)
+        key = _label_key(labels)
+        metric = family.instances.get(key)
+        if metric is None:
+            metric = family.instances[key] = Histogram(buckets)
+        return metric  # type: ignore[return-value]
+
+    def families(self) -> list[MetricFamily]:
+        """Every registered family, in registration order."""
+        return list(self._families.values())
+
+    def get(self, name: str, **labels: str):
+        """Look up an existing instance or return ``None``."""
+        family = self._families.get(name)
+        if family is None:
+            return None
+        return family.instances.get(_label_key(labels))
+
+    def value(self, name: str, **labels: str) -> float:
+        """Convenience: current value of a counter/gauge (0.0 if absent)."""
+        metric = self.get(name, **labels)
+        if metric is None:
+            return 0.0
+        return float(metric.value)  # type: ignore[union-attr]
+
+    def snapshot(self) -> dict:
+        """Plain-dict dump of every metric (the run-summary building block)."""
+        out: dict = {}
+        for family in self._families.values():
+            instances = {}
+            for key, metric in family.instances.items():
+                label_str = ",".join(f"{k}={v}" for k, v in key) or ""
+                if family.kind == "histogram":
+                    instances[label_str] = {
+                        "count": metric.count,  # type: ignore[union-attr]
+                        "sum": metric.sum,  # type: ignore[union-attr]
+                        "buckets": {
+                            ("+Inf" if math.isinf(b) else repr(b)): c
+                            for b, c in metric.cumulative_counts()  # type: ignore[union-attr]
+                        },
+                    }
+                else:
+                    instances[label_str] = metric.value  # type: ignore[union-attr]
+            out[family.name] = {"kind": family.kind, "values": instances}
+        return out

@@ -1,0 +1,98 @@
+"""Profiling spans: named wall-clock timers over hot paths.
+
+A span is the cheapest useful profiler: ``with telemetry.span("probe"):``
+around a code region accumulates (count, total, min, max) wall time under
+that name.  No call stacks, no sampling — the runtime's hot paths are few
+and known (probe, predict/update, batch lane step, allocation solve), so
+a flat name → stats table answers "where did the time go" directly and
+exports cleanly to Prometheus and the run summary.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from time import perf_counter
+
+__all__ = ["SpanStats", "SpanTable", "Span"]
+
+
+@dataclass
+class SpanStats:
+    """Aggregate wall-clock statistics for one span name."""
+
+    count: int = 0
+    total_s: float = 0.0
+    min_s: float = float("inf")
+    max_s: float = 0.0
+
+    def add(self, elapsed: float) -> None:
+        """Fold one timed execution in."""
+        self.count += 1
+        self.total_s += elapsed
+        if elapsed < self.min_s:
+            self.min_s = elapsed
+        if elapsed > self.max_s:
+            self.max_s = elapsed
+
+    @property
+    def mean_s(self) -> float:
+        """Mean seconds per execution (NaN before any)."""
+        return self.total_s / self.count if self.count else float("nan")
+
+    def to_dict(self) -> dict:
+        """Plain-dict form for the run summary."""
+        return {
+            "count": self.count,
+            "total_s": self.total_s,
+            "mean_s": self.mean_s,
+            "min_s": self.min_s if self.count else float("nan"),
+            "max_s": self.max_s,
+        }
+
+
+class Span:
+    """Context manager timing one region into a :class:`SpanStats`.
+
+    A plain class rather than ``@contextmanager`` — this sits on per-tick
+    paths, and generator-based context managers cost several times more
+    per entry.
+    """
+
+    __slots__ = ("_stats", "_start")
+
+    def __init__(self, stats: SpanStats) -> None:
+        self._stats = stats
+        self._start = 0.0
+
+    def __enter__(self) -> "Span":
+        self._start = perf_counter()
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self._stats.add(perf_counter() - self._start)
+
+
+class SpanTable:
+    """Flat name → :class:`SpanStats` store with a context-manager API."""
+
+    def __init__(self) -> None:
+        self._spans: dict[str, SpanStats] = {}
+
+    def span(self, name: str) -> Span:
+        """A context manager that times its body under ``name``."""
+        stats = self._spans.get(name)
+        if stats is None:
+            stats = self._spans[name] = SpanStats()
+        return Span(stats)
+
+    def get(self, name: str) -> SpanStats | None:
+        """Stats for one span name, or ``None`` if never entered."""
+        return self._spans.get(name)
+
+    def names(self) -> list[str]:
+        """Every span name seen, in first-use order."""
+        return list(self._spans)
+
+    def summary(self) -> dict[str, dict]:
+        """Plain-dict dump of every span's stats."""
+        return {name: stats.to_dict() for name, stats in self._spans.items()}

@@ -1,0 +1,188 @@
+"""The telemetry facade: one handle bundling metrics, tracing and spans.
+
+Instrumented runtime code takes an optional ``telemetry=`` parameter and
+resolves it through :func:`resolve_telemetry`:
+
+* an explicit :class:`Telemetry` instance wins;
+* otherwise the *ambient* telemetry applies — installed for a scope with
+  :func:`use_telemetry` (this is how ``--telemetry-out`` instruments a
+  whole figure run without threading a parameter through every layer);
+* otherwise the process-wide :data:`NULL` sink, whose every operation is
+  a no-op.
+
+The null sink is the performance contract: instrumentation sites guard
+their work behind ``if tel.enabled:`` so a disabled run pays one
+attribute load and branch per site — nothing is formatted, allocated or
+recorded.  The overhead-guard test (``tests/obs/test_overhead.py``)
+enforces this.
+"""
+
+from __future__ import annotations
+
+import json
+from contextlib import contextmanager
+from pathlib import Path
+
+from repro.obs.exporters import (
+    events_to_jsonl,
+    render_prometheus,
+    run_summary,
+)
+from repro.obs.metrics import DEFAULT_BUCKETS, MetricsRegistry
+from repro.obs.spans import SpanTable
+from repro.obs.tracing import EventTracer
+
+__all__ = [
+    "Telemetry",
+    "NullTelemetry",
+    "NULL",
+    "resolve_telemetry",
+    "current_telemetry",
+    "use_telemetry",
+]
+
+
+class _NullSpan:
+    """A context manager that does nothing (shared singleton)."""
+
+    __slots__ = ()
+
+    def __enter__(self) -> "_NullSpan":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        pass
+
+
+_NULL_SPAN = _NullSpan()
+
+
+class Telemetry:
+    """Live telemetry sink: a registry, a tracer and a span table.
+
+    Args:
+        trace_capacity: Ring-buffer size of the event tracer.
+    """
+
+    enabled = True
+
+    def __init__(self, trace_capacity: int = 65536) -> None:
+        self.metrics = MetricsRegistry()
+        self.tracer = EventTracer(capacity=trace_capacity)
+        self.spans = SpanTable()
+
+    # -- recording ------------------------------------------------------
+    def event(
+        self, kind: str, tick: int, stream_id: str | None = None, **fields
+    ) -> None:
+        """Record one typed trace event (see :mod:`repro.obs.tracing`)."""
+        self.tracer.record(kind, tick, stream_id=stream_id, **fields)
+
+    def inc(self, name: str, amount: float = 1.0, **labels: str) -> None:
+        """Increment the counter ``name`` (created on first use)."""
+        self.metrics.counter(name, **labels).inc(amount)
+
+    def set_gauge(self, name: str, value: float, **labels: str) -> None:
+        """Set the gauge ``name`` (created on first use)."""
+        self.metrics.gauge(name, **labels).set(value)
+
+    def observe(
+        self,
+        name: str,
+        value: float,
+        buckets: tuple[float, ...] = DEFAULT_BUCKETS,
+        **labels: str,
+    ) -> None:
+        """Record one histogram observation (created on first use)."""
+        self.metrics.histogram(name, buckets=buckets, **labels).observe(value)
+
+    def span(self, name: str):
+        """Context manager timing its body under ``name``."""
+        return self.spans.span(name)
+
+    # -- exporting ------------------------------------------------------
+    def render_prometheus(self) -> str:
+        """Prometheus text exposition of metrics and span timings."""
+        return render_prometheus(self.metrics, self.spans)
+
+    def events_jsonl(self) -> str:
+        """The retained trace as JSON Lines."""
+        return events_to_jsonl(self.tracer.events())
+
+    def summary(self) -> dict:
+        """JSON-serializable run summary (metrics + spans + trace stats)."""
+        return run_summary(self.metrics, self.spans, self.tracer)
+
+    def dump(self, out_dir: str | Path) -> dict[str, Path]:
+        """Write all three exports under ``out_dir``; returns their paths."""
+        out = Path(out_dir)
+        out.mkdir(parents=True, exist_ok=True)
+        paths = {
+            "trace": out / "trace.jsonl",
+            "metrics": out / "metrics.prom",
+            "summary": out / "summary.json",
+        }
+        paths["trace"].write_text(self.events_jsonl())
+        paths["metrics"].write_text(self.render_prometheus())
+        paths["summary"].write_text(json.dumps(self.summary(), indent=2) + "\n")
+        return paths
+
+
+class NullTelemetry:
+    """The disabled sink: same surface as :class:`Telemetry`, all no-ops.
+
+    Instrumentation sites should still prefer ``if tel.enabled:`` guards
+    around multi-call recording blocks so a disabled run skips argument
+    construction entirely; the no-op methods make un-guarded single calls
+    safe regardless.
+    """
+
+    enabled = False
+
+    def event(self, kind, tick, stream_id=None, **fields) -> None:  # noqa: D102
+        pass
+
+    def inc(self, name, amount=1.0, **labels) -> None:  # noqa: D102
+        pass
+
+    def set_gauge(self, name, value, **labels) -> None:  # noqa: D102
+        pass
+
+    def observe(self, name, value, buckets=DEFAULT_BUCKETS, **labels) -> None:  # noqa: D102
+        pass
+
+    def span(self, name):  # noqa: D102
+        return _NULL_SPAN
+
+
+#: Process-wide disabled sink; the default everywhere.
+NULL = NullTelemetry()
+
+# Ambient-telemetry stack.  A list, not a single slot, so nested
+# use_telemetry() scopes restore correctly.
+_AMBIENT: list = [NULL]
+
+
+def current_telemetry():
+    """The innermost ambient telemetry (:data:`NULL` when none installed)."""
+    return _AMBIENT[-1]
+
+
+def resolve_telemetry(telemetry):
+    """What instrumented constructors call on their ``telemetry=`` arg."""
+    return telemetry if telemetry is not None else _AMBIENT[-1]
+
+
+@contextmanager
+def use_telemetry(telemetry):
+    """Install ``telemetry`` as the ambient sink for the ``with`` scope.
+
+    Components constructed inside the scope without an explicit
+    ``telemetry=`` argument bind to it; components constructed before or
+    after are unaffected (binding happens at construction time).
+    """
+    _AMBIENT.append(telemetry if telemetry is not None else NULL)
+    try:
+        yield telemetry
+    finally:
+        _AMBIENT.pop()

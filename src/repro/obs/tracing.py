@@ -1,0 +1,152 @@
+"""Typed runtime-event tracing into a bounded ring buffer.
+
+The tracer answers "what did the runtime *do*, in order?" where the
+metrics registry answers "how much?".  Events are typed — only the kinds
+declared in :data:`EVENT_TYPES` may be recorded, so a trace consumer can
+rely on a closed vocabulary — and carry the runtime tick they happened
+at plus free-form scalar fields.  Storage is a ``deque`` ring buffer:
+recording never grows without bound and never raises; when the buffer
+wraps, the oldest events fall off and ``dropped`` counts them.
+"""
+
+from __future__ import annotations
+
+from collections import Counter as _TallyCounter
+from collections import deque
+from dataclasses import dataclass
+
+from repro.errors import ConfigurationError
+
+__all__ = [
+    "EVENT_TYPES",
+    "MSG_SENT",
+    "MSG_SUPPRESSED",
+    "MSG_DROPPED",
+    "RESYNC_BEGIN",
+    "RESYNC_END",
+    "DEGRADE_ENTER",
+    "DEGRADE_EXIT",
+    "EPOCH_REALLOC",
+    "FAULT_ONSET",
+    "HEARTBEAT",
+    "NACK",
+    "MODEL_SWITCH",
+    "TraceEvent",
+    "EventTracer",
+]
+
+# The closed event vocabulary.  Consumers (exporters, dashboards, tests)
+# may rely on every trace line being one of these kinds.
+MSG_SENT = "msg_sent"  #: a state-bearing protocol message went out
+MSG_SUPPRESSED = "msg_suppressed"  #: the dead band held; nothing was sent
+MSG_DROPPED = "msg_dropped"  #: the channel lost a message in flight
+RESYNC_BEGIN = "resync_begin"  #: a full-state resync was emitted
+RESYNC_END = "resync_end"  #: a resync was applied server-side
+DEGRADE_ENTER = "degrade_enter"  #: the server stopped vouching for the bound
+DEGRADE_EXIT = "degrade_exit"  #: the server recovered to healthy serving
+EPOCH_REALLOC = "epoch_realloc"  #: the fleet manager re-allocated budget
+FAULT_ONSET = "fault_onset"  #: a sensor fault was first detected
+HEARTBEAT = "heartbeat"  #: the source beaconed during suppression
+NACK = "nack"  #: the server requested a repair
+MODEL_SWITCH = "model_switch"  #: an adaptation shipped a procedure change
+
+EVENT_TYPES = frozenset(
+    {
+        MSG_SENT,
+        MSG_SUPPRESSED,
+        MSG_DROPPED,
+        RESYNC_BEGIN,
+        RESYNC_END,
+        DEGRADE_ENTER,
+        DEGRADE_EXIT,
+        EPOCH_REALLOC,
+        FAULT_ONSET,
+        HEARTBEAT,
+        NACK,
+        MODEL_SWITCH,
+    }
+)
+
+
+@dataclass(frozen=True)
+class TraceEvent:
+    """One recorded runtime event.
+
+    Attributes:
+        kind: One of :data:`EVENT_TYPES`.
+        tick: Runtime tick the event happened at (the instrumented
+            component's own tick counter).
+        stream_id: Which stream, when the event is per-stream.
+        fields: Extra scalar context (message kind, degradation reason,
+            epoch number, ...), kept JSON-serializable by construction.
+    """
+
+    kind: str
+    tick: int
+    stream_id: str | None = None
+    fields: tuple[tuple[str, object], ...] = ()
+
+    def to_dict(self) -> dict:
+        """JSON-ready form (the JSONL exporter's row)."""
+        row: dict = {"kind": self.kind, "tick": self.tick}
+        if self.stream_id is not None:
+            row["stream_id"] = self.stream_id
+        row.update(self.fields)
+        return row
+
+
+class EventTracer:
+    """Bounded ring buffer of :class:`TraceEvent`.
+
+    Args:
+        capacity: Maximum events retained; older events are evicted
+            silently (but counted in :attr:`dropped`).
+    """
+
+    def __init__(self, capacity: int = 65536) -> None:
+        if capacity < 1:
+            raise ConfigurationError(f"capacity must be >= 1, got {capacity!r}")
+        self.capacity = capacity
+        self._events: deque[TraceEvent] = deque(maxlen=capacity)
+        self.recorded = 0
+
+    def record(
+        self, kind: str, tick: int, stream_id: str | None = None, **fields
+    ) -> None:
+        """Append one event; evicts the oldest when the buffer is full."""
+        if kind not in EVENT_TYPES:
+            raise ConfigurationError(
+                f"unknown event kind {kind!r}; expected one of {sorted(EVENT_TYPES)}"
+            )
+        self._events.append(
+            TraceEvent(
+                kind=kind,
+                tick=int(tick),
+                stream_id=stream_id,
+                fields=tuple(sorted(fields.items())),
+            )
+        )
+        self.recorded += 1
+
+    @property
+    def dropped(self) -> int:
+        """Events evicted by ring-buffer wrap-around."""
+        return self.recorded - len(self._events)
+
+    def events(self, kind: str | None = None) -> list[TraceEvent]:
+        """Retained events in record order, optionally filtered by kind."""
+        if kind is None:
+            return list(self._events)
+        return [e for e in self._events if e.kind == kind]
+
+    def counts_by_kind(self) -> dict[str, int]:
+        """Tally of *retained* events per kind."""
+        return dict(_TallyCounter(e.kind for e in self._events))
+
+    def clear(self) -> None:
+        """Drop all retained events and reset the recorded counter."""
+        self._events.clear()
+        self.recorded = 0
+
+    def __len__(self) -> int:
+        return len(self._events)

@@ -1,8 +1,11 @@
 """Tests for the ``python -m repro.experiments`` command-line interface."""
 
+import json
+
 import pytest
 
 from repro.experiments.__main__ import main
+from repro.obs import NULL, current_telemetry, parse_jsonl, parse_prometheus
 
 
 class TestCli:
@@ -24,3 +27,22 @@ class TestCli:
         assert main(["T1", "T3", "--quick"]) == 0
         out = capsys.readouterr().out
         assert "[T1]" in out and "[T3]" in out
+
+    def test_telemetry_out_dumps_trace(self, capsys, tmp_path):
+        out_dir = tmp_path / "tel"
+        assert main(["T2", "--ticks", "300", "--telemetry-out", str(out_dir)]) == 0
+        out = capsys.readouterr().out
+        assert "[telemetry:" in out
+        trace = (out_dir / "trace.jsonl").read_text()
+        metrics = (out_dir / "metrics.prom").read_text()
+        summary = json.loads((out_dir / "summary.json").read_text())
+        events = parse_jsonl(trace)
+        assert events and all("kind" in e and "tick" in e for e in events)
+        samples = parse_prometheus(metrics)
+        assert any(name == "repro_messages_total" for name, _ in samples)
+        assert summary["events"]["recorded"] >= len(events)
+        assert summary["metrics"]
+
+    def test_telemetry_default_off_leaves_ambient_null(self, capsys):
+        assert main(["T1", "--ticks", "300"]) == 0
+        assert current_telemetry() is NULL

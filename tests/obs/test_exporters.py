@@ -1,0 +1,146 @@
+"""Round-trip tests for the machine-readable exporters.
+
+The acceptance criterion: everything ``render_prometheus`` and the JSONL
+dump emit must survive a parse back to the original values — the formats
+are contracts, not pretty-printing.
+"""
+
+import json
+import math
+
+from repro.obs import (
+    EventTracer,
+    MetricsRegistry,
+    SpanTable,
+    Telemetry,
+    events_to_jsonl,
+    parse_jsonl,
+    parse_prometheus,
+    render_prometheus,
+    run_summary,
+    tracing,
+)
+
+
+def _loaded_registry() -> MetricsRegistry:
+    reg = MetricsRegistry()
+    reg.counter("repro_messages_total", help="messages by kind", kind="update").inc(42)
+    reg.counter("repro_messages_total", kind="resync").inc(3)
+    reg.gauge("repro_fleet_size").set(12)
+    reg.gauge("repro_advertised_bound", stream="s-1").set(2.5)
+    h = reg.histogram("repro_step_seconds", buckets=(0.001, 0.01, 0.1))
+    for v in (0.0005, 0.002, 0.05, 3.0):
+        h.observe(v)
+    return reg
+
+
+class TestPrometheusRoundTrip:
+    def test_counters_and_gauges_round_trip(self):
+        text = render_prometheus(_loaded_registry())
+        samples = parse_prometheus(text)
+        assert samples[("repro_messages_total", (("kind", "update"),))] == 42
+        assert samples[("repro_messages_total", (("kind", "resync"),))] == 3
+        assert samples[("repro_fleet_size", ())] == 12
+        assert samples[("repro_advertised_bound", (("stream", "s-1"),))] == 2.5
+
+    def test_histogram_series_round_trip(self):
+        samples = parse_prometheus(render_prometheus(_loaded_registry()))
+        assert samples[("repro_step_seconds_bucket", (("le", "0.001"),))] == 1
+        assert samples[("repro_step_seconds_bucket", (("le", "0.01"),))] == 2
+        assert samples[("repro_step_seconds_bucket", (("le", "0.1"),))] == 3
+        assert samples[("repro_step_seconds_bucket", (("le", "+Inf"),))] == 4
+        assert samples[("repro_step_seconds_count", ())] == 4
+        assert samples[("repro_step_seconds_sum", ())] == 3.0525
+
+    def test_help_and_type_comments_present(self):
+        text = render_prometheus(_loaded_registry())
+        assert "# HELP repro_messages_total messages by kind" in text
+        assert "# TYPE repro_messages_total counter" in text
+        assert "# TYPE repro_step_seconds histogram" in text
+
+    def test_label_escaping_round_trips(self):
+        reg = MetricsRegistry()
+        tricky = 'quote " slash \\ newline \n end'
+        reg.counter("repro_x_total", who=tricky).inc()
+        samples = parse_prometheus(render_prometheus(reg))
+        ((name, labels),) = list(samples)
+        assert name == "repro_x_total"
+        assert dict(labels)["who"] == tricky
+
+    def test_infinite_gauge_round_trips(self):
+        reg = MetricsRegistry()
+        reg.gauge("repro_bound").set(math.inf)
+        samples = parse_prometheus(render_prometheus(reg))
+        assert samples[("repro_bound", ())] == math.inf
+
+    def test_spans_exported_as_counters(self):
+        spans = SpanTable()
+        with spans.span("probe"):
+            pass
+        samples = parse_prometheus(render_prometheus(MetricsRegistry(), spans))
+        assert samples[("repro_span_entries_total", (("span", "probe"),))] == 1
+        assert samples[("repro_span_seconds_total", (("span", "probe"),))] >= 0
+
+
+class TestJsonlRoundTrip:
+    def test_events_round_trip(self):
+        tracer = EventTracer()
+        tracer.record(tracing.MSG_SENT, 7, stream_id="s0", msg="update")
+        tracer.record(tracing.DEGRADE_EXIT, 9, stream_id="s0", duration=4)
+        text = events_to_jsonl(tracer.events())
+        rows = parse_jsonl(text)
+        assert rows == [
+            {"kind": "msg_sent", "tick": 7, "stream_id": "s0", "msg": "update"},
+            {"kind": "degrade_exit", "tick": 9, "stream_id": "s0", "duration": 4},
+        ]
+
+    def test_empty_trace_is_empty_text(self):
+        assert events_to_jsonl([]) == ""
+        assert parse_jsonl("") == []
+
+    def test_one_object_per_line(self):
+        tracer = EventTracer()
+        for tick in range(5):
+            tracer.record(tracing.HEARTBEAT, tick)
+        lines = events_to_jsonl(tracer.events()).splitlines()
+        assert len(lines) == 5
+        assert all(json.loads(line)["kind"] == "heartbeat" for line in lines)
+
+
+class TestRunSummary:
+    def test_summary_is_json_serializable_and_complete(self):
+        tel = Telemetry(trace_capacity=2)
+        tel.inc("repro_messages_total", kind="update")
+        with tel.span("probe"):
+            pass
+        for tick in range(3):
+            tel.event(tracing.HEARTBEAT, tick)
+        summary = tel.summary()
+        json.dumps(summary)  # must not raise
+        assert summary["metrics"]["repro_messages_total"]["values"]["kind=update"] == 1
+        assert summary["spans"]["probe"]["count"] == 1
+        assert summary["events"] == {
+            "recorded": 3,
+            "retained": 2,
+            "dropped": 1,
+            "by_kind": {"heartbeat": 2},
+        }
+
+    def test_partial_summary_without_spans_or_tracer(self):
+        summary = run_summary(MetricsRegistry())
+        assert list(summary) == ["metrics"]
+
+    def test_dump_writes_all_three_files(self, tmp_path):
+        tel = Telemetry()
+        tel.inc("repro_ticks_total", 5)
+        tel.event(tracing.MSG_SENT, 1, stream_id="s")
+        paths = tel.dump(tmp_path / "out")
+        assert sorted(p.name for p in paths.values()) == [
+            "metrics.prom",
+            "summary.json",
+            "trace.jsonl",
+        ]
+        samples = parse_prometheus(paths["metrics"].read_text())
+        assert samples[("repro_ticks_total", ())] == 5
+        assert parse_jsonl(paths["trace"].read_text())[0]["kind"] == "msg_sent"
+        assert json.loads(paths["summary"].read_text())["events"]["recorded"] == 1

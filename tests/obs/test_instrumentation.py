@@ -1,0 +1,252 @@
+"""Runtime instrumentation: the telemetry the core layers actually emit.
+
+Two acceptance criteria live here:
+
+* **Behaviour invariance** — a fixed-seed F9-style fleet run produces
+  identical per-stream message counts on the scalar and batch backends,
+  with telemetry enabled and disabled (all four combinations).
+* **Counter parity** — both backends report the same protocol counters
+  (ticks, messages, payload bytes) into the registry.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.manager import ManagedStream, StreamResourceManager
+from repro.core.precision import AbsoluteBound
+from repro.core.session import DualKalmanSession, SupervisedSession
+from repro.faults.plan import FaultPlan
+from repro.kalman.models import random_walk
+from repro.network.channel import Channel
+from repro.obs import NULL, Telemetry, current_telemetry, tracing, use_telemetry
+from repro.streams.replay import record
+from repro.streams.synthetic import RandomWalkStream
+
+
+def _stream(seed=7, sigma=0.8):
+    return RandomWalkStream(
+        step_sigma=sigma, measurement_sigma=0.25 * sigma, seed=seed
+    )
+
+
+def _model(sigma=0.8):
+    return random_walk(process_noise=sigma**2, measurement_sigma=0.25 * sigma)
+
+
+def _fleet(n=4, ticks=2400):
+    sigmas = np.geomspace(0.3, 2.0, n)
+    return [
+        ManagedStream(
+            stream_id=f"s{i}",
+            recording=record(_stream(seed=500 + i, sigma=float(s)), ticks),
+            model=_model(float(s)),
+        )
+        for i, s in enumerate(sigmas)
+    ]
+
+
+def _fleet_messages(backend, telemetry):
+    manager = StreamResourceManager(
+        _fleet(), probe_ticks=400, backend=backend, telemetry=telemetry
+    )
+    result = manager.run(budget=0.3, run_ticks=1600)
+    return [report.messages for report in result.reports]
+
+
+class TestChannelTelemetry:
+    def test_sends_and_drops_counted_and_traced(self):
+        tel = Telemetry()
+        channel = Channel(loss_rate=0.5, seed=3, telemetry=tel)
+        session = DualKalmanSession(
+            _stream(), _model(), AbsoluteBound(1.0), channel=channel
+        )
+        session.run(400)
+        m = tel.metrics
+        sent = m.value("repro_channel_messages_total", kind="update")
+        dropped = m.value("repro_channel_dropped_total", kind="update")
+        assert sent == session.channel.stats.sent_messages["update"]
+        assert 0 < dropped < sent
+        drops = tel.tracer.events(kind=tracing.MSG_DROPPED)
+        assert len(drops) == int(
+            sum(m.value("repro_channel_dropped_total", kind=k) for k in ("update",))
+        )
+        assert all(dict(e.fields)["msg"] == "update" for e in drops)
+
+    def test_payload_bytes_match_stats(self):
+        tel = Telemetry()
+        channel = Channel(telemetry=tel)
+        session = DualKalmanSession(
+            _stream(), _model(), AbsoluteBound(1.0), channel=channel
+        )
+        session.run(300)
+        total = sum(
+            tel.metrics.value("repro_channel_payload_bytes_total", kind=k)
+            for k in session.channel.stats.sent_messages
+        )
+        assert total == session.channel.stats.total_payload_bytes
+
+
+class TestSessionTelemetry:
+    def test_tick_accounting_and_events(self):
+        tel = Telemetry()
+        session = DualKalmanSession(
+            _stream(), _model(), AbsoluteBound(1.5), telemetry=tel
+        )
+        trace = session.run(600)
+        m = tel.metrics
+        n_sent = int(trace.sent.sum())
+        assert m.value("repro_ticks_total") == 600
+        assert m.value("repro_suppressed_ticks_total") == 600 - n_sent
+        assert m.value("repro_messages_total", kind="update") == n_sent
+        assert len(tel.tracer.events(kind=tracing.MSG_SENT)) == n_sent
+        assert len(tel.tracer.events(kind=tracing.MSG_SUPPRESSED)) == 600 - n_sent
+
+    def test_hot_path_span_recorded(self):
+        tel = Telemetry()
+        DualKalmanSession(_stream(), _model(), AbsoluteBound(1.5), telemetry=tel).run(
+            200
+        )
+        stats = tel.spans.get("predict_update")
+        assert stats is not None and stats.count == 200
+
+    def test_null_telemetry_records_nothing(self):
+        session = DualKalmanSession(_stream(), _model(), AbsoluteBound(1.5))
+        session.run(200)
+        assert current_telemetry() is NULL  # nothing leaked into the ambient sink
+
+    def test_ambient_scope_binds_components_built_inside(self):
+        tel = Telemetry()
+        with use_telemetry(tel):
+            session = DualKalmanSession(_stream(), _model(), AbsoluteBound(1.5))
+        session.run(250)  # run outside the scope: binding happened at build time
+        assert tel.metrics.value("repro_ticks_total") == 250
+
+    def test_explicit_telemetry_beats_ambient(self):
+        ambient, explicit = Telemetry(), Telemetry()
+        with use_telemetry(ambient):
+            session = DualKalmanSession(
+                _stream(), _model(), AbsoluteBound(1.5), telemetry=explicit
+            )
+        session.run(100)
+        assert ambient.metrics.value("repro_ticks_total") == 0
+        assert explicit.metrics.value("repro_ticks_total") == 100
+
+
+class TestSupervisedTelemetry:
+    @pytest.fixture(scope="class")
+    def faulty_run(self):
+        tel = Telemetry()
+        session = SupervisedSession(
+            _stream(seed=11),
+            _model(),
+            AbsoluteBound(2.0),
+            plan=FaultPlan(iid_loss=0.15, outages=((300, 40),), seed=5),
+            telemetry=tel,
+        )
+        trace = session.run(900)
+        return tel, trace
+
+    def test_degradation_episodes_traced(self, faulty_run):
+        tel, _ = faulty_run
+        enters = tel.tracer.events(kind=tracing.DEGRADE_ENTER)
+        exits = tel.tracer.events(kind=tracing.DEGRADE_EXIT)
+        assert enters and exits
+        assert all("reason" in dict(e.fields) for e in enters)
+        assert all(dict(e.fields)["duration"] >= 1 for e in exits)
+        assert tel.metrics.value("repro_recoveries_total") == len(exits)
+
+    def test_degraded_ticks_match_trace(self, faulty_run):
+        tel, trace = faulty_run
+        assert tel.metrics.value("repro_degraded_ticks_total") == int(
+            trace.degraded.sum()
+        )
+
+    def test_nacks_counted_with_reasons(self, faulty_run):
+        tel, _ = faulty_run
+        nacks = tel.tracer.events(kind=tracing.NACK)
+        assert nacks
+        by_reason = {}
+        for e in nacks:
+            reason = dict(e.fields)["reason"]
+            by_reason[reason] = by_reason.get(reason, 0) + 1
+        for reason, count in by_reason.items():
+            assert tel.metrics.value("repro_nacks_total", reason=reason) == count
+
+    def test_fault_onset_marks_the_outage(self, faulty_run):
+        tel, _ = faulty_run
+        onsets = tel.tracer.events(kind=tracing.FAULT_ONSET)
+        assert any(
+            e.tick >= 300 and dict(e.fields)["fault"] == "outage" for e in onsets
+        )
+        assert tel.metrics.value("repro_sensor_fault_ticks_total") >= 40
+
+    def test_resyncs_begin_and_end(self, faulty_run):
+        tel, _ = faulty_run
+        begins = tel.tracer.events(kind=tracing.RESYNC_BEGIN)
+        ends = tel.tracer.events(kind=tracing.RESYNC_END)
+        assert begins and ends
+        assert len(ends) <= len(begins)  # some repairs can be lost in flight
+
+    def test_watchdog_trips_counted(self, faulty_run):
+        tel, _ = faulty_run
+        trips = sum(
+            tel.metrics.value("repro_watchdog_trips_total", kind=k)
+            for k in ("gap", "stale", "divergence")
+        )
+        assert trips > 0
+
+    def test_advertised_bound_gauge_live(self, faulty_run):
+        tel, _ = faulty_run
+        assert tel.metrics.value("repro_advertised_bound", stream="stream-0") > 0
+
+
+class TestFleetEquivalence:
+    """Acceptance: telemetry must never change what the protocol does."""
+
+    def test_message_counts_identical_across_backends_and_telemetry(self):
+        baseline = _fleet_messages("scalar", None)
+        assert baseline == _fleet_messages("scalar", Telemetry())
+        assert baseline == _fleet_messages("batch", None)
+        assert baseline == _fleet_messages("batch", Telemetry())
+
+    def test_counter_parity_between_backends(self):
+        tel_scalar, tel_batch = Telemetry(), Telemetry()
+        msgs_scalar = _fleet_messages("scalar", tel_scalar)
+        msgs_batch = _fleet_messages("batch", tel_batch)
+        assert msgs_scalar == msgs_batch
+        for name, labels in (
+            ("repro_ticks_total", {}),
+            ("repro_suppressed_ticks_total", {}),
+            ("repro_messages_total", {"kind": "update"}),
+            ("repro_payload_bytes_total", {"kind": "update"}),
+        ):
+            assert tel_scalar.metrics.value(name, **labels) == tel_batch.metrics.value(
+                name, **labels
+            ), name
+
+    def test_fleet_gauges_and_spans(self):
+        tel = Telemetry()
+        manager = StreamResourceManager(
+            _fleet(), probe_ticks=400, backend="batch", telemetry=tel
+        )
+        manager.run(budget=0.3, run_ticks=1200)
+        assert tel.metrics.value("repro_fleet_size") == 4
+        assert tel.metrics.value("repro_fleet_budget") == 0.3
+        for span in ("probe", "allocation_solve", "main_run", "batch_step"):
+            assert tel.spans.get(span) is not None, span
+
+    def test_dynamic_reallocation_traced(self):
+        tel = Telemetry()
+        manager = StreamResourceManager(
+            _fleet(ticks=2400), probe_ticks=400, backend="batch", telemetry=tel
+        )
+        result = manager.run_dynamic(budget=0.3, epoch_ticks=500)
+        n_epochs = len(result.epochs)
+        assert n_epochs >= 2
+        assert tel.metrics.value("repro_epoch_reallocations_total") == n_epochs
+        events = tel.tracer.events(kind=tracing.EPOCH_REALLOC)
+        assert [dict(e.fields)["epoch"] for e in events] == list(range(n_epochs))
+        assert all(
+            dict(e.fields)["messages"] == r.messages
+            for e, r in zip(events, result.epochs)
+        )

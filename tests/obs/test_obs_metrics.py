@@ -1,0 +1,111 @@
+"""Unit tests for the metrics primitives and registry."""
+
+import math
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.obs import MetricsRegistry
+from repro.obs.metrics import Counter, Gauge, Histogram
+
+
+class TestPrimitives:
+    def test_counter_accumulates(self):
+        c = Counter()
+        c.inc()
+        c.inc(2.5)
+        assert c.value == 3.5
+
+    def test_counter_rejects_negative(self):
+        with pytest.raises(ConfigurationError):
+            Counter().inc(-1)
+
+    def test_gauge_moves_both_ways(self):
+        g = Gauge()
+        g.set(5.0)
+        g.inc(2.0)
+        g.dec(3.0)
+        assert g.value == 4.0
+
+    def test_histogram_bucketing(self):
+        h = Histogram(buckets=(1.0, 2.0, 5.0))
+        for v in (0.5, 1.5, 1.7, 3.0, 100.0):
+            h.observe(v)
+        assert h.count == 5
+        assert h.sum == pytest.approx(106.7)
+        cum = dict(h.cumulative_counts())
+        assert cum[1.0] == 1
+        assert cum[2.0] == 3
+        assert cum[5.0] == 4
+        assert cum[math.inf] == 5
+
+    def test_histogram_boundary_is_le(self):
+        h = Histogram(buckets=(1.0, 2.0))
+        h.observe(1.0)  # le="1" inclusive, Prometheus semantics
+        assert dict(h.cumulative_counts())[1.0] == 1
+
+    def test_histogram_rejects_bad_buckets(self):
+        with pytest.raises(ConfigurationError):
+            Histogram(buckets=())
+        with pytest.raises(ConfigurationError):
+            Histogram(buckets=(2.0, 1.0))
+        with pytest.raises(ConfigurationError):
+            Histogram(buckets=(1.0, math.inf))
+
+
+class TestRegistry:
+    def test_get_or_create_returns_same_instance(self):
+        reg = MetricsRegistry()
+        a = reg.counter("repro_x_total", kind="update")
+        b = reg.counter("repro_x_total", kind="update")
+        assert a is b
+        a.inc()
+        assert reg.value("repro_x_total", kind="update") == 1.0
+
+    def test_label_sets_are_distinct(self):
+        reg = MetricsRegistry()
+        reg.counter("repro_x_total", kind="update").inc(3)
+        reg.counter("repro_x_total", kind="resync").inc(1)
+        assert reg.value("repro_x_total", kind="update") == 3.0
+        assert reg.value("repro_x_total", kind="resync") == 1.0
+
+    def test_label_order_is_irrelevant(self):
+        reg = MetricsRegistry()
+        a = reg.counter("repro_x_total", a="1", b="2")
+        b = reg.counter("repro_x_total", b="2", a="1")
+        assert a is b
+
+    def test_kind_conflict_raises(self):
+        reg = MetricsRegistry()
+        reg.counter("repro_x_total")
+        with pytest.raises(ConfigurationError):
+            reg.gauge("repro_x_total")
+
+    def test_invalid_names_rejected(self):
+        reg = MetricsRegistry()
+        with pytest.raises(ConfigurationError):
+            reg.counter("2bad")
+        with pytest.raises(ConfigurationError):
+            reg.counter("repro_ok_total", **{"bad-label": "x"})
+
+    def test_value_of_absent_metric_is_zero(self):
+        assert MetricsRegistry().value("repro_nothing_total") == 0.0
+        assert MetricsRegistry().get("repro_nothing_total") is None
+
+    def test_snapshot_shapes(self):
+        reg = MetricsRegistry()
+        reg.counter("repro_c_total", kind="update").inc(2)
+        reg.gauge("repro_g").set(1.5)
+        reg.histogram("repro_h_seconds", buckets=(1.0,)).observe(0.5)
+        snap = reg.snapshot()
+        assert snap["repro_c_total"]["values"]["kind=update"] == 2.0
+        assert snap["repro_g"]["values"][""] == 1.5
+        hist = snap["repro_h_seconds"]["values"][""]
+        assert hist["count"] == 1 and hist["buckets"]["+Inf"] == 1
+
+    def test_help_is_kept_from_first_setter(self):
+        reg = MetricsRegistry()
+        reg.counter("repro_c_total")
+        reg.counter("repro_c_total", help="what it counts")
+        (family,) = reg.families()
+        assert family.help == "what it counts"

@@ -1,0 +1,108 @@
+"""Overhead guard: telemetry must be free when off and cheap when on.
+
+Two guarantees from the subsystem's design contract:
+
+* **Behaviour invariance** — running the F4 figure (quick-scale) with no
+  telemetry, with the ambient null sink explicit, and inside an enabled
+  ambient scope all produce identical message counts.  Telemetry observes
+  the protocol; it never participates in it.
+* **Disabled cost** — the policy hot loop with telemetry resolved to the
+  null sink stays within 10% of a hand-rolled loop that bypasses the
+  instrumentation branches entirely (median of several trials, so machine
+  noise doesn't flake the bound).  Marked ``slow``: it is a timing test.
+"""
+
+import os
+import time
+
+import pytest
+
+from repro.core.precision import AbsoluteBound
+from repro.core.session import DualKalmanPolicy
+from repro.kalman.models import random_walk
+from repro.obs import NULL, Telemetry, use_telemetry
+from repro.streams.synthetic import RandomWalkStream
+
+TICKS = 600
+
+
+def _f4_message_counts():
+    # Import here so each run constructs its policies under the telemetry
+    # regime the test installed (binding happens at construction time).
+    from repro.experiments.figures import fig4_messages_vs_delta_synthetic
+
+    fig = fig4_messages_vs_delta_synthetic(n_ticks=TICKS)
+    return [
+        (title, dict(series)) for title, _, series in fig.panels
+    ]
+
+
+class TestBehaviourInvariance:
+    def test_f4_counts_identical_with_and_without_telemetry(self):
+        baseline = _f4_message_counts()
+        with use_telemetry(NULL):
+            assert _f4_message_counts() == baseline
+        tel = Telemetry()
+        with use_telemetry(tel):
+            assert _f4_message_counts() == baseline
+        # And the enabled run actually observed the traffic.
+        assert tel.metrics.value("repro_ticks_total") > 0
+
+
+def _policy_loop(policy, readings):
+    tick = policy.tick
+    for reading in readings:
+        tick(reading)
+
+
+def _bare_loop(policy, readings):
+    # The same protocol work with the telemetry branches bypassed: what a
+    # build with no instrumentation at all would execute per tick.
+    source_process = policy.source.process
+    record_send = policy.stats.record_send
+    server_advance = policy.server.advance
+    for reading in readings:
+        decision = source_process(reading)
+        for message in decision.messages:
+            record_send(message.kind, message.payload_bytes())
+        server_advance(list(decision.messages))
+
+
+def _median_seconds(fn, trials=7):
+    times = []
+    for _ in range(trials):
+        t0 = time.perf_counter()
+        fn()
+        times.append(time.perf_counter() - t0)
+    return sorted(times)[len(times) // 2]
+
+
+@pytest.mark.slow
+class TestDisabledOverhead:
+    def test_null_telemetry_within_ten_percent_of_bare_loop(self):
+        model = random_walk(process_noise=1.0, measurement_sigma=0.5)
+        readings = RandomWalkStream(
+            step_sigma=1.0, measurement_sigma=0.5, seed=23
+        ).take(20_000)
+
+        def instrumented():
+            policy = DualKalmanPolicy(model, AbsoluteBound(2.0), check_sync=False)
+            assert policy._tel is NULL
+            _policy_loop(policy, readings)
+
+        def bare():
+            policy = DualKalmanPolicy(model, AbsoluteBound(2.0), check_sync=False)
+            _bare_loop(policy, readings)
+
+        # Warm both paths before timing.
+        instrumented()
+        bare()
+        t_instrumented = _median_seconds(instrumented)
+        t_bare = _median_seconds(bare)
+        slowdown = t_instrumented / t_bare
+        limit = float(os.environ.get("REPRO_OBS_OVERHEAD_LIMIT", "1.10"))
+        assert slowdown <= limit, (
+            f"disabled telemetry costs {100 * (slowdown - 1):.1f}% "
+            f"(limit {100 * (limit - 1):.0f}%): "
+            f"{t_instrumented:.4f}s vs {t_bare:.4f}s over {len(readings)} ticks"
+        )

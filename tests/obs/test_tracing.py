@@ -1,0 +1,106 @@
+"""Unit tests for the event tracer and profiling spans."""
+
+import math
+import time
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.obs import EVENT_TYPES, EventTracer, SpanTable
+from repro.obs import tracing
+
+
+class TestEventTracer:
+    def test_records_in_order_with_fields(self):
+        tracer = EventTracer()
+        tracer.record(tracing.MSG_SENT, 3, stream_id="s1", msg="update")
+        tracer.record(tracing.MSG_SUPPRESSED, 4, stream_id="s1")
+        events = tracer.events()
+        assert [e.kind for e in events] == ["msg_sent", "msg_suppressed"]
+        assert events[0].to_dict() == {
+            "kind": "msg_sent",
+            "tick": 3,
+            "stream_id": "s1",
+            "msg": "update",
+        }
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ConfigurationError):
+            EventTracer().record("made_up_kind", 0)
+
+    def test_every_declared_kind_is_recordable(self):
+        tracer = EventTracer()
+        for kind in sorted(EVENT_TYPES):
+            tracer.record(kind, 0)
+        assert tracer.recorded == len(EVENT_TYPES)
+
+    def test_ring_buffer_drops_oldest(self):
+        tracer = EventTracer(capacity=3)
+        for tick in range(5):
+            tracer.record(tracing.HEARTBEAT, tick)
+        assert len(tracer) == 3
+        assert tracer.recorded == 5
+        assert tracer.dropped == 2
+        assert [e.tick for e in tracer.events()] == [2, 3, 4]
+
+    def test_filter_and_tally(self):
+        tracer = EventTracer()
+        tracer.record(tracing.NACK, 1, reason="gap")
+        tracer.record(tracing.MSG_SENT, 2)
+        tracer.record(tracing.NACK, 3, reason="stale")
+        assert [e.tick for e in tracer.events(kind="nack")] == [1, 3]
+        assert tracer.counts_by_kind() == {"nack": 2, "msg_sent": 1}
+
+    def test_clear_resets_everything(self):
+        tracer = EventTracer(capacity=2)
+        for tick in range(4):
+            tracer.record(tracing.HEARTBEAT, tick)
+        tracer.clear()
+        assert len(tracer) == 0 and tracer.recorded == 0 and tracer.dropped == 0
+
+    def test_invalid_capacity_rejected(self):
+        with pytest.raises(ConfigurationError):
+            EventTracer(capacity=0)
+
+
+class TestSpans:
+    def test_span_times_body(self):
+        table = SpanTable()
+        with table.span("work"):
+            time.sleep(0.002)
+        stats = table.get("work")
+        assert stats.count == 1
+        assert stats.total_s >= 0.002
+        assert stats.min_s <= stats.max_s
+
+    def test_span_accumulates_across_entries(self):
+        table = SpanTable()
+        for _ in range(3):
+            with table.span("work"):
+                pass
+        stats = table.get("work")
+        assert stats.count == 3
+        assert stats.mean_s == pytest.approx(stats.total_s / 3)
+
+    def test_span_records_even_on_exception(self):
+        table = SpanTable()
+        with pytest.raises(ValueError):
+            with table.span("work"):
+                raise ValueError("boom")
+        assert table.get("work").count == 1
+
+    def test_unentered_span_absent(self):
+        table = SpanTable()
+        assert table.get("never") is None
+        assert table.names() == []
+
+    def test_summary_is_json_shaped(self):
+        table = SpanTable()
+        with table.span("a"):
+            pass
+        summary = table.summary()
+        assert set(summary) == {"a"}
+        assert set(summary["a"]) == {"count", "total_s", "mean_s", "min_s", "max_s"}
+        empty = SpanTable()
+        assert empty.summary() == {}
+        assert math.isnan(SpanTable().span("x")._stats.mean_s)
