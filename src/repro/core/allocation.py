@@ -39,6 +39,7 @@ __all__ = [
     "allocate_equal_rate",
     "allocate_waterfilling",
     "allocate_scipy",
+    "shard_budgets",
 ]
 
 
@@ -115,6 +116,41 @@ class Allocation:
         """The objective Σ w_k δ_k the optimizing allocators minimize."""
         w = np.ones_like(self.deltas) if weights is None else np.asarray(weights, float)
         return float(np.sum(w * self.deltas))
+
+    def subset(self, indices: np.ndarray) -> "Allocation":
+        """The allocation restricted to ``indices`` (a shard's slice).
+
+        Budget is allocated *globally* — one shared multiplier across all
+        shards — and then sliced per shard, so rebalancing between epochs
+        moves budget across shard boundaries for free.  A shard's implied
+        budget is simply ``subset(idx).predicted_total_rate``.
+        """
+        idx = np.asarray(indices, dtype=int)
+        return Allocation(
+            deltas=self.deltas[idx],
+            predicted_rates=self.predicted_rates[idx],
+            method=self.method,
+        )
+
+
+def shard_budgets(allocation: Allocation, assignments) -> np.ndarray:
+    """Per-shard message budgets implied by a *global* allocation.
+
+    The sharded runtime keeps the budget allocator global: rate curves
+    from every shard are solved together (one Lagrange multiplier fleet
+    wide), and each shard then receives the slice of bounds that landed
+    on its streams.  This helper reports how the global budget splits
+    across shards — the quantity re-balanced every epoch as curves
+    re-anchor — for telemetry and load accounting.
+
+    Args:
+        allocation: A fleet-wide allocation in global stream order.
+        assignments: Per-shard global index arrays (e.g.
+            ``ShardPlan.assignments``).
+    """
+    return np.array(
+        [float(np.sum(allocation.predicted_rates[np.asarray(idx, int)])) for idx in assignments]
+    )
 
 
 def _validate(curves: list[RateCurve], budget: float) -> None:
@@ -195,7 +231,19 @@ def allocate_waterfilling(
     while total_rate(lo) < budget:
         lo /= 4.0
         if lo < 1e-30:
-            break
+            # λ could not be bracketed from below: even at the tightest
+            # representable multiplier the fleet spends less than the
+            # budget, so the "spend exactly B" optimum degenerates
+            # (δ → 0 as λ → 0).  Bisecting an unbracketed interval would
+            # silently return a meaningless near-zero allocation, so fail
+            # loudly instead.
+            raise AllocationError(
+                f"cannot bracket the waterfilling multiplier: at "
+                f"lambda={lo:.3g} the fleet spends {total_rate(lo):.6g} "
+                f"msgs/tick, still under budget {budget:.6g}; the budget "
+                "exceeds what these rate curves can express — lower it, or "
+                "use allocate_scipy with explicit delta bounds"
+            )
     for _ in range(200):
         mid = np.sqrt(lo * hi)
         if total_rate(mid) > budget:

@@ -25,6 +25,14 @@ Two execution backends drive the probe and main phases:
   equivalent to the scalar path (property-tested at atol 1e-9) and an
   order of magnitude faster on large fleets (see
   ``benchmarks/bench_table5_fleet_scaling.py``).
+* ``backend="sharded"`` — the batch engine partitioned across executor
+  workers by a :class:`~repro.parallel.runtime.ShardedFleetRuntime`:
+  each shard runs its own batch engine in a process (or thread/serial)
+  worker, the budget allocator stays *global* (one multiplier across all
+  shards, re-balanced every dynamic epoch), and merged results are
+  bitwise-equal to ``backend="batch"`` (pinned by ``tests/parallel``).
+  See ``benchmarks/bench_table6_shard_scaling.py`` for speedup vs shard
+  count.
 """
 
 from __future__ import annotations
@@ -41,6 +49,7 @@ from repro.core.allocation import (
     allocate_scipy,
     allocate_uniform,
     allocate_waterfilling,
+    shard_budgets,
 )
 from repro.core.precision import AbsoluteBound
 from repro.core.protocol import HEADER_BYTES
@@ -67,7 +76,7 @@ __all__ = [
     "StreamResourceManager",
 ]
 
-_BACKENDS = ("scalar", "batch")
+_BACKENDS = ("scalar", "batch", "sharded")
 
 _ALLOCATORS = {
     "uniform": allocate_uniform,
@@ -317,6 +326,39 @@ class FleetEngine:
             raise ConfigurationError("all per-stream deltas must be positive")
         self.deltas = deltas
 
+    def state_snapshot(self) -> dict:
+        """Picklable snapshot of every piece of mutable engine state.
+
+        Everything :meth:`restore_state` needs to resume the engine
+        mid-run with bit-identical continuation: per-filter ``(x, P)``,
+        warm flags, message/tick accounting and the filter cycle counters.
+        The sharded runtime ships these across process boundaries so a
+        respawned worker picks up exactly where the dead one stopped.
+        """
+        return {
+            "x": [self.filters.x_of(i) for i in range(self.n)],
+            "P": [self.filters.P_of(i) for i in range(self.n)],
+            "warm": self.warm.copy(),
+            "messages": self.messages.copy(),
+            "ticks": self.ticks,
+            "n_predicts": self.filters.n_predicts.copy(),
+            "n_updates": self.filters.n_updates.copy(),
+        }
+
+    def restore_state(self, snapshot: dict) -> None:
+        """Resume from a :meth:`state_snapshot` (exact, bitwise)."""
+        if len(snapshot["x"]) != self.n:
+            raise ConfigurationError(
+                f"snapshot covers {len(snapshot['x'])} filters, engine has {self.n}"
+            )
+        for i, (x, p) in enumerate(zip(snapshot["x"], snapshot["P"])):
+            self.filters.set_state(i, x, p)
+        self.warm = np.asarray(snapshot["warm"], dtype=bool).copy()
+        self.messages = np.asarray(snapshot["messages"], dtype=int).copy()
+        self.ticks = int(snapshot["ticks"])
+        self.filters.n_predicts = np.asarray(snapshot["n_predicts"], dtype=int).copy()
+        self.filters.n_updates = np.asarray(snapshot["n_updates"], dtype=int).copy()
+
     def step(self, values: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
         """Advance the whole fleet one tick.
 
@@ -450,16 +492,27 @@ class StreamResourceManager:
             saturated small-delta regime into the sparse large-delta one.
         probe_ticks: Prefix length used for probing.
         adaptive: Whether main-phase policies carry online adaptation.
-        backend: ``"scalar"`` (reference, one policy loop per stream) or
+        backend: ``"scalar"`` (reference, one policy loop per stream),
             ``"batch"`` (the :class:`FleetEngine` fast path; numerically
-            equivalent, requires ``adaptive=False``).  Probe, main and
-            dynamic phases honour the knob; supervised runs always use the
-            scalar path (faults and supervision are per-stream stateful).
+            equivalent, requires ``adaptive=False``) or ``"sharded"``
+            (the batch engine partitioned across
+            :class:`~repro.parallel.runtime.ShardedFleetRuntime` workers;
+            bitwise-equal to batch, requires ``adaptive=False``).  Probe,
+            main and dynamic phases honour the knob; supervised runs
+            always use the scalar path (faults and supervision are
+            per-stream stateful).
+        n_shards: Shard count for ``backend="sharded"`` (clamped to the
+            fleet size; default 4).  Ignored by other backends.
+        shard_executor: Executor kind for ``backend="sharded"``:
+            ``"process"`` (CPU-bound main runs), ``"thread"`` or
+            ``"serial"`` (tests and strict determinism).
         telemetry: Optional :class:`~repro.obs.Telemetry` sink threaded
             through every phase: the probe, allocation solve and main
             run are span-timed, dynamic re-allocations are traced as
             ``epoch_realloc`` events, and the per-stream engines/policies
-            of both backends report the shared protocol counters.
+            of every backend report the shared protocol counters (the
+            sharded backend merges worker registries in with a ``shard``
+            label and traces worker deaths as ``worker_respawn``).
     """
 
     def __init__(
@@ -469,6 +522,8 @@ class StreamResourceManager:
         probe_ticks: int = 1000,
         adaptive: bool = False,
         backend: str = "scalar",
+        n_shards: int = 4,
+        shard_executor: str = "process",
         telemetry=None,
     ):
         if not streams:
@@ -482,16 +537,20 @@ class StreamResourceManager:
             raise ConfigurationError(
                 f"unknown backend {backend!r}; expected one of {_BACKENDS}"
             )
-        if backend == "batch" and adaptive:
+        if backend != "scalar" and adaptive:
             raise ConfigurationError(
-                "backend='batch' supports fixed-bound fleets only; "
+                f"backend={backend!r} supports fixed-bound fleets only; "
                 "adaptive policies must run on the scalar backend"
             )
+        if n_shards < 1:
+            raise ConfigurationError(f"n_shards must be >= 1, got {n_shards!r}")
         self.streams = streams
         self.probe_deltas_rel = probe_deltas_rel
         self.probe_ticks = probe_ticks
         self.adaptive = adaptive
         self.backend = backend
+        self.n_shards = n_shards
+        self.shard_executor = shard_executor
         self._tel = resolve_telemetry(telemetry)
         self._curves: list[RateCurve] | None = None
         self._scales: list[float] | None = None
@@ -499,6 +558,27 @@ class StreamResourceManager:
     @property
     def _dim_z_max(self) -> int:
         return max(m.model.dim_z for m in self.streams)
+
+    def _make_engine(self, models: list[ProcessModel], deltas: np.ndarray):
+        """Build the non-scalar fleet engine the backend knob selects.
+
+        Both engines share the :class:`FleetEngine` surface the phases
+        use (``set_deltas`` / ``run``); sharded engines additionally grow
+        a ``close()`` that callers invoke when the phase is done.
+        """
+        if self.backend == "sharded":
+            # Imported lazily: repro.parallel.runtime imports FleetEngine
+            # from this module at import time.
+            from repro.parallel.runtime import ShardedFleetRuntime
+
+            return ShardedFleetRuntime(
+                models,
+                deltas,
+                n_shards=min(self.n_shards, len(models)),
+                executor=self.shard_executor,
+                telemetry=self._tel,
+            )
+        return FleetEngine(models, deltas, telemetry=self._tel)
 
     # ------------------------------------------------------------------
     # Phase 1-2: probe and fit
@@ -524,7 +604,7 @@ class StreamResourceManager:
             probe_readings.append(readings)
             scales.append(_stream_scale(readings))
         with self._tel.span("probe"):
-            if self.backend == "batch":
+            if self.backend != "scalar":
                 curves = self._probe_batch(probe_readings, scales)
             else:
                 curves = self._probe_scalar(probe_readings, scales)
@@ -559,8 +639,11 @@ class StreamResourceManager:
         # so each stream's value column is repeated n_rel times in place.
         models = [m.model for m in self.streams for _ in rels]
         deltas = np.array([rel * scale for scale in scales for rel in rels])
-        engine = FleetEngine(models, deltas, telemetry=self._tel)
-        trace = engine.run(np.repeat(values, n_rel, axis=1))
+        engine = self._make_engine(models, deltas)
+        try:
+            trace = engine.run(np.repeat(values, n_rel, axis=1))
+        finally:
+            getattr(engine, "close", lambda: None)()
         sent = trace.messages_per_stream.reshape(len(self.streams), n_rel)
         curves: list[RateCurve] = []
         for k, (readings, scale) in enumerate(zip(probe_readings, scales)):
@@ -632,7 +715,7 @@ class StreamResourceManager:
             tel.set_gauge("repro_fleet_size", len(self.streams))
             tel.set_gauge("repro_fleet_budget", budget)
         with tel.span("main_run"):
-            if self.backend == "batch":
+            if self.backend != "scalar":
                 self._run_batch(result, allocation, readings_per_stream)
             else:
                 self._run_scalar(result, allocation, readings_per_stream)
@@ -673,12 +756,13 @@ class StreamResourceManager:
         readings_per_stream: list[list[Reading]],
     ) -> None:
         values, truths = _stack_fleet(readings_per_stream, self._dim_z_max)
-        engine = FleetEngine(
-            [m.model for m in self.streams],
-            np.asarray(allocation.deltas, float),
-            telemetry=self._tel,
+        engine = self._make_engine(
+            [m.model for m in self.streams], np.asarray(allocation.deltas, float)
         )
-        trace = engine.run(values)
+        try:
+            trace = engine.run(values)
+        finally:
+            getattr(engine, "close", lambda: None)()
         mean_err, max_err = _fleet_abs_errors(trace.served, truths)
         messages = trace.messages_per_stream
         for k, (managed, delta) in enumerate(zip(self.streams, allocation.deltas)):
@@ -808,29 +892,29 @@ class StreamResourceManager:
             raise ConfigurationError(
                 "recordings too short for even one epoch after probing"
             )
-        policies = (
-            {m.stream_id: self._make_policy(m.model, 1.0) for m in self.streams}
-            if self.backend == "scalar"
-            else None
-        )
-        # The batch engine persists across epochs exactly like the policy
-        # dict: only the bounds change between epochs, never filter state.
-        engine = (
-            FleetEngine(
-                [m.model for m in self.streams],
-                np.ones(len(self.streams)),
-                telemetry=self._tel,
-            )
-            if self.backend == "batch"
-            else None
-        )
-        result = DynamicFleetResult(method=method, budget=budget)
         allocator = _ALLOCATORS.get(method)
         if allocator is None:
             raise AllocationError(
                 f"unknown allocation method {method!r}; "
                 f"expected one of {sorted(_ALLOCATORS)}"
             )
+        policies = (
+            {m.stream_id: self._make_policy(m.model, 1.0) for m in self.streams}
+            if self.backend == "scalar"
+            else None
+        )
+        # The batch/sharded engine persists across epochs exactly like the
+        # policy dict: only the bounds change between epochs, never filter
+        # state (the sharded runtime keeps every shard's state coordinator
+        # side between dispatches, so epochs resume seamlessly).
+        engine = (
+            self._make_engine(
+                [m.model for m in self.streams], np.ones(len(self.streams))
+            )
+            if self.backend != "scalar"
+            else None
+        )
+        result = DynamicFleetResult(method=method, budget=budget)
         weights = np.array(
             [m.weight / max(sc, 1e-12) for m, sc in zip(self.streams, self.scales)]
         )
@@ -838,55 +922,71 @@ class StreamResourceManager:
         if tel.enabled:
             tel.set_gauge("repro_fleet_size", len(self.streams))
             tel.set_gauge("repro_fleet_budget", budget)
-        for epoch in range(n_epochs):
-            with tel.span("allocation_solve"):
-                if method in ("waterfilling", "scipy"):
-                    allocation = allocator(curves, budget, weights=weights)
+        try:
+            for epoch in range(n_epochs):
+                with tel.span("allocation_solve"):
+                    if method in ("waterfilling", "scipy"):
+                        allocation = allocator(curves, budget, weights=weights)
+                    else:
+                        allocation = allocator(curves, budget)
+                if tel.enabled and self.backend == "sharded":
+                    # How the (global) budget currently splits across
+                    # shards — re-balanced implicitly every epoch because
+                    # the allocator re-solves fleet-wide.
+                    for shard_id, shard_rate in enumerate(
+                        shard_budgets(allocation, engine.plan.assignments)
+                    ):
+                        tel.set_gauge(
+                            "repro_shard_budget",
+                            float(shard_rate),
+                            shard=str(shard_id),
+                        )
+                start = self.probe_ticks + epoch * epoch_ticks
+                if engine is not None:
+                    sent_per_stream, errors = self._dynamic_epoch_batch(
+                        engine, allocation, start, epoch_ticks
+                    )
                 else:
-                    allocation = allocator(curves, budget)
-            start = self.probe_ticks + epoch * epoch_ticks
-            if engine is not None:
-                sent_per_stream, errors = self._dynamic_epoch_batch(
-                    engine, allocation, start, epoch_ticks
-                )
-            else:
-                assert policies is not None
-                sent_per_stream, errors = self._dynamic_epoch_scalar(
-                    policies, allocation, start, epoch_ticks
-                )
-            for k, delta in enumerate(allocation.deltas):
-                # Re-anchor the curve level to the observed rate point.
-                observed_rate = max(int(sent_per_stream[k]), 1) / epoch_ticks
-                anchored_a = observed_rate * float(delta) ** curves[k].b
-                new_a = float(
-                    np.exp(
-                        (1.0 - anchor_gamma) * np.log(curves[k].a)
-                        + anchor_gamma * np.log(anchored_a)
+                    assert policies is not None
+                    sent_per_stream, errors = self._dynamic_epoch_scalar(
+                        policies, allocation, start, epoch_ticks
+                    )
+                for k, delta in enumerate(allocation.deltas):
+                    # Re-anchor the curve level to the observed rate point.
+                    observed_rate = max(int(sent_per_stream[k]), 1) / epoch_ticks
+                    anchored_a = observed_rate * float(delta) ** curves[k].b
+                    new_a = float(
+                        np.exp(
+                            (1.0 - anchor_gamma) * np.log(curves[k].a)
+                            + anchor_gamma * np.log(anchored_a)
+                        )
+                    )
+                    curves[k] = RateCurve(a=new_a, b=curves[k].b)
+                epoch_messages = int(np.sum(sent_per_stream))
+                if tel.enabled:
+                    tel.inc("repro_epoch_reallocations_total")
+                    tel.event(
+                        tracing.EPOCH_REALLOC,
+                        start + epoch_ticks,
+                        epoch=epoch,
+                        messages=epoch_messages,
+                        rate=epoch_messages / epoch_ticks,
+                        delta_min=float(np.min(allocation.deltas)),
+                        delta_mean=float(np.mean(allocation.deltas)),
+                        delta_max=float(np.max(allocation.deltas)),
+                    )
+                result.epochs.append(
+                    EpochReport(
+                        epoch=epoch,
+                        deltas=allocation.deltas.copy(),
+                        messages=epoch_messages,
+                        ticks=epoch_ticks,
+                        mean_abs_errors=errors,
                     )
                 )
-                curves[k] = RateCurve(a=new_a, b=curves[k].b)
-            epoch_messages = int(np.sum(sent_per_stream))
-            if tel.enabled:
-                tel.inc("repro_epoch_reallocations_total")
-                tel.event(
-                    tracing.EPOCH_REALLOC,
-                    start + epoch_ticks,
-                    epoch=epoch,
-                    messages=epoch_messages,
-                    rate=epoch_messages / epoch_ticks,
-                    delta_min=float(np.min(allocation.deltas)),
-                    delta_mean=float(np.mean(allocation.deltas)),
-                    delta_max=float(np.max(allocation.deltas)),
-                )
-            result.epochs.append(
-                EpochReport(
-                    epoch=epoch,
-                    deltas=allocation.deltas.copy(),
-                    messages=epoch_messages,
-                    ticks=epoch_ticks,
-                    mean_abs_errors=errors,
-                )
-            )
+        finally:
+            if engine is not None:
+                getattr(engine, "close", lambda: None)()
         return result
 
     def _dynamic_epoch_scalar(

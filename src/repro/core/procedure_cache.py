@@ -22,7 +22,24 @@ __all__ = ["Forecast", "ProcedureCache", "StaticValueCache"]
 
 @dataclass(frozen=True)
 class Forecast:
-    """A k-step-ahead prediction with its standard deviation per axis."""
+    """A k-step-ahead prediction with its standard deviation per axis.
+
+    Convention (applies to every horizon, including ``steps_ahead == 0``):
+    ``value`` is the cached procedure's state estimate propagated ``k``
+    steps and projected into measurement space, ``H F^k x̂``; ``std`` is
+    the *predicted-measurement* standard deviation per axis,
+    ``sqrt(diag(H P_k Hᵀ + R))`` with ``P_k = F^k P (Fᵀ)^k + Σ F^i Q (Fᵀ)^i``
+    — i.e. it includes the sensor noise ``R`` a hypothetical future reading
+    would carry, so a forecast is directly comparable against the
+    measurement that eventually arrives.  Both quantities come from one
+    propagation chain, so ``forecast(s, 0)`` is the exact ``k → 0`` point
+    of the same curve as ``forecast(s, k)`` — no convention change at the
+    horizon boundary.  Note that on an update tick the *served* value
+    (:meth:`repro.core.server.StreamServer.value`) is the raw measurement,
+    which may differ from the ``k = 0`` forecast: the serve surface reports
+    what the protocol delivered, the forecast surface reports what the
+    cached procedure believes.
+    """
 
     steps_ahead: int
     value: np.ndarray
@@ -41,35 +58,37 @@ class ProcedureCache:
         self.server = server
 
     def current(self, stream_id: str) -> Forecast:
-        """The served value right now (0 steps ahead)."""
+        """The cached procedure's estimate right now (0 steps ahead).
+
+        This is the ``k = 0`` point of the forecast curve — on a coast tick
+        it equals the served value; on an update tick the server serves the
+        raw measurement while this reports the filtered estimate.
+        """
         return self.forecast(stream_id, steps=0)
 
     def forecast(self, stream_id: str, steps: int) -> Forecast:
         """Predict ``steps`` ticks ahead with uncertainty.
+
+        Every horizon — including ``steps == 0`` — runs through the same
+        propagation chain (see :class:`Forecast` for the convention), so
+        the reported value and std are continuous across the boundary
+        between :meth:`current` and ``forecast(stream, 1)``.
 
         Raises:
             QueryError: If the stream has no data yet or ``steps`` < 0.
         """
         if steps < 0:
             raise QueryError(f"steps must be non-negative, got {steps}")
-        state = self.server.state(stream_id)
-        snapshot = state.snapshot()
-        if snapshot.value is None:
-            raise QueryError(f"stream {stream_id!r} has no data yet")
-        kf = state.replica.filter
-        if steps == 0:
-            value = snapshot.value
-            cov = snapshot.variance
-        else:
-            # Propagate mean and covariance forward without mutating state.
-            x, p = kf.x.copy(), kf.P.copy()
-            f, q = kf.model.F, kf.model.Q
-            for _ in range(steps):
-                x = f @ x
-                p = f @ p @ f.T + q
-            h, r = kf.model.H, kf.model.R
-            value = h @ x
-            cov = h @ p @ h.T + r
+        kf = self._warm_filter(stream_id)
+        # Propagate mean and covariance forward without mutating state.
+        x, p = kf.x.copy(), kf.P.copy()
+        f, q = kf.model.F, kf.model.Q
+        for _ in range(steps):
+            x = f @ x
+            p = f @ p @ f.T + q
+        h, r = kf.model.H, kf.model.R
+        value = h @ x
+        cov = h @ p @ h.T + r
         std = np.sqrt(np.clip(np.diag(cov), 0.0, None))
         return Forecast(steps_ahead=steps, value=value, std=std)
 
@@ -77,14 +96,33 @@ class ProcedureCache:
         """How many steps ahead the forecast std stays within ``tolerance``.
 
         A direct measure of how long the server could keep answering if the
-        source went silent — the "procedure quality" of the cache.
+        source went silent — the "procedure quality" of the cache.  The
+        covariance is propagated *incrementally* — one ``P ← F P Fᵀ + Q``
+        per candidate step instead of re-propagating from scratch per
+        candidate — so the scan is O(horizon), not O(horizon²); the
+        returned horizon is identical to probing each step with
+        :meth:`forecast` (regression-tested).
         """
         if tolerance <= 0:
             raise QueryError(f"tolerance must be positive, got {tolerance!r}")
+        kf = self._warm_filter(stream_id)
+        f, q = kf.model.F, kf.model.Q
+        h, r = kf.model.H, kf.model.R
+        p = kf.P.copy()
         for steps in range(max_steps + 1):
-            if float(np.max(self.forecast(stream_id, steps).std)) > tolerance:
+            if steps > 0:
+                p = f @ p @ f.T + q
+            std = np.sqrt(np.clip(np.diag(h @ p @ h.T + r), 0.0, None))
+            if float(np.max(std)) > tolerance:
                 return max(0, steps - 1)
         return max_steps
+
+    def _warm_filter(self, stream_id: str):
+        """The stream's server-side filter, or raise if it has no data."""
+        state = self.server.state(stream_id)
+        if state.snapshot().value is None:
+            raise QueryError(f"stream {stream_id!r} has no data yet")
+        return state.replica.filter
 
 
 class StaticValueCache:

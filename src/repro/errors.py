@@ -50,5 +50,15 @@ class QueryError(ReproError):
     """A continuous query was mis-specified or executed out of order."""
 
 
+class ShardingError(ReproError):
+    """A sharded-runtime worker failed beyond the respawn budget.
+
+    Transient worker deaths are handled by the runtime itself (the shard
+    is respawned and resumed from its last engine state); this is raised
+    only when a shard keeps failing after ``max_respawns`` attempts, so
+    results would otherwise be silently incomplete.
+    """
+
+
 class StreamExhaustedError(ReproError):
     """A finite stream was asked for more readings than it contains."""

@@ -89,6 +89,29 @@ class SpanTable:
         """Stats for one span name, or ``None`` if never entered."""
         return self._spans.get(name)
 
+    def fold(
+        self, name: str, count: int, total_s: float, min_s: float, max_s: float
+    ) -> None:
+        """Fold pre-aggregated stats into ``name``.
+
+        Used by the sharded runtime to merge span tables measured inside
+        worker processes (which cannot share the coordinator's table) into
+        the run's single span table.
+        """
+        if count < 0 or total_s < 0:
+            raise ValueError(f"cannot fold negative span stats into {name!r}")
+        if count == 0:
+            return
+        stats = self._spans.get(name)
+        if stats is None:
+            stats = self._spans[name] = SpanStats()
+        stats.count += count
+        stats.total_s += total_s
+        if min_s < stats.min_s:
+            stats.min_s = min_s
+        if max_s > stats.max_s:
+            stats.max_s = max_s
+
     def names(self) -> list[str]:
         """Every span name seen, in first-use order."""
         return list(self._spans)

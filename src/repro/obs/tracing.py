@@ -31,6 +31,7 @@ __all__ = [
     "HEARTBEAT",
     "NACK",
     "MODEL_SWITCH",
+    "WORKER_RESPAWN",
     "TraceEvent",
     "EventTracer",
 ]
@@ -49,6 +50,7 @@ FAULT_ONSET = "fault_onset"  #: a sensor fault was first detected
 HEARTBEAT = "heartbeat"  #: the source beaconed during suppression
 NACK = "nack"  #: the server requested a repair
 MODEL_SWITCH = "model_switch"  #: an adaptation shipped a procedure change
+WORKER_RESPAWN = "worker_respawn"  #: a sharded-runtime worker died and its shard was respawned
 
 EVENT_TYPES = frozenset(
     {
@@ -64,6 +66,7 @@ EVENT_TYPES = frozenset(
         HEARTBEAT,
         NACK,
         MODEL_SWITCH,
+        WORKER_RESPAWN,
     }
 )
 

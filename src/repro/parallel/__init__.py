@@ -1,0 +1,32 @@
+"""Sharded parallel execution of fleet workloads.
+
+The scaling axis beyond vectorization: the batch
+:class:`~repro.core.manager.FleetEngine` made per-tick fleet math a few
+BLAS calls; this package spreads those calls across CPU cores by
+partitioning the fleet into shards and running each shard's engine in an
+executor worker.  Stream filters are mutually independent, so sharding
+changes *nothing* about the computed estimates — the sharded backend is
+pinned bitwise-equal to the single-engine path by the equivalence suite
+(``tests/parallel/``) and differs only in wall-clock.
+
+Entry points:
+
+* :class:`ShardPlan` — deterministic fleet partitioning;
+* :class:`ShardedFleetRuntime` — the drop-in parallel engine behind
+  ``StreamResourceManager(backend="sharded")``;
+* :func:`make_executor` / :class:`SerialExecutor` — process/thread/serial
+  execution strategies with one surface.
+"""
+
+from repro.parallel.executors import EXECUTOR_KINDS, SerialExecutor, make_executor
+from repro.parallel.runtime import ShardHealth, ShardedFleetRuntime
+from repro.parallel.sharding import ShardPlan
+
+__all__ = [
+    "EXECUTOR_KINDS",
+    "SerialExecutor",
+    "make_executor",
+    "ShardHealth",
+    "ShardedFleetRuntime",
+    "ShardPlan",
+]

@@ -1,0 +1,383 @@
+"""The sharded fleet runtime: N streams, S shards, W workers, one result.
+
+:class:`ShardedFleetRuntime` partitions a fleet across shards (see
+:class:`~repro.parallel.sharding.ShardPlan`) and drives one
+:class:`~repro.core.manager.FleetEngine` per shard inside an executor
+worker — a process pool for CPU-bound main runs, a thread pool or the
+serial executor for tests and determinism.  Because every stream's
+filter is independent, a shard's engine computes *bitwise* the same
+per-stream estimates, send decisions and message counts as the
+single-engine batch path; the runtime's merge step scatters shard
+results back to global stream order, so ``backend="sharded"`` is a pure
+wall-clock choice (equivalence-tested on every push).
+
+Design rules:
+
+* **Stateless workers** — every task carries its shard's engine state in
+  and brings the advanced state back.  The coordinator owns all state
+  between dispatches, which is what makes worker death recoverable: a
+  dead worker's shard is respawned and *resumed from its last engine
+  state*, and the re-run chunk is accounted honestly as a degraded gap
+  in the shard's :class:`ShardHealth` (the bounds served during the gap
+  were stale by exactly ``recomputed_ticks`` ticks).
+* **Coordinator-merged telemetry** — workers record into their own
+  :class:`~repro.obs.Telemetry` (a process cannot share the
+  coordinator's registry); the runtime folds worker counters and span
+  stats into the coordinator sink with a ``shard`` label, so one
+  registry/trace still describes the whole run.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.core.manager import FleetEngine, FleetTrace
+from repro.errors import ConfigurationError, ShardingError
+from repro.obs import tracing
+from repro.obs.telemetry import Telemetry, resolve_telemetry
+from repro.parallel.executors import EXECUTOR_KINDS, make_executor
+from repro.parallel.sharding import ShardPlan
+
+__all__ = ["ShardHealth", "ShardedFleetRuntime"]
+
+
+@dataclass
+class ShardHealth:
+    """Supervision record for one shard's workers.
+
+    Attributes:
+        shard_id: Which shard this record describes.
+        respawns: Worker deaths survived (each one re-dispatched the
+            in-flight chunk from the last committed engine state).
+        recomputed_ticks: Stream-ticks that had to be re-run after a
+            death — the honest measure of how long the shard's served
+            bounds were degraded (stale) while its worker was down.
+    """
+
+    shard_id: int
+    respawns: int = 0
+    recomputed_ticks: int = 0
+
+
+@dataclass
+class _ShardTask:
+    """One worker dispatch: run ``values`` through a shard engine."""
+
+    shard_id: int
+    models: list
+    deltas: np.ndarray
+    norm: str
+    values: np.ndarray
+    state: dict | None
+    collect_telemetry: bool
+    fail_marker: str | None = None
+
+
+@dataclass
+class _ShardResult:
+    shard_id: int
+    served: np.ndarray
+    sent: np.ndarray
+    state: dict
+    counters: list = field(default_factory=list)
+    spans: list = field(default_factory=list)
+
+
+def _run_shard_task(task: _ShardTask) -> _ShardResult:
+    """Worker entry point (module-level so process pools can pickle it)."""
+    if task.fail_marker is not None and not os.path.exists(task.fail_marker):
+        # Test hook: die exactly once (the marker file survives the
+        # process), so respawn/resume paths can be exercised on demand.
+        with open(task.fail_marker, "w"):
+            pass
+        raise RuntimeError("injected worker fault (fail_marker)")
+    tel = Telemetry() if task.collect_telemetry else None
+    engine = FleetEngine(task.models, task.deltas, norm=task.norm, telemetry=tel)
+    if task.state is not None:
+        engine.restore_state(task.state)
+    trace = engine.run(task.values)
+    counters: list = []
+    spans: list = []
+    if tel is not None:
+        for family in tel.metrics.families():
+            if family.kind != "counter":
+                continue
+            for key, metric in family.instances.items():
+                counters.append((family.name, dict(key), metric.value))
+        for name in tel.spans.names():
+            stats = tel.spans.get(name)
+            spans.append((name, stats.count, stats.total_s, stats.min_s, stats.max_s))
+    return _ShardResult(
+        shard_id=task.shard_id,
+        served=trace.served,
+        sent=trace.sent,
+        state=engine.state_snapshot(),
+        counters=counters,
+        spans=spans,
+    )
+
+
+class ShardedFleetRuntime:
+    """Drop-in fleet engine that spreads shards across executor workers.
+
+    Presents the same driving surface as
+    :class:`~repro.core.manager.FleetEngine` — :meth:`run`,
+    :meth:`set_deltas`, ``messages``/``ticks`` accounting — so the
+    resource manager can treat ``backend="sharded"`` exactly like
+    ``backend="batch"`` with a different engine behind it.
+
+    Args:
+        models: One process model per stream (global fleet order).
+        deltas: Per-stream bounds, global order.
+        n_shards: How many shards to partition into (default:
+            ``min(4, n_streams)``); ignored when ``plan`` is given.
+        plan: Explicit :class:`ShardPlan` overriding the default
+            contiguous partition.
+        executor: ``"process"`` (main runs), ``"thread"`` or ``"serial"``
+            (tests, determinism, no pickling).
+        max_workers: Pool size; defaults to the number of shards.
+        norm: Dead-band norm, as for :class:`FleetEngine`.
+        chunk_ticks: Dispatch granularity in ticks.  ``None`` runs each
+            :meth:`run` window as a single chunk per shard; smaller
+            chunks bound how much work a worker death can lose.
+        max_respawns: Worker deaths tolerated *per shard per chunk*
+            before the run is abandoned with :class:`ShardingError`.
+        telemetry: Optional coordinator sink; worker counters and spans
+            are folded into it with a ``shard`` label and worker deaths
+            are traced as ``worker_respawn`` events.
+    """
+
+    def __init__(
+        self,
+        models: list,
+        deltas: np.ndarray,
+        *,
+        n_shards: int | None = None,
+        plan: ShardPlan | None = None,
+        executor: str = "process",
+        max_workers: int | None = None,
+        norm: str = "max",
+        chunk_ticks: int | None = None,
+        max_respawns: int = 2,
+        telemetry=None,
+    ):
+        if executor not in EXECUTOR_KINDS:
+            raise ConfigurationError(
+                f"unknown executor {executor!r}; expected one of {EXECUTOR_KINDS}"
+            )
+        if norm not in ("max", "l2"):
+            raise ConfigurationError(f"unknown norm {norm!r}; expected 'max' or 'l2'")
+        if chunk_ticks is not None and chunk_ticks < 1:
+            raise ConfigurationError(
+                f"chunk_ticks must be positive, got {chunk_ticks!r}"
+            )
+        if max_respawns < 0:
+            raise ConfigurationError(
+                f"max_respawns must be >= 0, got {max_respawns!r}"
+            )
+        self.n = len(models)
+        if plan is None:
+            plan = ShardPlan.contiguous(self.n, n_shards or min(4, self.n))
+        elif plan.n_streams != self.n:
+            raise ConfigurationError(
+                f"plan covers {plan.n_streams} streams, fleet has {self.n}"
+            )
+        elif n_shards is not None and n_shards != plan.n_shards:
+            raise ConfigurationError(
+                f"n_shards={n_shards} conflicts with plan.n_shards={plan.n_shards}"
+            )
+        self.plan = plan
+        self.norm = norm
+        self.executor_kind = executor
+        self.max_workers = max_workers if max_workers is not None else plan.n_shards
+        self.chunk_ticks = chunk_ticks
+        self.max_respawns = max_respawns
+        self.models = list(models)
+        self.dim_z_max = max(m.dim_z for m in self.models)
+        self._models_by_shard = plan.split_list(self.models)
+        self._dims_by_shard = [
+            max(m.dim_z for m in ms) for ms in self._models_by_shard
+        ]
+        self.set_deltas(deltas)
+        self._states: list[dict | None] = [None] * plan.n_shards
+        self.health = [ShardHealth(shard_id=k) for k in range(plan.n_shards)]
+        self.messages = np.zeros(self.n, dtype=int)
+        self.ticks = 0
+        self._tel = resolve_telemetry(telemetry)
+        self._executor = None
+        #: Test hook: path of a marker file making the first worker task
+        #: that sees it absent die once (exercises respawn/resume).
+        self.fail_marker: str | None = None
+
+    # ------------------------------------------------------------------
+    # Engine surface
+    # ------------------------------------------------------------------
+    def set_deltas(self, deltas: np.ndarray) -> None:
+        """Install new per-stream bounds (global fleet order)."""
+        deltas = np.asarray(deltas, dtype=float).reshape(-1)
+        if deltas.shape != (self.n,):
+            raise ConfigurationError(
+                f"deltas must have shape ({self.n},), got {deltas.shape}"
+            )
+        if np.any(deltas <= 0):
+            raise ConfigurationError("all per-stream deltas must be positive")
+        self.deltas = deltas
+
+    def run(self, values: np.ndarray) -> FleetTrace:
+        """Drive a ``(T, N, dim_z_max)`` value matrix through the shards.
+
+        Splits the stream axis by the shard plan, dispatches one task per
+        shard per chunk, resumes each shard from its committed state, and
+        merges results back to global stream order.  Output is bitwise
+        equal to :meth:`FleetEngine.run` on the same inputs.
+        """
+        values = np.asarray(values, dtype=float)
+        if values.ndim != 3 or values.shape[1] != self.n:
+            raise ConfigurationError(
+                f"values must have shape (T, {self.n}, dim_z_max), "
+                f"got {values.shape}"
+            )
+        n_ticks = values.shape[0]
+        served = np.full(values.shape, np.nan)
+        sent = np.zeros((n_ticks, self.n), dtype=bool)
+        deltas_by_shard = self.plan.split(self.deltas)
+        values_by_shard = self.plan.split(values, axis=1)
+        chunk = self.chunk_ticks or n_ticks
+        for t0 in range(0, n_ticks, chunk):
+            t1 = min(t0 + chunk, n_ticks)
+            tasks = [
+                _ShardTask(
+                    shard_id=k,
+                    models=self._models_by_shard[k],
+                    deltas=deltas_by_shard[k],
+                    norm=self.norm,
+                    values=values_by_shard[k][t0:t1, :, : self._dims_by_shard[k]],
+                    state=self._states[k],
+                    collect_telemetry=self._tel.enabled,
+                    fail_marker=self.fail_marker,
+                )
+                for k in range(self.plan.n_shards)
+            ]
+            for res in self._dispatch(tasks, tick_base=self.ticks + t0):
+                idx = self.plan.assignments[res.shard_id]
+                width = self._dims_by_shard[res.shard_id]
+                served[t0:t1, idx, :width] = res.served
+                sent[t0:t1, idx] = res.sent
+                self._states[res.shard_id] = res.state
+                if self._tel.enabled:
+                    self._merge_worker_telemetry(res)
+        self.ticks += n_ticks
+        self.messages += sent.sum(axis=0)
+        return FleetTrace(served=served, sent=sent)
+
+    # ------------------------------------------------------------------
+    # Dispatch, supervision, respawn
+    # ------------------------------------------------------------------
+    def _dispatch(self, tasks: list[_ShardTask], tick_base: int) -> list[_ShardResult]:
+        """Run one chunk's tasks, respawning dead workers up to the budget."""
+        results: dict[int, _ShardResult] = {}
+        attempts: dict[int, int] = {t.shard_id: 0 for t in tasks}
+        pending = list(tasks)
+        while pending:
+            executor = self._ensure_executor()
+            futures = [(task, executor.submit(_run_shard_task, task)) for task in pending]
+            retry: list[_ShardTask] = []
+            broken = False
+            for task, future in futures:
+                try:
+                    results[task.shard_id] = future.result()
+                except Exception as exc:  # worker died or task raised
+                    attempts[task.shard_id] += 1
+                    broken = True
+                    health = self.health[task.shard_id]
+                    health.respawns += 1
+                    health.recomputed_ticks += task.values.shape[0]
+                    if self._tel.enabled:
+                        self._tel.inc(
+                            "repro_worker_respawns_total",
+                            shard=str(task.shard_id),
+                        )
+                        self._tel.event(
+                            tracing.WORKER_RESPAWN,
+                            tick_base,
+                            shard=task.shard_id,
+                            attempt=attempts[task.shard_id],
+                            lost_ticks=task.values.shape[0],
+                            error=repr(exc),
+                        )
+                    if attempts[task.shard_id] > self.max_respawns:
+                        raise ShardingError(
+                            f"shard {task.shard_id} failed "
+                            f"{attempts[task.shard_id]} times (budget "
+                            f"{self.max_respawns} respawns); last error: {exc!r}"
+                        ) from exc
+                    retry.append(task)
+            if broken:
+                # A process pool may be broken wholesale after a worker
+                # death; rebuild so the respawned dispatch gets live
+                # workers.  Thread/serial executors survive task errors.
+                if self.executor_kind == "process":
+                    self._shutdown_executor()
+            pending = retry
+        return [results[t.shard_id] for t in tasks]
+
+    def _ensure_executor(self):
+        if self._executor is None:
+            self._executor = make_executor(self.executor_kind, self.max_workers)
+        return self._executor
+
+    def _shutdown_executor(self) -> None:
+        if self._executor is not None:
+            self._executor.shutdown(wait=False, cancel_futures=True)
+            self._executor = None
+
+    def close(self) -> None:
+        """Shut the worker pool down (idempotent)."""
+        self._shutdown_executor()
+
+    def __enter__(self) -> "ShardedFleetRuntime":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.close()
+
+    # ------------------------------------------------------------------
+    # Telemetry merge
+    # ------------------------------------------------------------------
+    def _merge_worker_telemetry(self, res: _ShardResult) -> None:
+        """Fold one worker's counters and spans in, labelled by shard."""
+        tel = self._tel
+        shard = str(res.shard_id)
+        for name, labels, value in res.counters:
+            if value > 0:
+                tel.inc(name, value, shard=shard, **labels)
+        for name, count, total_s, min_s, max_s in res.spans:
+            tel.spans.fold(name, count, total_s, min_s, max_s)
+
+    # ------------------------------------------------------------------
+    # Health
+    # ------------------------------------------------------------------
+    @property
+    def total_respawns(self) -> int:
+        """Worker deaths survived across all shards."""
+        return sum(h.respawns for h in self.health)
+
+    def health_report(self) -> dict:
+        """JSON-ready supervision summary (respawns and degraded gaps)."""
+        return {
+            "n_shards": self.plan.n_shards,
+            "executor": self.executor_kind,
+            "total_respawns": self.total_respawns,
+            "shards": [
+                {
+                    "shard": h.shard_id,
+                    "streams": int(self.plan.assignments[h.shard_id].size),
+                    "respawns": h.respawns,
+                    "recomputed_ticks": h.recomputed_ticks,
+                }
+                for h in self.health
+            ],
+        }

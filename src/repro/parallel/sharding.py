@@ -1,0 +1,158 @@
+"""Deterministic fleet partitioning for the sharded runtime.
+
+A :class:`ShardPlan` is a pure, picklable description of which global
+stream index lives in which shard.  Everything downstream — worker
+dispatch, result merging, per-shard budget accounting — is driven by the
+plan, so determinism reduces to one invariant: *the plan is a function of
+``(n_streams, n_shards, strategy)`` alone*.  Merging scatters per-shard
+arrays back to global stream order, which is what makes the sharded
+backend bit-identical to the single-engine batch path.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+
+__all__ = ["ShardPlan"]
+
+
+@dataclass(frozen=True)
+class ShardPlan:
+    """An assignment of ``n_streams`` global indices to ``n_shards`` shards.
+
+    Attributes:
+        n_streams: Fleet size the plan covers.
+        assignments: One sorted ``int`` index array per shard; together
+            they partition ``range(n_streams)`` (validated).
+    """
+
+    n_streams: int
+    assignments: tuple[np.ndarray, ...]
+
+    def __post_init__(self) -> None:
+        if self.n_streams < 1:
+            raise ConfigurationError(
+                f"n_streams must be positive, got {self.n_streams!r}"
+            )
+        if not self.assignments:
+            raise ConfigurationError("a shard plan needs at least one shard")
+        seen = np.concatenate([np.asarray(a, dtype=int) for a in self.assignments])
+        if seen.size != self.n_streams or not np.array_equal(
+            np.sort(seen), np.arange(self.n_streams)
+        ):
+            raise ConfigurationError(
+                "shard assignments must partition range(n_streams) exactly"
+            )
+        if any(a.size == 0 for a in self.assignments):
+            raise ConfigurationError("every shard must own at least one stream")
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+    @classmethod
+    def contiguous(cls, n_streams: int, n_shards: int) -> "ShardPlan":
+        """Balanced contiguous blocks (shard sizes differ by at most one).
+
+        Contiguous blocks keep each shard's value matrix a simple slice of
+        the stacked fleet array — no gather cost on dispatch — so this is
+        the default strategy.
+        """
+        cls._check_counts(n_streams, n_shards)
+        blocks = np.array_split(np.arange(n_streams), n_shards)
+        return cls(n_streams=n_streams, assignments=tuple(blocks))
+
+    @classmethod
+    def round_robin(cls, n_streams: int, n_shards: int) -> "ShardPlan":
+        """Index ``i`` goes to shard ``i % n_shards``.
+
+        Useful when neighbouring streams have correlated cost (e.g. a
+        fleet sorted by volatility) and contiguous blocks would load-skew.
+        """
+        cls._check_counts(n_streams, n_shards)
+        return cls(
+            n_streams=n_streams,
+            assignments=tuple(
+                np.arange(k, n_streams, n_shards) for k in range(n_shards)
+            ),
+        )
+
+    @staticmethod
+    def _check_counts(n_streams: int, n_shards: int) -> None:
+        if n_shards < 1:
+            raise ConfigurationError(f"n_shards must be positive, got {n_shards!r}")
+        if n_shards > n_streams:
+            raise ConfigurationError(
+                f"cannot spread {n_streams} streams over {n_shards} shards; "
+                "every shard must own at least one stream"
+            )
+
+    # ------------------------------------------------------------------
+    # Views
+    # ------------------------------------------------------------------
+    @property
+    def n_shards(self) -> int:
+        """Number of shards in the plan."""
+        return len(self.assignments)
+
+    @property
+    def shard_sizes(self) -> list[int]:
+        """Streams per shard, in shard order."""
+        return [int(a.size) for a in self.assignments]
+
+    def shard_of(self) -> np.ndarray:
+        """``(n_streams,)`` array mapping global index → shard id."""
+        out = np.empty(self.n_streams, dtype=int)
+        for shard_id, idx in enumerate(self.assignments):
+            out[idx] = shard_id
+        return out
+
+    # ------------------------------------------------------------------
+    # Split / merge
+    # ------------------------------------------------------------------
+    def split(self, arr: np.ndarray, axis: int = 0) -> list[np.ndarray]:
+        """Per-shard slices of ``arr`` taken along the stream ``axis``."""
+        arr = np.asarray(arr)
+        if arr.shape[axis] != self.n_streams:
+            raise ConfigurationError(
+                f"axis {axis} has length {arr.shape[axis]}, "
+                f"expected n_streams={self.n_streams}"
+            )
+        return [np.take(arr, idx, axis=axis) for idx in self.assignments]
+
+    def split_list(self, items: list) -> list[list]:
+        """Per-shard sublists of a length-``n_streams`` Python list."""
+        if len(items) != self.n_streams:
+            raise ConfigurationError(
+                f"got {len(items)} items, expected n_streams={self.n_streams}"
+            )
+        return [[items[i] for i in idx] for idx in self.assignments]
+
+    def merge(self, parts: list[np.ndarray], axis: int = 0) -> np.ndarray:
+        """Scatter per-shard arrays back to global stream order.
+
+        The exact inverse of :meth:`split`: ``merge(split(a, axis), axis)``
+        is bitwise-equal to ``a`` whatever the strategy.
+        """
+        if len(parts) != self.n_shards:
+            raise ConfigurationError(
+                f"got {len(parts)} parts, expected n_shards={self.n_shards}"
+            )
+        parts = [np.asarray(p) for p in parts]
+        first = parts[0]
+        out_shape = list(first.shape)
+        out_shape[axis] = self.n_streams
+        out = np.empty(out_shape, dtype=first.dtype)
+        for idx, part in zip(self.assignments, parts):
+            if part.shape[axis] != idx.size:
+                raise ConfigurationError(
+                    f"shard part has {part.shape[axis]} streams on axis {axis}, "
+                    f"expected {idx.size}"
+                )
+            sl = [slice(None)] * out.ndim
+            sl[axis] = idx
+            out[tuple(sl)] = part
+        return out

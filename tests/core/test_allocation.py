@@ -127,3 +127,77 @@ class TestAllocators:
             allocate_waterfilling(
                 _heterogeneous_curves(), budget=0.5, weights=np.array([1.0, -1.0, 1.0])
             )
+
+    def test_waterfilling_extreme_budget_raises_instead_of_degenerating(self):
+        """Regression: an unbracketable λ must raise, not return silently.
+
+        Pre-fix the lower-bracket loop escaped at λ < 1e-30 without ever
+        bracketing the multiplier and bisection "converged" onto the
+        unbracketed endpoint, silently returning near-zero bounds for a
+        budget the curves cannot express.
+        """
+        with pytest.raises(AllocationError, match="bracket"):
+            allocate_waterfilling(_heterogeneous_curves(), budget=1e40)
+
+    def test_waterfilling_large_but_bracketable_budget_still_works(self):
+        # A huge-but-expressible budget must keep allocating normally.
+        alloc = allocate_waterfilling(_heterogeneous_curves(), budget=1e6)
+        assert np.all(alloc.deltas > 0)
+        assert alloc.predicted_total_rate == pytest.approx(1e6, rel=0.05)
+
+
+class TestWaterfillingScipyAgreement:
+    """Closed-form vs SLSQP on randomized power-law fleets.
+
+    Interior solutions (no active δ box bound) of the two allocators must
+    agree to ~1e-3 relative on the objective — the cross-check that makes
+    the closed form trustworthy fleet-wide.
+    """
+
+    @pytest.mark.parametrize("n_streams,seed", [(3, 0), (8, 1), (16, 2)])
+    def test_interior_optima_agree(self, n_streams, seed):
+        rng = np.random.default_rng(seed)
+        curves = [
+            RateCurve(
+                a=float(np.exp(rng.uniform(np.log(0.02), np.log(5.0)))),
+                b=float(rng.uniform(0.9, 2.8)),
+            )
+            for _ in range(n_streams)
+        ]
+        weights = np.exp(rng.uniform(np.log(0.2), np.log(5.0), n_streams))
+        # A mid-range budget keeps every δ interior to scipy's box bounds.
+        budget = 0.5 * sum(c.rate(1.0) for c in curves)
+        wf = allocate_waterfilling(curves, budget, weights=weights)
+        sp = allocate_scipy(curves, budget, weights=weights)
+        interior = (sp.deltas > 1e-6 * 1.01) & (sp.deltas < 1e6 * 0.99)
+        assert interior.all(), "test setup: solution must be interior"
+        assert wf.weighted_imprecision(weights) == pytest.approx(
+            sp.weighted_imprecision(weights), rel=1e-3
+        )
+        np.testing.assert_allclose(wf.deltas, sp.deltas, rtol=5e-3)
+
+
+class TestRateCurveFitFallback:
+    def test_fit_increasing_rates_falls_back_to_tiny_elasticity(self):
+        """A pathological probe where rate *rises* with δ must not produce
+        a negative elasticity (which RateCurve rejects) — it falls back to
+        the barely-elastic curve so allocators stay well-defined."""
+        curve = RateCurve.fit(
+            np.array([0.5, 1.0, 2.0, 4.0]), np.array([0.1, 0.15, 0.3, 0.6])
+        )
+        assert curve.b == pytest.approx(1e-3)
+        assert curve.a > 0
+
+    def test_fit_non_monotone_noise_dominated_probe_stays_positive(self):
+        # Probes that wobble (non-decreasing on some segments) still fit a
+        # usable positive-elasticity curve when the trend is downward.
+        curve = RateCurve.fit(
+            np.array([0.5, 1.0, 2.0, 4.0, 8.0]),
+            np.array([0.8, 0.9, 0.35, 0.4, 0.1]),
+        )
+        assert curve.a > 0 and curve.b > 0
+
+    def test_fallback_curve_survives_allocation(self):
+        flat = RateCurve.fit(np.array([1.0, 2.0, 4.0]), np.array([0.2, 0.2, 0.2]))
+        alloc = allocate_waterfilling([flat, RateCurve(a=1.0, b=2.0)], budget=1.0)
+        assert np.all(np.isfinite(alloc.deltas)) and np.all(alloc.deltas > 0)

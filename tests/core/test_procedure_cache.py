@@ -8,7 +8,7 @@ from repro.core.procedure_cache import ProcedureCache, StaticValueCache
 from repro.core.server import StreamServer
 from repro.core.source import SourceAgent
 from repro.errors import QueryError
-from repro.kalman.models import constant_velocity
+from repro.kalman.models import constant_velocity, random_walk
 from repro.streams.base import Reading
 
 
@@ -72,6 +72,80 @@ class TestProcedureCache:
         server = _warmed_server(cv_model, readings)
         with pytest.raises(QueryError):
             ProcedureCache(server).horizon_within("s", tolerance=0.0)
+
+
+def _fresh_update_server(rng):
+    """A warmed server whose *last* tick delivered a measurement update.
+
+    The final reading jumps far outside the dead band, so the source must
+    send and the served value is the raw measurement — the configuration
+    where the pre-fix ``steps == 0`` forecast path (serve-surface snapshot)
+    and the ``steps >= 1`` path (filter-state propagation) disagreed.
+    """
+    model = random_walk(process_noise=0.3, measurement_sigma=0.5)
+    readings = [
+        Reading(t=float(i), value=float(rng.normal(0.0, 0.5))) for i in range(80)
+    ]
+    readings.append(Reading(t=80.0, value=25.0))
+    server = _warmed_server(model, readings, delta=1.5)
+    assert server.snapshot("s").fresh, "test setup: last tick must be an update"
+    return server
+
+
+class TestHorizonBoundaryRegression:
+    """The forecast convention is continuous at the steps==0 boundary.
+
+    Pre-fix, ``forecast(s, 0)`` returned the serve-surface snapshot (the
+    raw measurement on an update tick) while ``forecast(s, 1)`` propagated
+    the filter estimate — a discontinuous jump between ``current()`` and
+    the one-step forecast.  These tests fail on that code.
+    """
+
+    def test_forecast_value_continuous_at_boundary(self, rng):
+        # For a random-walk model F = I, so the forecast value must be the
+        # same at every horizon; any k=0 special-casing shows up as a jump.
+        cache = ProcedureCache(_fresh_update_server(rng))
+        v0 = cache.forecast("s", 0).value
+        v1 = cache.forecast("s", 1).value
+        v5 = cache.forecast("s", 5).value
+        np.testing.assert_allclose(v0, v1, rtol=0, atol=1e-12)
+        np.testing.assert_allclose(v0, v5, rtol=0, atol=1e-12)
+
+    def test_current_reports_filter_estimate(self, rng):
+        server = _fresh_update_server(rng)
+        cache = ProcedureCache(server)
+        kf = server.state("s").replica.filter
+        np.testing.assert_allclose(
+            cache.current("s").value, kf.model.H @ kf.x, rtol=0, atol=1e-12
+        )
+
+    def test_forecast_std_monotone_across_boundary(self, rng):
+        # Under the single convention the std curve is non-decreasing from
+        # k=0 on (random walk: var(k) = H(P + kQ)Hᵀ + R); in particular no
+        # discontinuity between current() and forecast(s, 1).
+        cache = ProcedureCache(_fresh_update_server(rng))
+        stds = [float(cache.forecast("s", k).std[0]) for k in range(50)]
+        assert all(b >= a for a, b in zip(stds, stds[1:])), stds
+
+    def test_horizon_within_matches_per_step_forecast(self, cv_model, rng):
+        readings = [
+            Reading(t=float(i), value=0.5 * i + float(rng.normal(0, 0.2)))
+            for i in range(150)
+        ]
+        server = _warmed_server(cv_model, readings)
+        cache = ProcedureCache(server)
+
+        def reference_horizon(tolerance, max_steps):
+            # The old O(n²) definition: probe each step from scratch.
+            for steps in range(max_steps + 1):
+                if float(np.max(cache.forecast("s", steps).std)) > tolerance:
+                    return max(0, steps - 1)
+            return max_steps
+
+        for tolerance in (0.5, 1.0, 2.5, 10.0, 1e6):
+            assert cache.horizon_within("s", tolerance, max_steps=300) == (
+                reference_horizon(tolerance, 300)
+            ), tolerance
 
 
 class TestStaticValueCache:
