@@ -22,6 +22,7 @@ Plus the supervised variant:
 
 from __future__ import annotations
 
+from collections import Counter
 from dataclasses import dataclass, field
 
 import numpy as np
@@ -168,6 +169,103 @@ class DualKalmanPolicy(SuppressionPolicy):
         equivalence suite diffs it against the batch engine per step.
         """
         return self.source.replica.state()
+
+    def policy_snapshot(self) -> dict:
+        """Every piece of mutable policy state, for durable checkpoints.
+
+        The scalar counterpart of
+        :meth:`~repro.core.manager.FleetEngine.state_snapshot`: restoring
+        via :meth:`restore_policy` resumes the policy with bit-identical
+        continuation (both replicas, suppression bookkeeping, sequence
+        counter, message accounting).  Only fixed-bound policies are
+        snapshotable — adaptation state is not captured, so an adaptive
+        policy refuses rather than silently resuming wrong.
+        """
+        if self.source.adaptation is not None:
+            raise ConfigurationError(
+                "adaptive policies cannot be snapshotted: adaptation state "
+                "is not captured; run checkpointing with adaptive=False"
+            )
+        src, srv = self.source, self.server
+        src_tick, src_x, src_p = src.replica.state()
+        srv_tick, srv_x, srv_p = srv.replica.state()
+        return {
+            "source": {
+                "tick": src_tick,
+                "x": src_x,
+                "P": src_p,
+                "n_predicts": src.replica.filter.n_predicts,
+                "n_updates": src.replica.filter.n_updates,
+                "last_was_outlier": src._last_was_outlier,
+                "seq": src._seq,
+                "warm": src._warm,
+                "ticks": src.ticks,
+                "updates_sent": src.updates_sent,
+            },
+            "server": {
+                "tick": srv_tick,
+                "x": srv_x,
+                "P": srv_p,
+                "n_predicts": srv.replica.filter.n_predicts,
+                "n_updates": srv.replica.filter.n_updates,
+                "warm": srv._warm,
+                "served": None if srv._served is None else srv._served.copy(),
+                "fresh": srv._fresh,
+                "last_seq": srv._last_seq,
+                "duplicates_dropped": srv.duplicates_dropped,
+            },
+            "stats": {
+                "sent_messages": dict(self.stats.sent_messages),
+                "sent_payload_bytes": dict(self.stats.sent_payload_bytes),
+                "dropped_messages": dict(self.stats.dropped_messages),
+            },
+        }
+
+    def restore_policy(self, snapshot: dict) -> None:
+        """Resume from a :meth:`policy_snapshot` (exact, bitwise).
+
+        ``set_state``'s re-symmetrization of P is a bitwise no-op here
+        because every live covariance is already exactly symmetric (the
+        filter symmetrizes after each predict/update).
+        """
+        src, srv = self.source, self.server
+        s = snapshot["source"]
+        src.replica.filter.set_state(
+            np.asarray(s["x"], dtype=float), np.asarray(s["P"], dtype=float)
+        )
+        src.replica.filter.n_predicts = int(s["n_predicts"])
+        src.replica.filter.n_updates = int(s["n_updates"])
+        src.replica.tick = int(s["tick"])
+        src._last_was_outlier = bool(s["last_was_outlier"])
+        src._seq = int(s["seq"])
+        src._warm = bool(s["warm"])
+        src.ticks = int(s["ticks"])
+        src.updates_sent = int(s["updates_sent"])
+        v = snapshot["server"]
+        srv.replica.filter.set_state(
+            np.asarray(v["x"], dtype=float), np.asarray(v["P"], dtype=float)
+        )
+        srv.replica.filter.n_predicts = int(v["n_predicts"])
+        srv.replica.filter.n_updates = int(v["n_updates"])
+        srv.replica.tick = int(v["tick"])
+        srv._warm = bool(v["warm"])
+        srv._served = (
+            None if v["served"] is None else np.asarray(v["served"], dtype=float)
+        )
+        srv._fresh = bool(v["fresh"])
+        srv._last_seq = int(v["last_seq"])
+        srv.duplicates_dropped = int(v["duplicates_dropped"])
+        stats = snapshot.get("stats")
+        if stats is not None:
+            self.stats.sent_messages = Counter(
+                {k: int(n) for k, n in stats["sent_messages"].items()}
+            )
+            self.stats.sent_payload_bytes = Counter(
+                {k: int(n) for k, n in stats["sent_payload_bytes"].items()}
+            )
+            self.stats.dropped_messages = Counter(
+                {k: int(n) for k, n in stats["dropped_messages"].items()}
+            )
 
     def describe(self) -> str:
         adaptive = "adaptive" if self.source.adaptation is not None else "fixed"

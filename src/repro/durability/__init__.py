@@ -1,0 +1,60 @@
+"""Durable checkpointing and staged, verify-before-swap crash recovery.
+
+The paper's autonomic thesis demands that a restarted system pick itself
+up without an operator: this package persists versioned fleet snapshots
+with atomic commits and checksums (:mod:`~repro.durability.store`),
+encodes them bitwise-exactly (:mod:`~repro.durability.codec`), and
+restores them through a staged state machine that verifies into a shadow
+engine before ever touching live state
+(:mod:`~repro.durability.recovery`).
+
+Wiring lives with the engines: :class:`~repro.core.manager.StreamResourceManager`
+checkpoints every ``checkpoint_every`` epochs of ``run_dynamic`` and
+resumes via ``resume=True``; :class:`~repro.parallel.runtime.ShardedFleetRuntime`
+exposes ``checkpoint()``/``recover_from_checkpoint()`` for coordinator
+restarts.  See ``docs/durability.md``.
+"""
+
+from repro.durability.codec import (
+    decode_state,
+    dumps_payload,
+    encode_state,
+    loads_payload,
+)
+from repro.durability.recovery import (
+    ACTIVE,
+    FAILED,
+    INSPECTING,
+    READING,
+    REHYDRATING,
+    STAGE_INDEX,
+    STAGES,
+    SWAPPING,
+    VERIFYING,
+    RecoveryAttempt,
+    RecoveryReport,
+    StagedRecoverer,
+)
+from repro.durability.store import CRASH_POINTS, CheckpointInfo, CheckpointStore
+
+__all__ = [
+    "CheckpointStore",
+    "CheckpointInfo",
+    "CRASH_POINTS",
+    "StagedRecoverer",
+    "RecoveryReport",
+    "RecoveryAttempt",
+    "STAGES",
+    "STAGE_INDEX",
+    "INSPECTING",
+    "READING",
+    "VERIFYING",
+    "REHYDRATING",
+    "SWAPPING",
+    "ACTIVE",
+    "FAILED",
+    "encode_state",
+    "decode_state",
+    "dumps_payload",
+    "loads_payload",
+]

@@ -60,5 +60,33 @@ class ShardingError(ReproError):
     """
 
 
+class CheckpointError(ReproError):
+    """A durable checkpoint could not be written, listed, or decoded."""
+
+
+class CheckpointCorruptError(CheckpointError):
+    """A checkpoint failed integrity verification.
+
+    Raised when a payload's size or SHA-256 disagrees with its manifest,
+    when the manifest's schema version is not the one this code writes,
+    or when the payload bytes do not parse — a torn write, a bit flip, or
+    a stale manifest.  The staged recoverer treats this as "fall back to
+    an older generation", never as "restore anyway".
+    """
+
+
+class RecoveryError(ReproError):
+    """Staged recovery exhausted every checkpoint generation.
+
+    Carries the :class:`~repro.durability.recovery.RecoveryReport` of the
+    failed attempt sequence as ``report`` so operators can see exactly
+    which generation failed at which stage and why.
+    """
+
+    def __init__(self, message: str, report=None):
+        super().__init__(message)
+        self.report = report
+
+
 class StreamExhaustedError(ReproError):
     """A finite stream was asked for more readings than it contains."""

@@ -7,8 +7,22 @@ bursts at the sensor — all seeded, reproducible, and declared up front via
 :class:`~repro.faults.plan.FaultPlan`.  The supervision layer in
 :mod:`repro.core.supervision` is what detects and recovers from what this
 package injects.
+
+:mod:`~repro.faults.durability_faults` extends the same philosophy to
+storage: simulated kills mid-checkpoint-write and post-hoc corruption of
+committed generations, which the staged recoverer in
+:mod:`repro.durability` must survive.
 """
 
+from repro.faults.durability_faults import (
+    CrashPoint,
+    SimulatedCrash,
+    bump_schema_version,
+    delete_manifest,
+    flip_payload_bit,
+    stale_manifest,
+    truncate_payload,
+)
 from repro.faults.channel_faults import (
     BlackoutFault,
     ChannelFault,
@@ -41,4 +55,11 @@ __all__ = [
     "SensorOutage",
     "StuckSensor",
     "SpikeBurst",
+    "SimulatedCrash",
+    "CrashPoint",
+    "flip_payload_bit",
+    "truncate_payload",
+    "delete_manifest",
+    "stale_manifest",
+    "bump_schema_version",
 ]

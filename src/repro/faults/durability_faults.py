@@ -1,0 +1,132 @@
+"""Crash injection for the durability layer: torn writes and bit rot.
+
+Two complementary attack surfaces:
+
+* **Kill-mid-write** — :class:`CrashPoint` plugs into
+  :class:`~repro.durability.store.CheckpointStore`'s ``crash_hook`` and
+  raises :class:`SimulatedCrash` the first time a chosen protocol point
+  (one of :data:`~repro.durability.store.CRASH_POINTS`) is reached,
+  modeling a process kill at exactly that instant.  Whatever the store
+  left on disk *is* the post-crash reality the recovery tests inspect.
+
+* **Post-hoc vandalism** — functions that corrupt an already-committed
+  generation the way real storage fails: a flipped bit in the payload, a
+  truncation, a deleted or stale manifest, a schema version from the
+  future.  Each maps onto a specific recovery stage that must catch it.
+
+Everything here is deterministic (explicit offsets, no RNG) so a failed
+chaos test replays exactly.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+from repro.durability.store import CheckpointInfo
+from repro.errors import ReproError
+
+__all__ = [
+    "SimulatedCrash",
+    "CrashPoint",
+    "flip_payload_bit",
+    "truncate_payload",
+    "delete_manifest",
+    "stale_manifest",
+    "bump_schema_version",
+]
+
+
+class SimulatedCrash(ReproError):
+    """Raised by :class:`CrashPoint` to model a process kill.
+
+    Deliberately a distinct type so tests can assert the *injected* crash
+    surfaced (and nothing swallowed it as a generic checkpoint error).
+    """
+
+
+class CrashPoint:
+    """A ``crash_hook`` that kills the writer at one named protocol point.
+
+    Args:
+        point: One of :data:`~repro.durability.store.CRASH_POINTS`.
+        after: Survive this many visits to ``point`` before crashing
+            (``0`` = crash on the first visit).  Lets a test write k good
+            generations and then tear the (k+1)-th.
+
+    The hook fires at most once (``fired``), so a store can keep being
+    used after the simulated kill — exactly like a restarted process
+    reopening the same directory.
+    """
+
+    def __init__(self, point: str, after: int = 0):
+        self.point = point
+        self.after = after
+        self.seen = 0
+        self.fired = False
+
+    def __call__(self, point: str) -> None:
+        if self.fired or point != self.point:
+            return
+        if self.seen < self.after:
+            self.seen += 1
+            return
+        self.fired = True
+        raise SimulatedCrash(f"simulated kill at checkpoint write point {point!r}")
+
+
+def flip_payload_bit(info: CheckpointInfo, byte_offset: int = 0, bit: int = 0) -> None:
+    """Flip one bit of a committed payload — classic silent bit rot.
+
+    The manifest still promises the original SHA-256, so VERIFYING must
+    reject the generation.
+    """
+    path = info.payload_path
+    data = bytearray(path.read_bytes())
+    data[byte_offset % len(data)] ^= 1 << (bit % 8)
+    path.write_bytes(bytes(data))
+
+
+def truncate_payload(info: CheckpointInfo, keep_fraction: float = 0.5) -> None:
+    """Cut a committed payload short — a torn write the manifest outlived."""
+    path = info.payload_path
+    data = path.read_bytes()
+    path.write_bytes(data[: int(len(data) * keep_fraction)])
+
+
+def delete_manifest(info: CheckpointInfo) -> None:
+    """Remove a generation's manifest, demoting it to an orphan."""
+    (info.path / "manifest.json").unlink()
+
+
+def stale_manifest(info: CheckpointInfo, donor: CheckpointInfo) -> None:
+    """Overwrite a generation's manifest with another generation's.
+
+    Models a mis-directed or replayed write: the manifest parses fine but
+    its checksum describes *different* payload bytes, so only the hash
+    comparison in VERIFYING can catch it.
+    """
+    manifest = json.loads((donor.path / "manifest.json").read_text())
+    manifest["generation"] = info.generation
+    (info.path / "manifest.json").write_text(json.dumps(manifest, indent=2))
+
+
+def bump_schema_version(info: CheckpointInfo, version: int = 999) -> None:
+    """Rewrite a manifest to claim a foreign schema version.
+
+    Models reading a checkpoint written by newer code; VERIFYING must
+    refuse it rather than guess at the layout.
+    """
+    path = info.path / "manifest.json"
+    manifest = json.loads(path.read_text())
+    manifest["schema_version"] = version
+    path.write_text(json.dumps(manifest, indent=2))
+
+
+def _orphan_dirs(root: Path) -> list[Path]:
+    """Helper for tests: gen-* directories with no manifest."""
+    return [
+        p
+        for p in sorted(root.glob("gen-*"))
+        if p.is_dir() and not (p / "manifest.json").exists()
+    ]

@@ -32,6 +32,9 @@ __all__ = [
     "NACK",
     "MODEL_SWITCH",
     "WORKER_RESPAWN",
+    "CHECKPOINT_WRITE",
+    "RECOVERY_STAGE",
+    "RECOVERY_FALLBACK",
     "TraceEvent",
     "EventTracer",
 ]
@@ -51,6 +54,9 @@ HEARTBEAT = "heartbeat"  #: the source beaconed during suppression
 NACK = "nack"  #: the server requested a repair
 MODEL_SWITCH = "model_switch"  #: an adaptation shipped a procedure change
 WORKER_RESPAWN = "worker_respawn"  #: a sharded-runtime worker died and its shard was respawned
+CHECKPOINT_WRITE = "checkpoint_write"  #: a durable checkpoint generation was committed
+RECOVERY_STAGE = "recovery_stage"  #: staged recovery entered a new stage
+RECOVERY_FALLBACK = "recovery_fallback"  #: a generation failed verification; recovery fell back
 
 EVENT_TYPES = frozenset(
     {
@@ -67,6 +73,9 @@ EVENT_TYPES = frozenset(
         NACK,
         MODEL_SWITCH,
         WORKER_RESPAWN,
+        CHECKPOINT_WRITE,
+        RECOVERY_STAGE,
+        RECOVERY_FALLBACK,
     }
 )
 

@@ -55,11 +55,17 @@ class ShardHealth:
         recomputed_ticks: Stream-ticks that had to be re-run after a
             death — the honest measure of how long the shard's served
             bounds were degraded (stale) while its worker was down.
+        rehydrations: Times this shard's state was reloaded from a
+            *durable* checkpoint (coordinator restart), as opposed to the
+            in-memory resume a plain respawn uses.  Answers served between
+            the checkpoint tick and the rehydration are degraded the same
+            way a respawn gap is — the counter keeps that honest.
     """
 
     shard_id: int
     respawns: int = 0
     recomputed_ticks: int = 0
+    rehydrations: int = 0
 
 
 @dataclass
@@ -345,6 +351,156 @@ class ShardedFleetRuntime:
         self.close()
 
     # ------------------------------------------------------------------
+    # Durable state: global snapshot/restore + checkpoint recovery
+    # ------------------------------------------------------------------
+    def state_snapshot(self) -> dict:
+        """Global-fleet-order snapshot, same shape as the batch engine's.
+
+        Shard-local engine states are merged back to global stream order,
+        so the result is interchangeable with
+        :meth:`~repro.core.manager.FleetEngine.state_snapshot` — a
+        checkpoint written by one backend restores into the other.
+        Shards that never dispatched yet contribute their initial state.
+        """
+        x: list = [None] * self.n
+        p: list = [None] * self.n
+        warm = np.zeros(self.n, dtype=bool)
+        messages = np.zeros(self.n, dtype=int)
+        n_predicts = np.zeros(self.n, dtype=int)
+        n_updates = np.zeros(self.n, dtype=int)
+        deltas_by_shard = self.plan.split(self.deltas)
+        for k in range(self.plan.n_shards):
+            state = self._states[k]
+            if state is None:
+                state = FleetEngine(
+                    self._models_by_shard[k], deltas_by_shard[k], norm=self.norm
+                ).state_snapshot()
+            idx = self.plan.assignments[k]
+            for local, global_i in enumerate(idx):
+                x[global_i] = np.asarray(state["x"][local], dtype=float).copy()
+                p[global_i] = np.asarray(state["P"][local], dtype=float).copy()
+            warm[idx] = np.asarray(state["warm"], dtype=bool)
+            messages[idx] = np.asarray(state["messages"], dtype=int)
+            n_predicts[idx] = np.asarray(state["n_predicts"], dtype=int)
+            n_updates[idx] = np.asarray(state["n_updates"], dtype=int)
+        return {
+            "x": x,
+            "P": p,
+            "warm": warm,
+            "messages": messages,
+            "ticks": self.ticks,
+            "n_predicts": n_predicts,
+            "n_updates": n_updates,
+        }
+
+    def restore_state(self, snapshot: dict) -> None:
+        """Resume every shard from a global-fleet-order snapshot.
+
+        Accepts exactly what :meth:`state_snapshot` (or the batch
+        engine's) returns — including one decoded from a durable
+        checkpoint.  The global arrays are split by the shard plan into
+        the per-shard states the next dispatch resumes from.
+        """
+        if len(snapshot["x"]) != self.n:
+            raise ConfigurationError(
+                f"snapshot covers {len(snapshot['x'])} filters, fleet has {self.n}"
+            )
+        warm = np.asarray(snapshot["warm"], dtype=bool)
+        messages = np.asarray(snapshot["messages"], dtype=int)
+        n_predicts = np.asarray(snapshot["n_predicts"], dtype=int)
+        n_updates = np.asarray(snapshot["n_updates"], dtype=int)
+        ticks = int(snapshot["ticks"])
+        for k in range(self.plan.n_shards):
+            idx = self.plan.assignments[k]
+            self._states[k] = {
+                "x": [
+                    np.asarray(snapshot["x"][i], dtype=float).copy() for i in idx
+                ],
+                "P": [
+                    np.asarray(snapshot["P"][i], dtype=float).copy() for i in idx
+                ],
+                "warm": warm[idx].copy(),
+                "messages": messages[idx].copy(),
+                "ticks": ticks,
+                "n_predicts": n_predicts[idx].copy(),
+                "n_updates": n_updates[idx].copy(),
+            }
+        self.ticks = ticks
+        self.messages = messages.copy()
+
+    def checkpoint(self, store, *, meta: dict | None = None):
+        """Commit the runtime's merged state as one durable generation.
+
+        Returns the new generation's
+        :class:`~repro.durability.store.CheckpointInfo`.
+        """
+        payload = {
+            "kind": "sharded_runtime",
+            "n": self.n,
+            "engine": self.state_snapshot(),
+        }
+        tel = self._tel
+        with tel.span("checkpoint_write"):
+            info = store.save(payload, tick=self.ticks, meta=meta)
+        if tel.enabled:
+            tel.inc("repro_checkpoint_writes_total")
+            tel.event(
+                tracing.CHECKPOINT_WRITE,
+                self.ticks,
+                generation=info.generation,
+                bytes=info.payload_bytes,
+            )
+        return info
+
+    def recover_from_checkpoint(self, store, telemetry=None):
+        """Restore from the newest verifiable generation in ``store``.
+
+        The coordinator-restart path: in-memory shard states are gone, so
+        the runtime rebuilds them from disk through a
+        :class:`~repro.durability.recovery.StagedRecoverer` — a torn or
+        corrupt newest generation falls back to an older one, and nothing
+        touches the live shard states until a generation has fully
+        verified and rehydrated into a shadow.  Returns the
+        :class:`~repro.durability.recovery.RecoveryReport`; an empty
+        store reports success with ``generation=None`` (cold start).
+        """
+        from repro.durability.recovery import StagedRecoverer
+        from repro.errors import CheckpointError
+
+        def rehydrate(payload: dict, info) -> dict:
+            if payload.get("kind") != "sharded_runtime":
+                raise CheckpointError(
+                    f"generation {info.generation} holds "
+                    f"{payload.get('kind')!r}, not a sharded-runtime checkpoint"
+                )
+            if int(payload.get("n", -1)) != self.n:
+                raise CheckpointError(
+                    f"generation {info.generation} covers {payload.get('n')} "
+                    f"streams, fleet has {self.n}"
+                )
+            snapshot = payload["engine"]
+            # Prove the snapshot rebuilds a real engine before the live
+            # shard states are touched: restore into a detached shadow.
+            shadow = FleetEngine(self.models, self.deltas, norm=self.norm)
+            shadow.restore_state(snapshot)
+            return snapshot
+
+        def swap(snapshot: dict, info) -> None:
+            self.restore_state(snapshot)
+
+        recoverer = StagedRecoverer(
+            store,
+            rehydrate,
+            swap,
+            telemetry=telemetry if telemetry is not None else self._tel,
+        )
+        report = recoverer.recover()
+        if report.generation is not None:
+            for health in self.health:
+                health.rehydrations += 1
+        return report
+
+    # ------------------------------------------------------------------
     # Telemetry merge
     # ------------------------------------------------------------------
     def _merge_worker_telemetry(self, res: _ShardResult) -> None:
@@ -377,6 +533,7 @@ class ShardedFleetRuntime:
                     "streams": int(self.plan.assignments[h.shard_id].size),
                     "respawns": h.respawns,
                     "recomputed_ticks": h.recomputed_ticks,
+                    "rehydrations": h.rehydrations,
                 }
                 for h in self.health
             ],

@@ -170,3 +170,55 @@ class TestManagerBackendKnob:
             np.testing.assert_allclose(
                 es.mean_abs_errors, eb.mean_abs_errors, atol=1e-9
             )
+
+
+class TestSnapshotIsolation:
+    """A held state_snapshot must be immune to subsequent engine steps —
+    the checkpoint writer serializes it after the engine moves on."""
+
+    def _stepped_engine(self, n_ticks=12):
+        models = [
+            random_walk(process_noise=0.25, measurement_sigma=0.1),
+            constant_velocity(process_noise=0.25, measurement_sigma=0.1),
+        ]
+        engine = FleetEngine(models, np.array([0.3, 0.6]))
+        values = np.random.default_rng(5).standard_normal((n_ticks, 2, 1))
+        for v in values:
+            engine.step(v)
+        return engine
+
+    def test_held_snapshot_immune_to_step(self):
+        engine = self._stepped_engine()
+        snap = engine.state_snapshot()
+        frozen = {
+            "x": [x.copy() for x in snap["x"]],
+            "P": [p.copy() for p in snap["P"]],
+            "warm": snap["warm"].copy(),
+            "messages": snap["messages"].copy(),
+            "ticks": snap["ticks"],
+            "n_predicts": snap["n_predicts"].copy(),
+            "n_updates": snap["n_updates"].copy(),
+        }
+        more = np.random.default_rng(6).standard_normal((15, 2, 1))
+        for v in more:
+            engine.step(v)
+        for i in range(2):
+            np.testing.assert_array_equal(snap["x"][i], frozen["x"][i])
+            np.testing.assert_array_equal(snap["P"][i], frozen["P"][i])
+        np.testing.assert_array_equal(snap["warm"], frozen["warm"])
+        np.testing.assert_array_equal(snap["messages"], frozen["messages"])
+        np.testing.assert_array_equal(snap["n_predicts"], frozen["n_predicts"])
+        np.testing.assert_array_equal(snap["n_updates"], frozen["n_updates"])
+        assert snap["ticks"] == frozen["ticks"]
+
+    def test_mutating_snapshot_does_not_corrupt_engine(self):
+        engine = self._stepped_engine()
+        before = engine.state_snapshot()
+        vandal = engine.state_snapshot()
+        for arr in vandal["x"]:
+            arr[:] = 1e9
+        vandal["warm"][:] = False
+        after = engine.state_snapshot()
+        for i in range(2):
+            np.testing.assert_array_equal(before["x"][i], after["x"][i])
+        np.testing.assert_array_equal(before["warm"], after["warm"])

@@ -1,0 +1,115 @@
+"""Bitwise round-trip guarantees of the checkpoint codec."""
+
+import numpy as np
+import pytest
+
+from repro.durability import decode_state, dumps_payload, encode_state, loads_payload
+from repro.errors import CheckpointError
+
+
+class TestRoundTrip:
+    def test_scalars_and_containers(self):
+        payload = {
+            "none": None,
+            "flag": True,
+            "count": 42,
+            "rate": 0.1,
+            "name": "stream-0",
+            "nested": {"list": [1, 2.5, "x", None], "tuple": (3, 4)},
+        }
+        back = loads_payload(dumps_payload(payload))
+        assert back["none"] is None
+        assert back["flag"] is True
+        assert back["count"] == 42
+        assert back["rate"] == 0.1
+        assert back["nested"]["list"] == [1, 2.5, "x", None]
+        assert back["nested"]["tuple"] == [3, 4]  # JSON has no tuple
+
+    def test_arrays_bitwise_exact(self):
+        rng = np.random.default_rng(0)
+        arrays = {
+            "f64": rng.standard_normal((3, 3)),
+            "tiny": np.array([1e-300, -1e-300, 5e-324]),
+            "bools": np.array([True, False, True]),
+            "ints": np.arange(7, dtype=np.int64),
+            "empty": np.zeros((0, 2)),
+        }
+        back = loads_payload(dumps_payload(arrays))
+        for key, arr in arrays.items():
+            assert back[key].dtype == arr.dtype
+            assert back[key].shape == arr.shape
+            np.testing.assert_array_equal(
+                back[key].view(np.uint8), arr.view(np.uint8)
+            )
+
+    def test_special_floats_survive(self):
+        payload = {
+            "arr": np.array([np.nan, np.inf, -np.inf, -0.0]),
+            "scalar_nan": float("nan"),
+        }
+        back = loads_payload(dumps_payload(payload))
+        np.testing.assert_array_equal(
+            back["arr"].view(np.uint8), payload["arr"].view(np.uint8)
+        )
+        assert np.isnan(back["scalar_nan"])
+
+    def test_float_bit_patterns_exact(self):
+        # Shortest-repr JSON floats must reproduce the exact IEEE bits.
+        vals = [0.1, 1 / 3, np.nextafter(1.0, 2.0), 2**-1074, 1e308]
+        back = loads_payload(dumps_payload({"v": vals}))
+        for a, b in zip(vals, back["v"]):
+            assert np.float64(a).tobytes() == np.float64(b).tobytes()
+
+    def test_numpy_scalars_become_python(self):
+        back = loads_payload(
+            dumps_payload({"i": np.int64(7), "f": np.float64(0.25), "b": np.bool_(True)})
+        )
+        assert back["i"] == 7 and isinstance(back["i"], int)
+        assert back["f"] == 0.25 and isinstance(back["f"], float)
+        assert back["b"] is True
+
+    def test_decoded_arrays_are_writable_copies(self):
+        back = loads_payload(dumps_payload({"a": np.arange(4.0)}))
+        back["a"][0] = 99.0  # np.frombuffer views are read-only; ours must not be
+        assert back["a"][0] == 99.0
+
+    def test_encode_is_idempotent(self):
+        payload = {"x": np.arange(3.0), "nested": {"y": np.eye(2)}}
+        once = encode_state(payload)
+        twice = encode_state(once)
+        assert once == twice
+        np.testing.assert_array_equal(decode_state(twice)["x"], payload["x"])
+
+    def test_canonical_bytes_are_stable(self):
+        payload = {"b": 1, "a": np.arange(3.0)}
+        assert dumps_payload(payload) == dumps_payload(
+            {"a": np.arange(3.0), "b": 1}
+        )
+
+
+class TestRejection:
+    def test_non_string_keys_rejected(self):
+        with pytest.raises(CheckpointError, match="keys must be strings"):
+            dumps_payload({"ok": {1: "bad"}})
+
+    def test_unsupported_type_rejected(self):
+        with pytest.raises(CheckpointError, match="cannot encode"):
+            dumps_payload({"obj": object()})
+
+    def test_malformed_array_encoding_rejected(self):
+        with pytest.raises(CheckpointError, match="malformed array"):
+            decode_state({"__ndarray__": {"dtype": "float64", "shape": [2]}})
+
+    def test_wrong_byte_count_rejected(self):
+        good = encode_state({"a": np.arange(4.0)})["a"]
+        good["__ndarray__"]["shape"] = [3]  # promises 24 bytes, data has 32
+        with pytest.raises(CheckpointError, match="bytes"):
+            decode_state({"a": good})
+
+    def test_non_object_root_rejected(self):
+        with pytest.raises(CheckpointError, match="root must be an object"):
+            loads_payload(b"[1, 2, 3]")
+
+    def test_unparseable_bytes_rejected(self):
+        with pytest.raises(CheckpointError, match="do not parse"):
+            loads_payload(b"\xff\xfenot json")

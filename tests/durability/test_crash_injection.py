@@ -1,0 +1,96 @@
+"""Kill the checkpoint writer at every protocol point; the store must
+stay consistent and recovery must still land on the last good state."""
+
+import numpy as np
+import pytest
+
+from repro.durability import CRASH_POINTS, CheckpointStore, StagedRecoverer
+from repro.faults import CrashPoint, SimulatedCrash
+
+pytestmark = pytest.mark.chaos
+
+
+def _payload(seed=0):
+    rng = np.random.default_rng(seed)
+    return {"x": rng.standard_normal(4), "seed": seed}
+
+
+def _crashed_store(tmp_path, point, n_good=2):
+    """A store with ``n_good`` committed generations and one save killed
+    at ``point``."""
+    root = tmp_path / "ckpt"
+    store = CheckpointStore(
+        root, fsync=False, crash_hook=CrashPoint(point, after=n_good)
+    )
+    survivors = []
+    with pytest.raises(SimulatedCrash):
+        for i in range(n_good + 1):
+            survivors.append(store.save(_payload(i), tick=i))
+    assert len(survivors) == n_good
+    return root, survivors
+
+
+@pytest.mark.parametrize("point", CRASH_POINTS[:-1])
+def test_kill_before_commit_leaves_no_committed_generation(tmp_path, point):
+    root, survivors = _crashed_store(tmp_path, point, n_good=0)
+    assert survivors == []
+    reopened = CheckpointStore(root, fsync=False)
+    committed, orphans = reopened.inspect()
+    assert committed == []
+    assert len(orphans) <= 1  # at most the torn directory, never a manifest
+
+
+def test_kill_after_commit_generation_is_durable(tmp_path):
+    root, _ = _crashed_store(tmp_path, "committed", n_good=0)
+    reopened = CheckpointStore(root, fsync=False)
+    info = reopened.latest()
+    assert info is not None and info.generation == 1
+    assert reopened.read(info)["seed"] == 0
+
+
+@pytest.mark.parametrize("point", CRASH_POINTS)
+def test_earlier_generations_survive_any_crash(tmp_path, point):
+    root, survivors = _crashed_store(tmp_path, point, n_good=2)
+    assert [s.generation for s in survivors] == [1, 2]
+    reopened = CheckpointStore(root, fsync=False)
+    committed = reopened.generations()
+    assert [c.generation for c in committed][:2] == [1, 2]
+    for info in committed:
+        reopened.read(info)  # every visible generation verifies
+
+
+@pytest.mark.parametrize("point", CRASH_POINTS[:-1])
+def test_recovery_after_crash_lands_on_last_good(tmp_path, point):
+    root, _ = _crashed_store(tmp_path, point, n_good=2)
+    reopened = CheckpointStore(root, fsync=False)
+    landed = []
+    recoverer = StagedRecoverer(
+        reopened,
+        rehydrate=lambda payload, info: payload,
+        swap=lambda shadow, info: landed.append(shadow["seed"]),
+    )
+    report = recoverer.recover()
+    assert report.succeeded
+    assert report.generation == 2
+    assert landed == [1]
+
+
+@pytest.mark.parametrize("point", CRASH_POINTS[:-1])
+def test_next_save_skips_torn_generation_number(tmp_path, point):
+    """A crashed write burns its generation number — a later writer must
+    never reuse (and silently overwrite) the torn directory."""
+    root, _ = _crashed_store(tmp_path, point, n_good=1)
+    reopened = CheckpointStore(root, fsync=False)
+    info = reopened.save(_payload(9), tick=9)
+    assert info.generation == 3  # gen-2 was torn, its number is burned
+    assert reopened.read(info)["seed"] == 9
+
+
+def test_crash_point_fires_once_then_passes(tmp_path):
+    hook = CrashPoint("payload_written", after=1)
+    store = CheckpointStore(tmp_path / "ckpt", fsync=False, crash_hook=hook)
+    store.save(_payload(0))  # first visit survives
+    with pytest.raises(SimulatedCrash):
+        store.save(_payload(1))
+    info = store.save(_payload(2))  # hook is spent; writes succeed again
+    assert store.read(info)["seed"] == 2

@@ -1,0 +1,145 @@
+"""StagedRecoverer: stage order, fallback ladder, terminal swap failures."""
+
+import numpy as np
+import pytest
+
+from repro.durability import (
+    ACTIVE,
+    FAILED,
+    READING,
+    REHYDRATING,
+    SWAPPING,
+    VERIFYING,
+    CheckpointStore,
+    StagedRecoverer,
+)
+from repro.durability.recovery import STAGE_INDEX
+from repro.errors import CheckpointError, RecoveryError
+from repro.faults import bump_schema_version, flip_payload_bit
+from repro.obs import tracing
+from repro.obs.telemetry import Telemetry
+
+
+def _store(tmp_path, n_generations=3, retain=5):
+    store = CheckpointStore(tmp_path / "ckpt", retain=retain, fsync=False)
+    for i in range(n_generations):
+        store.save({"value": float(i), "arr": np.arange(3.0) * i}, tick=10 * i)
+    return store
+
+
+def _recoverer(store, swapped, fail_rehydrate=(), fail_swap=(), telemetry=None):
+    def rehydrate(payload, info):
+        if info.generation in fail_rehydrate:
+            raise CheckpointError(f"forced rehydrate failure gen {info.generation}")
+        return {"payload": payload, "generation": info.generation}
+
+    def swap(shadow, info):
+        if info.generation in fail_swap:
+            raise RuntimeError(f"forced swap failure gen {info.generation}")
+        swapped.append(shadow)
+
+    return StagedRecoverer(store, rehydrate, swap, telemetry=telemetry)
+
+
+class TestHappyPath:
+    def test_newest_generation_wins(self, tmp_path):
+        store = _store(tmp_path)
+        swapped = []
+        report = _recoverer(store, swapped).recover()
+        assert report.succeeded
+        assert report.generation == 3
+        assert report.fallbacks == 0
+        assert swapped[0]["payload"]["value"] == 2.0
+        assert report.attempts[0].stages == (READING, VERIFYING, REHYDRATING, SWAPPING)
+
+    def test_empty_store_is_cold_start_not_failure(self, tmp_path):
+        store = CheckpointStore(tmp_path / "ckpt", fsync=False)
+        swapped = []
+        report = _recoverer(store, swapped).recover()
+        assert report.succeeded
+        assert report.generation is None
+        assert swapped == []
+
+
+class TestFallback:
+    def test_corrupt_newest_falls_back(self, tmp_path):
+        store = _store(tmp_path)
+        flip_payload_bit(store.generations()[-1])
+        swapped = []
+        report = _recoverer(store, swapped).recover()
+        assert report.generation == 2
+        assert report.fallbacks == 1
+        assert report.attempts[0].failed_stage == VERIFYING
+        assert swapped[0]["payload"]["value"] == 1.0
+
+    def test_schema_mismatch_falls_back(self, tmp_path):
+        store = _store(tmp_path)
+        bump_schema_version(store.generations()[-1])
+        report = _recoverer(store, []).recover()
+        assert report.generation == 2
+        assert report.attempts[0].failed_stage == VERIFYING
+
+    def test_rehydrate_failure_falls_back(self, tmp_path):
+        store = _store(tmp_path)
+        swapped = []
+        report = _recoverer(store, swapped, fail_rehydrate={3}).recover()
+        assert report.generation == 2
+        assert report.attempts[0].failed_stage == REHYDRATING
+
+    def test_all_generations_bad_raises_with_report(self, tmp_path):
+        store = _store(tmp_path)
+        for info in store.generations():
+            flip_payload_bit(info)
+        with pytest.raises(RecoveryError) as exc_info:
+            _recoverer(store, []).recover()
+        report = exc_info.value.report
+        assert report.stage == FAILED
+        assert len(report.attempts) == 3
+        assert all(a.failed_stage == VERIFYING for a in report.attempts)
+
+    def test_swap_failure_is_terminal_no_fallback(self, tmp_path):
+        """A failure after live mutation began must not try older state."""
+        store = _store(tmp_path)
+        swapped = []
+        with pytest.raises(RecoveryError, match="swap"):
+            _recoverer(store, swapped, fail_swap={3}).recover()
+        assert swapped == []  # gen 2 was never attempted
+
+    def test_orphans_reported(self, tmp_path):
+        store = _store(tmp_path)
+        orphan = store.root / "gen-00000009"
+        orphan.mkdir()
+        (orphan / "payload.json.tmp").write_bytes(b"torn")
+        report = _recoverer(store, []).recover()
+        assert report.succeeded
+        assert "gen-00000009" in report.orphans
+
+
+class TestTelemetry:
+    def test_stage_events_and_gauge(self, tmp_path):
+        store = _store(tmp_path)
+        flip_payload_bit(store.generations()[-1])
+        tel = Telemetry()
+        report = _recoverer(store, [], telemetry=tel).recover()
+        assert report.generation == 2
+        stage_events = tel.tracer.events(tracing.RECOVERY_STAGE)
+        stages_seen = [dict(e.fields)["stage"] for e in stage_events]
+        assert stages_seen[-1] == ACTIVE
+        assert VERIFYING in stages_seen and SWAPPING in stages_seen
+        fallbacks = tel.tracer.events(tracing.RECOVERY_FALLBACK)
+        assert len(fallbacks) == 1
+        assert dict(fallbacks[0].fields)["generation"] == 3
+        families = {f.name: f for f in tel.metrics.families()}
+        assert "repro_recovery_fallbacks_total" in families
+        assert "repro_durable_recoveries_total" in families
+        gauge = families["repro_recovery_stage"]
+        (value,) = [m.value for m in gauge.instances.values()]
+        assert value == STAGE_INDEX[ACTIVE]
+
+    def test_spans_cover_stages(self, tmp_path):
+        store = _store(tmp_path)
+        tel = Telemetry()
+        _recoverer(store, [], telemetry=tel).recover()
+        names = set(tel.spans.names())
+        assert {"recovery.inspect", "recovery.read", "recovery.verify",
+                "recovery.rehydrate", "recovery.swap"} <= names

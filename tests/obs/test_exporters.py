@@ -94,6 +94,25 @@ class TestJsonlRoundTrip:
             {"kind": "degrade_exit", "tick": 9, "stream_id": "s0", "duration": 4},
         ]
 
+    def test_durability_events_round_trip(self):
+        tracer = EventTracer()
+        tracer.record(tracing.CHECKPOINT_WRITE, 4000, generation=7, bytes=1024)
+        tracer.record(tracing.RECOVERY_STAGE, 0, generation=7, stage="verifying")
+        tracer.record(
+            tracing.RECOVERY_FALLBACK, 0, generation=7, error="payload SHA-256"
+        )
+        rows = parse_jsonl(events_to_jsonl(tracer.events()))
+        assert rows == [
+            {"kind": "checkpoint_write", "tick": 4000, "bytes": 1024, "generation": 7},
+            {"kind": "recovery_stage", "tick": 0, "generation": 7, "stage": "verifying"},
+            {
+                "kind": "recovery_fallback",
+                "tick": 0,
+                "error": "payload SHA-256",
+                "generation": 7,
+            },
+        ]
+
     def test_empty_trace_is_empty_text(self):
         assert events_to_jsonl([]) == ""
         assert parse_jsonl("") == []

@@ -1,0 +1,193 @@
+"""Durable state on the sharded runtime: global snapshots interchange
+with the batch engine, checkpoints survive a coordinator restart, and a
+blown respawn budget leaves health and telemetry consistent."""
+
+import numpy as np
+import pytest
+
+from repro.core.manager import FleetEngine
+from repro.durability import CheckpointStore
+from repro.errors import RecoveryError, ShardingError
+from repro.faults import flip_payload_bit
+from repro.kalman.models import random_walk
+from repro.obs import tracing
+from repro.obs.telemetry import Telemetry
+from repro.parallel import ShardedFleetRuntime
+
+
+def _models(n):
+    return [random_walk(process_noise=0.1 + 0.05 * i) for i in range(n)]
+
+
+def _values(models, n_ticks, seed=3):
+    rng = np.random.default_rng(seed)
+    values = np.cumsum(rng.normal(0, 0.4, size=(n_ticks, len(models), 1)), axis=0)
+    return values + rng.normal(0, 0.1, size=values.shape)
+
+
+def _runtime(models, deltas, **kw):
+    kw.setdefault("n_shards", 3)
+    kw.setdefault("executor", "serial")
+    return ShardedFleetRuntime(models, deltas, **kw)
+
+
+class TestGlobalSnapshot:
+    def test_snapshot_interchangeable_with_batch_engine(self):
+        """A sharded snapshot restores into a FleetEngine (and back) with
+        bitwise-equal continuation — the cross-backend checkpoint contract."""
+        models = _models(6)
+        deltas = np.full(6, 0.8)
+        values = _values(models, 180)
+        reference = FleetEngine(models, deltas).run(values)
+
+        with _runtime(models, deltas) as rt:
+            rt.run(values[:100])
+            snap = rt.state_snapshot()
+
+        engine = FleetEngine(models, deltas)
+        engine.restore_state(snap)
+        served = np.array([engine.step(v)[0].copy() for v in values[100:]])
+        np.testing.assert_array_equal(served, reference.served[100:])
+
+        with _runtime(models, deltas, n_shards=2) as rt2:  # different plan
+            rt2.restore_state(snap)
+            trace = rt2.run(values[100:])
+        np.testing.assert_array_equal(trace.served, reference.served[100:])
+        np.testing.assert_array_equal(rt2.messages, reference.sent.sum(axis=0))
+
+    def test_snapshot_before_any_dispatch(self):
+        models = _models(4)
+        with _runtime(models, np.full(4, 0.8)) as rt:
+            snap = rt.state_snapshot()
+        fresh = FleetEngine(models, np.full(4, 0.8)).state_snapshot()
+        assert snap["ticks"] == 0
+        np.testing.assert_array_equal(snap["warm"], fresh["warm"])
+
+
+class TestCoordinatorRestart:
+    def test_checkpoint_then_recover_in_new_runtime(self, tmp_path):
+        models = _models(6)
+        deltas = np.full(6, 0.8)
+        values = _values(models, 200)
+        reference = FleetEngine(models, deltas).run(values)
+        store = CheckpointStore(tmp_path / "ckpt", fsync=False)
+
+        with _runtime(models, deltas) as rt:
+            rt.run(values[:120])
+            info = rt.checkpoint(store, meta={"note": "pre-restart"})
+        assert info.generation == 1
+        assert info.tick == 120
+
+        # The coordinator "restarts": a brand-new runtime, no memory.
+        with _runtime(models, deltas) as rt2:
+            report = rt2.recover_from_checkpoint(store)
+            trace = rt2.run(values[120:])
+        assert report.succeeded and report.generation == 1
+        np.testing.assert_array_equal(trace.served, reference.served[120:])
+        assert all(h.rehydrations == 1 for h in rt2.health)
+        assert all(
+            row["rehydrations"] == 1 for row in rt2.health_report()["shards"]
+        )
+
+    def test_recover_falls_back_past_corrupt_newest(self, tmp_path):
+        models = _models(4)
+        deltas = np.full(4, 0.8)
+        values = _values(models, 150)
+        store = CheckpointStore(tmp_path / "ckpt", fsync=False)
+        with _runtime(models, deltas) as rt:
+            rt.run(values[:50])
+            good = rt.checkpoint(store)
+            rt.run(values[50:100])
+            bad = rt.checkpoint(store)
+        flip_payload_bit(bad)
+
+        reference = FleetEngine(models, deltas).run(values)
+        with _runtime(models, deltas) as rt2:
+            report = rt2.recover_from_checkpoint(store)
+            trace = rt2.run(values[50:])
+        assert report.generation == good.generation
+        assert report.fallbacks == 1
+        np.testing.assert_array_equal(trace.served, reference.served[50:])
+
+    def test_recover_empty_store_is_cold_start(self, tmp_path):
+        store = CheckpointStore(tmp_path / "ckpt", fsync=False)
+        models = _models(4)
+        with _runtime(models, np.full(4, 0.8)) as rt:
+            report = rt.recover_from_checkpoint(store)
+        assert report.succeeded and report.generation is None
+        assert all(h.rehydrations == 0 for h in rt.health)
+
+    def test_recover_rejects_wrong_fleet_size(self, tmp_path):
+        store = CheckpointStore(tmp_path / "ckpt", fsync=False)
+        with _runtime(_models(6), np.full(6, 0.8)) as rt:
+            rt.run(_values(_models(6), 60))
+            rt.checkpoint(store)
+        with _runtime(_models(4), np.full(4, 0.8)) as small:
+            with pytest.raises(RecoveryError):
+                small.recover_from_checkpoint(store)
+
+    def test_checkpoint_emits_event_and_counter(self, tmp_path):
+        tel = Telemetry()
+        store = CheckpointStore(tmp_path / "ckpt", fsync=False)
+        models = _models(4)
+        with _runtime(models, np.full(4, 0.8), telemetry=tel) as rt:
+            rt.run(_values(models, 60))
+            info = rt.checkpoint(store)
+        events = tel.tracer.events(tracing.CHECKPOINT_WRITE)
+        assert len(events) == 1
+        fields = dict(events[0].fields)
+        assert fields["generation"] == info.generation
+        assert fields["bytes"] == info.payload_bytes
+        assert tel.metrics.value("repro_checkpoint_writes_total") == 1
+        assert "checkpoint_write" in tel.spans.names()
+
+
+@pytest.mark.chaos
+class TestRespawnBudgetConsistency:
+    """Blowing the respawn budget must leave the books straight: every
+    worker death has its WORKER_RESPAWN event, and no chunk's messages
+    are counted twice (or at all, for the chunk that never committed)."""
+
+    def test_exhausted_budget_keeps_health_and_telemetry_consistent(
+        self, tmp_path
+    ):
+        tel = Telemetry()
+        models = _models(4)
+        deltas = np.full(4, 0.8)
+        good = _values(models, 80, seed=3)
+        doomed = _values(models, 40, seed=4)
+        reference = FleetEngine(models, deltas).run(good)
+
+        with _runtime(
+            models, deltas, n_shards=2, max_respawns=1, telemetry=tel
+        ) as rt:
+            rt.run(good)  # one clean, committed run
+            rt.fail_marker = str(tmp_path / "no-such-dir" / "marker")
+            with pytest.raises(ShardingError, match="budget"):
+                rt.run(doomed)
+
+            # Every death is on the books exactly once.
+            events = tel.tracer.events(tracing.WORKER_RESPAWN)
+            assert len(events) == rt.total_respawns > 0
+            respawn_counters = tel.metrics.families()
+            by_name = {f.name: f for f in respawn_counters}
+            counted = sum(
+                m.value for m in by_name["repro_worker_respawns_total"].instances.values()
+            )
+            assert counted == rt.total_respawns
+
+            # The failed chunk committed nothing: tick and message
+            # accounting still describe exactly the clean run.
+            assert rt.ticks == 80
+            ref_messages = reference.sent.sum(axis=0)
+            np.testing.assert_array_equal(rt.messages, ref_messages)
+            merged = sum(
+                m.value
+                for m in by_name["repro_messages_total"].instances.values()
+            )
+            assert merged == int(ref_messages.sum())
+
+        # The runtime is still usable for honest post-mortem reporting.
+        report = rt.health_report()
+        assert report["total_respawns"] == rt.total_respawns
+        assert sum(s["respawns"] for s in report["shards"]) == rt.total_respawns

@@ -1,0 +1,174 @@
+"""Snapshot round-trip property: ``state_snapshot → encode → decode →
+restore_state`` resumes bitwise-identically — including across a real
+process boundary, which is the crash-recovery contract."""
+
+from __future__ import annotations
+
+import os
+import subprocess
+import sys
+from pathlib import Path
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.manager import FleetEngine
+from repro.core.precision import AbsoluteBound
+from repro.core.session import DualKalmanPolicy
+from repro.durability import dumps_payload, loads_payload
+from repro.kalman.models import harmonic, kinematic, random_walk
+from repro.streams.replay import record
+from repro.streams.synthetic import RandomWalkStream
+
+SRC = Path(__file__).resolve().parents[2] / "src"
+
+
+def _engine(orders, deltas):
+    models = [
+        kinematic(order=o, process_noise=0.4, measurement_sigma=0.3)
+        if o <= 3
+        else harmonic(omega=0.7, process_noise=0.4, measurement_sigma=0.3)
+        for o in orders
+    ]
+    return FleetEngine(models, np.asarray(deltas, dtype=float))
+
+
+def _drive(engine, values):
+    served = [engine.step(v)[0].copy() for v in values]
+    return np.array(served)
+
+
+@st.composite
+def fleet_cases(draw):
+    n = draw(st.integers(1, 4))
+    orders = [draw(st.integers(1, 4)) for _ in range(n)]
+    deltas = [draw(st.floats(0.05, 3.0, allow_nan=False)) for _ in range(n)]
+    seed = draw(st.integers(0, 2**16))
+    split = draw(st.integers(1, 40))
+    return orders, deltas, seed, split
+
+
+class TestEngineRoundTrip:
+    @given(fleet_cases())
+    @settings(max_examples=25, deadline=None)
+    def test_encode_decode_restore_is_bitwise(self, case):
+        orders, deltas, seed, split = case
+        rng = np.random.default_rng(seed)
+        values = rng.standard_normal((split + 30, len(orders), 1))
+
+        reference = _engine(orders, deltas)
+        ref_served = _drive(reference, values)
+
+        resumed = _engine(orders, deltas)
+        _drive(resumed, values[:split])
+        snapshot = loads_payload(dumps_payload(resumed.state_snapshot()))
+        fresh = _engine(orders, deltas)
+        fresh.restore_state(snapshot)
+        tail = _drive(fresh, values[split:])
+
+        np.testing.assert_array_equal(
+            tail.view(np.uint8), ref_served[split:].view(np.uint8)
+        )
+        assert fresh.ticks == reference.ticks
+        np.testing.assert_array_equal(fresh.messages, reference.messages)
+
+    def test_snapshot_restores_warm_flags_and_counters(self):
+        engine = _engine([1, 2], [0.5, 0.5])
+        values = np.random.default_rng(0).standard_normal((10, 2, 1))
+        _drive(engine, values)
+        snap = loads_payload(dumps_payload(engine.state_snapshot()))
+        fresh = _engine([1, 2], [0.5, 0.5])
+        fresh.restore_state(snap)
+        np.testing.assert_array_equal(fresh.warm, engine.warm)
+        np.testing.assert_array_equal(
+            fresh.filters.n_predicts, engine.filters.n_predicts
+        )
+        np.testing.assert_array_equal(
+            fresh.filters.n_updates, engine.filters.n_updates
+        )
+
+
+class TestPolicyRoundTrip:
+    @given(st.integers(0, 2**16), st.integers(5, 40))
+    @settings(max_examples=15, deadline=None)
+    def test_scalar_policy_snapshot_is_bitwise(self, seed, split):
+        readings = record(
+            RandomWalkStream(step_sigma=0.5, measurement_sigma=0.1, seed=seed),
+            split + 25,
+        ).readings
+        model = random_walk(process_noise=0.25, measurement_sigma=0.1)
+
+        reference = DualKalmanPolicy(model, AbsoluteBound(0.4))
+        ref_outcomes = [reference.tick(r) for r in readings]
+
+        donor = DualKalmanPolicy(model, AbsoluteBound(0.4))
+        for r in readings[:split]:
+            donor.tick(r)
+        snap = loads_payload(dumps_payload(donor.policy_snapshot()))
+        fresh = DualKalmanPolicy(model, AbsoluteBound(0.4))
+        fresh.restore_policy(snap)
+
+        for r, ref in zip(readings[split:], ref_outcomes[split:]):
+            out = fresh.tick(r)
+            assert out.sent == ref.sent
+            if ref.estimate is None:
+                assert out.estimate is None
+            else:
+                assert out.estimate.tobytes() == ref.estimate.tobytes()
+        assert fresh.stats.sent_messages == reference.stats.sent_messages
+
+
+_CHILD = """
+import sys
+import numpy as np
+from repro.core.manager import FleetEngine
+from repro.durability import loads_payload
+from repro.kalman.models import kinematic
+
+payload_path, values_path, out_path = sys.argv[1:4]
+snapshot = loads_payload(open(payload_path, "rb").read())
+models = [kinematic(order=o, process_noise=0.4, measurement_sigma=0.3)
+          for o in (1, 2, 3)]
+engine = FleetEngine(models, np.array([0.3, 0.6, 0.9]))
+engine.restore_state(snapshot)
+values = np.load(values_path)
+served = np.array([engine.step(v)[0].copy() for v in values])
+np.save(out_path, served)
+"""
+
+
+def test_round_trip_across_process_boundary(tmp_path):
+    """The snapshot written by one process resumes bitwise in another —
+    no in-process state (caches, identity, aliasing) is load-bearing."""
+    orders, deltas = [1, 2, 3], [0.3, 0.6, 0.9]
+    rng = np.random.default_rng(42)
+    values = rng.standard_normal((60, 3, 1))
+
+    reference = _engine(orders, deltas)
+    ref_served = _drive(reference, values)
+
+    parent = _engine(orders, deltas)
+    _drive(parent, values[:35])
+    (tmp_path / "snap.json").write_bytes(dumps_payload(parent.state_snapshot()))
+    np.save(tmp_path / "tail.npy", values[35:])
+
+    proc = subprocess.run(
+        [
+            sys.executable,
+            "-c",
+            _CHILD,
+            str(tmp_path / "snap.json"),
+            str(tmp_path / "tail.npy"),
+            str(tmp_path / "served.npy"),
+        ],
+        env={**os.environ, "PYTHONPATH": str(SRC)},
+        capture_output=True,
+        text=True,
+    )
+    assert proc.returncode == 0, proc.stderr
+    child_served = np.load(tmp_path / "served.npy")
+    np.testing.assert_array_equal(
+        child_served.view(np.uint8), ref_served[35:].view(np.uint8)
+    )
