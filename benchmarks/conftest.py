@@ -29,6 +29,27 @@ RESULTS_DIR = Path(__file__).parent / "results"
 #: Bump when the JSON record layout changes incompatibly.
 RESULT_SCHEMA_VERSION = 1
 
+#: experiment_id -> benchmark file that first claimed it, for the whole
+#: pytest process.  Two bench files writing the same sidecar silently
+#: overwrite each other's results — numbering drift (two "table 8"s) has
+#: to fail loudly instead.
+_SIDECAR_CLAIMS: dict[str, str] = {}
+
+
+def _claim_sidecar(experiment_id: str, owner: str) -> None:
+    """Register ``owner`` (a bench file) as the writer of ``experiment_id``.
+
+    Re-claims by the same file are fine (parametrized benchmarks record
+    once per param set); a claim by a *different* file is a numbering
+    collision and raises.
+    """
+    holder = _SIDECAR_CLAIMS.setdefault(experiment_id, owner)
+    if holder != owner:
+        raise AssertionError(
+            f"benchmark sidecar collision: {experiment_id!r} is written by "
+            f"both {holder} and {owner}; renumber one of them"
+        )
+
 
 def _json_record(
     experiment_id: str,
@@ -47,13 +68,15 @@ def _json_record(
 
 
 @pytest.fixture
-def record_result():
+def record_result(request):
     """Write a rendered experiment to benchmarks/results/ and echo it.
 
     Call as ``record_result(experiment_id, text, params=..., headline=...)``;
     the optional dicts feed the JSON sidecar (``<experiment_id>.json``).
     Wall time is measured from fixture setup, so it covers the benchmarked
-    computation, not just the recording call.
+    computation, not just the recording call.  Each ``experiment_id`` may
+    be written by exactly one bench file per run — a second file claiming
+    the same id fails the recording call (numbering-drift guard).
 
     In quick mode (``REPRO_BENCH_QUICK=1``) the rendered text is echoed but
     *not* written: trimmed smoke runs must never clobber full-size results.
@@ -63,6 +86,7 @@ def record_result():
     full-size results).
     """
     t0 = time.perf_counter()
+    owner = Path(str(request.node.fspath)).name
 
     def _record(
         experiment_id: str,
@@ -71,6 +95,7 @@ def record_result():
         headline: dict[str, Any] | None = None,
     ) -> None:
         wall = time.perf_counter() - t0
+        _claim_sidecar(experiment_id, owner)
         record = _json_record(experiment_id, params, headline, wall)
         json_dir = os.environ.get("REPRO_BENCH_JSON_DIR")
         if QUICK:

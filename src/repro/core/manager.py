@@ -145,6 +145,15 @@ class FleetResult:
         w = np.ones_like(errors) if weights is None else np.asarray(weights, float)
         return float(np.sum(w * errors) / np.sum(w))
 
+    def stream_bounds(self) -> dict[str, float]:
+        """Per-stream allocated δ — the serving tier's precision config.
+
+        This is the hand-off from resource allocation to query serving: a
+        :class:`~repro.serving.store.ServingStore` built from these bounds
+        tags every served tuple with the δ the allocator actually granted.
+        """
+        return {r.stream_id: r.delta for r in self.reports}
+
 
 @dataclass(frozen=True)
 class SupervisedStreamReport:
@@ -443,8 +452,18 @@ class FleetEngine:
         self.ticks += 1
         return served, sent
 
-    def run(self, values: np.ndarray) -> FleetTrace:
-        """Drive a ``(T, N, dim_z_max)`` value matrix through the fleet."""
+    def run(self, values: np.ndarray, on_tick=None) -> FleetTrace:
+        """Drive a ``(T, N, dim_z_max)`` value matrix through the fleet.
+
+        Args:
+            values: The ``(T, N, dim_z_max)`` measurement matrix.
+            on_tick: Optional ``on_tick(t, served_t, sent_t)`` callback
+                invoked after every step with that tick's ``(N, dim)``
+                served row and ``(N,)`` sent mask — how a live consumer
+                (the query-serving store) observes the fleet without the
+                engine knowing about it.  The rows are views into the
+                trace; callbacks must not mutate them.
+        """
         values = np.asarray(values, dtype=float)
         if values.ndim != 3 or values.shape[1] != self.n:
             raise ConfigurationError(
@@ -456,6 +475,8 @@ class FleetEngine:
         sent = np.zeros((n_ticks, self.n), dtype=bool)
         for t in range(n_ticks):
             served[t], sent[t] = self.step(values[t])
+            if on_tick is not None:
+                on_tick(t, served[t], sent[t])
         return FleetTrace(served=served, sent=sent)
 
 

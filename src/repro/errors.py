@@ -90,3 +90,14 @@ class RecoveryError(ReproError):
 
 class StreamExhaustedError(ReproError):
     """A finite stream was asked for more readings than it contains."""
+
+
+class ServingError(ReproError):
+    """A query-serving request could not be answered.
+
+    Raised for structurally unanswerable requests — an unknown or
+    never-ingested stream, a windowed aggregate asked of a history that
+    has not warmed up yet.  Overload is *not* an error: the serving tier
+    answers every admitted request, degrading to a stale answer with an
+    honestly widened bound rather than shedding load.
+    """

@@ -35,6 +35,8 @@ __all__ = [
     "CHECKPOINT_WRITE",
     "RECOVERY_STAGE",
     "RECOVERY_FALLBACK",
+    "OVERLOAD_ENTER",
+    "OVERLOAD_EXIT",
     "TraceEvent",
     "EventTracer",
 ]
@@ -57,6 +59,8 @@ WORKER_RESPAWN = "worker_respawn"  #: a sharded-runtime worker died and its shar
 CHECKPOINT_WRITE = "checkpoint_write"  #: a durable checkpoint generation was committed
 RECOVERY_STAGE = "recovery_stage"  #: staged recovery entered a new stage
 RECOVERY_FALLBACK = "recovery_fallback"  #: a generation failed verification; recovery fell back
+OVERLOAD_ENTER = "overload_enter"  #: serving admission crossed its in-flight limit
+OVERLOAD_EXIT = "overload_exit"  #: serving in-flight fell back under the limit
 
 EVENT_TYPES = frozenset(
     {
@@ -76,6 +80,8 @@ EVENT_TYPES = frozenset(
         CHECKPOINT_WRITE,
         RECOVERY_STAGE,
         RECOVERY_FALLBACK,
+        OVERLOAD_ENTER,
+        OVERLOAD_EXIT,
     }
 )
 

@@ -1,0 +1,54 @@
+"""The async query-serving tier.
+
+The paper's deployment story ends at a served cache: replicated
+procedures answer queries without touching the stream sources.  This
+package puts a serving front-end on that cache — an asyncio
+:class:`QueryServer` answering precision-bounded point / range /
+windowed-aggregate queries from a :class:`ServingStore` of served
+tuples, driven by simulated user traffic (:class:`WorkloadModel`, an
+AsyncFlow-style users × requests-per-minute process) and graded against
+latency SLOs (:class:`LatencySLO`).  Under overload the server degrades
+honestly — stale cached answers with widened bounds, never silent drops.
+"""
+
+from repro.serving.client import LoadReport, drive_workload, run_workload
+from repro.serving.requests import (
+    AggregateQuery,
+    PointQuery,
+    Query,
+    RangeQuery,
+    ServingResponse,
+)
+from repro.serving.server import AdmissionConfig, QueryServer
+from repro.serving.slo import LatencySLO, SLOReport
+from repro.serving.store import ServingStore
+from repro.serving.workload import (
+    RequestMix,
+    RequestSchedule,
+    RVConfig,
+    ScheduledRequest,
+    WindowStats,
+    WorkloadModel,
+)
+
+__all__ = [
+    "AdmissionConfig",
+    "AggregateQuery",
+    "LatencySLO",
+    "LoadReport",
+    "PointQuery",
+    "Query",
+    "QueryServer",
+    "RangeQuery",
+    "RequestMix",
+    "RequestSchedule",
+    "RVConfig",
+    "SLOReport",
+    "ScheduledRequest",
+    "ServingResponse",
+    "ServingStore",
+    "WindowStats",
+    "WorkloadModel",
+    "drive_workload",
+    "run_workload",
+]

@@ -1,0 +1,141 @@
+"""The simulated-client driver: replay a schedule against a server.
+
+:func:`drive_workload` takes a fully materialized
+:class:`~repro.serving.workload.RequestSchedule` and fires each request
+at its arrival offset (scaled by ``time_scale``, so a 60-second
+simulated schedule can replay in 60 ms), gathering every response into a
+:class:`LoadReport` of achieved throughput and latency percentiles.
+Structurally unanswerable requests (cold streams, un-warmed windows)
+raise :class:`~repro.errors.ServingError` server-side; the driver counts
+them as errors rather than aborting the run — a load test should survive
+its own warm-up.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.errors import ServingError
+from repro.serving.requests import ServingResponse
+from repro.serving.server import QueryServer
+from repro.serving.workload import RequestSchedule
+
+__all__ = ["LoadReport", "drive_workload", "run_workload"]
+
+
+@dataclass
+class LoadReport:
+    """What a workload replay measured.
+
+    Attributes:
+        n_scheduled: Requests in the schedule.
+        n_answered: Requests that produced a response.
+        n_degraded: Answered requests served degraded (stale + widened).
+        n_errors: Requests refused as structurally unanswerable
+            (:class:`~repro.errors.ServingError`); overload never lands
+            here — degraded answers are still answers.
+        wall_s: Wall-clock duration of the replay.
+        latencies_s: Per-answer serving latency, in answer order.
+        by_kind: Answered-request tally per query kind.
+        responses: The responses themselves (kept only when the driver
+            was asked to; empty for large benchmark runs).
+    """
+
+    n_scheduled: int = 0
+    n_answered: int = 0
+    n_degraded: int = 0
+    n_errors: int = 0
+    wall_s: float = 0.0
+    latencies_s: list[float] = field(default_factory=list)
+    by_kind: dict[str, int] = field(default_factory=dict)
+    responses: list[ServingResponse] = field(default_factory=list)
+
+    def latency_percentile(self, q: float) -> float:
+        """Latency percentile ``q`` in [0, 100] (NaN with no answers)."""
+        if not self.latencies_s:
+            return float("nan")
+        return float(np.percentile(np.asarray(self.latencies_s), q))
+
+    @property
+    def p50_s(self) -> float:
+        """Median serving latency in seconds."""
+        return self.latency_percentile(50.0)
+
+    @property
+    def p99_s(self) -> float:
+        """99th-percentile serving latency in seconds."""
+        return self.latency_percentile(99.0)
+
+    @property
+    def qps(self) -> float:
+        """Sustained answered requests per wall-clock second."""
+        return self.n_answered / self.wall_s if self.wall_s > 0 else 0.0
+
+    @property
+    def degraded_fraction(self) -> float:
+        """Share of answers that were degraded (0.0 with no answers)."""
+        return self.n_degraded / self.n_answered if self.n_answered else 0.0
+
+
+async def drive_workload(
+    server: QueryServer,
+    schedule: RequestSchedule,
+    time_scale: float = 1.0,
+    keep_responses: bool = False,
+) -> LoadReport:
+    """Replay ``schedule`` against ``server``; returns a :class:`LoadReport`.
+
+    Args:
+        server: The query server under test.
+        schedule: The materialized request schedule to replay.
+        time_scale: Wall seconds per simulated second.  ``0.01`` replays
+            a minute of traffic in ~0.6 s; ``0.0`` fires every request
+            immediately (closed-loop saturation — what the throughput
+            benchmark uses, and what drives admission into overload).
+        keep_responses: Retain every response in the report (tests);
+            benchmarks leave this off and keep only latencies.
+    """
+    if time_scale < 0:
+        raise ServingError(f"time_scale must be >= 0, got {time_scale!r}")
+    report = LoadReport(n_scheduled=schedule.n_requests)
+    loop = asyncio.get_running_loop()
+    t_start = loop.time()
+
+    async def _one(scheduled) -> None:
+        delay = scheduled.at_s * time_scale - (loop.time() - t_start)
+        if delay > 0:
+            await asyncio.sleep(delay)
+        try:
+            response = await server.handle(scheduled.request)
+        except ServingError:
+            report.n_errors += 1
+            return
+        report.n_answered += 1
+        report.latencies_s.append(response.latency_s)
+        kind = response.kind
+        report.by_kind[kind] = report.by_kind.get(kind, 0) + 1
+        if response.degraded:
+            report.n_degraded += 1
+        if keep_responses:
+            report.responses.append(response)
+
+    await asyncio.gather(*(_one(s) for s in schedule.requests))
+    report.wall_s = loop.time() - t_start
+    return report
+
+
+def run_workload(
+    server: QueryServer,
+    schedule: RequestSchedule,
+    time_scale: float = 1.0,
+    keep_responses: bool = False,
+) -> LoadReport:
+    """Synchronous wrapper: ``asyncio.run`` the replay (benchmarks, CLI)."""
+    return asyncio.run(
+        drive_workload(
+            server, schedule, time_scale=time_scale, keep_responses=keep_responses
+        )
+    )

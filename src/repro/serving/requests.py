@@ -1,0 +1,121 @@
+"""Request and response types of the query-serving tier.
+
+A request names one of the three served query shapes — the current point
+value of a stream, the recent range of served values, or a windowed
+aggregate over them — and a response carries the answer tuples with their
+propagated precision bounds plus the serving tier's honesty metadata
+(degraded flag, staleness, reason).  Requests are frozen dataclasses so a
+workload schedule can be generated once, hashed, and replayed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Union
+
+from repro.dsms.tuples import StreamTuple
+from repro.errors import ServingError
+
+__all__ = [
+    "PointQuery",
+    "RangeQuery",
+    "AggregateQuery",
+    "Query",
+    "ServingResponse",
+]
+
+
+@dataclass(frozen=True)
+class PointQuery:
+    """The stream's current served value (with its suppression bound δ)."""
+
+    stream_id: str
+
+    kind = "point"
+
+
+@dataclass(frozen=True)
+class RangeQuery:
+    """The most recent ``size`` served values of a stream, oldest first."""
+
+    stream_id: str
+    size: int
+
+    kind = "range"
+
+    def __post_init__(self) -> None:
+        if self.size < 1:
+            raise ServingError(f"range size must be >= 1, got {self.size!r}")
+
+
+@dataclass(frozen=True)
+class AggregateQuery:
+    """A windowed aggregate over the last ``size`` served values.
+
+    ``aggregate`` is any name :func:`repro.dsms.aggregates.make_aggregate`
+    accepts (``mean``, ``sum``, ``min``, ``max``, ``median``, ``q0.95``,
+    ...); evaluation replays the window through the dsms
+    :class:`~repro.dsms.operators.WindowAggregate` operator so the answer
+    and its bound are exactly what direct dsms evaluation produces.
+    """
+
+    stream_id: str
+    aggregate: str
+    size: int
+
+    kind = "aggregate"
+
+    def __post_init__(self) -> None:
+        if self.size < 1:
+            raise ServingError(f"window size must be >= 1, got {self.size!r}")
+
+
+Query = Union[PointQuery, RangeQuery, AggregateQuery]
+
+
+@dataclass(frozen=True)
+class ServingResponse:
+    """One answered request.
+
+    Attributes:
+        request: The request this answers.
+        tuples: The answer tuples (length 1 for point/aggregate queries,
+            up to ``size`` for range queries), each carrying its own
+            precision half-width.
+        degraded: True when admission control served a stale cached
+            answer instead of evaluating fresh; the bounds are widened by
+            the configured drift allowance per tick of staleness and the
+            unconditional precision contract is suspended (mirrors the
+            supervision layer's honest degradation semantics).
+        staleness_ticks: Ingest ticks between the cached evaluation and
+            the serve (0 for fresh answers).
+        reason: Why the answer is degraded (``None`` when fresh).
+        latency_s: Wall-clock seconds between admission and answer.
+    """
+
+    request: Query
+    tuples: tuple[StreamTuple, ...]
+    degraded: bool = False
+    staleness_ticks: int = 0
+    reason: str | None = None
+    latency_s: float = 0.0
+
+    @property
+    def kind(self) -> str:
+        """The request's query kind (``point``/``range``/``aggregate``)."""
+        return self.request.kind
+
+    @property
+    def answer(self) -> StreamTuple:
+        """The (final) answer tuple — for range queries, the newest."""
+        return self.tuples[-1]
+
+    @property
+    def value(self) -> float:
+        """Convenience: the answer tuple's value."""
+        return self.answer.value
+
+    @property
+    def bound(self) -> float:
+        """Convenience: the answer tuple's precision half-width."""
+        return self.answer.bound

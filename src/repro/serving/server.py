@@ -1,0 +1,226 @@
+"""The asyncio query server: admission, evaluation, honest degradation.
+
+One :class:`QueryServer` serves precision-bounded point / range /
+windowed-aggregate queries from a :class:`~repro.serving.store.ServingStore`
+that the replica fleet keeps fresh.  The concurrency model is plain
+asyncio: evaluation itself is synchronous (and therefore per-request
+atomic — an answer is always consistent with a single store tick), while
+a cooperative yield between admission and evaluation lets bursts pile up
+so admission control sees true concurrency.
+
+Admission never sheds load.  When the in-flight count crosses
+``max_inflight``, range and aggregate requests whose signature has a
+cached answer are served *degraded*: the cached tuples, with each bound
+honestly widened by ``drift_per_tick · δ_stream`` per ingest tick of
+staleness and the response flagged ``degraded=True`` — the same
+contract-suspension semantics the supervision layer uses.  Requests with
+no cached answer (and all point queries, which are O(1)) are evaluated
+fresh even under overload, so every admitted request is answered and no
+answer is ever silently dropped.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from dataclasses import dataclass, replace
+from time import perf_counter
+
+from repro.dsms.tuples import StreamTuple
+from repro.errors import ServingError
+from repro.obs import tracing
+from repro.obs.telemetry import resolve_telemetry
+from repro.serving.requests import (
+    AggregateQuery,
+    PointQuery,
+    Query,
+    RangeQuery,
+    ServingResponse,
+)
+from repro.serving.store import ServingStore
+
+__all__ = ["AdmissionConfig", "QueryServer"]
+
+
+@dataclass(frozen=True)
+class AdmissionConfig:
+    """Overload-protection knobs.
+
+    Attributes:
+        max_inflight: In-flight requests beyond which range/aggregate
+            evaluation degrades to cached answers.
+        drift_per_tick: Bound widening per ingest tick of staleness, as a
+            multiple of the stream's δ.  The suppression contract already
+            prices one tick of change at δ, so 1.0 advertises "this
+            answer may additionally be off by one contract-width per tick
+            it is stale" — honest as long as the fleet's δ budget holds,
+            and flagged ``degraded`` either way.
+    """
+
+    max_inflight: int = 64
+    drift_per_tick: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.max_inflight < 1:
+            raise ServingError(
+                f"max_inflight must be >= 1, got {self.max_inflight!r}"
+            )
+        if self.drift_per_tick < 0:
+            raise ServingError(
+                f"drift_per_tick must be >= 0, got {self.drift_per_tick!r}"
+            )
+
+
+class QueryServer:
+    """Serves queries over the live served-history store.
+
+    Args:
+        store: The served-history state to answer from.
+        admission: Overload-protection configuration.
+        telemetry: Optional :class:`~repro.obs.Telemetry` sink.  Per
+            request: a ``repro_serving_requests_total{kind=...}`` count,
+            a ``repro_serving_latency_seconds{kind=...}`` histogram
+            observation and a ``serving.<kind>`` span; degraded serves
+            add ``repro_serving_degraded_total{kind=...}``; the
+            ``repro_serving_inflight`` gauge tracks concurrency and
+            ``overload_enter`` / ``overload_exit`` events mark admission
+            crossing its limit.
+    """
+
+    def __init__(
+        self,
+        store: ServingStore,
+        admission: AdmissionConfig | None = None,
+        telemetry=None,
+    ):
+        self.store = store
+        self.admission = admission if admission is not None else AdmissionConfig()
+        self._tel = resolve_telemetry(telemetry)
+        self._inflight = 0
+        self._overloaded = False
+        # Signature -> (tuples, store tick of evaluation).  Every fresh
+        # evaluation refreshes it; degraded serves read it.
+        self._cache: dict[tuple, tuple[tuple[StreamTuple, ...], int]] = {}
+        self.requests_served = 0
+        self.requests_degraded = 0
+
+    @property
+    def inflight(self) -> int:
+        """Requests currently between admission and answer."""
+        return self._inflight
+
+    @property
+    def overloaded(self) -> bool:
+        """True while in-flight exceeds the admission limit."""
+        return self._overloaded
+
+    # -- evaluation -----------------------------------------------------
+    @staticmethod
+    def _signature(request: Query) -> tuple:
+        if isinstance(request, PointQuery):
+            return ("point", request.stream_id)
+        if isinstance(request, RangeQuery):
+            return ("range", request.stream_id, request.size)
+        if isinstance(request, AggregateQuery):
+            return ("aggregate", request.stream_id, request.aggregate, request.size)
+        raise ServingError(f"unknown request type {type(request).__name__}")
+
+    def _evaluate(self, request: Query) -> tuple[StreamTuple, ...]:
+        """Fresh, atomic evaluation against the store's current state."""
+        if isinstance(request, PointQuery):
+            return (self.store.point(request.stream_id),)
+        if isinstance(request, RangeQuery):
+            return self.store.range_query(request.stream_id, request.size)
+        if isinstance(request, AggregateQuery):
+            return (
+                self.store.window_aggregate(
+                    request.stream_id, request.aggregate, request.size
+                ),
+            )
+        raise ServingError(f"unknown request type {type(request).__name__}")
+
+    def _degraded_from_cache(
+        self, request: Query
+    ) -> tuple[tuple[StreamTuple, ...], int] | None:
+        """Stale cached tuples with honestly widened bounds, or ``None``."""
+        cached = self._cache.get(self._signature(request))
+        if cached is None:
+            return None
+        tuples, at_tick = cached
+        staleness = self.store.tick - at_tick
+        widen = self.admission.drift_per_tick * self.store.bounds[
+            request.stream_id
+        ] * staleness
+        if widen > 0.0:
+            tuples = tuple(
+                replace(tup, bound=tup.bound + widen) for tup in tuples
+            )
+        return tuples, staleness
+
+    def _note_overload(self) -> None:
+        over = self._inflight > self.admission.max_inflight
+        if over and not self._overloaded:
+            self._overloaded = True
+            if self._tel.enabled:
+                self._tel.event(
+                    tracing.OVERLOAD_ENTER, self.store.tick, inflight=self._inflight
+                )
+        elif not over and self._overloaded:
+            self._overloaded = False
+            if self._tel.enabled:
+                self._tel.event(
+                    tracing.OVERLOAD_EXIT, self.store.tick, inflight=self._inflight
+                )
+
+    # -- the request path ----------------------------------------------
+    async def handle(self, request: Query) -> ServingResponse:
+        """Answer one request; never sheds, degrades honestly instead."""
+        tel = self._tel
+        t0 = perf_counter()
+        self._inflight += 1
+        try:
+            if tel.enabled:
+                tel.set_gauge("repro_serving_inflight", self._inflight)
+            self._note_overload()
+            # Cooperative yield: a burst of handle() tasks all pass
+            # admission before any evaluates, so in-flight (and the
+            # overload decision) reflects true concurrency.
+            await asyncio.sleep(0)
+            degraded = False
+            staleness = 0
+            reason = None
+            if (
+                self._overloaded
+                and not isinstance(request, PointQuery)
+                and (hit := self._degraded_from_cache(request)) is not None
+            ):
+                tuples, staleness = hit
+                degraded = True
+                reason = "overload"
+            else:
+                with tel.span(f"serving.{request.kind}"):
+                    tuples = self._evaluate(request)
+                self._cache[self._signature(request)] = (tuples, self.store.tick)
+            latency = perf_counter() - t0
+            self.requests_served += 1
+            if degraded:
+                self.requests_degraded += 1
+            if tel.enabled:
+                tel.inc("repro_serving_requests_total", kind=request.kind)
+                tel.observe(
+                    "repro_serving_latency_seconds", latency, kind=request.kind
+                )
+                if degraded:
+                    tel.inc("repro_serving_degraded_total", kind=request.kind)
+            return ServingResponse(
+                request=request,
+                tuples=tuples,
+                degraded=degraded,
+                staleness_ticks=staleness,
+                reason=reason,
+                latency_s=latency,
+            )
+        finally:
+            self._inflight -= 1
+            if tel.enabled:
+                tel.set_gauge("repro_serving_inflight", self._inflight)
+            self._note_overload()

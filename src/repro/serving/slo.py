@@ -1,0 +1,111 @@
+"""Latency SLOs: declarative gates over a :class:`LoadReport`.
+
+An SLO names the service promise — p50 / p99 latency ceilings, a
+throughput floor, an error budget — and :meth:`LatencySLO.check` grades
+one load report against it, producing a :class:`SLOReport` that lists
+every violation in plain text.  The T8 benchmark *arms* this gate: at
+the reference workload the check is a blocking assertion, so a serving
+regression that pushes p99 past its bound fails the suite instead of
+drifting silently.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.errors import ServingError
+from repro.serving.client import LoadReport
+
+__all__ = ["LatencySLO", "SLOReport"]
+
+
+@dataclass(frozen=True)
+class LatencySLO:
+    """A serving-tier service-level objective.
+
+    Attributes:
+        p50_s: Median-latency ceiling in seconds (``inf`` = ungated).
+        p99_s: Tail-latency ceiling in seconds (``inf`` = ungated).
+        min_qps: Sustained-throughput floor in answered requests per
+            second (``0`` = ungated).
+        max_error_fraction: Ceiling on the structurally-refused share of
+            scheduled requests.  Degraded answers are *not* errors — the
+            overload contract is honesty, not availability loss.
+    """
+
+    p50_s: float = math.inf
+    p99_s: float = math.inf
+    min_qps: float = 0.0
+    max_error_fraction: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.p50_s <= 0 or self.p99_s <= 0:
+            raise ServingError("latency ceilings must be positive")
+        if self.min_qps < 0:
+            raise ServingError(f"min_qps must be >= 0, got {self.min_qps!r}")
+        if not 0.0 <= self.max_error_fraction <= 1.0:
+            raise ServingError(
+                f"max_error_fraction must be in [0, 1], got "
+                f"{self.max_error_fraction!r}"
+            )
+
+    def check(self, report: LoadReport) -> "SLOReport":
+        """Grade ``report``; every broken promise becomes one violation."""
+        violations: list[str] = []
+        p50, p99 = report.p50_s, report.p99_s
+        if math.isfinite(self.p50_s) and not p50 <= self.p50_s:
+            violations.append(
+                f"p50 latency {p50 * 1e3:.3f} ms exceeds SLO "
+                f"{self.p50_s * 1e3:.3f} ms"
+            )
+        if math.isfinite(self.p99_s) and not p99 <= self.p99_s:
+            violations.append(
+                f"p99 latency {p99 * 1e3:.3f} ms exceeds SLO "
+                f"{self.p99_s * 1e3:.3f} ms"
+            )
+        if self.min_qps > 0 and report.qps < self.min_qps:
+            violations.append(
+                f"sustained {report.qps:.1f} qps below SLO floor "
+                f"{self.min_qps:.1f} qps"
+            )
+        if report.n_scheduled:
+            err_frac = report.n_errors / report.n_scheduled
+            if err_frac > self.max_error_fraction:
+                violations.append(
+                    f"error fraction {err_frac:.4f} exceeds budget "
+                    f"{self.max_error_fraction:.4f}"
+                )
+        return SLOReport(
+            slo=self,
+            passed=not violations,
+            violations=tuple(violations),
+            p50_s=p50,
+            p99_s=p99,
+            qps=report.qps,
+            degraded_fraction=report.degraded_fraction,
+        )
+
+
+@dataclass(frozen=True)
+class SLOReport:
+    """The graded outcome of one SLO check."""
+
+    slo: LatencySLO
+    passed: bool
+    violations: tuple[str, ...]
+    p50_s: float
+    p99_s: float
+    qps: float
+    degraded_fraction: float
+
+    def summary(self) -> str:
+        """One human-readable line (benchmark output, CI annotations)."""
+        status = "PASS" if self.passed else "FAIL"
+        line = (
+            f"[{status}] qps={self.qps:.1f} p50={self.p50_s * 1e3:.3f}ms "
+            f"p99={self.p99_s * 1e3:.3f}ms degraded={self.degraded_fraction:.2%}"
+        )
+        if self.violations:
+            line += " :: " + "; ".join(self.violations)
+        return line

@@ -1,0 +1,214 @@
+"""Served-history store: the state the query-serving tier answers from.
+
+The store sits between the server replica fleet and the asyncio
+:class:`~repro.serving.server.QueryServer`: every fleet tick it ingests
+each stream's *served* value (never raw arrivals — the paper's
+architecture, where query load is decoupled from stream volume because
+answers come from cached procedures) tagged with the stream's precision
+bound δ, and keeps a bounded ring of recent
+:class:`~repro.dsms.tuples.StreamTuple` history per stream.  Queries are
+evaluated with the dsms machinery itself — windowed aggregates replay
+the window through :class:`~repro.dsms.operators.WindowAggregate` — so a
+serving answer's value and bound are *bitwise* what direct dsms
+evaluation of the same served values produces (pinned by
+``tests/serving/test_store.py``).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+
+import numpy as np
+
+from repro.core.server import StreamServer
+from repro.dsms.operators import WindowAggregate
+from repro.dsms.precision_assignment import QueryRequirement, assign_stream_bounds
+from repro.dsms.tuples import StreamTuple
+from repro.errors import ServingError
+
+__all__ = ["ServingStore"]
+
+
+class ServingStore:
+    """Per-stream ring buffers of served tuples, plus query evaluation.
+
+    Args:
+        bounds: Per-stream precision half-width δ — what the suppression
+            protocol was configured with; attached to every ingested
+            tuple so query answers can propagate it.
+        history: Ring-buffer length per stream; range and aggregate
+            queries can look back at most this far.
+        server: Optional :class:`~repro.core.server.StreamServer` to pull
+            served values from on :meth:`ingest_tick`.
+    """
+
+    def __init__(
+        self,
+        bounds: dict[str, float],
+        history: int = 1024,
+        server: StreamServer | None = None,
+    ):
+        if not bounds:
+            raise ServingError("a serving store needs at least one stream bound")
+        for sid, delta in bounds.items():
+            if delta < 0:
+                raise ServingError(f"bound for {sid!r} must be >= 0, got {delta!r}")
+        if history < 1:
+            raise ServingError(f"history must be >= 1, got {history!r}")
+        self.bounds = dict(bounds)
+        self.history = history
+        self._rings: dict[str, deque[StreamTuple]] = {
+            sid: deque(maxlen=history) for sid in bounds
+        }
+        #: Monotone ingest-tick counter; the staleness clock admission
+        #: control widens degraded answers against.
+        self.tick = 0
+        self._server = server
+
+    @classmethod
+    def from_requirements(
+        cls,
+        requirements: list[QueryRequirement],
+        history: int = 1024,
+        server: StreamServer | None = None,
+    ) -> "ServingStore":
+        """Build a store whose δ come from query precision targets.
+
+        The per-stream bounds are the loosest that still meet every
+        :class:`~repro.dsms.precision_assignment.QueryRequirement` —
+        the deployment-side inverse of bound propagation.
+        """
+        return cls(assign_stream_bounds(requirements), history=history, server=server)
+
+    # -- ingest ---------------------------------------------------------
+    def stream_ids(self) -> list[str]:
+        """Registered stream identifiers, in registration order."""
+        return list(self.bounds)
+
+    def ingest(self, stream_id: str, t: float, value: float) -> None:
+        """Append one served scalar for ``stream_id`` at time ``t``.
+
+        The tuple is tagged with the stream's configured δ.  Does *not*
+        advance the staleness clock — callers batch one fleet tick's
+        ingests and then call :meth:`advance_tick` once (or use
+        :meth:`ingest_tick` / :meth:`load_fleet_history`, which do).
+        """
+        delta = self.bounds.get(stream_id)
+        if delta is None:
+            raise ServingError(f"unknown stream {stream_id!r}; known: "
+                               f"{sorted(self.bounds)}")
+        self._rings[stream_id].append(
+            StreamTuple(t=float(t), stream_id=stream_id, value=float(value), bound=delta)
+        )
+
+    def advance_tick(self) -> int:
+        """Advance the staleness clock by one ingest tick; returns it."""
+        self.tick += 1
+        return self.tick
+
+    def ingest_tick(self, t: float, component: int = 0) -> None:
+        """Pull every registered stream's served value from the attached server.
+
+        Streams the server has not warmed up yet are skipped (they stay
+        cold in the store too).  Advances the staleness clock.
+        """
+        if self._server is None:
+            raise ServingError("no StreamServer attached; pass server= or use ingest()")
+        for sid in self.bounds:
+            value = self._server.value(sid)
+            if value is None:
+                continue
+            if component >= value.shape[0]:
+                raise ServingError(
+                    f"stream {sid!r} has dim {value.shape[0]}, no component {component}"
+                )
+            self.ingest(sid, t, float(value[component]))
+        self.advance_tick()
+
+    def load_fleet_history(
+        self,
+        stream_ids: list[str],
+        served: np.ndarray,
+        t0: float = 0.0,
+        component: int = 0,
+    ) -> None:
+        """Bulk-ingest a ``(T, N, dim)`` served array from a fleet run.
+
+        ``served`` is what :class:`~repro.core.manager.FleetEngine`
+        traces (NaN before warm-up — NaN rows are skipped, matching live
+        ingest of a cold stream).  Tick ``k`` is ingested at time
+        ``t0 + k``; the staleness clock advances once per tick.
+        """
+        served = np.asarray(served, dtype=float)
+        if served.ndim != 3 or served.shape[1] != len(stream_ids):
+            raise ServingError(
+                f"served must have shape (T, {len(stream_ids)}, dim), "
+                f"got {served.shape}"
+            )
+        for k in range(served.shape[0]):
+            for i, sid in enumerate(stream_ids):
+                v = served[k, i, component]
+                if not np.isnan(v):
+                    self.ingest(sid, t0 + k, float(v))
+            self.advance_tick()
+
+    # -- queries --------------------------------------------------------
+    def _ring(self, stream_id: str) -> deque[StreamTuple]:
+        ring = self._rings.get(stream_id)
+        if ring is None:
+            raise ServingError(f"unknown stream {stream_id!r}; known: "
+                               f"{sorted(self.bounds)}")
+        if not ring:
+            raise ServingError(f"stream {stream_id!r} has no served history yet")
+        return ring
+
+    def history_len(self, stream_id: str) -> int:
+        """Tuples currently retained for a stream (0 while cold)."""
+        ring = self._rings.get(stream_id)
+        if ring is None:
+            raise ServingError(f"unknown stream {stream_id!r}")
+        return len(ring)
+
+    def point(self, stream_id: str) -> StreamTuple:
+        """The newest served tuple — value ± δ at the last ingest."""
+        return self._ring(stream_id)[-1]
+
+    def range_query(self, stream_id: str, size: int) -> tuple[StreamTuple, ...]:
+        """The last ``size`` served tuples, oldest first.
+
+        Returns fewer than ``size`` when the history is still filling;
+        raises only when the stream is cold or unknown.
+        """
+        if size < 1:
+            raise ServingError(f"range size must be >= 1, got {size!r}")
+        ring = self._ring(stream_id)
+        n = min(size, len(ring))
+        return tuple(ring[i] for i in range(len(ring) - n, len(ring)))
+
+    def window_aggregate(
+        self, stream_id: str, aggregate: str, size: int, emit_partial: bool = False
+    ) -> StreamTuple:
+        """Aggregate over the last ``size`` served tuples, bounds propagated.
+
+        The window members are replayed through a fresh dsms
+        :class:`~repro.dsms.operators.WindowAggregate` — the serving tier
+        adds no arithmetic of its own, so the answer's value and bound
+        are bitwise identical to direct dsms evaluation of the same
+        served values.  With ``emit_partial=False`` (the default) a
+        history shorter than ``size`` raises — the window has not warmed
+        up; with ``emit_partial=True`` the available suffix is served.
+        """
+        members = self.range_query(stream_id, size)
+        if len(members) < size and not emit_partial:
+            raise ServingError(
+                f"stream {stream_id!r} has {len(members)} served tuples, "
+                f"window of {size} has not warmed up (pass emit_partial=True "
+                f"to aggregate the available suffix)"
+            )
+        op = WindowAggregate(aggregate, size=size, slide=1, emit_partial=True)
+        out: list[StreamTuple] = []
+        for member in members:
+            out = op.process(member)
+        # slide=1 + emit_partial=True emits on every push, so the last
+        # push's emission is the aggregate over exactly `members`.
+        return out[0]

@@ -1,0 +1,245 @@
+"""Simulated user traffic: the workload model of the serving tier.
+
+Modeled on the AsyncFlow public workload API (``RqsGenerator`` /
+``RVConfig``): traffic is described by *how many users are active*
+(a Poisson- or Normal-distributed random variable, re-sampled every
+``user_sampling_window_s`` seconds) times *how often each of them asks*
+(requests per minute per user).  Within one sampling window the
+aggregate arrival process is Poisson with rate
+
+    λ_w = active_users_w · rpm_w / 60      [requests per second]
+
+so the generator draws ``N_w ~ Poisson(λ_w · window)`` arrivals and
+places them uniformly in the window (sorted uniforms ≡ a Poisson
+process conditioned on its count).  Everything is driven by one seeded
+``numpy`` generator: the same seed produces the same schedule, byte for
+byte — the determinism contract the serving tests and benchmarks pin.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import ServingError
+from repro.serving.requests import AggregateQuery, PointQuery, Query, RangeQuery
+
+__all__ = [
+    "RVConfig",
+    "RequestMix",
+    "WorkloadModel",
+    "ScheduledRequest",
+    "WindowStats",
+    "RequestSchedule",
+]
+
+
+@dataclass(frozen=True)
+class RVConfig:
+    """A non-negative random variable: Poisson or (clamped) Normal.
+
+    Attributes:
+        mean: Expected value.
+        distribution: ``"poisson"`` or ``"normal"``.
+        std: Standard deviation for ``"normal"``; defaults to
+            ``sqrt(mean)`` (matching the Poisson's spread) when omitted.
+            Ignored for ``"poisson"``.
+    """
+
+    mean: float
+    distribution: str = "poisson"
+    std: float | None = None
+
+    def __post_init__(self) -> None:
+        if self.mean < 0:
+            raise ServingError(f"mean must be >= 0, got {self.mean!r}")
+        if self.distribution not in ("poisson", "normal"):
+            raise ServingError(
+                f"distribution must be 'poisson' or 'normal', got "
+                f"{self.distribution!r}"
+            )
+        if self.std is not None and self.std < 0:
+            raise ServingError(f"std must be >= 0, got {self.std!r}")
+
+    def sample(self, rng: np.random.Generator) -> float:
+        """One non-negative draw."""
+        if self.distribution == "poisson":
+            return float(rng.poisson(self.mean))
+        std = math.sqrt(self.mean) if self.std is None else self.std
+        return max(0.0, float(rng.normal(self.mean, std)))
+
+
+@dataclass(frozen=True)
+class RequestMix:
+    """What the simulated users ask: query-kind weights and shapes.
+
+    A draw picks the kind by weight, the stream uniformly, and (for
+    aggregates) the aggregate name uniformly from ``aggregates``.
+    """
+
+    stream_ids: tuple[str, ...]
+    point_weight: float = 1.0
+    range_weight: float = 0.0
+    aggregate_weight: float = 0.0
+    range_size: int = 32
+    aggregate_size: int = 32
+    aggregates: tuple[str, ...] = ("mean",)
+
+    def __post_init__(self) -> None:
+        if not self.stream_ids:
+            raise ServingError("a request mix needs at least one stream id")
+        weights = (self.point_weight, self.range_weight, self.aggregate_weight)
+        if any(w < 0 for w in weights) or sum(weights) <= 0:
+            raise ServingError(
+                f"kind weights must be >= 0 with a positive sum, got {weights!r}"
+            )
+        if self.aggregate_weight > 0 and not self.aggregates:
+            raise ServingError("aggregate_weight > 0 needs aggregate names")
+
+    def draw(self, rng: np.random.Generator) -> Query:
+        """One random request."""
+        sid = self.stream_ids[int(rng.integers(0, len(self.stream_ids)))]
+        total = self.point_weight + self.range_weight + self.aggregate_weight
+        u = float(rng.random()) * total
+        if u < self.point_weight:
+            return PointQuery(sid)
+        if u < self.point_weight + self.range_weight:
+            return RangeQuery(sid, size=self.range_size)
+        agg = self.aggregates[int(rng.integers(0, len(self.aggregates)))]
+        return AggregateQuery(sid, aggregate=agg, size=self.aggregate_size)
+
+
+@dataclass(frozen=True)
+class ScheduledRequest:
+    """One request pinned to its arrival offset within the run."""
+
+    at_s: float
+    client_id: int
+    request: Query
+
+
+@dataclass(frozen=True)
+class WindowStats:
+    """The re-sampled user process of one sampling window (forensics).
+
+    ``n_requests`` is the Poisson draw the window actually placed — the
+    property suite checks the schedule's arrival times bucket back to
+    exactly these counts, and that they concentrate around
+    ``target_rate_rps · length_s``.
+    """
+
+    index: int
+    t0_s: float
+    length_s: float
+    active_users: int
+    rpm_per_user: float
+    target_rate_rps: float
+    n_requests: int
+
+
+@dataclass(frozen=True)
+class RequestSchedule:
+    """A fully materialized, replayable request schedule."""
+
+    requests: tuple[ScheduledRequest, ...]
+    windows: tuple[WindowStats, ...]
+    duration_s: float
+    seed: int
+
+    @property
+    def n_requests(self) -> int:
+        """Total scheduled requests."""
+        return len(self.requests)
+
+    def arrival_times(self) -> np.ndarray:
+        """Arrival offsets in seconds, non-decreasing."""
+        return np.array([r.at_s for r in self.requests])
+
+    def inter_arrivals(self) -> np.ndarray:
+        """Gaps between consecutive arrivals (empty for < 2 requests)."""
+        return np.diff(self.arrival_times())
+
+    def offered_rate_rps(self) -> float:
+        """Scheduled requests per second over the whole run."""
+        return self.n_requests / self.duration_s if self.duration_s else 0.0
+
+
+@dataclass(frozen=True)
+class WorkloadModel:
+    """The AsyncFlow-style workload root: users × per-user rate.
+
+    Attributes:
+        avg_active_users: How many simulated clients are active, re-drawn
+            at every sampling window (``poisson`` or ``normal``).
+        avg_request_per_minute_per_user: Per-user request rate, re-drawn
+            with the users.
+        user_sampling_window_s: Re-sampling period in seconds, bounded to
+            [1, 120] like the reference API.
+    """
+
+    avg_active_users: RVConfig
+    avg_request_per_minute_per_user: RVConfig
+    user_sampling_window_s: float = 60.0
+
+    def __post_init__(self) -> None:
+        if not 1.0 <= self.user_sampling_window_s <= 120.0:
+            raise ServingError(
+                f"user_sampling_window_s must be in [1, 120], got "
+                f"{self.user_sampling_window_s!r}"
+            )
+
+    def build_schedule(
+        self, duration_s: float, mix: RequestMix, seed: int
+    ) -> RequestSchedule:
+        """Materialize ``duration_s`` seconds of traffic, deterministically.
+
+        Window by window: draw the active-user count and the per-user
+        rate, draw ``N_w ~ Poisson(users · rpm / 60 · window)``, place
+        the arrivals at sorted uniform offsets, and assign each to a
+        uniformly chosen client id and a request drawn from ``mix``.
+        The final window is truncated to the run's end.
+        """
+        if duration_s <= 0:
+            raise ServingError(f"duration_s must be positive, got {duration_s!r}")
+        rng = np.random.default_rng(seed)
+        requests: list[ScheduledRequest] = []
+        windows: list[WindowStats] = []
+        t0 = 0.0
+        index = 0
+        while t0 < duration_s:
+            length = min(self.user_sampling_window_s, duration_s - t0)
+            users = int(round(self.avg_active_users.sample(rng)))
+            rpm = self.avg_request_per_minute_per_user.sample(rng)
+            rate = users * rpm / 60.0
+            n = int(rng.poisson(rate * length))
+            offsets = np.sort(rng.uniform(0.0, length, size=n))
+            for off in offsets:
+                client = int(rng.integers(0, users)) if users > 0 else 0
+                requests.append(
+                    ScheduledRequest(
+                        at_s=t0 + float(off),
+                        client_id=client,
+                        request=mix.draw(rng),
+                    )
+                )
+            windows.append(
+                WindowStats(
+                    index=index,
+                    t0_s=t0,
+                    length_s=length,
+                    active_users=users,
+                    rpm_per_user=rpm,
+                    target_rate_rps=rate,
+                    n_requests=n,
+                )
+            )
+            t0 += length
+            index += 1
+        return RequestSchedule(
+            requests=tuple(requests),
+            windows=tuple(windows),
+            duration_s=float(duration_s),
+            seed=seed,
+        )

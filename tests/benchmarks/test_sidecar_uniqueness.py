@@ -1,0 +1,101 @@
+"""Benchmark numbering-drift guard: one sidecar name per bench file.
+
+Every ``benchmarks/bench_table*.py`` / ``bench_fig*.py`` writes a JSON
+sidecar named by its experiment id.  Two files claiming the same id
+silently overwrite each other's results — exactly the failure mode when
+a new benchmark reuses a table number.  Guarded twice: statically, by
+scanning every bench file's ``record_result("<id>", ...)`` calls for
+cross-file duplicates, and dynamically, by unit-testing the conftest
+claim registry that fails such a write at run time.
+"""
+
+from __future__ import annotations
+
+import importlib.util
+import re
+from collections import defaultdict
+from pathlib import Path
+
+import pytest
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+BENCH_DIR = REPO_ROOT / "benchmarks"
+
+#: Benchmarks that legitimately write no sidecar (pure pytest-benchmark
+#: microbenchmarks whose numbers live in pytest-benchmark's own storage).
+NO_SIDECAR = {"bench_table4_microbench.py"}
+
+#: record_result's first argument, allowing a keyword spelling too.
+_RECORD_RE = re.compile(
+    r"record_result\(\s*(?:experiment_id\s*=\s*)?[\"']([^\"']+)[\"']"
+)
+
+
+def _recorded_ids() -> dict[str, list[str]]:
+    """experiment id -> bench files that record it (static scan)."""
+    ids: dict[str, list[str]] = defaultdict(list)
+    for bench in sorted(BENCH_DIR.glob("bench_*.py")):
+        for experiment_id in _RECORD_RE.findall(bench.read_text()):
+            ids[experiment_id].append(bench.name)
+    return ids
+
+
+def test_every_bench_records_at_least_one_sidecar():
+    ids = _recorded_ids()
+    recorded_by = {name for owners in ids.values() for name in owners}
+    missing = {p.name for p in BENCH_DIR.glob("bench_*.py")} - recorded_by
+    assert missing <= NO_SIDECAR, (
+        f"benchmarks without a record_result call: {sorted(missing - NO_SIDECAR)}"
+    )
+    # An exempted file that starts recording must leave the exemption list.
+    assert not recorded_by & NO_SIDECAR
+
+
+def test_sidecar_names_unique_across_bench_files():
+    collisions = {
+        experiment_id: owners
+        for experiment_id, owners in _recorded_ids().items()
+        if len(set(owners)) > 1
+    }
+    assert not collisions, (
+        f"sidecar name collisions (renumber one side): {collisions}"
+    )
+
+
+def test_sidecar_names_carry_their_table_or_figure_number():
+    """T<k>_/F<k>_ prefixes must match the bench file's own numbering."""
+    for experiment_id, owners in _recorded_ids().items():
+        for owner in owners:
+            match = re.match(r"bench_(table|fig)(\d+[a-z]?)", owner)
+            assert match, f"unrecognized bench file name {owner}"
+            prefix = ("T" if match.group(1) == "table" else "F") + match.group(2)
+            assert experiment_id.startswith(prefix + "_"), (
+                f"{owner} records {experiment_id!r}; expected a "
+                f"{prefix}_... id so sidecars sort with their table"
+            )
+
+
+class TestClaimRegistry:
+    @pytest.fixture
+    def conftest_module(self):
+        # Load by explicit path under a private name: pytest already owns
+        # a module called "conftest" and plain import would collide.
+        spec = importlib.util.spec_from_file_location(
+            "_bench_conftest_under_test", BENCH_DIR / "conftest.py"
+        )
+        bench_conftest = importlib.util.module_from_spec(spec)
+        spec.loader.exec_module(bench_conftest)
+        saved = dict(bench_conftest._SIDECAR_CLAIMS)
+        bench_conftest._SIDECAR_CLAIMS.clear()
+        yield bench_conftest
+        bench_conftest._SIDECAR_CLAIMS.clear()
+        bench_conftest._SIDECAR_CLAIMS.update(saved)
+
+    def test_same_file_may_reclaim(self, conftest_module):
+        conftest_module._claim_sidecar("T99_x", "bench_table99_x.py")
+        conftest_module._claim_sidecar("T99_x", "bench_table99_x.py")
+
+    def test_cross_file_claim_fails(self, conftest_module):
+        conftest_module._claim_sidecar("T99_x", "bench_table99_x.py")
+        with pytest.raises(AssertionError, match="sidecar collision"):
+            conftest_module._claim_sidecar("T99_x", "bench_table99_y.py")

@@ -149,6 +149,68 @@ class TestRunSummary:
         summary = run_summary(MetricsRegistry())
         assert list(summary) == ["metrics"]
 
+    def test_serving_metrics_round_trip(self):
+        """The serving tier's whole vocabulary survives both exporters.
+
+        A real QueryServer run (fresh serves, an overload burst, the
+        transition events) is exported to Prometheus text and JSONL and
+        parsed back; every counter, histogram, gauge and event must come
+        back to the values the server recorded.
+        """
+        import asyncio
+
+        from repro.serving import (
+            AdmissionConfig,
+            AggregateQuery,
+            PointQuery,
+            QueryServer,
+            ServingStore,
+        )
+
+        tel = Telemetry()
+        store = ServingStore({"s0": 0.5})
+        for k in range(20):
+            store.ingest("s0", k, float(k))
+            store.advance_tick()
+        server = QueryServer(store, AdmissionConfig(max_inflight=2), telemetry=tel)
+        query = AggregateQuery("s0", "mean", 8)
+
+        async def drive():
+            await server.handle(PointQuery("s0"))
+            await server.handle(query)  # fills the degradation cache
+            await asyncio.gather(*(server.handle(query) for _ in range(10)))
+
+        asyncio.run(drive())
+
+        samples = parse_prometheus(tel.render_prometheus())
+        assert (
+            samples[("repro_serving_requests_total", (("kind", "point"),))] == 1
+        )
+        n_agg = samples[("repro_serving_requests_total", (("kind", "aggregate"),))]
+        assert n_agg == 11
+        degraded = samples[("repro_serving_degraded_total", (("kind", "aggregate"),))]
+        assert degraded == server.requests_degraded > 0
+        assert samples[("repro_serving_inflight", ())] == 0
+        assert (
+            samples[
+                ("repro_serving_latency_seconds_count", (("kind", "aggregate"),))
+            ]
+            == 11
+        )
+        # Span timings export as counters, one entry per fresh evaluation.
+        fresh_agg = n_agg - degraded
+        assert (
+            samples[("repro_span_entries_total", (("span", "serving.aggregate"),))]
+            == fresh_agg
+        )
+
+        rows = parse_jsonl(tel.events_jsonl())
+        kinds = [row["kind"] for row in rows]
+        assert kinds.count("overload_enter") == 1
+        assert kinds.count("overload_exit") == 1
+        enter = next(r for r in rows if r["kind"] == "overload_enter")
+        assert enter["inflight"] > 2
+
     def test_dump_writes_all_three_files(self, tmp_path):
         tel = Telemetry()
         tel.inc("repro_ticks_total", 5)

@@ -1,0 +1,94 @@
+"""Property-based guarantees of the serving workload generator.
+
+Two families of properties over randomized workload configurations.
+Structural: arrival times are sorted, non-negative, inside the run, and
+bucket back *exactly* to the per-window Poisson draws the generator
+recorded — the schedule is its own audit trail.  Statistical: the total
+request count concentrates around the integral of the re-sampled
+active-user process (Σ λ_w · len_w), within a 6-sigma-plus-slack band so
+the test is deterministic-safe for any seed hypothesis explores.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.serving import RequestMix, RVConfig, WorkloadModel
+
+MIX = RequestMix(("a", "b"), point_weight=0.7, range_weight=0.2, aggregate_weight=0.1)
+
+
+def workload_models():
+    users = st.builds(
+        RVConfig,
+        mean=st.floats(0.0, 40.0, allow_nan=False, allow_infinity=False),
+        distribution=st.sampled_from(["poisson", "normal"]),
+    )
+    rpm = st.builds(
+        RVConfig,
+        mean=st.floats(0.0, 60.0, allow_nan=False, allow_infinity=False),
+        distribution=st.sampled_from(["poisson", "normal"]),
+    )
+    return st.builds(
+        WorkloadModel,
+        avg_active_users=users,
+        avg_request_per_minute_per_user=rpm,
+        user_sampling_window_s=st.floats(
+            1.0, 120.0, allow_nan=False, allow_infinity=False
+        ),
+    )
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    model=workload_models(),
+    duration=st.floats(1.0, 150.0, allow_nan=False, allow_infinity=False),
+    seed=st.integers(0, 2**32 - 1),
+)
+def test_arrivals_sorted_nonnegative_and_in_run(model, duration, seed):
+    sched = model.build_schedule(duration, MIX, seed=seed)
+    at = sched.arrival_times()
+    gaps = sched.inter_arrivals()
+    assert np.all(gaps >= 0.0)  # inter-arrival times are non-negative
+    assert np.all(at >= 0.0)
+    assert np.all(at < duration)
+    assert len(gaps) == max(0, sched.n_requests - 1)
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    model=workload_models(),
+    duration=st.floats(1.0, 150.0, allow_nan=False, allow_infinity=False),
+    seed=st.integers(0, 2**32 - 1),
+)
+def test_window_counts_are_exact_and_totals_concentrate(model, duration, seed):
+    sched = model.build_schedule(duration, MIX, seed=seed)
+    at = sched.arrival_times()
+    # Structural: every window's recorded Poisson draw matches the number
+    # of arrivals that actually landed in it, and the draws sum to the
+    # schedule's length.
+    for w in sched.windows:
+        in_window = int(np.sum((at >= w.t0_s) & (at < w.t0_s + w.length_s)))
+        assert in_window == w.n_requests
+        assert w.target_rate_rps == w.active_users * w.rpm_per_user / 60.0
+    assert sum(w.n_requests for w in sched.windows) == sched.n_requests
+    # Statistical: N_total ~ Poisson(Σ λ_w · len_w) conditioned on the
+    # drawn user process; a 6-sigma band plus slack never flakes.
+    lam_total = sum(w.target_rate_rps * w.length_s for w in sched.windows)
+    assert abs(sched.n_requests - lam_total) <= 6.0 * math.sqrt(lam_total) + 10.0
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    model=workload_models(),
+    duration=st.floats(1.0, 60.0, allow_nan=False, allow_infinity=False),
+    seed=st.integers(0, 2**32 - 1),
+)
+def test_schedules_replay_bit_identically(model, duration, seed):
+    a = model.build_schedule(duration, MIX, seed=seed)
+    b = model.build_schedule(duration, MIX, seed=seed)
+    assert a == b  # frozen dataclasses all the way down

@@ -1,0 +1,160 @@
+"""Workload driver and SLO gates: replay, reporting, and grading."""
+
+import asyncio
+import math
+
+import numpy as np
+import pytest
+
+from repro.errors import ServingError
+from repro.serving import (
+    AdmissionConfig,
+    LatencySLO,
+    QueryServer,
+    RequestMix,
+    RVConfig,
+    ServingStore,
+    WorkloadModel,
+    drive_workload,
+    run_workload,
+)
+from repro.serving.client import LoadReport
+
+
+def _server(max_inflight=10_000):
+    store = ServingStore({"s0": 0.5, "s1": 1.0}, history=64)
+    for k in range(40):
+        store.ingest("s0", k, float(k))
+        store.ingest("s1", k, float(2 * k))
+        store.advance_tick()
+    return QueryServer(store, AdmissionConfig(max_inflight=max_inflight))
+
+
+def _schedule(duration=20.0, seed=7, streams=("s0", "s1")):
+    model = WorkloadModel(
+        RVConfig(15.0), RVConfig(30.0), user_sampling_window_s=10.0
+    )
+    mix = RequestMix(
+        streams,
+        point_weight=0.6,
+        range_weight=0.2,
+        aggregate_weight=0.2,
+        range_size=8,
+        aggregate_size=8,
+    )
+    return model.build_schedule(duration, mix, seed=seed)
+
+
+class TestDriver:
+    def test_replay_answers_everything(self):
+        report = run_workload(_server(), _schedule(), time_scale=0.0)
+        assert report.n_answered == report.n_scheduled > 0
+        assert report.n_errors == 0
+        assert len(report.latencies_s) == report.n_answered
+        assert sum(report.by_kind.values()) == report.n_answered
+        assert report.qps > 0 and report.wall_s > 0
+
+    def test_keep_responses_retains_all(self):
+        report = run_workload(
+            _server(), _schedule(duration=10.0), time_scale=0.0, keep_responses=True
+        )
+        assert len(report.responses) == report.n_answered
+
+    def test_unanswerable_requests_counted_not_fatal(self):
+        # s1 is registered but never ingested: every s1 request errors,
+        # every s0 request still answers.
+        store = ServingStore({"s0": 0.5, "s1": 1.0})
+        for k in range(40):
+            store.ingest("s0", k, float(k))
+            store.advance_tick()
+        report = run_workload(QueryServer(store), _schedule(), time_scale=0.0)
+        assert report.n_errors > 0
+        assert report.n_answered > 0
+        assert report.n_answered + report.n_errors == report.n_scheduled
+
+    def test_time_scale_paces_arrivals(self):
+        sched = _schedule(duration=10.0)
+        report = run_workload(_server(), sched, time_scale=0.005)
+        # Last arrival is ~10 simulated seconds => ~0.05 wall seconds.
+        assert report.wall_s >= sched.requests[-1].at_s * 0.005
+
+    def test_negative_time_scale_rejected(self):
+        with pytest.raises(ServingError):
+            run_workload(_server(), _schedule(), time_scale=-1.0)
+
+    def test_driver_is_reentrant_per_loop(self):
+        async def both():
+            server = _server()
+            sched = _schedule(duration=5.0)
+            r1 = await drive_workload(server, sched, time_scale=0.0)
+            r2 = await drive_workload(server, sched, time_scale=0.0)
+            return r1, r2
+
+        r1, r2 = asyncio.run(both())
+        assert r1.n_answered == r2.n_answered
+
+
+class TestLoadReport:
+    def test_percentiles_nan_when_empty(self):
+        report = LoadReport()
+        assert math.isnan(report.p50_s) and math.isnan(report.p99_s)
+        assert report.qps == 0.0 and report.degraded_fraction == 0.0
+
+    def test_percentiles_match_numpy(self):
+        lat = [0.001 * k for k in range(1, 101)]
+        report = LoadReport(n_answered=100, wall_s=1.0, latencies_s=lat)
+        assert report.p50_s == float(np.percentile(lat, 50))
+        assert report.p99_s == float(np.percentile(lat, 99))
+
+
+class TestLatencySLO:
+    def test_validation(self):
+        with pytest.raises(ServingError):
+            LatencySLO(p50_s=0.0)
+        with pytest.raises(ServingError):
+            LatencySLO(min_qps=-1.0)
+        with pytest.raises(ServingError):
+            LatencySLO(max_error_fraction=1.5)
+
+    def test_pass_and_fail_each_gate(self):
+        report = LoadReport(
+            n_scheduled=100,
+            n_answered=95,
+            n_errors=5,
+            wall_s=1.0,
+            latencies_s=[0.002] * 90 + [0.050] * 5,
+        )
+        ok = LatencySLO(
+            p50_s=0.01, p99_s=0.1, min_qps=50.0, max_error_fraction=0.10
+        ).check(report)
+        assert ok.passed and ok.violations == ()
+
+        bad = LatencySLO(
+            p50_s=0.001, p99_s=0.01, min_qps=200.0, max_error_fraction=0.01
+        ).check(report)
+        assert not bad.passed
+        assert len(bad.violations) == 4
+        text = " ".join(bad.violations)
+        for word in ("p50", "p99", "qps", "error fraction"):
+            assert word in text
+
+    def test_ungated_slo_always_passes(self):
+        report = LoadReport(n_scheduled=1, n_answered=1, wall_s=1.0, latencies_s=[9.9])
+        assert LatencySLO().check(report).passed
+
+    def test_empty_report_fails_finite_latency_gates(self):
+        # NaN percentiles must not sneak past a finite ceiling.
+        graded = LatencySLO(p99_s=0.1).check(LoadReport())
+        assert not graded.passed
+
+    def test_summary_line(self):
+        report = LoadReport(
+            n_scheduled=10, n_answered=10, wall_s=1.0, latencies_s=[0.001] * 10
+        )
+        line = LatencySLO(p99_s=0.5).check(report).summary()
+        assert line.startswith("[PASS]") and "p99=" in line
+
+    def test_end_to_end_gate_on_real_replay(self):
+        report = run_workload(_server(), _schedule(), time_scale=0.0)
+        graded = LatencySLO(p99_s=60.0, min_qps=1.0).check(report)
+        assert graded.passed, graded.summary()

@@ -1,0 +1,130 @@
+"""Workload generator: validation, structure and seeded determinism.
+
+The determinism contract is the one serving benchmarks and tests lean
+on: the same (model, mix, duration, seed) must materialize the same
+schedule — same arrival times, same client ids, same request objects —
+byte for byte, on every call.
+"""
+
+import numpy as np
+import pytest
+
+from repro.errors import ServingError
+from repro.serving import (
+    AggregateQuery,
+    PointQuery,
+    RangeQuery,
+    RequestMix,
+    RVConfig,
+    WorkloadModel,
+)
+
+
+def _model(window=10.0):
+    return WorkloadModel(
+        avg_active_users=RVConfig(25.0),
+        avg_request_per_minute_per_user=RVConfig(40.0, "normal", std=5.0),
+        user_sampling_window_s=window,
+    )
+
+
+MIX = RequestMix(
+    ("s0", "s1", "s2"),
+    point_weight=0.5,
+    range_weight=0.3,
+    aggregate_weight=0.2,
+    range_size=16,
+    aggregate_size=8,
+    aggregates=("mean", "max"),
+)
+
+
+class TestValidation:
+    def test_rv_rejects_negative_mean(self):
+        with pytest.raises(ServingError):
+            RVConfig(-1.0)
+
+    def test_rv_rejects_unknown_distribution(self):
+        with pytest.raises(ServingError):
+            RVConfig(1.0, "uniform")
+
+    def test_rv_normal_draws_are_clamped_nonnegative(self):
+        rv = RVConfig(0.5, "normal", std=50.0)
+        rng = np.random.default_rng(0)
+        assert all(rv.sample(rng) >= 0.0 for _ in range(200))
+
+    def test_mix_needs_streams_and_positive_weights(self):
+        with pytest.raises(ServingError):
+            RequestMix(())
+        with pytest.raises(ServingError):
+            RequestMix(("s",), point_weight=0.0)
+        with pytest.raises(ServingError):
+            RequestMix(("s",), point_weight=-1.0, range_weight=2.0)
+
+    def test_model_window_bounds(self):
+        for bad in (0.5, 121.0):
+            with pytest.raises(ServingError):
+                WorkloadModel(RVConfig(1.0), RVConfig(1.0), user_sampling_window_s=bad)
+
+    def test_schedule_needs_positive_duration(self):
+        with pytest.raises(ServingError):
+            _model().build_schedule(0.0, MIX, seed=0)
+
+
+class TestScheduleStructure:
+    def test_windows_tile_the_duration(self):
+        sched = _model(window=10.0).build_schedule(35.0, MIX, seed=1)
+        assert [w.t0_s for w in sched.windows] == [0.0, 10.0, 20.0, 30.0]
+        assert [w.length_s for w in sched.windows] == [10.0, 10.0, 10.0, 5.0]
+        assert sched.duration_s == 35.0
+
+    def test_arrivals_sorted_within_bounds(self):
+        sched = _model().build_schedule(30.0, MIX, seed=2)
+        at = sched.arrival_times()
+        assert np.all(np.diff(at) >= 0.0) or len(at) < 2
+        assert np.all(at >= 0.0) and np.all(at < 30.0)
+
+    def test_window_counts_bucket_exactly(self):
+        sched = _model(window=10.0).build_schedule(30.0, MIX, seed=3)
+        at = sched.arrival_times()
+        for w in sched.windows:
+            in_window = np.sum((at >= w.t0_s) & (at < w.t0_s + w.length_s))
+            assert in_window == w.n_requests
+
+    def test_requests_drawn_from_mix(self):
+        sched = _model().build_schedule(60.0, MIX, seed=4)
+        kinds = {type(s.request) for s in sched.requests}
+        assert kinds == {PointQuery, RangeQuery, AggregateQuery}
+        for s in sched.requests:
+            assert s.request.stream_id in MIX.stream_ids
+            if isinstance(s.request, AggregateQuery):
+                assert s.request.aggregate in MIX.aggregates
+                assert s.request.size == MIX.aggregate_size
+
+    def test_client_ids_within_window_user_count(self):
+        sched = _model(window=10.0).build_schedule(40.0, MIX, seed=5)
+        at = sched.arrival_times()
+        for w in sched.windows:
+            mask = (at >= w.t0_s) & (at < w.t0_s + w.length_s)
+            for s, hit in zip(sched.requests, mask):
+                if hit and w.active_users > 0:
+                    assert 0 <= s.client_id < w.active_users
+
+    def test_offered_rate(self):
+        sched = _model().build_schedule(30.0, MIX, seed=6)
+        assert sched.offered_rate_rps() == pytest.approx(
+            sched.n_requests / 30.0
+        )
+
+
+class TestDeterminism:
+    def test_same_seed_same_schedule(self):
+        a = _model().build_schedule(45.0, MIX, seed=1234)
+        b = _model().build_schedule(45.0, MIX, seed=1234)
+        assert a.requests == b.requests  # frozen dataclasses: full equality
+        assert a.windows == b.windows
+
+    def test_different_seed_different_schedule(self):
+        a = _model().build_schedule(45.0, MIX, seed=1)
+        b = _model().build_schedule(45.0, MIX, seed=2)
+        assert a.requests != b.requests
