@@ -92,6 +92,17 @@ class StreamExhaustedError(ReproError):
     """A finite stream was asked for more readings than it contains."""
 
 
+class HistoryError(ReproError):
+    """A historical-archive operation could not be carried out.
+
+    Raised for structural problems — an unknown stream, a malformed
+    archive database, an ingest of a non-finite value, a query shape the
+    archive cannot answer.  An *empty* query result is not an error for
+    range queries (the range may simply hold no tuples); point and
+    aggregate queries raise because they promise exactly one answer.
+    """
+
+
 class ServingError(ReproError):
     """A query-serving request could not be answered.
 

@@ -1,0 +1,102 @@
+"""SQLite schema and connection handling of the history archive.
+
+One archive database holds the served history of one fleet: a
+``streams`` catalogue (stream id → configured precision half-width δ)
+and an ``archive`` table of served tuples.  Each archived tuple is
+stored twice, deliberately:
+
+* **numeric columns** ``(stream_id, t, value, bound)`` — what queries
+  read.  SQLite ``REAL`` is an 8-byte IEEE-754 double stored verbatim,
+  so a float written through :mod:`sqlite3` comes back bit-identical;
+  rebuilding a :class:`~repro.dsms.tuples.StreamTuple` from the columns
+  is therefore bitwise-lossless.  The ``archive_stream_t_cover`` index
+  covers ``(stream_id, t, value, bound)``, so a range query is a pure
+  index scan — no table lookups at all.
+* **a codec payload** — the same tuple encoded through the durability
+  codec's canonical JSON-with-ndarrays row format
+  (:func:`repro.durability.codec.dumps_payload`).  This is the
+  archive's authoritative, self-describing row: :meth:`HistoryStore
+  .audit` decodes payloads and cross-checks them bitwise against the
+  numeric columns, the same verify-before-trust posture the checkpoint
+  store takes.
+
+Uniqueness is ``(stream_id, t)``: one served value per stream per
+timestamp.  Feeds overlap by design (a live ``on_tick`` feed and a ring
+``on_evict`` feed may both offer the same tuple) and dedup happens in
+the database with ``INSERT OR IGNORE`` — idempotent re-ingest is what
+makes the no-tuple-lost guarantee cheap to uphold.
+"""
+
+from __future__ import annotations
+
+import sqlite3
+from pathlib import Path
+
+from repro.errors import HistoryError
+
+__all__ = ["SCHEMA_VERSION", "connect", "ensure_schema"]
+
+#: Bump on any incompatible layout change; mismatched archives refuse to
+#: open rather than mis-parse.
+SCHEMA_VERSION = 1
+
+_SCHEMA = """
+CREATE TABLE IF NOT EXISTS meta (
+    key   TEXT PRIMARY KEY,
+    value TEXT NOT NULL
+);
+CREATE TABLE IF NOT EXISTS streams (
+    stream_id TEXT PRIMARY KEY,
+    delta     REAL NOT NULL
+);
+CREATE TABLE IF NOT EXISTS archive (
+    stream_id TEXT NOT NULL,
+    t         REAL NOT NULL,
+    value     REAL NOT NULL,
+    bound     REAL NOT NULL,
+    payload   BLOB NOT NULL,
+    UNIQUE (stream_id, t)
+);
+CREATE INDEX IF NOT EXISTS archive_stream_t_cover
+    ON archive (stream_id, t, value, bound);
+"""
+
+
+def connect(path: str | Path) -> sqlite3.Connection:
+    """Open (creating if absent) an archive database at ``path``.
+
+    ``:memory:`` is accepted for tests and benchmarks.  WAL journaling
+    keeps readers un-blocked while the writer commits batches;
+    ``synchronous=NORMAL`` syncs at WAL checkpoints, the standard
+    durability/throughput point for archival (the durable *checkpoint*
+    tier, not this one, is the crash-recovery source of truth).
+    """
+    try:
+        conn = sqlite3.connect(str(path))
+        conn.execute("PRAGMA journal_mode=WAL")
+        conn.execute("PRAGMA synchronous=NORMAL")
+    except sqlite3.Error as exc:
+        raise HistoryError(f"cannot open archive at {path!r}: {exc}") from exc
+    return conn
+
+
+def ensure_schema(conn: sqlite3.Connection) -> None:
+    """Create the archive schema, or verify an existing one is ours."""
+    try:
+        conn.executescript(_SCHEMA)
+        row = conn.execute(
+            "SELECT value FROM meta WHERE key = 'schema_version'"
+        ).fetchone()
+        if row is None:
+            conn.execute(
+                "INSERT INTO meta (key, value) VALUES ('schema_version', ?)",
+                (str(SCHEMA_VERSION),),
+            )
+            conn.commit()
+        elif row[0] != str(SCHEMA_VERSION):
+            raise HistoryError(
+                f"archive schema version {row[0]!r} is not the supported "
+                f"{SCHEMA_VERSION!r}; refusing to read it"
+            )
+    except sqlite3.Error as exc:
+        raise HistoryError(f"cannot initialize archive schema: {exc}") from exc

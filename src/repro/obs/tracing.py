@@ -37,6 +37,8 @@ __all__ = [
     "RECOVERY_FALLBACK",
     "OVERLOAD_ENTER",
     "OVERLOAD_EXIT",
+    "ARCHIVE_FLUSH",
+    "HISTORY_QUERY",
     "TraceEvent",
     "EventTracer",
 ]
@@ -61,6 +63,8 @@ RECOVERY_STAGE = "recovery_stage"  #: staged recovery entered a new stage
 RECOVERY_FALLBACK = "recovery_fallback"  #: a generation failed verification; recovery fell back
 OVERLOAD_ENTER = "overload_enter"  #: serving admission crossed its in-flight limit
 OVERLOAD_EXIT = "overload_exit"  #: serving in-flight fell back under the limit
+ARCHIVE_FLUSH = "archive_flush"  #: a batch of served tuples was committed to the history archive
+HISTORY_QUERY = "history_query"  #: the history store answered an archival query
 
 EVENT_TYPES = frozenset(
     {
@@ -82,6 +86,8 @@ EVENT_TYPES = frozenset(
         RECOVERY_FALLBACK,
         OVERLOAD_ENTER,
         OVERLOAD_EXIT,
+        ARCHIVE_FLUSH,
+        HISTORY_QUERY,
     }
 )
 

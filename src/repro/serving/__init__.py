@@ -14,6 +14,8 @@ honestly — stale cached answers with widened bounds, never silent drops.
 from repro.serving.client import LoadReport, drive_workload, run_workload
 from repro.serving.requests import (
     AggregateQuery,
+    HistoryAggregateQuery,
+    HistoryRangeQuery,
     PointQuery,
     Query,
     RangeQuery,
@@ -34,6 +36,8 @@ from repro.serving.workload import (
 __all__ = [
     "AdmissionConfig",
     "AggregateQuery",
+    "HistoryAggregateQuery",
+    "HistoryRangeQuery",
     "LatencySLO",
     "LoadReport",
     "PointQuery",

@@ -1,11 +1,20 @@
 """Request and response types of the query-serving tier.
 
-A request names one of the three served query shapes — the current point
-value of a stream, the recent range of served values, or a windowed
-aggregate over them — and a response carries the answer tuples with their
+A request names one of the served query shapes — the current point
+value of a stream, the recent range of served values, a windowed
+aggregate over them, or their *historical* twins over an arbitrary past
+time interval — and a response carries the answer tuples with their
 propagated precision bounds plus the serving tier's honesty metadata
-(degraded flag, staleness, reason).  Requests are frozen dataclasses so a
-workload schedule can be generated once, hashed, and replayed.
+(degraded flag, staleness, reason, provenance).  Requests are frozen
+dataclasses so a workload schedule can be generated once, hashed, and
+replayed.
+
+The historical shapes (:class:`HistoryRangeQuery`,
+:class:`HistoryAggregateQuery`) name a closed time interval
+``[t_start, t_end]`` instead of a "last n" window; the server resolves
+them against the hot ring, the SQLite archive, or a stitched
+combination, and labels the answer's :attr:`ServingResponse.provenance`
+``live`` / ``historical`` / ``hybrid`` accordingly.
 """
 
 from __future__ import annotations
@@ -20,6 +29,8 @@ __all__ = [
     "PointQuery",
     "RangeQuery",
     "AggregateQuery",
+    "HistoryRangeQuery",
+    "HistoryAggregateQuery",
     "Query",
     "ServingResponse",
 ]
@@ -70,7 +81,59 @@ class AggregateQuery:
             raise ServingError(f"window size must be >= 1, got {self.size!r}")
 
 
-Query = Union[PointQuery, RangeQuery, AggregateQuery]
+def _check_interval(t_start: float, t_end: float) -> None:
+    if not (t_start <= t_end):
+        raise ServingError(
+            f"empty interval: t_start {t_start!r} > t_end {t_end!r}"
+        )
+
+
+@dataclass(frozen=True)
+class HistoryRangeQuery:
+    """Every served tuple with ``t`` in ``[t_start, t_end]``, oldest first.
+
+    Unlike :class:`RangeQuery` (the last ``size`` tuples, always
+    resident by construction when warm) the interval may reach
+    arbitrarily far into the past; the server resolves it against the
+    hot ring and/or the archive and labels the answer's provenance.
+    """
+
+    stream_id: str
+    t_start: float
+    t_end: float
+
+    kind = "history_range"
+
+    def __post_init__(self) -> None:
+        _check_interval(self.t_start, self.t_end)
+
+
+@dataclass(frozen=True)
+class HistoryAggregateQuery:
+    """An aggregate over every served tuple in ``[t_start, t_end]``.
+
+    ``aggregate`` is any name :func:`repro.dsms.aggregates.make_aggregate`
+    accepts.  Wherever the members come from — ring, archive, or a
+    stitched combination — they are replayed through the dsms
+    :class:`~repro.dsms.operators.WindowAggregate` operator, so the
+    answer and its bound are exactly what direct dsms evaluation of the
+    same served tuples produces.
+    """
+
+    stream_id: str
+    aggregate: str
+    t_start: float
+    t_end: float
+
+    kind = "history_aggregate"
+
+    def __post_init__(self) -> None:
+        _check_interval(self.t_start, self.t_end)
+
+
+Query = Union[
+    PointQuery, RangeQuery, AggregateQuery, HistoryRangeQuery, HistoryAggregateQuery
+]
 
 
 @dataclass(frozen=True)
@@ -91,6 +154,10 @@ class ServingResponse:
             the serve (0 for fresh answers).
         reason: Why the answer is degraded (``None`` when fresh).
         latency_s: Wall-clock seconds between admission and answer.
+        provenance: Where the answer tuples came from — ``live`` (hot
+            ring only), ``historical`` (archive only), or ``hybrid``
+            (a range straddling the residency boundary, stitched from
+            archive + ring with the boundary deduplicated).
     """
 
     request: Query
@@ -99,6 +166,7 @@ class ServingResponse:
     staleness_ticks: int = 0
     reason: str | None = None
     latency_s: float = 0.0
+    provenance: str = "live"
 
     @property
     def kind(self) -> str:

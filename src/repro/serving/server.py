@@ -2,21 +2,36 @@
 
 One :class:`QueryServer` serves precision-bounded point / range /
 windowed-aggregate queries from a :class:`~repro.serving.store.ServingStore`
-that the replica fleet keeps fresh.  The concurrency model is plain
-asyncio: evaluation itself is synchronous (and therefore per-request
-atomic — an answer is always consistent with a single store tick), while
-a cooperative yield between admission and evaluation lets bursts pile up
+that the replica fleet keeps fresh — and, when a
+:class:`~repro.history.HistoryStore` is attached, *hybrid* queries over
+arbitrary past time intervals.  The concurrency model is plain asyncio:
+evaluation itself is synchronous (and therefore per-request atomic — an
+answer is always consistent with a single store tick), while a
+cooperative yield between admission and evaluation lets bursts pile up
 so admission control sees true concurrency.
+
+Hybrid resolution is a residency split on the hot ring's oldest
+timestamp.  A :class:`HistoryRangeQuery` / :class:`HistoryAggregateQuery`
+whose interval is entirely resident answers from the ring
+(``provenance="live"``); entirely below the residency boundary, from
+the archive (``"historical"``); a straddling interval stitches the
+archival prefix to the resident suffix, deduplicated at the boundary
+(``"hybrid"``).  Every path replays members through the same dsms
+operators, so values and bounds are bitwise identical whichever store
+answered.
 
 Admission never sheds load.  When the in-flight count crosses
 ``max_inflight``, range and aggregate requests whose signature has a
 cached answer are served *degraded*: the cached tuples, with each bound
 honestly widened by ``drift_per_tick · δ_stream`` per ingest tick of
 staleness and the response flagged ``degraded=True`` — the same
-contract-suspension semantics the supervision layer uses.  Requests with
-no cached answer (and all point queries, which are O(1)) are evaluated
-fresh even under overload, so every admitted request is answered and no
-answer is ever silently dropped.
+contract-suspension semantics the supervision layer uses.  One honest
+exception: a cached *historical* answer covers a closed, immutable past
+interval, so re-serving it is bitwise identical to fresh evaluation and
+is **not** flagged degraded (nothing about the answer is stale).
+Requests with no cached answer (and all point queries, which are O(1))
+are evaluated fresh even under overload, so every admitted request is
+answered and no answer is ever silently dropped.
 """
 
 from __future__ import annotations
@@ -25,12 +40,15 @@ import asyncio
 from dataclasses import dataclass, replace
 from time import perf_counter
 
+from repro.dsms.operators import WindowAggregate
 from repro.dsms.tuples import StreamTuple
-from repro.errors import ServingError
+from repro.errors import HistoryError, ServingError
 from repro.obs import tracing
 from repro.obs.telemetry import resolve_telemetry
 from repro.serving.requests import (
     AggregateQuery,
+    HistoryAggregateQuery,
+    HistoryRangeQuery,
     PointQuery,
     Query,
     RangeQuery,
@@ -71,11 +89,17 @@ class AdmissionConfig:
 
 
 class QueryServer:
-    """Serves queries over the live served-history store.
+    """Serves queries over the live served-history store (and archive).
 
     Args:
         store: The served-history state to answer from.
         admission: Overload-protection configuration.
+        history: Optional :class:`~repro.history.HistoryStore` over the
+            archived history.  Without it, history queries whose
+            interval is not fully ring-resident raise
+            :class:`~repro.errors.ServingError` (structurally
+            unanswerable); with it, they fall through to the archive or
+            stitch ring + archive transparently.
         telemetry: Optional :class:`~repro.obs.Telemetry` sink.  Per
             request: a ``repro_serving_requests_total{kind=...}`` count,
             a ``repro_serving_latency_seconds{kind=...}`` histogram
@@ -83,23 +107,30 @@ class QueryServer:
             add ``repro_serving_degraded_total{kind=...}``; the
             ``repro_serving_inflight`` gauge tracks concurrency and
             ``overload_enter`` / ``overload_exit`` events mark admission
-            crossing its limit.
+            crossing its limit.  History-query resolution adds a
+            ``repro_serving_provenance_total{provenance=...}`` count per
+            answer; the attached history store records its own
+            ``repro_history_*`` metrics for the archival legs.
     """
 
     def __init__(
         self,
         store: ServingStore,
         admission: AdmissionConfig | None = None,
+        history=None,
         telemetry=None,
     ):
         self.store = store
         self.admission = admission if admission is not None else AdmissionConfig()
+        self.history = history
         self._tel = resolve_telemetry(telemetry)
         self._inflight = 0
         self._overloaded = False
-        # Signature -> (tuples, store tick of evaluation).  Every fresh
-        # evaluation refreshes it; degraded serves read it.
-        self._cache: dict[tuple, tuple[tuple[StreamTuple, ...], int]] = {}
+        # Signature -> (tuples, store tick of evaluation, provenance).
+        # Every fresh evaluation refreshes it; degraded serves read it.
+        self._cache: dict[
+            tuple, tuple[tuple[StreamTuple, ...], int, str]
+        ] = {}
         self.requests_served = 0
         self.requests_degraded = 0
 
@@ -122,30 +153,109 @@ class QueryServer:
             return ("range", request.stream_id, request.size)
         if isinstance(request, AggregateQuery):
             return ("aggregate", request.stream_id, request.aggregate, request.size)
+        if isinstance(request, HistoryRangeQuery):
+            return (
+                "history_range", request.stream_id, request.t_start, request.t_end
+            )
+        if isinstance(request, HistoryAggregateQuery):
+            return (
+                "history_aggregate",
+                request.stream_id,
+                request.aggregate,
+                request.t_start,
+                request.t_end,
+            )
         raise ServingError(f"unknown request type {type(request).__name__}")
 
-    def _evaluate(self, request: Query) -> tuple[StreamTuple, ...]:
-        """Fresh, atomic evaluation against the store's current state."""
+    def _resolve_history_members(
+        self, request: HistoryRangeQuery | HistoryAggregateQuery
+    ) -> tuple[tuple[StreamTuple, ...], str]:
+        """``(members, provenance)`` for a historical interval.
+
+        The split point is the ring's residency boundary (the oldest
+        resident tuple's timestamp).  A stitched answer takes the
+        archive strictly *below* the boundary and the ring at or above
+        it, so a tuple both archived (live feed) and still resident is
+        never counted twice.
+        """
+        sid = request.stream_id
+        lo, hi = request.t_start, request.t_end
+        boundary = self.store.oldest_t(sid) if sid in self.store.bounds else None
+        if boundary is not None and boundary <= lo:
+            return self.store.tuples_between(sid, lo, hi), "live"
+        if self.history is None:
+            raise ServingError(
+                f"interval [{lo!r}, {hi!r}] of stream {sid!r} is not "
+                f"resident in the hot ring and no history store is attached"
+            )
+        try:
+            if boundary is None or boundary > hi:
+                return tuple(self.history.range_query(sid, lo, hi)), "historical"
+            archived = self.history.range_query(sid, lo, boundary)
+            older = tuple(tup for tup in archived if tup.t < boundary)
+            resident = self.store.tuples_between(sid, boundary, hi)
+            return older + resident, "hybrid"
+        except HistoryError as exc:
+            raise ServingError(str(exc)) from exc
+
+    @staticmethod
+    def _replay_aggregate(
+        members: tuple[StreamTuple, ...], aggregate: str
+    ) -> StreamTuple:
+        """Replay members through a real dsms operator — no own arithmetic.
+
+        The same construction :meth:`ServingStore.window_aggregate` and
+        :meth:`HistoryStore.range_aggregate` use, so an answer is
+        bitwise identical whichever tier resolved the members.
+        """
+        op = WindowAggregate(
+            aggregate, size=len(members), slide=1, emit_partial=True
+        )
+        out: list[StreamTuple] = []
+        for member in members:
+            out = op.process(member)
+        return out[0]
+
+    def _evaluate(self, request: Query) -> tuple[tuple[StreamTuple, ...], str]:
+        """Fresh, atomic evaluation; returns ``(tuples, provenance)``."""
         if isinstance(request, PointQuery):
-            return (self.store.point(request.stream_id),)
+            return (self.store.point(request.stream_id),), "live"
         if isinstance(request, RangeQuery):
-            return self.store.range_query(request.stream_id, request.size)
+            return self.store.range_query(request.stream_id, request.size), "live"
         if isinstance(request, AggregateQuery):
             return (
                 self.store.window_aggregate(
                     request.stream_id, request.aggregate, request.size
                 ),
-            )
+            ), "live"
+        if isinstance(request, (HistoryRangeQuery, HistoryAggregateQuery)):
+            members, provenance = self._resolve_history_members(request)
+            if not members:
+                raise ServingError(
+                    f"stream {request.stream_id!r} has no served tuples in "
+                    f"[{request.t_start!r}, {request.t_end!r}]"
+                )
+            if isinstance(request, HistoryRangeQuery):
+                return members, provenance
+            return (self._replay_aggregate(members, request.aggregate),), provenance
         raise ServingError(f"unknown request type {type(request).__name__}")
 
     def _degraded_from_cache(
         self, request: Query
-    ) -> tuple[tuple[StreamTuple, ...], int] | None:
-        """Stale cached tuples with honestly widened bounds, or ``None``."""
+    ) -> tuple[tuple[StreamTuple, ...], int, str] | None:
+        """Stale cached tuples with honestly widened bounds, or ``None``.
+
+        A cached *historical* answer is immutable (its interval is
+        closed and entirely below the residency boundary, and served
+        time is monotone), so it comes back with zero staleness and no
+        widening — re-serving it equals re-evaluating it, bitwise.
+        """
         cached = self._cache.get(self._signature(request))
         if cached is None:
             return None
-        tuples, at_tick = cached
+        tuples, at_tick, provenance = cached
+        if provenance == "historical":
+            return tuples, 0, provenance
         staleness = self.store.tick - at_tick
         widen = self.admission.drift_per_tick * self.store.bounds[
             request.stream_id
@@ -154,7 +264,7 @@ class QueryServer:
             tuples = tuple(
                 replace(tup, bound=tup.bound + widen) for tup in tuples
             )
-        return tuples, staleness
+        return tuples, staleness, provenance
 
     def _note_overload(self) -> None:
         over = self._inflight > self.admission.max_inflight
@@ -193,13 +303,19 @@ class QueryServer:
                 and not isinstance(request, PointQuery)
                 and (hit := self._degraded_from_cache(request)) is not None
             ):
-                tuples, staleness = hit
-                degraded = True
-                reason = "overload"
+                tuples, staleness, provenance = hit
+                # A cached historical answer is bitwise what fresh
+                # evaluation would return (immutable closed interval) —
+                # serving it is a fast path, not a degradation.
+                if provenance != "historical":
+                    degraded = True
+                    reason = "overload"
             else:
                 with tel.span(f"serving.{request.kind}"):
-                    tuples = self._evaluate(request)
-                self._cache[self._signature(request)] = (tuples, self.store.tick)
+                    tuples, provenance = self._evaluate(request)
+                self._cache[self._signature(request)] = (
+                    tuples, self.store.tick, provenance
+                )
             latency = perf_counter() - t0
             self.requests_served += 1
             if degraded:
@@ -211,6 +327,12 @@ class QueryServer:
                 )
                 if degraded:
                     tel.inc("repro_serving_degraded_total", kind=request.kind)
+                if isinstance(
+                    request, (HistoryRangeQuery, HistoryAggregateQuery)
+                ):
+                    tel.inc(
+                        "repro_serving_provenance_total", provenance=provenance
+                    )
             return ServingResponse(
                 request=request,
                 tuples=tuples,
@@ -218,6 +340,7 @@ class QueryServer:
                 staleness_ticks=staleness,
                 reason=reason,
                 latency_s=latency,
+                provenance=provenance,
             )
         finally:
             self._inflight -= 1

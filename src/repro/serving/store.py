@@ -40,6 +40,12 @@ class ServingStore:
             queries can look back at most this far.
         server: Optional :class:`~repro.core.server.StreamServer` to pull
             served values from on :meth:`ingest_tick`.
+        on_evict: Optional hook called with each tuple a full ring
+            evicts, *after* the replacing tuple is in.  This is how
+            history survives ring rollover: an
+            :class:`~repro.history.ArchiveWriter` attached here archives
+            aging tuples instead of letting them drop silently.  The
+            hook must not mutate the store.
     """
 
     def __init__(
@@ -47,6 +53,7 @@ class ServingStore:
         bounds: dict[str, float],
         history: int = 1024,
         server: StreamServer | None = None,
+        on_evict=None,
     ):
         if not bounds:
             raise ServingError("a serving store needs at least one stream bound")
@@ -64,6 +71,7 @@ class ServingStore:
         #: control widens degraded answers against.
         self.tick = 0
         self._server = server
+        self.on_evict = on_evict
 
     @classmethod
     def from_requirements(
@@ -97,9 +105,13 @@ class ServingStore:
         if delta is None:
             raise ServingError(f"unknown stream {stream_id!r}; known: "
                                f"{sorted(self.bounds)}")
-        self._rings[stream_id].append(
+        ring = self._rings[stream_id]
+        evicted = ring[0] if len(ring) == ring.maxlen else None
+        ring.append(
             StreamTuple(t=float(t), stream_id=stream_id, value=float(value), bound=delta)
         )
+        if evicted is not None and self.on_evict is not None:
+            self.on_evict(evicted)
 
     def advance_tick(self) -> int:
         """Advance the staleness clock by one ingest tick; returns it."""
@@ -168,6 +180,33 @@ class ServingStore:
         if ring is None:
             raise ServingError(f"unknown stream {stream_id!r}")
         return len(ring)
+
+    def oldest_t(self, stream_id: str) -> float | None:
+        """Timestamp of the oldest *resident* tuple (``None`` while cold).
+
+        The ring holds a contiguous suffix of the served history, so
+        every served tuple with ``t >= oldest_t`` is resident and every
+        older one has been evicted (and, with an ``on_evict`` archiver
+        attached, archived).  This is the residency boundary hybrid
+        serving splits requests on.
+        """
+        ring = self._rings.get(stream_id)
+        if ring is None:
+            raise ServingError(f"unknown stream {stream_id!r}")
+        return ring[0].t if ring else None
+
+    def tuples_between(
+        self, stream_id: str, t_start: float, t_end: float
+    ) -> tuple[StreamTuple, ...]:
+        """Resident tuples with ``t`` in ``[t_start, t_end]``, oldest first.
+
+        Unlike :meth:`range_query` this may return an empty tuple — the
+        requested interval simply may not intersect the resident window.
+        """
+        ring = self._rings.get(stream_id)
+        if ring is None:
+            raise ServingError(f"unknown stream {stream_id!r}")
+        return tuple(tup for tup in ring if t_start <= tup.t <= t_end)
 
     def point(self, stream_id: str) -> StreamTuple:
         """The newest served tuple — value ± δ at the last ingest."""

@@ -1,0 +1,126 @@
+"""Codec edge-case properties: empty, non-contiguous, and typed arrays.
+
+The archive (and every checkpoint) trusts ``dumps_payload`` /
+``loads_payload`` to be a bitwise-faithful round-trip for *any* ndarray
+a caller hands it — including the awkward ones: zero-length arrays,
+non-contiguous views (slices, transposes), and both float dtypes.  The
+encoder is allowed to copy (``ascontiguousarray``) but never to change
+a value, a dtype, or a shape.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra.numpy import arrays, array_shapes
+
+from repro.durability import dumps_payload, loads_payload
+
+FLOAT_DTYPES = [np.float32, np.float64]
+
+
+def _roundtrip(arr: np.ndarray) -> np.ndarray:
+    return loads_payload(dumps_payload({"a": arr}))["a"]
+
+
+def _assert_bitwise(original: np.ndarray, restored: np.ndarray) -> None:
+    assert restored.dtype == original.dtype
+    assert restored.shape == original.shape
+    # bitwise, not allclose: compare the raw buffer bytes
+    assert restored.tobytes() == np.ascontiguousarray(original).tobytes()
+
+
+class TestEmptyArrays:
+    @given(st.sampled_from(FLOAT_DTYPES))
+    @settings(max_examples=10, deadline=None)
+    def test_zero_length_1d(self, dtype):
+        _assert_bitwise(np.empty(0, dtype=dtype), _roundtrip(np.empty(0, dtype=dtype)))
+
+    @given(
+        st.sampled_from(FLOAT_DTYPES),
+        st.tuples(st.integers(0, 4), st.integers(0, 4)).filter(lambda s: 0 in s),
+    )
+    @settings(max_examples=25, deadline=None)
+    def test_zero_length_2d_keeps_shape(self, dtype, shape):
+        arr = np.empty(shape, dtype=dtype)
+        restored = _roundtrip(arr)
+        assert restored.shape == shape
+        assert restored.dtype == arr.dtype
+        assert restored.size == 0
+
+
+@st.composite
+def float_arrays(draw, min_dims=1, max_dims=3):
+    dtype = draw(st.sampled_from(FLOAT_DTYPES))
+    shape = draw(array_shapes(min_dims=min_dims, max_dims=max_dims, max_side=6))
+    return draw(
+        arrays(
+            dtype,
+            shape,
+            elements=st.floats(
+                -1e6, 1e6, allow_nan=False, width=8 * np.dtype(dtype).itemsize
+            ),
+        )
+    )
+
+
+class TestNonContiguousViews:
+    @given(float_arrays(min_dims=1, max_dims=1))
+    @settings(max_examples=50, deadline=None)
+    def test_strided_slice(self, base):
+        view = base[::2]
+        _assert_bitwise(view, _roundtrip(view))
+
+    @given(float_arrays(min_dims=2, max_dims=2))
+    @settings(max_examples=50, deadline=None)
+    def test_transpose(self, base):
+        view = base.T
+        _assert_bitwise(view, _roundtrip(view))
+
+    @given(float_arrays(min_dims=2, max_dims=3))
+    @settings(max_examples=50, deadline=None)
+    def test_reversed_axis(self, base):
+        view = base[::-1]
+        _assert_bitwise(view, _roundtrip(view))
+
+    def test_view_roundtrip_is_owned_and_writable(self):
+        base = np.arange(12, dtype=np.float64).reshape(3, 4)
+        restored = _roundtrip(base[:, ::2])
+        assert restored.flags["OWNDATA"] and restored.flags["WRITEABLE"]
+        restored[0, 0] = -1.0  # must not raise
+
+
+class TestDtypePreservation:
+    @given(float_arrays())
+    @settings(max_examples=100, deadline=None)
+    def test_float_arrays_roundtrip_bitwise(self, arr):
+        _assert_bitwise(arr, _roundtrip(arr))
+
+    @given(
+        arrays(
+            np.float32,
+            array_shapes(max_dims=2, max_side=6),
+            elements=st.floats(-1e6, 1e6, allow_nan=False, width=32),
+        )
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_float32_never_silently_promotes(self, arr):
+        restored = _roundtrip(arr)
+        assert restored.dtype == np.float32
+        # and the float64 twin of the same values is a different payload
+        twin = dumps_payload({"a": arr.astype(np.float64)})
+        if arr.size:
+            assert dumps_payload({"a": arr}) != twin
+
+    @given(float_arrays())
+    @settings(max_examples=25, deadline=None)
+    def test_special_values_roundtrip(self, arr):
+        if arr.size == 0:
+            return
+        spiked = arr.copy()
+        flat = spiked.reshape(-1)
+        flat[0] = np.inf
+        if flat.shape[0] > 1:
+            flat[1] = -0.0
+        _assert_bitwise(spiked, _roundtrip(spiked))

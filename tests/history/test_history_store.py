@@ -1,0 +1,242 @@
+"""HistoryStore: indexed archival queries with bitwise dsms parity.
+
+The acceptance criterion this file pins: an archival answer's value
+*and* bound are bitwise what direct dsms evaluation of the same served
+tuples produces — with ``==``, no tolerance — and the indexed and
+forced-linear-scan paths return identical answers (the index is a speed
+lever, never a semantics lever).
+"""
+
+import sqlite3
+
+import numpy as np
+import pytest
+
+from repro.dsms.operators import WindowAggregate
+from repro.dsms.precision_propagation import aggregate_bound
+from repro.errors import HistoryError
+from repro.history import ArchiveWriter, HistoryStore
+from repro.history.db import SCHEMA_VERSION
+from repro.obs import Telemetry, parse_prometheus, tracing
+
+AGGREGATES = ["mean", "sum", "min", "max", "median"]
+
+
+@pytest.fixture
+def db(tmp_path):
+    path = tmp_path / "archive.sqlite"
+    rng = np.random.default_rng(5)
+    with ArchiveWriter(path, {"s0": 0.5, "s1": 1.25}, batch_size=32) as w:
+        for k in range(80):
+            w.ingest("s0", k, float(rng.normal(10.0, 2.0)))
+            w.ingest("s1", k, float(rng.normal(-4.0, 1.0)))
+    return path
+
+
+def _replay(members, aggregate):
+    op = WindowAggregate(aggregate, size=len(members), slide=1, emit_partial=True)
+    out = []
+    for member in members:
+        out = op.process(member)
+    return out[0]
+
+
+class TestBasics:
+    def test_unknown_stream_rejected(self, db):
+        store = HistoryStore(db)
+        with pytest.raises(HistoryError, match="unknown stream"):
+            store.range_query("nope", 0, 10)
+
+    def test_span_and_counts(self, db):
+        store = HistoryStore(db)
+        assert store.row_count() == 160
+        assert store.span("s0") == (0.0, 79.0, 80)
+        assert store.stream_ids() == ["s0", "s1"]
+
+    def test_point_as_of(self, db):
+        store = HistoryStore(db)
+        assert store.point("s0").t == 79.0
+        assert store.point("s0", at_t=12.5).t == 12.0
+        with pytest.raises(HistoryError, match="no archived tuple"):
+            store.point("s0", at_t=-1.0)
+
+    def test_range_inclusive_and_ordered(self, db):
+        store = HistoryStore(db)
+        got = store.range_query("s0", 10.0, 14.0)
+        assert [tup.t for tup in got] == [10.0, 11.0, 12.0, 13.0, 14.0]
+        assert all(tup.stream_id == "s0" for tup in got)
+        assert all(tup.bound == 0.5 for tup in got)
+
+    def test_empty_range_is_empty_not_error(self, db):
+        store = HistoryStore(db)
+        assert store.range_query("s0", 200.0, 300.0) == ()
+
+    def test_inverted_range_rejected(self, db):
+        store = HistoryStore(db)
+        with pytest.raises(HistoryError, match="empty range"):
+            store.range_query("s0", 5.0, 1.0)
+
+    def test_last_n_before_t_end(self, db):
+        store = HistoryStore(db)
+        got = store.last_n("s0", 3, t_end=20.0)
+        assert [tup.t for tup in got] == [18.0, 19.0, 20.0]
+        assert [tup.t for tup in store.last_n("s0", 2)] == [78.0, 79.0]
+
+    def test_refresh_bounds_sees_new_streams(self, db):
+        store = HistoryStore(db)
+        with ArchiveWriter(db, {"s9": 2.0}) as w:
+            w.ingest("s9", 0.0, 1.0)
+        # transparently refreshed on first touch of the unknown stream
+        assert store.point("s9").value == 1.0
+
+
+class TestBitwiseParity:
+    """Archival answers == direct dsms evaluation, bitwise."""
+
+    @pytest.mark.parametrize("aggregate", AGGREGATES)
+    def test_range_aggregate_bitwise_equals_direct_replay(self, db, aggregate):
+        store = HistoryStore(db)
+        members = store.range_query("s0", 5.0, 36.0)
+        direct = _replay(members, aggregate)
+        served = store.range_aggregate("s0", aggregate, 5.0, 36.0)
+        assert served.value == direct.value  # bitwise, no tolerance
+        assert served.bound == direct.bound
+        assert served.t == direct.t
+
+    @pytest.mark.parametrize("aggregate", AGGREGATES)
+    def test_bound_matches_pure_propagation_rule(self, db, aggregate):
+        store = HistoryStore(db)
+        members = store.range_query("s1", 0.0, 15.0)
+        served = store.range_aggregate("s1", aggregate, 0.0, 15.0)
+        assert served.bound == aggregate_bound(
+            aggregate, [m.bound for m in members], [m.value for m in members]
+        )
+
+    @pytest.mark.parametrize("aggregate", AGGREGATES)
+    @pytest.mark.parametrize("size", [1, 7, 32])
+    def test_window_aggregate_bitwise(self, db, aggregate, size):
+        store = HistoryStore(db)
+        members = store.last_n("s0", size, t_end=60.0)
+        direct = _replay(members, aggregate)
+        served = store.window_aggregate("s0", aggregate, size, t_end=60.0)
+        assert (served.value, served.bound, served.t) == (
+            direct.value, direct.bound, direct.t
+        )
+
+    def test_window_warmup_contract(self, db):
+        store = HistoryStore(db)
+        with pytest.raises(HistoryError, match="not warmed up"):
+            store.window_aggregate("s0", "mean", 200)
+        partial = store.window_aggregate("s0", "mean", 200, emit_partial=True)
+        assert partial.value == _replay(store.last_n("s0", 200), "mean").value
+
+    def test_linear_scan_answers_identical(self, db):
+        store = HistoryStore(db)
+        assert store.range_query("s0", 3.0, 55.0, use_index=False) == (
+            store.range_query("s0", 3.0, 55.0, use_index=True)
+        )
+        fast = store.range_aggregate("s0", "mean", 3.0, 55.0, use_index=True)
+        slow = store.range_aggregate("s0", "mean", 3.0, 55.0, use_index=False)
+        assert (fast.value, fast.bound) == (slow.value, slow.bound)
+
+    def test_covering_index_is_actually_used(self, db):
+        store = HistoryStore(db)
+        (plan,) = store._conn.execute(
+            "EXPLAIN QUERY PLAN SELECT t, value, bound FROM archive "
+            "WHERE stream_id = ? AND t BETWEEN ? AND ?",
+            ("s0", 0.0, 10.0),
+        ).fetchall()
+        detail = plan[-1]
+        assert "USING COVERING INDEX archive_stream_t_cover" in detail
+
+
+class TestAggregateSeries:
+    def test_min_max_series_bitwise_vs_replay(self, db):
+        store = HistoryStore(db)
+        size = 5
+        for aggregate in ("min", "max"):
+            series = store.aggregate_series("s0", aggregate, size, 10.0, 30.0)
+            assert [tup.t for tup in series] == [float(t) for t in range(10, 31)]
+            for tup in series:
+                direct = _replay(
+                    store.last_n("s0", size, t_end=tup.t), aggregate
+                )
+                assert (tup.value, tup.bound) == (direct.value, direct.bound)
+
+    def test_mean_sum_series_match_to_float_tolerance(self, db):
+        store = HistoryStore(db)
+        for aggregate in ("mean", "sum"):
+            series = store.aggregate_series("s0", aggregate, 8, 20.0, 40.0)
+            for tup in series:
+                direct = _replay(store.last_n("s0", 8, t_end=tup.t), aggregate)
+                assert tup.value == pytest.approx(direct.value, rel=1e-12)
+                assert tup.bound == pytest.approx(direct.bound, rel=1e-12)
+
+    def test_count_series_exact_with_zero_bound(self, db):
+        store = HistoryStore(db)
+        series = store.aggregate_series("s0", "count", 4, 2.0, 6.0)
+        assert [(tup.value, tup.bound) for tup in series] == [
+            (3, 0.0), (4, 0.0), (4, 0.0), (4, 0.0), (4, 0.0)
+        ]
+
+    def test_unsupported_series_aggregate_rejected(self, db):
+        store = HistoryStore(db)
+        with pytest.raises(HistoryError, match="aggregate_series supports"):
+            store.aggregate_series("s0", "median", 4, 0.0, 10.0)
+
+
+class TestIntegrity:
+    def test_audit_passes_on_clean_archive(self, db):
+        assert HistoryStore(db).audit() == 160
+        assert HistoryStore(db).audit("s0") == 80
+
+    def test_audit_catches_tampered_column(self, db):
+        conn = sqlite3.connect(db)
+        conn.execute(
+            "UPDATE archive SET value = value + 1.0 "
+            "WHERE stream_id = 's0' AND t = 7.0"
+        )
+        conn.commit()
+        conn.close()
+        with pytest.raises(HistoryError, match="disagrees with its codec"):
+            HistoryStore(db).audit()
+
+    def test_schema_version_mismatch_refuses(self, db):
+        conn = sqlite3.connect(db)
+        conn.execute(
+            "UPDATE meta SET value = ? WHERE key = 'schema_version'",
+            (str(SCHEMA_VERSION + 1),),
+        )
+        conn.commit()
+        conn.close()
+        with pytest.raises(HistoryError, match="schema version"):
+            HistoryStore(db)
+
+
+class TestTelemetry:
+    def test_query_metrics_events_and_spans_round_trip(self, db):
+        tel = Telemetry()
+        store = HistoryStore(db, telemetry=tel)
+        store.point("s0")
+        store.range_query("s0", 0.0, 10.0)
+        store.range_aggregate("s0", "mean", 0.0, 10.0)
+        store.window_aggregate("s0", "max", 4)
+        store.aggregate_series("s0", "min", 4, 0.0, 10.0)
+        samples = parse_prometheus(tel.render_prometheus())
+        assert samples[("repro_history_queries_total", (("kind", "point"),))] == 1
+        assert samples[("repro_history_queries_total", (("kind", "range"),))] == 2
+        assert samples[("repro_history_queries_total", (("kind", "aggregate"),))] == 2
+        assert samples[("repro_history_queries_total", (("kind", "series"),))] == 1
+        assert (
+            samples[
+                ("repro_history_query_seconds_count", (("kind", "range"),))
+            ]
+            == 2
+        )
+        # 6 events, not 5: range_aggregate records its member fetch too.
+        events = tel.tracer.events(tracing.HISTORY_QUERY)
+        assert [e.tick for e in events] == [1, 2, 3, 4, 5, 6]
+        assert dict(events[1].fields) == {"query": "range", "rows": 11}
+        assert samples[
+            ("repro_span_entries_total", (("span", "history.range"),))
+        ] == 1

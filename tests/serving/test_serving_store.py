@@ -210,5 +210,41 @@ class TestFleetIntegration:
             store.load_fleet_history(["s0"], np.zeros((4, 2, 1)))
 
 
+class TestEvictionHook:
+    def test_hook_fires_only_once_ring_is_full(self):
+        evicted = []
+        store = ServingStore({"s": 0.5}, history=3, on_evict=evicted.append)
+        for k in range(3):
+            store.ingest("s", k, float(k))
+        assert evicted == []  # filling the ring evicts nothing
+        store.ingest("s", 3, 3.0)
+        store.ingest("s", 4, 4.0)
+        assert [tup.t for tup in evicted] == [0.0, 1.0]
+
+    def test_hook_receives_the_exact_evicted_tuple(self):
+        evicted = []
+        store = ServingStore({"s": 0.75}, history=1, on_evict=evicted.append)
+        store.ingest("s", 0.0, 42.0)
+        store.ingest("s", 1.0, 43.0)
+        (tup,) = evicted
+        assert (tup.stream_id, tup.t, tup.value, tup.bound) == (
+            "s", 0.0, 42.0, 0.75
+        )
+
+    def test_residency_boundary_tracks_oldest_resident(self):
+        store = ServingStore({"s": 1.0}, history=4)
+        assert store.oldest_t("s") is None  # cold
+        for k in range(6):
+            store.ingest("s", k, float(k))
+        assert store.oldest_t("s") == 2.0
+
+    def test_tuples_between_may_be_empty_unlike_range_query(self):
+        store = ServingStore({"s": 1.0}, history=4)
+        for k in range(4):
+            store.ingest("s", k, float(k))
+        assert [t.t for t in store.tuples_between("s", 1.0, 2.0)] == [1.0, 2.0]
+        assert store.tuples_between("s", 50.0, 60.0) == ()
+
+
 def store_tuples(store: ServingStore, sid: str) -> list[StreamTuple]:
     return list(store.range_query(sid, 10_000))
