@@ -315,8 +315,13 @@ class FleetEngine:
             batch path records the same ``repro_ticks_total`` /
             ``repro_messages_total`` / ``repro_suppressed_ticks_total``
             counters the scalar policy does (one per stream-tick /
-            update), plus a ``batch_step`` span per fleet tick; it emits
+            update), plus a ``batch_step[<kernel>]`` span per fleet tick
+            (the span name carries the resolved kernel label); it emits
             no per-stream trace events, which would defeat vectorization.
+        kernel: Compute kernel for the filter hot loop —
+            ``"numpy"`` (default), ``"numba"`` (opt-in; falls back to
+            numpy when numba is absent) or ``"auto"``.  See
+            :mod:`repro.kalman.kernels`.
     """
 
     def __init__(
@@ -325,10 +330,14 @@ class FleetEngine:
         deltas: np.ndarray,
         norm: str = "max",
         telemetry=None,
+        kernel: str = "numpy",
     ):
         if norm not in ("max", "l2"):
             raise ConfigurationError(f"unknown norm {norm!r}; expected 'max' or 'l2'")
-        self.filters = BatchKalmanFilter(models)
+        self.filters = BatchKalmanFilter(models, kernel=kernel)
+        #: The resolved compute kernel in use ("numpy"/"numba").
+        self.kernel = self.filters.kernel
+        self._span_name = f"batch_step[{self.kernel}]"
         self.n = self.filters.n
         self.norm = norm
         self.set_deltas(deltas)
@@ -396,6 +405,45 @@ class FleetEngine:
         self.filters.n_predicts = np.asarray(snapshot["n_predicts"], dtype=int).copy()
         self.filters.n_updates = np.asarray(snapshot["n_updates"], dtype=int).copy()
 
+    def packed_state(self) -> dict:
+        """Mutable engine state as fixed-shape, fleet-indexed arrays.
+
+        The dense analogue of :meth:`state_snapshot`: ``x`` is
+        ``(N, dim_x_max)`` and ``P`` is ``(N, dim_x_max, dim_x_max)``
+        (zero-padded past each stream's ``dim_x``), the rest are the flat
+        per-stream accounting vectors plus the scalar tick counter.  This
+        is the form the sharded runtime writes straight into shared
+        memory — two vectorized scatters per shard instead of N
+        per-filter copies.  Round-trips bitwise through
+        :meth:`restore_packed`, and converts losslessly to/from the
+        :meth:`state_snapshot` list format (padding is dropped on the
+        way back out).
+        """
+        x, P = self.filters.packed_states()
+        return {
+            "x": x,
+            "P": P,
+            "warm": self.warm.copy(),
+            "messages": self.messages.copy(),
+            "ticks": self.ticks,
+            "n_predicts": self.filters.n_predicts.copy(),
+            "n_updates": self.filters.n_updates.copy(),
+        }
+
+    def restore_packed(self, state: dict) -> None:
+        """Resume from a :meth:`packed_state` dict (exact, bitwise).
+
+        Accepts buffer-backed arrays (e.g. shared-memory views); every
+        field is copied on the way in, so the engine never aliases the
+        caller's storage.
+        """
+        self.filters.set_packed_states(state["x"], state["P"])
+        self.warm = np.asarray(state["warm"], dtype=bool).copy()
+        self.messages = np.asarray(state["messages"], dtype=int).copy()
+        self.ticks = int(state["ticks"])
+        self.filters.n_predicts = np.asarray(state["n_predicts"], dtype=int).copy()
+        self.filters.n_updates = np.asarray(state["n_updates"], dtype=int).copy()
+
     def step(self, values: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
         """Advance the whole fleet one tick.
 
@@ -409,7 +457,7 @@ class FleetEngine:
         """
         tel = self._tel
         if tel.enabled:
-            with tel.span("batch_step"):
+            with tel.span(self._span_name):
                 served, sent = self._step(values)
             n_sent = int(np.count_nonzero(sent))
             tel.inc("repro_ticks_total", self.n)
@@ -480,6 +528,27 @@ class FleetEngine:
         return FleetTrace(served=served, sent=sent)
 
 
+def _stack_uniform(
+    flat: list, n: int, n_ticks: int, dim_z_max: int
+) -> np.ndarray | None:
+    """Vectorized stacking for the fully-uniform case, or ``None``.
+
+    ``flat`` is stream-major: all of stream 0's ticks, then stream 1's,
+    etc.  ``np.asarray`` doubles as the uniformity check — any ``None``
+    entry (dropped tick) or ragged measurement dimension raises, and a
+    result that is not exactly ``(n * n_ticks, dim_z_max)`` means some
+    stream reports fewer dimensions than the fleet maximum and needs
+    NaN-padding; both cases defer to the per-reading fallback loop.
+    """
+    try:
+        arr = np.asarray(flat, dtype=np.float64)
+    except (ValueError, TypeError):
+        return None
+    if arr.shape != (n * n_ticks, dim_z_max):
+        return None
+    return np.ascontiguousarray(arr.reshape(n, n_ticks, dim_z_max).transpose(1, 0, 2))
+
+
 def _stack_fleet(
     readings_per_stream: list[list[Reading]], dim_z_max: int
 ) -> tuple[np.ndarray, np.ndarray]:
@@ -488,17 +557,41 @@ def _stack_fleet(
     Streams shorter than the longest are padded with dropped (NaN) ticks;
     a padded tick never sends, never serves a judgeable value, and never
     carries truth, so per-stream accounting is unaffected.
+
+    The common case — every stream the same length, every tick carrying a
+    full ``dim_z_max``-dimensional value — is stacked with one
+    ``np.asarray`` per side instead of a per-reading assignment loop
+    (the loop is quadratic-constant death at fleet scale: stacking 4096
+    streams x 40 ticks dominated the whole T5 batch cell before this
+    fast path).  Values and truths fall back independently, so a fleet
+    with full values but patchy truth still stacks its values fast.
     """
     n = len(readings_per_stream)
     n_ticks = max(len(r) for r in readings_per_stream)
-    values = np.full((n_ticks, n, dim_z_max), np.nan)
-    truths = np.full((n_ticks, n, dim_z_max), np.nan)
-    for k, readings in enumerate(readings_per_stream):
-        for t, reading in enumerate(readings):
-            if reading.value is not None:
-                values[t, k, : reading.value.shape[0]] = reading.value
-            if reading.truth is not None:
-                truths[t, k, : reading.truth.shape[0]] = reading.truth
+    uniform_len = all(len(r) == n_ticks for r in readings_per_stream)
+
+    values = truths = None
+    if uniform_len:
+        values = _stack_uniform(
+            [r.value for rs in readings_per_stream for r in rs],
+            n, n_ticks, dim_z_max,
+        )
+        truths = _stack_uniform(
+            [r.truth for rs in readings_per_stream for r in rs],
+            n, n_ticks, dim_z_max,
+        )
+    if values is None:
+        values = np.full((n_ticks, n, dim_z_max), np.nan)
+        for k, readings in enumerate(readings_per_stream):
+            for t, reading in enumerate(readings):
+                if reading.value is not None:
+                    values[t, k, : reading.value.shape[0]] = reading.value
+    if truths is None:
+        truths = np.full((n_ticks, n, dim_z_max), np.nan)
+        for k, readings in enumerate(readings_per_stream):
+            for t, reading in enumerate(readings):
+                if reading.truth is not None:
+                    truths[t, k, : reading.truth.shape[0]] = reading.truth
     return values, truths
 
 
@@ -555,6 +648,17 @@ class StreamResourceManager:
         shard_executor: Executor kind for ``backend="sharded"``:
             ``"process"`` (CPU-bound main runs), ``"thread"`` or
             ``"serial"`` (tests and strict determinism).
+        shard_transport: How ``backend="sharded"`` ships arrays between
+            coordinator and workers: ``"shm"`` (default; zero-copy
+            ``multiprocessing.shared_memory`` buffers, only small header
+            tuples cross the pipe) or ``"pickle"`` (the legacy
+            serialize-everything path, kept for comparison and as the
+            T6 per-transport baseline).  Results are bitwise-equal
+            either way.  Ignored by other backends.
+        kernel: Compute kernel for the batch filter hot loop on the
+            ``"batch"`` and ``"sharded"`` backends — ``"numpy"``
+            (default), ``"numba"`` (opt-in; clean numpy fallback when
+            numba is absent) or ``"auto"``.  Ignored by ``"scalar"``.
         telemetry: Optional :class:`~repro.obs.Telemetry` sink threaded
             through every phase: the probe, allocation solve and main
             run are span-timed, dynamic re-allocations are traced as
@@ -573,6 +677,8 @@ class StreamResourceManager:
         backend: str = "scalar",
         n_shards: int = 4,
         shard_executor: str = "process",
+        shard_transport: str = "shm",
+        kernel: str = "numpy",
         telemetry=None,
     ):
         if not streams:
@@ -600,6 +706,8 @@ class StreamResourceManager:
         self.backend = backend
         self.n_shards = n_shards
         self.shard_executor = shard_executor
+        self.shard_transport = shard_transport
+        self.kernel = kernel
         self._tel = resolve_telemetry(telemetry)
         self._curves: list[RateCurve] | None = None
         self._scales: list[float] | None = None
@@ -625,9 +733,11 @@ class StreamResourceManager:
                 deltas,
                 n_shards=min(self.n_shards, len(models)),
                 executor=self.shard_executor,
+                transport=self.shard_transport,
+                kernel=self.kernel,
                 telemetry=self._tel,
             )
-        return FleetEngine(models, deltas, telemetry=self._tel)
+        return FleetEngine(models, deltas, telemetry=self._tel, kernel=self.kernel)
 
     # ------------------------------------------------------------------
     # Phase 1-2: probe and fit
@@ -1264,7 +1374,9 @@ class StreamResourceManager:
             # anything live is touched.
             if engine is not None:
                 shadow = FleetEngine(
-                    [m.model for m in self.streams], np.ones(len(self.streams))
+                    [m.model for m in self.streams],
+                    np.ones(len(self.streams)),
+                    kernel=self.kernel,
                 )
                 shadow.restore_state(payload["engine"])
             else:

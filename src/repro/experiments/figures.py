@@ -73,12 +73,18 @@ class ExperimentTable:
     title: str
     headers: list[str]
     rows: list[list] = field(default_factory=list)
+    #: Free-form caveats rendered under the table (e.g. why an
+    #: acceptance gate did not arm on this host).
+    notes: list[str] = field(default_factory=list)
 
     def render(self) -> str:
         """ASCII rendering for the benchmark logs."""
-        return render_table(
+        text = render_table(
             self.headers, self.rows, title=f"[{self.experiment_id}] {self.title}"
         )
+        if self.notes:
+            text += "\n" + "\n".join(f"note: {note}" for note in self.notes)
+        return text
 
 
 @dataclass

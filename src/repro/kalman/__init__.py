@@ -17,6 +17,7 @@ from repro.kalman.ekf import (
     wrap_angle,
 )
 from repro.kalman.filter import KalmanFilter, StepRecord
+from repro.kalman.kernels import NUMBA_AVAILABLE, resolve_kernel
 from repro.kalman.models import (
     ProcessModel,
     constant_acceleration,
@@ -44,6 +45,8 @@ __all__ = [
     "range_bearing",
     "wrap_angle",
     "StepRecord",
+    "NUMBA_AVAILABLE",
+    "resolve_kernel",
     "ProcessModel",
     "random_walk",
     "constant_velocity",

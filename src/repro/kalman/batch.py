@@ -27,7 +27,8 @@ from typing import Sequence
 
 import numpy as np
 
-from repro.errors import ConfigurationError, DimensionError, FilterDivergenceError
+from repro.errors import ConfigurationError, DimensionError
+from repro.kalman.kernels import get_lane_kernels, resolve_kernel
 from repro.kalman.models import ProcessModel
 
 __all__ = ["BatchKalmanFilter"]
@@ -36,7 +37,7 @@ __all__ = ["BatchKalmanFilter"]
 class _Lane:
     """One homogeneous ``(dim_x, dim_z)`` group of stacked filters."""
 
-    __slots__ = ("indices", "dim_x", "dim_z", "F", "H", "Q", "R", "x", "P", "I")
+    __slots__ = ("indices", "dim_x", "dim_z", "F", "H", "Q", "R", "x", "P")
 
     def __init__(self, indices: np.ndarray, models: list[ProcessModel]):
         self.indices = indices
@@ -48,7 +49,6 @@ class _Lane:
         self.R = np.stack([m.R for m in models])
         self.x = np.zeros((len(models), self.dim_x))
         self.P = np.stack([m.P0.copy() for m in models])
-        self.I = np.eye(self.dim_x)
 
 
 class BatchKalmanFilter:
@@ -63,12 +63,18 @@ class BatchKalmanFilter:
         models: One :class:`~repro.kalman.models.ProcessModel` per filter.
         x0s: Optional initial state means, one per filter (``None`` entries
             start at zero like the scalar filter).
+        kernel: Compute kernel for the lane hot loop — ``"numpy"``
+            (default), ``"numba"`` (opt-in fused ``@njit``; falls back to
+            numpy when numba is not installed) or ``"auto"``.  See
+            :mod:`repro.kalman.kernels`.  The resolved choice is exposed
+            as :attr:`kernel`.
     """
 
     def __init__(
         self,
         models: Sequence[ProcessModel],
         x0s: Sequence[np.ndarray | None] | None = None,
+        kernel: str = "numpy",
     ):
         models = list(models)
         if not models:
@@ -80,6 +86,10 @@ class BatchKalmanFilter:
         self.models = models
         self.n = len(models)
         self.dim_z_max = max(m.dim_z for m in models)
+        self.dim_x_max = max(m.dim_x for m in models)
+        #: The resolved compute kernel actually in use ("numpy"/"numba").
+        self.kernel = resolve_kernel(kernel)
+        self._predict_lane, self._update_lane = get_lane_kernels(self.kernel)
         self.n_predicts = np.zeros(self.n, dtype=int)
         self.n_updates = np.zeros(self.n, dtype=int)
 
@@ -124,9 +134,7 @@ class BatchKalmanFilter:
             sel = mask[lane.indices]
             if not sel.any():
                 continue
-            x_new = (lane.F @ lane.x[..., None])[..., 0]
-            P_new = lane.F @ lane.P @ lane.F.transpose(0, 2, 1) + lane.Q
-            P_new = 0.5 * (P_new + P_new.transpose(0, 2, 1))
+            x_new, P_new = self._predict_lane(lane.F, lane.Q, lane.x, lane.P)
             if sel.all():
                 lane.x, lane.P = x_new, P_new
             else:
@@ -153,29 +161,20 @@ class BatchKalmanFilter:
             sel = mask[lane.indices]
             if not sel.any():
                 continue
-            li = np.nonzero(sel)[0]
-            x = lane.x[li]
-            P = lane.P[li]
-            H = lane.H[li]
-            R = lane.R[li]
-            z = zs[lane.indices[li], : lane.dim_z]
-            y = z - (H @ x[..., None])[..., 0]
-            PHT = P @ H.transpose(0, 2, 1)
-            S = H @ PHT + R
-            try:
-                K = np.linalg.solve(
-                    S.transpose(0, 2, 1), PHT.transpose(0, 2, 1)
-                ).transpose(0, 2, 1)
-            except np.linalg.LinAlgError as exc:
-                raise FilterDivergenceError(
-                    f"innovation covariance became singular: {exc}"
-                ) from exc
-            x = x + (K @ y[..., None])[..., 0]
-            IKH = lane.I - K @ H
-            P = IKH @ P @ IKH.transpose(0, 2, 1) + K @ R @ K.transpose(0, 2, 1)
-            P = 0.5 * (P + P.transpose(0, 2, 1))
-            lane.x[li] = x
-            lane.P[li] = P
+            if sel.all():
+                # Whole lane selected — no gather/scatter round-trip.
+                z = zs[lane.indices, : lane.dim_z]
+                lane.x, lane.P = self._update_lane(
+                    lane.x, lane.P, lane.H, lane.R, z
+                )
+            else:
+                li = np.nonzero(sel)[0]
+                z = zs[lane.indices[li], : lane.dim_z]
+                x, P = self._update_lane(
+                    lane.x[li], lane.P[li], lane.H[li], lane.R[li], z
+                )
+                lane.x[li] = x
+                lane.P[li] = P
         self.n_updates[mask] += 1
 
     def step(self, zs: np.ndarray, update_mask: np.ndarray | None = None) -> None:
@@ -209,8 +208,17 @@ class BatchKalmanFilter:
         out = np.full((self.n, self.dim_z_max), np.nan)
         for lane in self._lanes:
             x = lane.x
-            for _ in range(steps):
-                x = (lane.F @ x[..., None])[..., 0]
+            if lane.dim_x == 1:
+                # (M, 1, 1) matmuls are single multiplies (bitwise-equal
+                # to the stacked path) — skip the matmul dispatch.
+                for _ in range(steps):
+                    x = lane.F[:, :, 0] * x
+                if lane.dim_z == 1:
+                    out[lane.indices, 0] = lane.H[:, 0, 0] * x[:, 0]
+                    continue
+            else:
+                for _ in range(steps):
+                    x = (lane.F @ x[..., None])[..., 0]
             out[lane.indices, : lane.dim_z] = (lane.H @ x[..., None])[..., 0]
         return out
 
@@ -247,6 +255,50 @@ class BatchKalmanFilter:
             )
         lane.x[pos] = x
         lane.P[pos] = 0.5 * (P + P.T)
+
+    # ------------------------------------------------------------------
+    # Packed state: fixed-shape, fleet-indexed arrays
+    # ------------------------------------------------------------------
+    def packed_states(self) -> tuple[np.ndarray, np.ndarray]:
+        """All state as two dense arrays, zero-padded past each ``dim_x``.
+
+        Returns ``(x, P)`` with shapes ``(N, dim_x_max)`` and
+        ``(N, dim_x_max, dim_x_max)`` in fleet order.  This is the
+        zero-copy-friendly form the sharded runtime ships through shared
+        memory: one vectorized scatter per lane instead of N per-filter
+        :meth:`x_of`/:meth:`P_of` copies.  Round-trips bitwise through
+        :meth:`set_packed_states`.
+        """
+        x = np.zeros((self.n, self.dim_x_max))
+        P = np.zeros((self.n, self.dim_x_max, self.dim_x_max))
+        for lane in self._lanes:
+            x[lane.indices, : lane.dim_x] = lane.x
+            P[lane.indices, : lane.dim_x, : lane.dim_x] = lane.P
+        return x, P
+
+    def set_packed_states(self, x: np.ndarray, P: np.ndarray) -> None:
+        """Restore every filter from :meth:`packed_states` arrays (exact).
+
+        Accepts any buffer-backed arrays (e.g. shared-memory views); the
+        per-lane gathers below are copies, so the filter never aliases
+        the caller's storage.
+        """
+        x = np.asarray(x, dtype=float)
+        P = np.asarray(P, dtype=float)
+        if x.shape != (self.n, self.dim_x_max) or P.shape != (
+            self.n,
+            self.dim_x_max,
+            self.dim_x_max,
+        ):
+            raise DimensionError(
+                f"packed states must have shapes ({self.n}, {self.dim_x_max}) "
+                f"and ({self.n}, {self.dim_x_max}, {self.dim_x_max}), got "
+                f"{x.shape} and {P.shape}"
+            )
+        for lane in self._lanes:
+            # Fancy indexing materializes fresh contiguous float64 arrays.
+            lane.x = x[lane.indices, : lane.dim_x]
+            lane.P = P[lane.indices, : lane.dim_x, : lane.dim_x]
 
     def _as_mask(self, mask: np.ndarray | None) -> np.ndarray:
         if mask is None:

@@ -19,11 +19,16 @@ Entry points:
 """
 
 from repro.parallel.executors import EXECUTOR_KINDS, SerialExecutor, make_executor
-from repro.parallel.runtime import ShardHealth, ShardedFleetRuntime
+from repro.parallel.runtime import (
+    TRANSPORT_KINDS,
+    ShardHealth,
+    ShardedFleetRuntime,
+)
 from repro.parallel.sharding import ShardPlan
 
 __all__ = [
     "EXECUTOR_KINDS",
+    "TRANSPORT_KINDS",
     "SerialExecutor",
     "make_executor",
     "ShardHealth",

@@ -13,35 +13,83 @@ wall-clock choice (equivalence-tested on every push).
 
 Design rules:
 
-* **Stateless workers** — every task carries its shard's engine state in
-  and brings the advanced state back.  The coordinator owns all state
-  between dispatches, which is what makes worker death recoverable: a
-  dead worker's shard is respawned and *resumed from its last engine
-  state*, and the re-run chunk is accounted honestly as a degraded gap
-  in the shard's :class:`ShardHealth` (the bounds served during the gap
-  were stale by exactly ``recomputed_ticks`` ticks).
+* **Coordinator-owned state** — every dispatch writes its shard's
+  committed engine state down to the worker and reads the advanced
+  state back, so workers are logically stateless.  That is what makes
+  worker death recoverable: a dead worker's shard is respawned and
+  *resumed from its last committed state* (a partially-written result
+  region is simply overwritten by the retry), and the re-run chunk is
+  accounted honestly as a degraded gap in the shard's
+  :class:`ShardHealth` — the bounds served during the gap were stale by
+  exactly ``recomputed_ticks`` ticks.
+* **Zero-copy transport** — with ``transport="shm"`` (default) each
+  shard owns one ``multiprocessing.shared_memory`` segment holding its
+  measurement chunk, served/sent result regions, packed filter state
+  and bounds.  Workers operate on views of that segment, so the only
+  thing crossing the executor pipe per dispatch is a small header
+  (shard id, tick count, layout) and the folded telemetry coming back.
+  ``transport="pickle"`` keeps the serialize-everything path for
+  comparison (the T6 per-transport baseline); results are bitwise-equal
+  either way.
+* **Fork-inherited engines** — shard engines are built coordinator-side
+  into a module registry *before* the process pool forks, so workers
+  inherit them for free; each dispatch only restores the shipped packed
+  state into the inherited engine.  On platforms that spawn instead of
+  fork, a worker rebuilds its engine once from the pickled-models blob
+  stored in the shard's segment (or carried by the pickle-transport
+  task) and caches it.
 * **Coordinator-merged telemetry** — workers record into their own
   :class:`~repro.obs.Telemetry` (a process cannot share the
   coordinator's registry); the runtime folds worker counters and span
   stats into the coordinator sink with a ``shard`` label, so one
-  registry/trace still describes the whole run.
+  registry/trace still describes the whole run.  The coordinator also
+  accounts ``repro_shard_bytes_shipped_total`` per shard and transport
+  — the serialized bytes a dispatch round-trip pushed through the
+  executor pipe, which is the cost the shm transport exists to delete.
 """
 
 from __future__ import annotations
 
+import gc
+import itertools
 import os
+import pickle
+import weakref
 from dataclasses import dataclass, field
+from multiprocessing import shared_memory
 
 import numpy as np
 
 from repro.core.manager import FleetEngine, FleetTrace
 from repro.errors import ConfigurationError, ShardingError
+from repro.kalman.kernels import resolve_kernel
 from repro.obs import tracing
 from repro.obs.telemetry import Telemetry, resolve_telemetry
 from repro.parallel.executors import EXECUTOR_KINDS, make_executor
 from repro.parallel.sharding import ShardPlan
 
-__all__ = ["ShardHealth", "ShardedFleetRuntime"]
+__all__ = ["ShardHealth", "ShardedFleetRuntime", "TRANSPORT_KINDS"]
+
+TRANSPORT_KINDS = ("shm", "pickle")
+
+#: Shard engines keyed by ``(token, shard_id)``.  The coordinator
+#: populates this *before* the process pool starts, so fork-based pools
+#: inherit ready-built engines (zero per-dispatch model shipping); the
+#: serial/thread executors read the same entries in-process.  Workers on
+#: spawn platforms fill their own copy lazily from the models blob.
+_ENGINE_REGISTRY: dict[tuple[str, int], FleetEngine] = {}
+
+#: Attached shard segments keyed by ``(token, shard_id)``.  Pre-seeded
+#: coordinator-side with the owner's segments (inherited over fork /
+#: shared in-process), so workers normally never re-attach — a miss only
+#: happens on spawn platforms, where the worker attaches by name and
+#: detaches itself from its resource tracker (the coordinator owns the
+#: unlink).
+_WORKER_SEGMENTS: dict[tuple[str, int], "_ShardSegment"] = {}
+
+_TOKENS = itertools.count()
+
+_STATE_FIELDS = ("x", "P", "warm", "messages", "n_predicts", "n_updates")
 
 
 @dataclass
@@ -68,43 +116,152 @@ class ShardHealth:
     rehydrations: int = 0
 
 
-@dataclass
-class _ShardTask:
-    """One worker dispatch: run ``values`` through a shard engine."""
+# ----------------------------------------------------------------------
+# Shared-memory segments
+# ----------------------------------------------------------------------
+def _shard_layout(
+    name: str, n_s: int, dz: int, dxm: int, chunk_cap: int, blob_len: int
+) -> dict:
+    """Field map of one shard's segment: ``{field: (dtype, shape, offset)}``.
 
-    shard_id: int
-    models: list
-    deltas: np.ndarray
-    norm: str
-    values: np.ndarray
-    state: dict | None
-    collect_telemetry: bool
-    fail_marker: str | None = None
+    The layout dict is the whole wire format — a worker reconstructs
+    every view from it, so nothing but this small dict (inside the task
+    header) has to describe the segment.
+    """
+    fields: dict[str, tuple[str, tuple[int, ...], int]] = {}
+    off = 0
+    def add(fname: str, dtype: str, shape: tuple[int, ...]) -> None:
+        nonlocal off
+        off = (off + 63) & ~63  # 64-byte alignment for every region
+        fields[fname] = (dtype, shape, off)
+        off += int(np.prod(shape, dtype=np.int64)) * np.dtype(dtype).itemsize
+
+    add("values", "f8", (chunk_cap, n_s, dz))
+    add("served", "f8", (chunk_cap, n_s, dz))
+    add("sent", "b1", (chunk_cap, n_s))
+    add("x", "f8", (n_s, dxm))
+    add("P", "f8", (n_s, dxm, dxm))
+    add("warm", "b1", (n_s,))
+    add("messages", "i8", (n_s,))
+    add("n_predicts", "i8", (n_s,))
+    add("n_updates", "i8", (n_s,))
+    add("ticks", "i8", (1,))
+    add("deltas", "f8", (n_s,))
+    add("models_blob", "u1", (max(blob_len, 1),))
+    return {"name": name, "size": off, "chunk_cap": chunk_cap, "fields": fields}
 
 
-@dataclass
-class _ShardResult:
-    shard_id: int
-    served: np.ndarray
-    sent: np.ndarray
-    state: dict
-    counters: list = field(default_factory=list)
-    spans: list = field(default_factory=list)
+class _ShardSegment:
+    """One shard's shared-memory block plus cached numpy views of it.
+
+    Views are created lazily and dropped before the underlying mmap is
+    closed (a live view would raise ``BufferError``); :meth:`close` is
+    the only teardown path either side uses.
+    """
+
+    __slots__ = ("shm", "layout", "_views")
+
+    def __init__(self, shm: shared_memory.SharedMemory, layout: dict):
+        self.shm = shm
+        self.layout = layout
+        self._views: dict[str, np.ndarray] = {}
+
+    @classmethod
+    def create(cls, layout: dict) -> "_ShardSegment":
+        shm = shared_memory.SharedMemory(
+            name=layout["name"], create=True, size=layout["size"]
+        )
+        return cls(shm, layout)
+
+    @classmethod
+    def attach(cls, layout: dict) -> "_ShardSegment":
+        # Attach WITHOUT registering with the resource tracker: the
+        # coordinator (creator) owns the segment's lifetime and is the
+        # only process that unlinks it.  A second registration here
+        # would leave the shared tracker believing the segment leaked
+        # (py3.11 has no ``track=False`` knob yet, hence the patch).
+        from multiprocessing import resource_tracker
+
+        orig_register = resource_tracker.register
+        resource_tracker.register = lambda *a, **k: None
+        try:
+            shm = shared_memory.SharedMemory(name=layout["name"])
+        finally:
+            resource_tracker.register = orig_register
+        return cls(shm, layout)
+
+    def view(self, fname: str) -> np.ndarray:
+        arr = self._views.get(fname)
+        if arr is None:
+            dtype, shape, off = self.layout["fields"][fname]
+            arr = np.ndarray(shape, dtype=dtype, buffer=self.shm.buf, offset=off)
+            self._views[fname] = arr
+        return arr
+
+    def close(self, unlink: bool = False) -> None:
+        self._views = {}
+        try:
+            self.shm.close()
+        except BufferError:  # a stray view is keeping the mmap alive
+            gc.collect()
+            self.shm.close()
+        if unlink:
+            try:
+                self.shm.unlink()
+            except FileNotFoundError:
+                pass
 
 
-def _run_shard_task(task: _ShardTask) -> _ShardResult:
-    """Worker entry point (module-level so process pools can pickle it)."""
-    if task.fail_marker is not None and not os.path.exists(task.fail_marker):
+def _attached_segment(token: str, shard_id: int, layout: dict) -> _ShardSegment:
+    """Worker-side segment lookup: inherited cache hit or fresh attach."""
+    key = (token, shard_id)
+    seg = _WORKER_SEGMENTS.get(key)
+    if seg is not None and seg.layout["name"] != layout["name"]:
+        # The coordinator regrew the segment after this worker forked.
+        seg.close()
+        seg = None
+    if seg is None:
+        seg = _ShardSegment.attach(layout)
+        _WORKER_SEGMENTS[key] = seg
+    return seg
+
+
+# ----------------------------------------------------------------------
+# Worker entry points (module-level so process pools can pickle them)
+# ----------------------------------------------------------------------
+def _maybe_fail(fail_marker: str | None) -> None:
+    if fail_marker is not None and not os.path.exists(fail_marker):
         # Test hook: die exactly once (the marker file survives the
         # process), so respawn/resume paths can be exercised on demand.
-        with open(task.fail_marker, "w"):
+        with open(fail_marker, "w"):
             pass
         raise RuntimeError("injected worker fault (fail_marker)")
-    tel = Telemetry() if task.collect_telemetry else None
-    engine = FleetEngine(task.models, task.deltas, norm=task.norm, telemetry=tel)
-    if task.state is not None:
-        engine.restore_state(task.state)
-    trace = engine.run(task.values)
+
+
+def _worker_engine(
+    token: str,
+    shard_id: int,
+    norm: str,
+    kernel: str,
+    blob: bytes | None,
+) -> FleetEngine:
+    """The shard's engine: fork-inherited, or rebuilt once from the blob."""
+    key = (token, shard_id)
+    engine = _ENGINE_REGISTRY.get(key)
+    if engine is None:
+        if blob is None:
+            raise ShardingError(
+                f"shard {shard_id}: no inherited engine and no models blob"
+            )
+        models = pickle.loads(blob)
+        engine = FleetEngine(
+            models, np.ones(len(models)), norm=norm, kernel=kernel
+        )
+        _ENGINE_REGISTRY[key] = engine
+    return engine
+
+
+def _collect_worker_telemetry(tel: Telemetry | None) -> tuple[list, list]:
     counters: list = []
     spans: list = []
     if tel is not None:
@@ -116,14 +273,117 @@ def _run_shard_task(task: _ShardTask) -> _ShardResult:
         for name in tel.spans.names():
             stats = tel.spans.get(name)
             spans.append((name, stats.count, stats.total_s, stats.min_s, stats.max_s))
-    return _ShardResult(
+    return counters, spans
+
+
+def _run_chunk_shm(header: dict) -> tuple[int, list, list]:
+    """Advance one shard by one chunk, entirely inside its shm segment.
+
+    The header is the only thing that crossed the pipe; values, state
+    and bounds are read from the segment, results and advanced state are
+    written back in place.  Returns ``(shard_id, counters, spans)``.
+    """
+    _maybe_fail(header["fail_marker"])
+    token = header["token"]
+    shard_id = header["shard_id"]
+    seg = _attached_segment(token, shard_id, header["layout"])
+    blob_len = header["blob_len"]
+    blob = bytes(seg.view("models_blob")[:blob_len]) if blob_len else None
+    engine = _worker_engine(
+        token, shard_id, header["norm"], header["kernel"], blob
+    )
+    tel = Telemetry() if header["collect_telemetry"] else None
+    engine._tel = resolve_telemetry(tel)
+    state = {f: seg.view(f) for f in _STATE_FIELDS}
+    state["ticks"] = int(seg.view("ticks")[0])
+    engine.restore_packed(state)  # copies — never aliases the segment
+    engine.set_deltas(seg.view("deltas").copy())
+    n_ticks = header["n_ticks"]
+    trace = engine.run(seg.view("values")[:n_ticks])
+    seg.view("served")[:n_ticks] = trace.served
+    seg.view("sent")[:n_ticks] = trace.sent
+    packed = engine.packed_state()
+    for f in _STATE_FIELDS:
+        seg.view(f)[:] = packed[f]
+    seg.view("ticks")[0] = packed["ticks"]
+    counters, spans = _collect_worker_telemetry(tel)
+    return shard_id, counters, spans
+
+
+@dataclass
+class _PickleTask:
+    """One serialize-everything dispatch (the legacy transport)."""
+
+    token: str
+    shard_id: int
+    blob: bytes  # pickled models, reused byte-for-byte every chunk
+    deltas: np.ndarray
+    norm: str
+    kernel: str
+    values: np.ndarray
+    state: dict
+    collect_telemetry: bool
+    fail_marker: str | None = None
+
+
+@dataclass
+class _PickleResult:
+    shard_id: int
+    served: np.ndarray
+    sent: np.ndarray
+    state: dict
+    counters: list = field(default_factory=list)
+    spans: list = field(default_factory=list)
+
+
+def _run_chunk_pickle(task: _PickleTask) -> _PickleResult:
+    """Advance one shard by one chunk with everything on the pipe."""
+    _maybe_fail(task.fail_marker)
+    engine = _worker_engine(
+        task.token, task.shard_id, task.norm, task.kernel, task.blob
+    )
+    tel = Telemetry() if task.collect_telemetry else None
+    engine._tel = resolve_telemetry(tel)
+    engine.restore_packed(task.state)
+    engine.set_deltas(np.array(task.deltas, dtype=float))
+    trace = engine.run(task.values)
+    counters, spans = _collect_worker_telemetry(tel)
+    return _PickleResult(
         shard_id=task.shard_id,
         served=trace.served,
         sent=trace.sent,
-        state=engine.state_snapshot(),
+        state=engine.packed_state(),
         counters=counters,
         spans=spans,
     )
+
+
+def _warm_worker(token: str, shard_id: int) -> int:
+    """Prewarm task: run the inherited shard engine on throwaway data.
+
+    First calls into the batched hot loop are dominated by allocator
+    page faults on the large per-tick temporaries; paying them here, at
+    construction, keeps the first real dispatch at steady-state speed.
+    Dirtying the inherited engine's state is harmless — every real
+    dispatch restores the shard's committed state first.
+    """
+    engine = _ENGINE_REGISTRY.get((token, shard_id))
+    if engine is not None:
+        values = np.zeros((3, engine.n, engine.filters.dim_z_max))
+        for _ in range(2):
+            engine.run(values)
+    return os.getpid()
+
+
+def _cleanup_runtime(token: str, n_shards: int, segments: list) -> None:
+    """Finalizer: drop registry entries and unlink any live segments."""
+    for k in range(n_shards):
+        _ENGINE_REGISTRY.pop((token, k), None)
+        _WORKER_SEGMENTS.pop((token, k), None)
+    for seg in segments:
+        if seg is not None:
+            seg.close(unlink=True)
+    segments.clear()
 
 
 class ShardedFleetRuntime:
@@ -151,9 +411,20 @@ class ShardedFleetRuntime:
             chunks bound how much work a worker death can lose.
         max_respawns: Worker deaths tolerated *per shard per chunk*
             before the run is abandoned with :class:`ShardingError`.
+        transport: ``"shm"`` (default — zero-copy shared-memory arrays,
+            headers-only dispatch) or ``"pickle"`` (serialize every
+            array through the executor pipe).  Bitwise-equal results;
+            the knob exists so the T6 benchmark can price the transport
+            itself.
+        kernel: Compute kernel for the per-shard batch engines —
+            ``"numpy"`` (default), ``"numba"`` or ``"auto"``; see
+            :mod:`repro.kalman.kernels`.  The resolved name is exposed
+            as :attr:`kernel`.
         telemetry: Optional coordinator sink; worker counters and spans
-            are folded into it with a ``shard`` label and worker deaths
-            are traced as ``worker_respawn`` events.
+            are folded into it with a ``shard`` label, worker deaths
+            are traced as ``worker_respawn`` events, and dispatch
+            round-trip bytes are counted as
+            ``repro_shard_bytes_shipped_total`` per shard/transport.
     """
 
     def __init__(
@@ -168,11 +439,17 @@ class ShardedFleetRuntime:
         norm: str = "max",
         chunk_ticks: int | None = None,
         max_respawns: int = 2,
+        transport: str = "shm",
+        kernel: str = "numpy",
         telemetry=None,
     ):
         if executor not in EXECUTOR_KINDS:
             raise ConfigurationError(
                 f"unknown executor {executor!r}; expected one of {EXECUTOR_KINDS}"
+            )
+        if transport not in TRANSPORT_KINDS:
+            raise ConfigurationError(
+                f"unknown transport {transport!r}; expected one of {TRANSPORT_KINDS}"
             )
         if norm not in ("max", "l2"):
             raise ConfigurationError(f"unknown norm {norm!r}; expected 'max' or 'l2'")
@@ -198,6 +475,8 @@ class ShardedFleetRuntime:
         self.plan = plan
         self.norm = norm
         self.executor_kind = executor
+        self.transport = transport
+        self.kernel = resolve_kernel(kernel)
         self.max_workers = max_workers if max_workers is not None else plan.n_shards
         self.chunk_ticks = chunk_ticks
         self.max_respawns = max_respawns
@@ -207,8 +486,10 @@ class ShardedFleetRuntime:
         self._dims_by_shard = [
             max(m.dim_z for m in ms) for ms in self._models_by_shard
         ]
+        self._dxm_by_shard = [
+            max(m.dim_x for m in ms) for ms in self._models_by_shard
+        ]
         self.set_deltas(deltas)
-        self._states: list[dict | None] = [None] * plan.n_shards
         self.health = [ShardHealth(shard_id=k) for k in range(plan.n_shards)]
         self.messages = np.zeros(self.n, dtype=int)
         self.ticks = 0
@@ -217,6 +498,40 @@ class ShardedFleetRuntime:
         #: Test hook: path of a marker file making the first worker task
         #: that sees it absent die once (exercises respawn/resume).
         self.fail_marker: str | None = None
+        #: Test hook: arm :attr:`fail_marker` only on this chunk index
+        #: within each :meth:`run` (``None`` = every chunk is eligible).
+        self.fail_marker_chunk: int | None = None
+        self._token = f"{os.getpid()}-{next(_TOKENS)}"
+        self._segments: list[_ShardSegment | None] = [None] * plan.n_shards
+        self._segment_gen = 0
+        # Models pickled once per shard; the pickle transport re-ships the
+        # same bytes each chunk (a memcpy, not a re-pickle) and the shm
+        # transport stores them in the segment as the spawn-platform
+        # fallback for the fork-inherited engine registry.
+        self._blobs = [
+            pickle.dumps(ms, protocol=pickle.HIGHEST_PROTOCOL)
+            for ms in self._models_by_shard
+        ]
+        deltas_by_shard = plan.split(self.deltas)
+        self._packed: list[dict] = []
+        for k in range(plan.n_shards):
+            engine = FleetEngine(
+                self._models_by_shard[k],
+                deltas_by_shard[k],
+                norm=norm,
+                kernel=self.kernel,
+            )
+            # Built before the pool ever forks, so workers inherit it.
+            _ENGINE_REGISTRY[(self._token, k)] = engine
+            self._packed.append(engine.packed_state())
+        self._finalizer = weakref.finalize(
+            self, _cleanup_runtime, self._token, plan.n_shards, self._segments
+        )
+        if executor == "process":
+            # Fork the pool now (inheriting registry + segments-to-come
+            # is handled by rebuild-on-regrow) so spin-up is off the
+            # first run's clock.
+            self._prewarm()
 
     # ------------------------------------------------------------------
     # Engine surface
@@ -251,89 +566,279 @@ class ShardedFleetRuntime:
         sent = np.zeros((n_ticks, self.n), dtype=bool)
         deltas_by_shard = self.plan.split(self.deltas)
         values_by_shard = self.plan.split(values, axis=1)
-        chunk = self.chunk_ticks or n_ticks
-        for t0 in range(0, n_ticks, chunk):
+        chunk = min(self.chunk_ticks or n_ticks, n_ticks)
+        if self.transport == "shm":
+            self._ensure_segments(chunk)
+        for chunk_idx, t0 in enumerate(range(0, n_ticks, chunk)):
             t1 = min(t0 + chunk, n_ticks)
+            marker = self.fail_marker
+            if marker is not None and self.fail_marker_chunk is not None:
+                if chunk_idx != self.fail_marker_chunk:
+                    marker = None
             tasks = [
-                _ShardTask(
-                    shard_id=k,
-                    models=self._models_by_shard[k],
-                    deltas=deltas_by_shard[k],
-                    norm=self.norm,
-                    values=values_by_shard[k][t0:t1, :, : self._dims_by_shard[k]],
-                    state=self._states[k],
-                    collect_telemetry=self._tel.enabled,
-                    fail_marker=self.fail_marker,
+                self._make_task(
+                    k,
+                    values_by_shard[k][t0:t1, :, : self._dims_by_shard[k]],
+                    deltas_by_shard[k],
+                    marker,
                 )
                 for k in range(self.plan.n_shards)
             ]
             for res in self._dispatch(tasks, tick_base=self.ticks + t0):
-                idx = self.plan.assignments[res.shard_id]
-                width = self._dims_by_shard[res.shard_id]
-                served[t0:t1, idx, :width] = res.served
-                sent[t0:t1, idx] = res.sent
-                self._states[res.shard_id] = res.state
+                k, chunk_served, chunk_sent, state, counters, spans = res
+                idx = self.plan.assignments[k]
+                width = self._dims_by_shard[k]
+                served[t0:t1, idx, :width] = chunk_served
+                sent[t0:t1, idx] = chunk_sent
+                self._packed[k] = state
                 if self._tel.enabled:
-                    self._merge_worker_telemetry(res)
+                    self._merge_worker_telemetry(k, counters, spans)
         self.ticks += n_ticks
         self.messages += sent.sum(axis=0)
         return FleetTrace(served=served, sent=sent)
 
     # ------------------------------------------------------------------
+    # Task construction per transport
+    # ------------------------------------------------------------------
+    def _make_task(
+        self,
+        k: int,
+        chunk_values: np.ndarray,
+        shard_deltas: np.ndarray,
+        fail_marker: str | None,
+    ) -> dict:
+        n_ticks = chunk_values.shape[0]
+        if self.transport == "shm":
+            seg = self._segments[k]
+            seg.view("values")[:n_ticks] = chunk_values
+            seg.view("deltas")[:] = shard_deltas
+            self._write_state(k)
+            payload = {
+                "token": self._token,
+                "shard_id": k,
+                "layout": seg.layout,
+                "n_ticks": n_ticks,
+                "norm": self.norm,
+                "kernel": self.kernel,
+                "blob_len": len(self._blobs[k]),
+                "collect_telemetry": self._tel.enabled,
+                "fail_marker": fail_marker,
+            }
+            return {"shard_id": k, "n_ticks": n_ticks, "fn": _run_chunk_shm,
+                    "payload": payload}
+        payload = _PickleTask(
+            token=self._token,
+            shard_id=k,
+            blob=self._blobs[k],
+            deltas=shard_deltas,
+            norm=self.norm,
+            kernel=self.kernel,
+            values=chunk_values,
+            state=self._packed[k],
+            collect_telemetry=self._tel.enabled,
+            fail_marker=fail_marker,
+        )
+        return {"shard_id": k, "n_ticks": n_ticks, "fn": _run_chunk_pickle,
+                "payload": payload}
+
+    def _unpack_result(self, task: dict, raw) -> tuple:
+        """Normalize a worker result to ``(k, served, sent, state, c, s)``."""
+        k = task["shard_id"]
+        n_ticks = task["n_ticks"]
+        if self.transport == "shm":
+            _, counters, spans = raw
+            seg = self._segments[k]
+            chunk_served = np.array(seg.view("served")[:n_ticks])
+            chunk_sent = np.array(seg.view("sent")[:n_ticks])
+            state = self._read_state(k)
+            return k, chunk_served, chunk_sent, state, counters, spans
+        return (
+            k,
+            raw.served,
+            raw.sent,
+            raw.state,
+            raw.counters,
+            raw.spans,
+        )
+
+    # ------------------------------------------------------------------
+    # Shared-memory segment management
+    # ------------------------------------------------------------------
+    def _ensure_segments(self, chunk_cap: int) -> None:
+        """(Re)create shard segments with at least ``chunk_cap`` capacity.
+
+        Process workers that forked before a segment existed (or before
+        it regrew) simply attach by name on their next task — no pool
+        rebuild, so the prewarmed pool survives the first run.
+        """
+        for k in range(self.plan.n_shards):
+            seg = self._segments[k]
+            if seg is not None and seg.layout["chunk_cap"] >= chunk_cap:
+                continue
+            if seg is not None:
+                _WORKER_SEGMENTS.pop((self._token, k), None)
+                seg.close(unlink=True)
+            self._segment_gen += 1
+            n_s = self.plan.assignments[k].size
+            layout = _shard_layout(
+                f"repro-{self._token}-{k}-g{self._segment_gen}",
+                n_s,
+                self._dims_by_shard[k],
+                self._dxm_by_shard[k],
+                chunk_cap,
+                len(self._blobs[k]),
+            )
+            seg = _ShardSegment.create(layout)
+            blob = self._blobs[k]
+            seg.view("models_blob")[: len(blob)] = np.frombuffer(blob, dtype="u1")
+            self._segments[k] = seg
+            # Same-process workers (serial/thread) reuse the owner's
+            # mapping directly — no attach at all.
+            _WORKER_SEGMENTS[(self._token, k)] = seg
+
+    def _write_state(self, k: int) -> None:
+        """Commit the coordinator's state copy into the shard's segment.
+
+        Runs before *every* dispatch, so a retry after a worker death
+        always starts from committed state even if the dying worker tore
+        a partial write into the segment's state block.
+        """
+        seg = self._segments[k]
+        packed = self._packed[k]
+        for f in _STATE_FIELDS:
+            seg.view(f)[:] = packed[f]
+        seg.view("ticks")[0] = packed["ticks"]
+
+    def _read_state(self, k: int) -> dict:
+        """Copy the advanced state out of the segment (the new commit)."""
+        seg = self._segments[k]
+        state = {f: np.array(seg.view(f)) for f in _STATE_FIELDS}
+        state["ticks"] = int(seg.view("ticks")[0])
+        return state
+
+    # ------------------------------------------------------------------
     # Dispatch, supervision, respawn
     # ------------------------------------------------------------------
-    def _dispatch(self, tasks: list[_ShardTask], tick_base: int) -> list[_ShardResult]:
+    def _dispatch(self, tasks: list[dict], tick_base: int) -> list[tuple]:
         """Run one chunk's tasks, respawning dead workers up to the budget."""
-        results: dict[int, _ShardResult] = {}
-        attempts: dict[int, int] = {t.shard_id: 0 for t in tasks}
+        results: dict[int, tuple] = {}
+        attempts: dict[int, int] = {t["shard_id"]: 0 for t in tasks}
         pending = list(tasks)
         while pending:
             executor = self._ensure_executor()
-            futures = [(task, executor.submit(_run_shard_task, task)) for task in pending]
-            retry: list[_ShardTask] = []
+            futures = [
+                (task, executor.submit(task["fn"], task["payload"]))
+                for task in pending
+            ]
+            if self._tel.enabled:
+                for task in pending:
+                    self._tel.inc(
+                        "repro_shard_bytes_shipped_total",
+                        self._task_bytes(task),
+                        shard=str(task["shard_id"]),
+                        transport=self.transport,
+                    )
+            retry: list[dict] = []
             broken = False
             for task, future in futures:
+                shard_id = task["shard_id"]
                 try:
-                    results[task.shard_id] = future.result()
+                    raw = future.result()
                 except Exception as exc:  # worker died or task raised
-                    attempts[task.shard_id] += 1
+                    attempts[shard_id] += 1
                     broken = True
-                    health = self.health[task.shard_id]
+                    health = self.health[shard_id]
                     health.respawns += 1
-                    health.recomputed_ticks += task.values.shape[0]
+                    health.recomputed_ticks += task["n_ticks"]
                     if self._tel.enabled:
                         self._tel.inc(
-                            "repro_worker_respawns_total",
-                            shard=str(task.shard_id),
+                            "repro_worker_respawns_total", shard=str(shard_id)
                         )
                         self._tel.event(
                             tracing.WORKER_RESPAWN,
                             tick_base,
-                            shard=task.shard_id,
-                            attempt=attempts[task.shard_id],
-                            lost_ticks=task.values.shape[0],
+                            shard=shard_id,
+                            attempt=attempts[shard_id],
+                            lost_ticks=task["n_ticks"],
                             error=repr(exc),
                         )
-                    if attempts[task.shard_id] > self.max_respawns:
+                    if attempts[shard_id] > self.max_respawns:
                         raise ShardingError(
-                            f"shard {task.shard_id} failed "
-                            f"{attempts[task.shard_id]} times (budget "
+                            f"shard {shard_id} failed "
+                            f"{attempts[shard_id]} times (budget "
                             f"{self.max_respawns} respawns); last error: {exc!r}"
                         ) from exc
                     retry.append(task)
+                else:
+                    results[shard_id] = self._unpack_result(task, raw)
             if broken:
                 # A process pool may be broken wholesale after a worker
                 # death; rebuild so the respawned dispatch gets live
-                # workers.  Thread/serial executors survive task errors.
+                # workers (a fresh fork re-inherits engines + segments).
+                # Thread/serial executors survive task errors.
                 if self.executor_kind == "process":
                     self._shutdown_executor()
+                if self.transport == "shm":
+                    # The dying worker may have torn a partial state
+                    # write; recommit before the retry dispatches.
+                    for task in retry:
+                        self._write_state(task["shard_id"])
             pending = retry
-        return [results[t.shard_id] for t in tasks]
+        return [results[t["shard_id"]] for t in tasks]
+
+    def _task_bytes(self, task: dict) -> int:
+        """Bytes this dispatch pushes through the executor pipe (est.).
+
+        The honest per-transport cost the shm design deletes: the pickle
+        transport ships the values chunk, packed state and models blob
+        down plus served/sent/state back; the shm transport ships only
+        the header and gets a small telemetry tuple back.
+        """
+        if self.transport == "shm":
+            return len(pickle.dumps(task["payload"])) + 64
+        p = task["payload"]
+        n_ticks = task["n_ticks"]
+        n_s = p.deltas.size
+        state_bytes = sum(
+            np.asarray(p.state[f]).nbytes for f in _STATE_FIELDS
+        )
+        served_bytes = p.values.nbytes  # result mirror of the values chunk
+        sent_bytes = n_ticks * n_s
+        return int(
+            len(p.blob)
+            + p.values.nbytes
+            + p.deltas.nbytes
+            + 2 * state_bytes  # shipped down, shipped back
+            + served_bytes
+            + sent_bytes
+        )
 
     def _ensure_executor(self):
         if self._executor is None:
             self._executor = make_executor(self.executor_kind, self.max_workers)
         return self._executor
+
+    def _prewarm(self) -> None:
+        """Fork the pool now and run every worker to steady state.
+
+        Each prewarm task exercises the (largest) inherited shard engine
+        so allocator warm-up happens at construction, not inside the
+        first timed dispatch.
+        """
+        executor = self._ensure_executor()
+        biggest = int(
+            np.argmax([idx.size for idx in self.plan.assignments])
+        )
+        try:
+            for future in [
+                executor.submit(_warm_worker, self._token, biggest)
+                for _ in range(self.max_workers)
+            ]:
+                future.result()
+        except Exception:
+            # A failed prewarm is not fatal — the first dispatch will
+            # rebuild the pool and pay the spin-up there.
+            self._shutdown_executor()
 
     def _shutdown_executor(self) -> None:
         if self._executor is not None:
@@ -341,8 +846,14 @@ class ShardedFleetRuntime:
             self._executor = None
 
     def close(self) -> None:
-        """Shut the worker pool down (idempotent)."""
+        """Shut the pool down and release shared memory (idempotent)."""
         self._shutdown_executor()
+        for k, seg in enumerate(self._segments):
+            if seg is not None:
+                _WORKER_SEGMENTS.pop((self._token, k), None)
+                seg.close(unlink=True)
+            self._segments[k] = None
+            _ENGINE_REGISTRY.pop((self._token, k), None)
 
     def __enter__(self) -> "ShardedFleetRuntime":
         return self
@@ -356,11 +867,11 @@ class ShardedFleetRuntime:
     def state_snapshot(self) -> dict:
         """Global-fleet-order snapshot, same shape as the batch engine's.
 
-        Shard-local engine states are merged back to global stream order,
-        so the result is interchangeable with
+        Shard-local packed states are merged back to global stream order
+        and re-expanded to the per-stream list format, so the result is
+        interchangeable with
         :meth:`~repro.core.manager.FleetEngine.state_snapshot` — a
         checkpoint written by one backend restores into the other.
-        Shards that never dispatched yet contribute their initial state.
         """
         x: list = [None] * self.n
         p: list = [None] * self.n
@@ -368,17 +879,14 @@ class ShardedFleetRuntime:
         messages = np.zeros(self.n, dtype=int)
         n_predicts = np.zeros(self.n, dtype=int)
         n_updates = np.zeros(self.n, dtype=int)
-        deltas_by_shard = self.plan.split(self.deltas)
         for k in range(self.plan.n_shards):
-            state = self._states[k]
-            if state is None:
-                state = FleetEngine(
-                    self._models_by_shard[k], deltas_by_shard[k], norm=self.norm
-                ).state_snapshot()
+            state = self._packed[k]
             idx = self.plan.assignments[k]
+            models = self._models_by_shard[k]
             for local, global_i in enumerate(idx):
-                x[global_i] = np.asarray(state["x"][local], dtype=float).copy()
-                p[global_i] = np.asarray(state["P"][local], dtype=float).copy()
+                dx = models[local].dim_x
+                x[global_i] = np.array(state["x"][local, :dx], dtype=float)
+                p[global_i] = np.array(state["P"][local, :dx, :dx], dtype=float)
             warm[idx] = np.asarray(state["warm"], dtype=bool)
             messages[idx] = np.asarray(state["messages"], dtype=int)
             n_predicts[idx] = np.asarray(state["n_predicts"], dtype=int)
@@ -398,8 +906,8 @@ class ShardedFleetRuntime:
 
         Accepts exactly what :meth:`state_snapshot` (or the batch
         engine's) returns — including one decoded from a durable
-        checkpoint.  The global arrays are split by the shard plan into
-        the per-shard states the next dispatch resumes from.
+        checkpoint.  The global per-stream lists are packed into the
+        fixed-shape per-shard states the next dispatch resumes from.
         """
         if len(snapshot["x"]) != self.n:
             raise ConfigurationError(
@@ -412,13 +920,17 @@ class ShardedFleetRuntime:
         ticks = int(snapshot["ticks"])
         for k in range(self.plan.n_shards):
             idx = self.plan.assignments[k]
-            self._states[k] = {
-                "x": [
-                    np.asarray(snapshot["x"][i], dtype=float).copy() for i in idx
-                ],
-                "P": [
-                    np.asarray(snapshot["P"][i], dtype=float).copy() for i in idx
-                ],
+            dxm = self._dxm_by_shard[k]
+            x = np.zeros((idx.size, dxm))
+            P = np.zeros((idx.size, dxm, dxm))
+            for local, global_i in enumerate(idx):
+                xi = np.asarray(snapshot["x"][global_i], dtype=float)
+                pi = np.asarray(snapshot["P"][global_i], dtype=float)
+                x[local, : xi.shape[0]] = xi
+                P[local, : pi.shape[0], : pi.shape[1]] = pi
+            self._packed[k] = {
+                "x": x,
+                "P": P,
                 "warm": warm[idx].copy(),
                 "messages": messages[idx].copy(),
                 "ticks": ticks,
@@ -481,7 +993,9 @@ class ShardedFleetRuntime:
             snapshot = payload["engine"]
             # Prove the snapshot rebuilds a real engine before the live
             # shard states are touched: restore into a detached shadow.
-            shadow = FleetEngine(self.models, self.deltas, norm=self.norm)
+            shadow = FleetEngine(
+                self.models, self.deltas, norm=self.norm, kernel=self.kernel
+            )
             shadow.restore_state(snapshot)
             return snapshot
 
@@ -503,14 +1017,16 @@ class ShardedFleetRuntime:
     # ------------------------------------------------------------------
     # Telemetry merge
     # ------------------------------------------------------------------
-    def _merge_worker_telemetry(self, res: _ShardResult) -> None:
+    def _merge_worker_telemetry(
+        self, shard_id: int, counters: list, spans: list
+    ) -> None:
         """Fold one worker's counters and spans in, labelled by shard."""
         tel = self._tel
-        shard = str(res.shard_id)
-        for name, labels, value in res.counters:
+        shard = str(shard_id)
+        for name, labels, value in counters:
             if value > 0:
                 tel.inc(name, value, shard=shard, **labels)
-        for name, count, total_s, min_s, max_s in res.spans:
+        for name, count, total_s, min_s, max_s in spans:
             tel.spans.fold(name, count, total_s, min_s, max_s)
 
     # ------------------------------------------------------------------
@@ -526,6 +1042,8 @@ class ShardedFleetRuntime:
         return {
             "n_shards": self.plan.n_shards,
             "executor": self.executor_kind,
+            "transport": self.transport,
+            "kernel": self.kernel,
             "total_respawns": self.total_respawns,
             "shards": [
                 {

@@ -32,6 +32,16 @@ is **not** flagged degraded (nothing about the answer is stale).
 Requests with no cached answer (and all point queries, which are O(1))
 are evaluated fresh even under overload, so every admitted request is
 answered and no answer is ever silently dropped.
+
+The same signature cache doubles as a *keep-hot* memo on the healthy
+path: when a range/aggregate signature repeats and the store's content
+version has not moved since the last fresh evaluation (no ingest, no
+tick), the memoized tuples are re-served as-is — bitwise what
+re-evaluation would produce, so the response is *not* flagged degraded
+and no bound is widened.  Any ingest or clock advance invalidates every
+live entry at once (version mismatch); ``historical`` answers, being
+closed immutable intervals, stay servable forever.  Hits count into
+``repro_serving_cache_hits_total{kind=...}``.
 """
 
 from __future__ import annotations
@@ -103,7 +113,10 @@ class QueryServer:
         telemetry: Optional :class:`~repro.obs.Telemetry` sink.  Per
             request: a ``repro_serving_requests_total{kind=...}`` count,
             a ``repro_serving_latency_seconds{kind=...}`` histogram
-            observation and a ``serving.<kind>`` span; degraded serves
+            observation and a ``serving.<kind>`` span (skipped on
+            keep-hot cache hits, which count
+            ``repro_serving_cache_hits_total{kind=...}`` instead);
+            degraded serves
             add ``repro_serving_degraded_total{kind=...}``; the
             ``repro_serving_inflight`` gauge tracks concurrency and
             ``overload_enter`` / ``overload_exit`` events mark admission
@@ -126,13 +139,17 @@ class QueryServer:
         self._tel = resolve_telemetry(telemetry)
         self._inflight = 0
         self._overloaded = False
-        # Signature -> (tuples, store tick of evaluation, provenance).
-        # Every fresh evaluation refreshes it; degraded serves read it.
+        # Signature -> (tuples, store tick, provenance, store version) of
+        # the last fresh evaluation.  Two readers: the keep-hot path
+        # re-serves it bitwise while the store version is unchanged, and
+        # the overload path re-serves it *degraded* (bounds widened by
+        # staleness) whatever the version.
         self._cache: dict[
-            tuple, tuple[tuple[StreamTuple, ...], int, str]
+            tuple, tuple[tuple[StreamTuple, ...], int, str, int]
         ] = {}
         self.requests_served = 0
         self.requests_degraded = 0
+        self.cache_hits = 0
 
     @property
     def inflight(self) -> int:
@@ -253,7 +270,7 @@ class QueryServer:
         cached = self._cache.get(self._signature(request))
         if cached is None:
             return None
-        tuples, at_tick, provenance = cached
+        tuples, at_tick, provenance, _version = cached
         if provenance == "historical":
             return tuples, 0, provenance
         staleness = self.store.tick - at_tick
@@ -265,6 +282,26 @@ class QueryServer:
                 replace(tup, bound=tup.bound + widen) for tup in tuples
             )
         return tuples, staleness, provenance
+
+    def _fresh_from_cache(
+        self, request: Query
+    ) -> tuple[tuple[StreamTuple, ...], str] | None:
+        """Keep-hot hit: a memoized answer still bitwise-equal to fresh.
+
+        A cached answer is re-servable *as fresh* when nothing it read
+        can have changed: either the store's content version is exactly
+        what it was at evaluation time (no ingest, no tick since), or
+        the answer is ``historical`` — a closed, immutable past interval
+        that no amount of new ingest rewrites.  Anything else misses and
+        falls through to real evaluation.
+        """
+        cached = self._cache.get(self._signature(request))
+        if cached is None:
+            return None
+        tuples, _at_tick, provenance, version = cached
+        if provenance == "historical" or version == self.store.version:
+            return tuples, provenance
+        return None
 
     def _note_overload(self) -> None:
         over = self._inflight > self.admission.max_inflight
@@ -298,6 +335,7 @@ class QueryServer:
             degraded = False
             staleness = 0
             reason = None
+            cache_hit = False
             if (
                 self._overloaded
                 and not isinstance(request, PointQuery)
@@ -310,16 +348,27 @@ class QueryServer:
                 if provenance != "historical":
                     degraded = True
                     reason = "overload"
+            elif (
+                not isinstance(request, PointQuery)
+                and (fresh := self._fresh_from_cache(request)) is not None
+            ):
+                # Keep-hot path: the store has not changed (or the answer
+                # is immutable history), so the memoized tuples ARE the
+                # fresh answer — skip evaluation, serve undegraded.
+                tuples, provenance = fresh
+                cache_hit = True
             else:
                 with tel.span(f"serving.{request.kind}"):
                     tuples, provenance = self._evaluate(request)
                 self._cache[self._signature(request)] = (
-                    tuples, self.store.tick, provenance
+                    tuples, self.store.tick, provenance, self.store.version
                 )
             latency = perf_counter() - t0
             self.requests_served += 1
             if degraded:
                 self.requests_degraded += 1
+            if cache_hit:
+                self.cache_hits += 1
             if tel.enabled:
                 tel.inc("repro_serving_requests_total", kind=request.kind)
                 tel.observe(
@@ -327,6 +376,8 @@ class QueryServer:
                 )
                 if degraded:
                     tel.inc("repro_serving_degraded_total", kind=request.kind)
+                if cache_hit:
+                    tel.inc("repro_serving_cache_hits_total", kind=request.kind)
                 if isinstance(
                     request, (HistoryRangeQuery, HistoryAggregateQuery)
                 ):

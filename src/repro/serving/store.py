@@ -70,6 +70,12 @@ class ServingStore:
         #: Monotone ingest-tick counter; the staleness clock admission
         #: control widens degraded answers against.
         self.tick = 0
+        #: Content-version counter: bumped by every :meth:`ingest` and
+        #: every :meth:`advance_tick`.  Two reads at the same version saw
+        #: identical ring contents, which is what lets the serving tier
+        #: re-serve a memoized fresh answer bitwise (keep-hot cache)
+        #: without flagging it degraded.
+        self.version = 0
         self._server = server
         self.on_evict = on_evict
 
@@ -110,12 +116,14 @@ class ServingStore:
         ring.append(
             StreamTuple(t=float(t), stream_id=stream_id, value=float(value), bound=delta)
         )
+        self.version += 1
         if evicted is not None and self.on_evict is not None:
             self.on_evict(evicted)
 
     def advance_tick(self) -> int:
         """Advance the staleness clock by one ingest tick; returns it."""
         self.tick += 1
+        self.version += 1
         return self.tick
 
     def ingest_tick(self, t: float, component: int = 0) -> None:

@@ -222,3 +222,94 @@ class TestSnapshotIsolation:
         for i in range(2):
             np.testing.assert_array_equal(before["x"][i], after["x"][i])
         np.testing.assert_array_equal(before["warm"], after["warm"])
+
+
+class TestStackFleet:
+    """The vectorized stacking fast path must equal the per-reading loop.
+
+    ``_stack_fleet`` takes a one-``np.asarray``-per-side fast path when
+    every stream has the same length and every tick carries a full
+    ``dim_z_max``-dimensional value; anything irregular (dropped ticks,
+    short streams, narrow measurement dims, missing truth) must fall back
+    to the padding loop without changing a single output element.
+    """
+
+    @staticmethod
+    def _reference(readings_per_stream, dim_z_max):
+        # The original per-reading loop, kept verbatim as the oracle.
+        n = len(readings_per_stream)
+        n_ticks = max(len(r) for r in readings_per_stream)
+        values = np.full((n_ticks, n, dim_z_max), np.nan)
+        truths = np.full((n_ticks, n, dim_z_max), np.nan)
+        for k, readings in enumerate(readings_per_stream):
+            for t, reading in enumerate(readings):
+                if reading.value is not None:
+                    values[t, k, : reading.value.shape[0]] = reading.value
+                if reading.truth is not None:
+                    truths[t, k, : reading.truth.shape[0]] = reading.truth
+        return values, truths
+
+    def _assert_matches_reference(self, readings, dim_z_max):
+        got_v, got_t = _stack_fleet(readings, dim_z_max)
+        want_v, want_t = self._reference(readings, dim_z_max)
+        np.testing.assert_array_equal(got_v, want_v)
+        np.testing.assert_array_equal(got_t, want_t)
+        assert got_v.flags["C_CONTIGUOUS"] and got_t.flags["C_CONTIGUOUS"]
+
+    def test_uniform_fleet_takes_fast_path_bitwise(self):
+        readings = [
+            RandomWalkStream(step_sigma=0.5, measurement_sigma=0.1, seed=s).take(23)
+            for s in range(7)
+        ]
+        self._assert_matches_reference(readings, 1)
+
+    def test_dropped_ticks_fall_back(self):
+        from repro.streams.base import Reading
+
+        readings = [
+            RandomWalkStream(step_sigma=0.5, measurement_sigma=0.1, seed=s).take(12)
+            for s in range(3)
+        ]
+        readings[1][4] = Reading(t=readings[1][4].t, value=None, truth=None)
+        self._assert_matches_reference(readings, 1)
+
+    def test_unequal_stream_lengths_fall_back(self):
+        readings = [
+            RandomWalkStream(step_sigma=0.5, measurement_sigma=0.1, seed=s).take(n)
+            for s, n in ((0, 10), (1, 7), (2, 10))
+        ]
+        self._assert_matches_reference(readings, 1)
+
+    def test_narrow_dims_fall_back(self):
+        # dim_z_max=2 with 1-D readings: every value needs NaN-padding.
+        readings = [
+            RandomWalkStream(step_sigma=0.5, measurement_sigma=0.1, seed=s).take(9)
+            for s in range(3)
+        ]
+        self._assert_matches_reference(readings, 2)
+
+    def test_patchy_truth_keeps_values_fast(self):
+        # Values are uniform (fast path); truth has a hole (fallback).
+        from repro.streams.base import Reading
+
+        readings = [
+            RandomWalkStream(step_sigma=0.5, measurement_sigma=0.1, seed=s).take(8)
+            for s in range(3)
+        ]
+        r = readings[2][5]
+        readings[2][5] = Reading(t=r.t, value=r.value, truth=None)
+        self._assert_matches_reference(readings, 1)
+
+    def test_nan_measurements_survive_fast_path(self):
+        # A NaN *value* is a real (if broken) measurement, not a dropped
+        # tick: it must stack as NaN on the fast path exactly as the
+        # loop would write it.
+        from repro.streams.base import Reading
+
+        readings = [
+            RandomWalkStream(step_sigma=0.5, measurement_sigma=0.1, seed=s).take(6)
+            for s in range(2)
+        ]
+        r = readings[0][2]
+        readings[0][2] = Reading(t=r.t, value=np.array([np.nan]), truth=r.truth)
+        self._assert_matches_reference(readings, 1)

@@ -1,0 +1,104 @@
+"""The numba kernel is the numpy kernel at tight tolerance.
+
+``fastmath=True`` lets LLVM fuse multiply-adds, reassociating floating
+point — so the compiled kernel is deliberately *not* pinned bitwise.
+Instead every lane shape the fleet produces (1-D walks, 1-D/2-D
+kinematics, multi-dim measurements) is pinned to the numpy kernel at
+atol 1e-9 / rtol 1e-9, both at the lane level and through a full
+:class:`~repro.kalman.batch.BatchKalmanFilter` run, and the divergence
+surface must match.  The whole module skips where numba is not
+installed (the resolver's clean fallback is guard-tested in
+``test_kernels.py``).
+"""
+
+import numpy as np
+import pytest
+
+from repro.errors import FilterDivergenceError
+from repro.kalman.batch import BatchKalmanFilter
+from repro.kalman.kernels import get_lane_kernels
+from repro.kalman.models import constant_velocity, planar, random_walk
+
+pytest.importorskip("numba")
+
+ATOL, RTOL = 1e-9, 1e-9
+
+
+def _lane(dim_x, dim_z, m=64, seed=3):
+    rng = np.random.default_rng(seed + 7 * dim_x + dim_z)
+    F = np.tile(np.eye(dim_x), (m, 1, 1)) + rng.normal(0, 0.05, (m, dim_x, dim_x))
+    A = rng.normal(0, 0.2, (m, dim_x, dim_x))
+    Q = A @ A.transpose(0, 2, 1) + 0.05 * np.eye(dim_x)
+    x = rng.normal(0, 2, (m, dim_x))
+    B = rng.normal(0, 0.4, (m, dim_x, dim_x))
+    P = B @ B.transpose(0, 2, 1) + 0.3 * np.eye(dim_x)
+    H = rng.normal(0.7, 0.15, (m, dim_z, dim_x))
+    C = rng.normal(0, 0.3, (m, dim_z, dim_z))
+    R = C @ C.transpose(0, 2, 1) + 0.2 * np.eye(dim_z)
+    z = rng.normal(0, 2, (m, dim_z))
+    return F, Q, x, P, H, R, z
+
+
+@pytest.mark.parametrize("dims", [(1, 1), (2, 1), (2, 2), (4, 2)])
+def test_lane_kernels_agree_at_tolerance(dims):
+    dim_x, dim_z = dims
+    F, Q, x, P, H, R, z = _lane(dim_x, dim_z)
+    np_predict, np_update = get_lane_kernels("numpy")
+    nb_predict, nb_update = get_lane_kernels("numba")
+    x_np, P_np = np_predict(F, Q, x, P)
+    x_nb, P_nb = nb_predict(F, Q, x, P)
+    np.testing.assert_allclose(x_nb, x_np, atol=ATOL, rtol=RTOL)
+    np.testing.assert_allclose(P_nb, P_np, atol=ATOL, rtol=RTOL)
+    xu_np, Pu_np = np_update(x_np, P_np, H, R, z)
+    xu_nb, Pu_nb = nb_update(x_nb, P_nb, H, R, z)
+    np.testing.assert_allclose(xu_nb, xu_np, atol=ATOL, rtol=RTOL)
+    np.testing.assert_allclose(Pu_nb, Pu_np, atol=ATOL, rtol=RTOL)
+    np.testing.assert_array_equal(Pu_nb, Pu_nb.transpose(0, 2, 1))
+
+
+def _models(n=24):
+    out = []
+    for i in range(n):
+        if i % 3 == 0:
+            out.append(random_walk(process_noise=0.2 + 0.05 * i))
+        elif i % 3 == 1:
+            out.append(constant_velocity(process_noise=0.05, measurement_sigma=0.5))
+        else:
+            out.append(planar(constant_velocity(process_noise=0.1)))
+    return out
+
+
+def test_full_batch_run_agrees_at_tolerance():
+    models = _models()
+    rng = np.random.default_rng(17)
+    dim_z = max(m.dim_z for m in models)
+    ref = BatchKalmanFilter(models, kernel="numpy")
+    jit = BatchKalmanFilter(models, kernel="numba")
+    assert jit.kernel == "numba"
+    for _ in range(50):
+        z = rng.normal(0, 1, (len(models), dim_z))
+        ref.predict()
+        jit.predict()
+        ref.update(z)
+        jit.update(z)
+        np.testing.assert_allclose(
+            jit.measurement_estimates(),
+            ref.measurement_estimates(),
+            atol=ATOL,
+            rtol=RTOL,
+            equal_nan=True,
+        )
+
+
+def test_divergence_surface_matches():
+    _, np_update = get_lane_kernels("numpy")
+    _, nb_update = get_lane_kernels("numba")
+    x = np.zeros((3, 1))
+    P = np.ones((3, 1, 1))
+    H = np.ones((3, 1, 1))
+    R = np.full((3, 1, 1), -1.0)  # S = 0
+    z = np.zeros((3, 1))
+    with pytest.raises(FilterDivergenceError):
+        np_update(x, P, H, R, z)
+    with pytest.raises(FilterDivergenceError):
+        nb_update(x, P, H, R, z)

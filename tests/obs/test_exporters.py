@@ -197,8 +197,14 @@ class TestRunSummary:
             ]
             == 11
         )
-        # Span timings export as counters, one entry per fresh evaluation.
-        fresh_agg = n_agg - degraded
+        # Span timings export as counters, one entry per fresh evaluation;
+        # degraded serves and keep-hot cache hits both skip the span.
+        cache_hits = samples[
+            ("repro_serving_cache_hits_total", (("kind", "aggregate"),))
+        ]
+        assert cache_hits == server.cache_hits > 0
+        fresh_agg = n_agg - degraded - cache_hits
+        assert fresh_agg == 1
         assert (
             samples[("repro_span_entries_total", (("span", "serving.aggregate"),))]
             == fresh_agg

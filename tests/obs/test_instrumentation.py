@@ -232,7 +232,7 @@ class TestFleetEquivalence:
         manager.run(budget=0.3, run_ticks=1200)
         assert tel.metrics.value("repro_fleet_size") == 4
         assert tel.metrics.value("repro_fleet_budget") == 0.3
-        for span in ("probe", "allocation_solve", "main_run", "batch_step"):
+        for span in ("probe", "allocation_solve", "main_run", "batch_step[numpy]"):
             assert tel.spans.get(span) is not None, span
 
     def test_dynamic_reallocation_traced(self):
