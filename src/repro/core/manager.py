@@ -58,6 +58,7 @@ from repro.core.supervision import RecoveryStats, SupervisionConfig
 from repro.errors import AllocationError, ConfigurationError
 from repro.kalman.batch import BatchKalmanFilter
 from repro.kalman.models import ProcessModel
+from repro.kalman.sketch import SketchConfig
 from repro.obs import tracing
 from repro.obs.telemetry import resolve_telemetry
 from repro.streams.base import Reading
@@ -322,6 +323,14 @@ class FleetEngine:
             ``"numpy"`` (default), ``"numba"`` (opt-in; falls back to
             numpy when numba is absent) or ``"auto"``.  See
             :mod:`repro.kalman.kernels`.
+        sketch: Optional :class:`~repro.kalman.sketch.SketchConfig` —
+            sketched measurement updates (see :mod:`repro.kalman.sketch`).
+            When active the per-tick span is named ``batch_step[sketch]``
+            and a ``repro_sketch_dim`` gauge records the sketch dimension.
+        censor_threshold: Skip measurement updates whose normalized
+            innovation is at or below this many sigmas per component
+            (``0.0`` disables censoring).  Censored updates are counted
+            in ``repro_censored_updates_total{stream_group}``.
     """
 
     def __init__(
@@ -331,13 +340,23 @@ class FleetEngine:
         norm: str = "max",
         telemetry=None,
         kernel: str = "numpy",
+        sketch: SketchConfig | None = None,
+        censor_threshold: float = 0.0,
     ):
         if norm not in ("max", "l2"):
             raise ConfigurationError(f"unknown norm {norm!r}; expected 'max' or 'l2'")
-        self.filters = BatchKalmanFilter(models, kernel=kernel)
+        self.filters = BatchKalmanFilter(
+            models, kernel=kernel, sketch=sketch, censor_threshold=censor_threshold
+        )
         #: The resolved compute kernel in use ("numpy"/"numba").
         self.kernel = self.filters.kernel
-        self._span_name = f"batch_step[{self.kernel}]"
+        self.sketch = sketch
+        self.censor_threshold = self.filters.censor_threshold
+        #: True when the filter bank runs sketched/censored updates.
+        self.approx = self.filters.approx
+        self._span_name = (
+            "batch_step[sketch]" if self.approx else f"batch_step[{self.kernel}]"
+        )
         self.n = self.filters.n
         self.norm = norm
         self.set_deltas(deltas)
@@ -345,6 +364,8 @@ class FleetEngine:
         self.messages = np.zeros(self.n, dtype=int)
         self.ticks = 0
         self._tel = resolve_telemetry(telemetry)
+        if self._tel.enabled and sketch is not None:
+            self._tel.set_gauge("repro_sketch_dim", sketch.dim)
         # Per-stream update payload (matches MeasurementUpdate: header +
         # 8 bytes per measurement float + the outlier flag byte).
         self._payload = np.array(
@@ -389,6 +410,7 @@ class FleetEngine:
             "ticks": self.ticks,
             "n_predicts": self.filters.n_predicts.copy(),
             "n_updates": self.filters.n_updates.copy(),
+            "n_censored": self.filters.n_censored.copy(),
         }
 
     def restore_state(self, snapshot: dict) -> None:
@@ -404,6 +426,13 @@ class FleetEngine:
         self.ticks = int(snapshot["ticks"])
         self.filters.n_predicts = np.asarray(snapshot["n_predicts"], dtype=int).copy()
         self.filters.n_updates = np.asarray(snapshot["n_updates"], dtype=int).copy()
+        # Checkpoints written before censoring existed omit the counter.
+        n_censored = snapshot.get("n_censored")
+        self.filters.n_censored = (
+            np.zeros(self.n, dtype=int)
+            if n_censored is None
+            else np.asarray(n_censored, dtype=int).copy()
+        )
 
     def packed_state(self) -> dict:
         """Mutable engine state as fixed-shape, fleet-indexed arrays.
@@ -428,6 +457,7 @@ class FleetEngine:
             "ticks": self.ticks,
             "n_predicts": self.filters.n_predicts.copy(),
             "n_updates": self.filters.n_updates.copy(),
+            "n_censored": self.filters.n_censored.copy(),
         }
 
     def restore_packed(self, state: dict) -> None:
@@ -443,6 +473,12 @@ class FleetEngine:
         self.ticks = int(state["ticks"])
         self.filters.n_predicts = np.asarray(state["n_predicts"], dtype=int).copy()
         self.filters.n_updates = np.asarray(state["n_updates"], dtype=int).copy()
+        n_censored = state.get("n_censored")
+        self.filters.n_censored = (
+            np.zeros(self.n, dtype=int)
+            if n_censored is None
+            else np.asarray(n_censored, dtype=int).copy()
+        )
 
     def step(self, values: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
         """Advance the whole fleet one tick.
@@ -469,6 +505,11 @@ class FleetEngine:
                     int(self._payload[sent].sum()),
                     kind="update",
                 )
+            if self.approx:
+                for group, count in self.filters.drain_censored().items():
+                    tel.inc(
+                        "repro_censored_updates_total", count, stream_group=group
+                    )
             return served, sent
         return self._step(values)
 
@@ -659,6 +700,16 @@ class StreamResourceManager:
             ``"batch"`` and ``"sharded"`` backends — ``"numpy"``
             (default), ``"numba"`` (opt-in; clean numpy fallback when
             numba is absent) or ``"auto"``.  Ignored by ``"scalar"``.
+        sketch: Optional :class:`~repro.kalman.sketch.SketchConfig` for
+            sketched measurement updates on the ``"batch"`` and
+            ``"sharded"`` backends (see :mod:`repro.kalman.sketch`).
+            Unlike ``kernel`` this knob *changes results*, so requesting
+            it with ``backend="scalar"`` raises
+            :class:`~repro.errors.ConfigurationError` rather than being
+            silently ignored.
+        censor_threshold: Censor measurement updates whose normalized
+            innovation is at or below this many sigmas per component
+            (``0.0`` disables).  Same backend rules as ``sketch``.
         telemetry: Optional :class:`~repro.obs.Telemetry` sink threaded
             through every phase: the probe, allocation solve and main
             run are span-timed, dynamic re-allocations are traced as
@@ -679,6 +730,8 @@ class StreamResourceManager:
         shard_executor: str = "process",
         shard_transport: str = "shm",
         kernel: str = "numpy",
+        sketch: SketchConfig | None = None,
+        censor_threshold: float = 0.0,
         telemetry=None,
     ):
         if not streams:
@@ -699,6 +752,16 @@ class StreamResourceManager:
             )
         if n_shards < 1:
             raise ConfigurationError(f"n_shards must be >= 1, got {n_shards!r}")
+        if backend == "scalar" and (
+            sketch is not None or float(censor_threshold) != 0.0
+        ):
+            # kernel= is a pure optimization hint and is silently ignored
+            # by the scalar backend; sketch/censor change served results,
+            # so ignoring them would be dishonest.
+            raise ConfigurationError(
+                "sketch/censor_threshold require backend='batch' or "
+                "'sharded'; the scalar path is always exact"
+            )
         self.streams = streams
         self.probe_deltas_rel = probe_deltas_rel
         self.probe_ticks = probe_ticks
@@ -708,6 +771,8 @@ class StreamResourceManager:
         self.shard_executor = shard_executor
         self.shard_transport = shard_transport
         self.kernel = kernel
+        self.sketch = sketch
+        self.censor_threshold = float(censor_threshold)
         self._tel = resolve_telemetry(telemetry)
         self._curves: list[RateCurve] | None = None
         self._scales: list[float] | None = None
@@ -735,9 +800,18 @@ class StreamResourceManager:
                 executor=self.shard_executor,
                 transport=self.shard_transport,
                 kernel=self.kernel,
+                sketch=self.sketch,
+                censor_threshold=self.censor_threshold,
                 telemetry=self._tel,
             )
-        return FleetEngine(models, deltas, telemetry=self._tel, kernel=self.kernel)
+        return FleetEngine(
+            models,
+            deltas,
+            telemetry=self._tel,
+            kernel=self.kernel,
+            sketch=self.sketch,
+            censor_threshold=self.censor_threshold,
+        )
 
     # ------------------------------------------------------------------
     # Phase 1-2: probe and fit
@@ -1377,6 +1451,8 @@ class StreamResourceManager:
                     [m.model for m in self.streams],
                     np.ones(len(self.streams)),
                     kernel=self.kernel,
+                    sketch=self.sketch,
+                    censor_threshold=self.censor_threshold,
                 )
                 shadow.restore_state(payload["engine"])
             else:

@@ -35,6 +35,7 @@ from repro.kalman.noise import (
     q_white_noise_accel,
     q_white_noise_jerk,
 )
+from repro.kalman.sketch import SketchConfig, censor_keep, sketch_matrix
 from repro.kalman.smoother import SmoothedStep, rts_smooth
 
 __all__ = [
@@ -64,6 +65,9 @@ __all__ = [
     "ProcessNoiseScaler",
     "NisMonitor",
     "nees_consistency",
+    "SketchConfig",
+    "sketch_matrix",
+    "censor_keep",
     "SmoothedStep",
     "rts_smooth",
 ]

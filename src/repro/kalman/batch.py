@@ -30,6 +30,7 @@ import numpy as np
 from repro.errors import ConfigurationError, DimensionError
 from repro.kalman.kernels import get_lane_kernels, resolve_kernel
 from repro.kalman.models import ProcessModel
+from repro.kalman.sketch import SketchConfig, censor_keep, sketch_lane
 
 __all__ = ["BatchKalmanFilter"]
 
@@ -37,9 +38,17 @@ __all__ = ["BatchKalmanFilter"]
 class _Lane:
     """One homogeneous ``(dim_x, dim_z)`` group of stacked filters."""
 
-    __slots__ = ("indices", "dim_x", "dim_z", "F", "H", "Q", "R", "x", "P")
+    __slots__ = (
+        "indices", "dim_x", "dim_z", "F", "H", "Q", "R", "x", "P",
+        "Phi", "Hs", "Rs",
+    )
 
-    def __init__(self, indices: np.ndarray, models: list[ProcessModel]):
+    def __init__(
+        self,
+        indices: np.ndarray,
+        models: list[ProcessModel],
+        sketch: SketchConfig | None = None,
+    ):
         self.indices = indices
         self.dim_x = models[0].dim_x
         self.dim_z = models[0].dim_z
@@ -49,6 +58,14 @@ class _Lane:
         self.R = np.stack([m.R for m in models])
         self.x = np.zeros((len(models), self.dim_x))
         self.P = np.stack([m.P0.copy() for m in models])
+        # Sketched observation model (None when this lane stays exact).
+        # H and R are static per filter, so the projection happens once
+        # here and never on the per-tick path.
+        self.Phi = self.Hs = self.Rs = None
+        if sketch is not None:
+            sketched = sketch_lane(self.H, self.R, sketch)
+            if sketched is not None:
+                self.Phi, self.Hs, self.Rs = sketched
 
 
 class BatchKalmanFilter:
@@ -68,6 +85,20 @@ class BatchKalmanFilter:
             numpy when numba is not installed) or ``"auto"``.  See
             :mod:`repro.kalman.kernels`.  The resolved choice is exposed
             as :attr:`kernel`.
+        sketch: Optional :class:`~repro.kalman.sketch.SketchConfig` —
+            project each lane's measurements to ``sketch.dim`` components
+            before the batched solve (lanes with ``dim_z <= sketch.dim``
+            stay exact).  See :mod:`repro.kalman.sketch`.
+        censor_threshold: Skip the measurement update for rows whose
+            per-component normalized innovation is at or below this many
+            sigmas (``0.0``, the default, disables censoring).  Censored
+            filters coast predict-only; their covariances keep growing
+            honestly and their skips are counted in :attr:`n_censored`.
+
+    When neither approximation is active (no sketched lane and a zero
+    censor threshold) the exact update path runs byte-for-byte unchanged
+    — :attr:`approx` is ``False`` and results are bitwise identical to a
+    filter constructed without the knobs.
     """
 
     def __init__(
@@ -75,6 +106,8 @@ class BatchKalmanFilter:
         models: Sequence[ProcessModel],
         x0s: Sequence[np.ndarray | None] | None = None,
         kernel: str = "numpy",
+        sketch: SketchConfig | None = None,
+        censor_threshold: float = 0.0,
     ):
         models = list(models)
         if not models:
@@ -83,6 +116,16 @@ class BatchKalmanFilter:
             raise ConfigurationError(
                 f"got {len(models)} models but {len(x0s)} initial states"
             )
+        if sketch is not None and not isinstance(sketch, SketchConfig):
+            raise ConfigurationError(
+                f"sketch must be a SketchConfig or None, got {type(sketch).__name__}"
+            )
+        censor_threshold = float(censor_threshold)
+        if not np.isfinite(censor_threshold) or censor_threshold < 0.0:
+            raise ConfigurationError(
+                "censor_threshold must be a finite non-negative float, "
+                f"got {censor_threshold!r}"
+            )
         self.models = models
         self.n = len(models)
         self.dim_z_max = max(m.dim_z for m in models)
@@ -90,8 +133,14 @@ class BatchKalmanFilter:
         #: The resolved compute kernel actually in use ("numpy"/"numba").
         self.kernel = resolve_kernel(kernel)
         self._predict_lane, self._update_lane = get_lane_kernels(self.kernel)
+        self.sketch = sketch
+        self.censor_threshold = censor_threshold
         self.n_predicts = np.zeros(self.n, dtype=int)
         self.n_updates = np.zeros(self.n, dtype=int)
+        #: Measurement updates skipped by the censor test, per filter.
+        self.n_censored = np.zeros(self.n, dtype=int)
+        # {stream_group: count} censored since the last drain_censored().
+        self._censored_pending: dict[str, int] = {}
 
         by_shape: dict[tuple[int, int], list[int]] = {}
         for i, m in enumerate(models):
@@ -101,10 +150,15 @@ class BatchKalmanFilter:
         self._where: list[tuple[int, int]] = [(-1, -1)] * self.n
         for shape, idx in sorted(by_shape.items()):
             indices = np.asarray(idx, dtype=int)
-            lane = _Lane(indices, [models[i] for i in idx])
+            lane = _Lane(indices, [models[i] for i in idx], sketch)
             for pos, i in enumerate(idx):
                 self._where[i] = (len(self._lanes), pos)
             self._lanes.append(lane)
+        #: True when any approximation is active.  When False the update
+        #: path below is the exact branch, untouched — bitwise recovery.
+        self.approx = censor_threshold > 0.0 or any(
+            lane.Phi is not None for lane in self._lanes
+        )
 
         if x0s is not None:
             for i, x0 in enumerate(x0s):
@@ -157,6 +211,9 @@ class BatchKalmanFilter:
                 f"zs must have shape ({self.n}, {self.dim_z_max}), got {zs.shape}"
             )
         mask = self._as_mask(mask)
+        if self.approx:
+            self._update_approx(zs, mask)
+            return
         for lane in self._lanes:
             sel = mask[lane.indices]
             if not sel.any():
@@ -176,6 +233,56 @@ class BatchKalmanFilter:
                 lane.x[li] = x
                 lane.P[li] = P
         self.n_updates[mask] += 1
+
+    def _update_approx(self, zs: np.ndarray, mask: np.ndarray) -> None:
+        """Sketched/censored update path (only entered when :attr:`approx`).
+
+        Per lane: project the selected measurements through the lane's
+        sketch (when one exists), censor rows whose normalized
+        innovation falls below the threshold, and run the lane update
+        kernel on the survivors only.  Censored rows keep their
+        predicted mean and covariance — the bound widens honestly.
+        """
+        censored = np.zeros(self.n, dtype=bool)
+        for lane in self._lanes:
+            sel = mask[lane.indices]
+            if not sel.any():
+                continue
+            li = np.nonzero(sel)[0]
+            gidx = lane.indices[li]
+            z = zs[gidx, : lane.dim_z]
+            if lane.Phi is not None:
+                # Batched (one gemm per row) rather than a single 2-D
+                # gemm: per-row results must not depend on how many
+                # rows share the call, or sharding would drift by ulps.
+                z = (lane.Phi @ z[..., None])[..., 0]
+                H, R = lane.Hs[li], lane.Rs[li]
+            else:
+                H, R = lane.H[li], lane.R[li]
+            x, P = lane.x[li], lane.P[li]
+            if self.censor_threshold > 0.0:
+                keep = censor_keep(x, P, H, R, z, self.censor_threshold)
+                if not keep.all():
+                    n_cens = int(li.size - np.count_nonzero(keep))
+                    group = f"{lane.dim_x}x{lane.dim_z}"
+                    self._censored_pending[group] = (
+                        self._censored_pending.get(group, 0) + n_cens
+                    )
+                    censored[gidx[~keep]] = True
+                    li, z = li[keep], z[keep]
+                    x, P, H, R = x[keep], P[keep], H[keep], R[keep]
+            if li.size:
+                x_new, P_new = self._update_lane(x, P, H, R, z)
+                lane.x[li] = x_new
+                lane.P[li] = P_new
+        self.n_updates[mask & ~censored] += 1
+        self.n_censored[censored] += 1
+
+    def drain_censored(self) -> dict[str, int]:
+        """Censored-update counts per ``"{dim_x}x{dim_z}"`` group since
+        the last drain (telemetry feed; resets the pending tally)."""
+        pending, self._censored_pending = self._censored_pending, {}
+        return pending
 
     def step(self, zs: np.ndarray, update_mask: np.ndarray | None = None) -> None:
         """One full cycle for every filter: predict all, update the masked.

@@ -1,0 +1,159 @@
+"""Sketched and censored measurement updates for the batched Kalman path.
+
+Exact batch filtering touches every stream every tick: the per-lane
+Joseph update costs ``O(M * dim_z^3)`` for the stacked solve plus
+``O(M * dim_x^3)`` for the covariance form, which caps fleet size within
+a tick budget long before the hardware runs out.  Following "Data
+Sketching for Large-Scale Kalman Filtering" (Berberidis & Giannakis,
+PAPERS.md) this module trades a *quantified* amount of delivered
+precision for that per-tick cost — the repo's precision/resource thesis
+applied to server CPU instead of network messages:
+
+* **Measurement sketching** — compress each lane's measurement space
+  through a seeded random projection ``Phi`` with ``s < dim_z`` rows
+  before the batched solve: ``z -> Phi z``, ``H -> Phi H``,
+  ``R -> Phi R Phi'``.  ``H`` and ``R`` are static per filter, so the
+  sketched observation model is built once at construction and the
+  per-tick solve drops from ``dim_z``-sized to ``s``-sized systems.
+  The projection is deterministic in ``(seed, dim_z, s)`` — the same
+  config sketches the same way on every run, shard, and worker.
+* **Update censoring** — skip the measurement update entirely for
+  streams whose normalized innovation says the measurement carries
+  little information the prediction didn't already have.  A censored
+  stream coasts on predict-only for the tick, so its covariance keeps
+  growing honestly — the served bound *widens*; it is never understated
+  (property-tested: censored-path covariances dominate exact-path
+  covariances).
+
+Both knobs degrade gracefully to exact: a sketch dimension at or above a
+lane's ``dim_z`` leaves that lane unsketched, and a censor threshold of
+``0.0`` disables the innovation test.  When *neither* approximation is
+active the :class:`~repro.kalman.batch.BatchKalmanFilter` never enters
+this module's code path at all, so the exact path is recovered bitwise
+(gate-tested in ``tests/kalman/test_sketch.py``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import ConfigurationError, FilterDivergenceError
+
+__all__ = ["SketchConfig", "sketch_matrix", "sketch_lane", "censor_keep"]
+
+
+@dataclass(frozen=True)
+class SketchConfig:
+    """Configuration for measurement sketching.
+
+    Args:
+        dim: Sketch dimension ``s`` — measurement batches are projected
+            to ``s`` components before the batched solve.  Lanes whose
+            ``dim_z`` is already ``<= dim`` are left exact (sketching
+            *up* would add no information and break bitwise recovery).
+        seed: Seed for the random projection.  The projection for a
+            ``(seed, dim_z, dim)`` triple is deterministic, so every
+            shard and worker of a fleet sketches identically.
+    """
+
+    dim: int
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if not isinstance(self.dim, (int, np.integer)) or self.dim < 1:
+            raise ConfigurationError(
+                f"sketch dim must be a positive integer, got {self.dim!r}"
+            )
+        if not isinstance(self.seed, (int, np.integer)):
+            raise ConfigurationError(
+                f"sketch seed must be an integer, got {self.seed!r}"
+            )
+
+
+def sketch_matrix(dim_sketch: int, dim_z: int, seed: int) -> np.ndarray:
+    """Deterministic ``(dim_sketch, dim_z)`` Gaussian projection.
+
+    Rows are i.i.d. ``N(0, 1/dim_sketch)`` so the projection preserves
+    squared norms in expectation (the standard Johnson–Lindenstrauss
+    scaling).  Seeded with the full ``(seed, dim_z, dim_sketch)`` triple:
+    distinct shapes get independent projections, identical shapes get
+    identical ones — on every run, process, and shard.
+    """
+    rng = np.random.default_rng([int(seed), int(dim_z), int(dim_sketch)])
+    return rng.standard_normal((dim_sketch, dim_z)) / np.sqrt(dim_sketch)
+
+
+def sketch_lane(
+    H: np.ndarray, R: np.ndarray, config: SketchConfig
+) -> tuple[np.ndarray, np.ndarray, np.ndarray] | None:
+    """Sketched observation model for one lane, or ``None`` when exact.
+
+    Args:
+        H: Stacked ``(M, dim_z, dim_x)`` observation matrices.
+        R: Stacked ``(M, dim_z, dim_z)`` measurement covariances.
+        config: The sketch configuration.
+
+    Returns:
+        ``(Phi, Hs, Rs)`` with ``Phi`` ``(s, dim_z)`` shared across the
+        lane, ``Hs = Phi H`` stacked ``(M, s, dim_x)`` and
+        ``Rs = Phi R Phi'`` stacked ``(M, s, s)``; or ``None`` when the
+        lane's ``dim_z <= config.dim`` (nothing to compress — the lane
+        stays exact).
+    """
+    dim_z = H.shape[1]
+    if dim_z <= config.dim:
+        return None
+    Phi = sketch_matrix(config.dim, dim_z, config.seed)
+    Hs = Phi @ H
+    Rs = Phi @ R @ Phi.T
+    # Re-symmetrize: Phi R Phi' is symmetric in exact arithmetic but the
+    # two matmuls round asymmetrically.
+    Rs = 0.5 * (Rs + Rs.transpose(0, 2, 1))
+    return Phi, Hs, Rs
+
+
+def censor_keep(
+    x: np.ndarray,
+    P: np.ndarray,
+    H: np.ndarray,
+    R: np.ndarray,
+    z: np.ndarray,
+    threshold: float,
+) -> np.ndarray:
+    """Boolean keep-mask: which rows carry enough innovation to update.
+
+    Computes the normalized innovation squared ``y' S^-1 y`` (with
+    ``y = z - H x`` and ``S = H P H' + R``) and censors rows where the
+    per-component average falls at or below ``threshold**2`` — i.e. a
+    row is *kept* iff ``y' S^-1 y > threshold**2 * dim_z``.  Under the
+    model, NIS is chi-square with ``dim_z`` degrees of freedom (mean
+    ``dim_z``), so ``threshold`` reads as "innovation sigmas per
+    component" independent of measurement (or sketch) dimension.
+
+    All arrays are in the *working* measurement space: when a lane is
+    sketched the test runs on the sketched innovation, so the censor
+    decision costs ``O(s^2)`` per row, not ``O(dim_z^2)``.
+    """
+    y = z - (H @ x[..., None])[..., 0]
+    dim_z = z.shape[1]
+    if dim_z == 1:
+        # A (M, 1, 1) innovation covariance needs no solve: NIS is one
+        # squared innovation over one variance.
+        S = (H @ P @ H.transpose(0, 2, 1) + R)[:, 0, 0]
+        if not np.all(S != 0.0):
+            raise FilterDivergenceError(
+                "innovation covariance became singular: zero pivot"
+            )
+        nis = y[:, 0] * y[:, 0] / S
+    else:
+        S = H @ P @ H.transpose(0, 2, 1) + R
+        try:
+            sol = np.linalg.solve(S, y[..., None])[..., 0]
+        except np.linalg.LinAlgError as exc:
+            raise FilterDivergenceError(
+                f"innovation covariance became singular: {exc}"
+            ) from exc
+        nis = np.einsum("ij,ij->i", y, sol)
+    return nis > threshold * threshold * dim_z

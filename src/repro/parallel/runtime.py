@@ -89,7 +89,9 @@ _WORKER_SEGMENTS: dict[tuple[str, int], "_ShardSegment"] = {}
 
 _TOKENS = itertools.count()
 
-_STATE_FIELDS = ("x", "P", "warm", "messages", "n_predicts", "n_updates")
+_STATE_FIELDS = (
+    "x", "P", "warm", "messages", "n_predicts", "n_updates", "n_censored"
+)
 
 
 @dataclass
@@ -145,6 +147,7 @@ def _shard_layout(
     add("messages", "i8", (n_s,))
     add("n_predicts", "i8", (n_s,))
     add("n_updates", "i8", (n_s,))
+    add("n_censored", "i8", (n_s,))
     add("ticks", "i8", (1,))
     add("deltas", "f8", (n_s,))
     add("models_blob", "u1", (max(blob_len, 1),))
@@ -244,6 +247,8 @@ def _worker_engine(
     norm: str,
     kernel: str,
     blob: bytes | None,
+    sketch=None,
+    censor_threshold: float = 0.0,
 ) -> FleetEngine:
     """The shard's engine: fork-inherited, or rebuilt once from the blob."""
     key = (token, shard_id)
@@ -255,7 +260,12 @@ def _worker_engine(
             )
         models = pickle.loads(blob)
         engine = FleetEngine(
-            models, np.ones(len(models)), norm=norm, kernel=kernel
+            models,
+            np.ones(len(models)),
+            norm=norm,
+            kernel=kernel,
+            sketch=sketch,
+            censor_threshold=censor_threshold,
         )
         _ENGINE_REGISTRY[key] = engine
     return engine
@@ -290,7 +300,13 @@ def _run_chunk_shm(header: dict) -> tuple[int, list, list]:
     blob_len = header["blob_len"]
     blob = bytes(seg.view("models_blob")[:blob_len]) if blob_len else None
     engine = _worker_engine(
-        token, shard_id, header["norm"], header["kernel"], blob
+        token,
+        shard_id,
+        header["norm"],
+        header["kernel"],
+        blob,
+        sketch=header.get("sketch"),
+        censor_threshold=header.get("censor_threshold", 0.0),
     )
     tel = Telemetry() if header["collect_telemetry"] else None
     engine._tel = resolve_telemetry(tel)
@@ -324,6 +340,8 @@ class _PickleTask:
     state: dict
     collect_telemetry: bool
     fail_marker: str | None = None
+    sketch: object = None
+    censor_threshold: float = 0.0
 
 
 @dataclass
@@ -340,7 +358,13 @@ def _run_chunk_pickle(task: _PickleTask) -> _PickleResult:
     """Advance one shard by one chunk with everything on the pipe."""
     _maybe_fail(task.fail_marker)
     engine = _worker_engine(
-        task.token, task.shard_id, task.norm, task.kernel, task.blob
+        task.token,
+        task.shard_id,
+        task.norm,
+        task.kernel,
+        task.blob,
+        sketch=task.sketch,
+        censor_threshold=task.censor_threshold,
     )
     tel = Telemetry() if task.collect_telemetry else None
     engine._tel = resolve_telemetry(tel)
@@ -420,6 +444,14 @@ class ShardedFleetRuntime:
             ``"numpy"`` (default), ``"numba"`` or ``"auto"``; see
             :mod:`repro.kalman.kernels`.  The resolved name is exposed
             as :attr:`kernel`.
+        sketch: Optional :class:`~repro.kalman.sketch.SketchConfig` for
+            sketched measurement updates on every shard engine (see
+            :mod:`repro.kalman.sketch`).  The projection is seeded per
+            ``(seed, dim_z, dim)``, so shards sketch identically to one
+            unsharded engine — sharded results stay bitwise-equal to
+            :class:`FleetEngine` under the same config.
+        censor_threshold: Censor threshold for every shard engine
+            (``0.0`` disables; same bitwise-parity guarantee).
         telemetry: Optional coordinator sink; worker counters and spans
             are folded into it with a ``shard`` label, worker deaths
             are traced as ``worker_respawn`` events, and dispatch
@@ -441,6 +473,8 @@ class ShardedFleetRuntime:
         max_respawns: int = 2,
         transport: str = "shm",
         kernel: str = "numpy",
+        sketch=None,
+        censor_threshold: float = 0.0,
         telemetry=None,
     ):
         if executor not in EXECUTOR_KINDS:
@@ -477,6 +511,8 @@ class ShardedFleetRuntime:
         self.executor_kind = executor
         self.transport = transport
         self.kernel = resolve_kernel(kernel)
+        self.sketch = sketch
+        self.censor_threshold = float(censor_threshold)
         self.max_workers = max_workers if max_workers is not None else plan.n_shards
         self.chunk_ticks = chunk_ticks
         self.max_respawns = max_respawns
@@ -520,6 +556,8 @@ class ShardedFleetRuntime:
                 deltas_by_shard[k],
                 norm=norm,
                 kernel=self.kernel,
+                sketch=self.sketch,
+                censor_threshold=self.censor_threshold,
             )
             # Built before the pool ever forks, so workers inherit it.
             _ENGINE_REGISTRY[(self._token, k)] = engine
@@ -624,6 +662,12 @@ class ShardedFleetRuntime:
                 "collect_telemetry": self._tel.enabled,
                 "fail_marker": fail_marker,
             }
+            if self.sketch is not None or self.censor_threshold != 0.0:
+                # Only active approximations ride in the header — the
+                # exact path's headers-only wire format stays byte-equal
+                # to what it was before the knobs existed.
+                payload["sketch"] = self.sketch
+                payload["censor_threshold"] = self.censor_threshold
             return {"shard_id": k, "n_ticks": n_ticks, "fn": _run_chunk_shm,
                     "payload": payload}
         payload = _PickleTask(
@@ -633,6 +677,8 @@ class ShardedFleetRuntime:
             deltas=shard_deltas,
             norm=self.norm,
             kernel=self.kernel,
+            sketch=self.sketch,
+            censor_threshold=self.censor_threshold,
             values=chunk_values,
             state=self._packed[k],
             collect_telemetry=self._tel.enabled,
@@ -879,6 +925,7 @@ class ShardedFleetRuntime:
         messages = np.zeros(self.n, dtype=int)
         n_predicts = np.zeros(self.n, dtype=int)
         n_updates = np.zeros(self.n, dtype=int)
+        n_censored = np.zeros(self.n, dtype=int)
         for k in range(self.plan.n_shards):
             state = self._packed[k]
             idx = self.plan.assignments[k]
@@ -891,6 +938,7 @@ class ShardedFleetRuntime:
             messages[idx] = np.asarray(state["messages"], dtype=int)
             n_predicts[idx] = np.asarray(state["n_predicts"], dtype=int)
             n_updates[idx] = np.asarray(state["n_updates"], dtype=int)
+            n_censored[idx] = np.asarray(state["n_censored"], dtype=int)
         return {
             "x": x,
             "P": p,
@@ -899,6 +947,7 @@ class ShardedFleetRuntime:
             "ticks": self.ticks,
             "n_predicts": n_predicts,
             "n_updates": n_updates,
+            "n_censored": n_censored,
         }
 
     def restore_state(self, snapshot: dict) -> None:
@@ -917,6 +966,10 @@ class ShardedFleetRuntime:
         messages = np.asarray(snapshot["messages"], dtype=int)
         n_predicts = np.asarray(snapshot["n_predicts"], dtype=int)
         n_updates = np.asarray(snapshot["n_updates"], dtype=int)
+        # Checkpoints written before censoring existed omit the counter.
+        n_censored = np.asarray(
+            snapshot.get("n_censored", np.zeros(self.n)), dtype=int
+        )
         ticks = int(snapshot["ticks"])
         for k in range(self.plan.n_shards):
             idx = self.plan.assignments[k]
@@ -936,6 +989,7 @@ class ShardedFleetRuntime:
                 "ticks": ticks,
                 "n_predicts": n_predicts[idx].copy(),
                 "n_updates": n_updates[idx].copy(),
+                "n_censored": n_censored[idx].copy(),
             }
         self.ticks = ticks
         self.messages = messages.copy()
@@ -994,7 +1048,12 @@ class ShardedFleetRuntime:
             # Prove the snapshot rebuilds a real engine before the live
             # shard states are touched: restore into a detached shadow.
             shadow = FleetEngine(
-                self.models, self.deltas, norm=self.norm, kernel=self.kernel
+                self.models,
+                self.deltas,
+                norm=self.norm,
+                kernel=self.kernel,
+                sketch=self.sketch,
+                censor_threshold=self.censor_threshold,
             )
             shadow.restore_state(snapshot)
             return snapshot
@@ -1044,6 +1103,8 @@ class ShardedFleetRuntime:
             "executor": self.executor_kind,
             "transport": self.transport,
             "kernel": self.kernel,
+            "sketch_dim": None if self.sketch is None else self.sketch.dim,
+            "censor_threshold": self.censor_threshold,
             "total_respawns": self.total_respawns,
             "shards": [
                 {

@@ -47,6 +47,7 @@ closed immutable intervals, stay servable forever.  Hits count into
 from __future__ import annotations
 
 import asyncio
+from collections import OrderedDict
 from dataclasses import dataclass, replace
 from time import perf_counter
 
@@ -82,10 +83,18 @@ class AdmissionConfig:
             answer may additionally be off by one contract-width per tick
             it is stale" — honest as long as the fleet's δ budget holds,
             and flagged ``degraded`` either way.
+        cache_capacity: Signature-cache entries retained (LRU).  The
+            cache used to grow without bound — one entry per distinct
+            range/aggregate signature, forever — which is a memory leak
+            under high-cardinality workloads.  Least-recently-*used*
+            entries (reads refresh recency) are evicted past this cap
+            and counted in ``QueryServer.cache_evictions`` /
+            ``repro_serving_cache_evictions_total``.
     """
 
     max_inflight: int = 64
     drift_per_tick: float = 1.0
+    cache_capacity: int = 1024
 
     def __post_init__(self) -> None:
         if self.max_inflight < 1:
@@ -95,6 +104,10 @@ class AdmissionConfig:
         if self.drift_per_tick < 0:
             raise ServingError(
                 f"drift_per_tick must be >= 0, got {self.drift_per_tick!r}"
+            )
+        if self.cache_capacity < 1:
+            raise ServingError(
+                f"cache_capacity must be >= 1, got {self.cache_capacity!r}"
             )
 
 
@@ -143,13 +156,15 @@ class QueryServer:
         # the last fresh evaluation.  Two readers: the keep-hot path
         # re-serves it bitwise while the store version is unchanged, and
         # the overload path re-serves it *degraded* (bounds widened by
-        # staleness) whatever the version.
-        self._cache: dict[
+        # staleness) whatever the version.  Bounded LRU: insertion-plus-
+        # read order, capped at admission.cache_capacity.
+        self._cache: OrderedDict[
             tuple, tuple[tuple[StreamTuple, ...], int, str, int]
-        ] = {}
+        ] = OrderedDict()
         self.requests_served = 0
         self.requests_degraded = 0
         self.cache_hits = 0
+        self.cache_evictions = 0
 
     @property
     def inflight(self) -> int:
@@ -257,6 +272,30 @@ class QueryServer:
             return (self._replay_aggregate(members, request.aggregate),), provenance
         raise ServingError(f"unknown request type {type(request).__name__}")
 
+    def _cache_get(
+        self, signature: tuple
+    ) -> tuple[tuple[StreamTuple, ...], int, str, int] | None:
+        """Cache lookup that refreshes LRU recency on a hit."""
+        cached = self._cache.get(signature)
+        if cached is not None:
+            self._cache.move_to_end(signature)
+        return cached
+
+    def _cache_put(
+        self,
+        signature: tuple,
+        entry: tuple[tuple[StreamTuple, ...], int, str, int],
+    ) -> None:
+        """Insert/refresh an entry, evicting the least-recently used
+        past ``admission.cache_capacity`` (counted, telemetered)."""
+        self._cache[signature] = entry
+        self._cache.move_to_end(signature)
+        while len(self._cache) > self.admission.cache_capacity:
+            self._cache.popitem(last=False)
+            self.cache_evictions += 1
+            if self._tel.enabled:
+                self._tel.inc("repro_serving_cache_evictions_total")
+
     def _degraded_from_cache(
         self, request: Query
     ) -> tuple[tuple[StreamTuple, ...], int, str] | None:
@@ -267,7 +306,7 @@ class QueryServer:
         time is monotone), so it comes back with zero staleness and no
         widening — re-serving it equals re-evaluating it, bitwise.
         """
-        cached = self._cache.get(self._signature(request))
+        cached = self._cache_get(self._signature(request))
         if cached is None:
             return None
         tuples, at_tick, provenance, _version = cached
@@ -295,7 +334,7 @@ class QueryServer:
         that no amount of new ingest rewrites.  Anything else misses and
         falls through to real evaluation.
         """
-        cached = self._cache.get(self._signature(request))
+        cached = self._cache_get(self._signature(request))
         if cached is None:
             return None
         tuples, _at_tick, provenance, version = cached
@@ -360,8 +399,9 @@ class QueryServer:
             else:
                 with tel.span(f"serving.{request.kind}"):
                     tuples, provenance = self._evaluate(request)
-                self._cache[self._signature(request)] = (
-                    tuples, self.store.tick, provenance, self.store.version
+                self._cache_put(
+                    self._signature(request),
+                    (tuples, self.store.tick, provenance, self.store.version),
                 )
             latency = perf_counter() - t0
             self.requests_served += 1

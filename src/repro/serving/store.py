@@ -106,15 +106,31 @@ class ServingStore:
         advance the staleness clock — callers batch one fleet tick's
         ingests and then call :meth:`advance_tick` once (or use
         :meth:`ingest_tick` / :meth:`load_fleet_history`, which do).
+
+        ``t`` must be strictly after the stream's newest served tuple:
+        the ring is a contiguous *sorted* suffix of the served history,
+        and :meth:`oldest_t`, :meth:`tuples_between` and hybrid
+        live+historical stitching all rely on that invariant.  An
+        out-of-order or duplicate timestamp raises
+        :class:`~repro.errors.ServingError` instead of silently
+        corrupting the ring.
         """
         delta = self.bounds.get(stream_id)
         if delta is None:
             raise ServingError(f"unknown stream {stream_id!r}; known: "
                                f"{sorted(self.bounds)}")
         ring = self._rings[stream_id]
+        t = float(t)
+        if ring and t <= ring[-1].t:
+            raise ServingError(
+                f"non-monotone ingest for stream {stream_id!r}: t={t!r} is "
+                f"not after the newest served tuple at t={ring[-1].t!r} "
+                "(the ring must stay a sorted, contiguous suffix of the "
+                "served history)"
+            )
         evicted = ring[0] if len(ring) == ring.maxlen else None
         ring.append(
-            StreamTuple(t=float(t), stream_id=stream_id, value=float(value), bound=delta)
+            StreamTuple(t=t, stream_id=stream_id, value=float(value), bound=delta)
         )
         self.version += 1
         if evicted is not None and self.on_evict is not None:
@@ -138,7 +154,7 @@ class ServingStore:
             value = self._server.value(sid)
             if value is None:
                 continue
-            if component >= value.shape[0]:
+            if not 0 <= component < value.shape[0]:
                 raise ServingError(
                     f"stream {sid!r} has dim {value.shape[0]}, no component {component}"
                 )
@@ -164,6 +180,12 @@ class ServingStore:
             raise ServingError(
                 f"served must have shape (T, {len(stream_ids)}, dim), "
                 f"got {served.shape}"
+            )
+        if not 0 <= component < served.shape[2]:
+            # Same diagnosed surface as ingest_tick — never a raw
+            # IndexError out of the indexing below.
+            raise ServingError(
+                f"served has dim {served.shape[2]}, no component {component}"
             )
         for k in range(served.shape[0]):
             for i, sid in enumerate(stream_ids):

@@ -1,0 +1,115 @@
+"""Property: approximate-path covariances dominate exact-path covariances.
+
+Both approximations *discard* measurement information — censoring skips
+the update entirely, sketching projects the measurement to fewer
+dimensions — and the Riccati recursion is monotone in the information
+applied, so the approximate posterior covariance can never fall below
+the exact one.  Concretely: for every stream and every step,
+``P_approx - P_exact`` must be positive semidefinite (eigenvalues
+>= -1e-9).  Hypothesis drives randomized models, measurement schedules,
+thresholds, and sketch dims through paired banks to pin that ordering.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.kalman import BatchKalmanFilter, SketchConfig
+from repro.kalman.models import ProcessModel, kinematic
+
+EIG_TOL = 1e-9
+
+
+def _wide_model(dim_z: int, sigma: float) -> ProcessModel:
+    return ProcessModel(
+        name=f"wide{dim_z}",
+        F=np.eye(1),
+        H=np.ones((dim_z, 1)),
+        Q=np.eye(1) * 0.2,
+        R=np.eye(dim_z) * sigma**2,
+        P0=np.eye(1),
+    )
+
+
+def _assert_dominates(bank_approx, bank_exact):
+    _, Pa = bank_approx.packed_states()
+    _, Pe = bank_exact.packed_states()
+    diff = Pa - Pe
+    diff = 0.5 * (diff + diff.transpose(0, 2, 1))
+    eigs = np.linalg.eigvalsh(diff)
+    assert eigs.min() >= -EIG_TOL, (
+        f"approximate covariance fails to dominate exact: min eigenvalue "
+        f"of P_approx - P_exact is {eigs.min():.3e}"
+    )
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    order=st.integers(1, 3),
+    threshold=st.floats(0.1, 4.0, allow_nan=False, allow_infinity=False),
+    noise=st.floats(0.05, 2.0, allow_nan=False, allow_infinity=False),
+    sigma=st.floats(0.1, 2.0, allow_nan=False, allow_infinity=False),
+    seed=st.integers(0, 2**31 - 1),
+)
+def test_censored_covariance_dominates_exact(order, threshold, noise, sigma, seed):
+    models = [
+        kinematic(order=order, process_noise=noise, measurement_sigma=sigma)
+        for _ in range(5)
+    ]
+    exact = BatchKalmanFilter(models)
+    censored = BatchKalmanFilter(models, censor_threshold=threshold)
+    rng = np.random.default_rng(seed)
+    for _ in range(20):
+        zs = rng.normal(scale=2.0, size=(5, 1))
+        mask = rng.random(5) > 0.25
+        for bank in (exact, censored):
+            bank.predict()
+            if mask.any():
+                bank.update(zs, mask)
+        _assert_dominates(censored, exact)
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    dim_z=st.integers(2, 6),
+    dim_sketch=st.integers(1, 3),
+    sigma=st.floats(0.2, 2.0, allow_nan=False, allow_infinity=False),
+    seed=st.integers(0, 2**31 - 1),
+)
+def test_sketched_covariance_dominates_exact(dim_z, dim_sketch, sigma, seed):
+    models = [_wide_model(dim_z, sigma) for _ in range(4)]
+    exact = BatchKalmanFilter(models)
+    sketched = BatchKalmanFilter(models, sketch=SketchConfig(dim=dim_sketch))
+    rng = np.random.default_rng(seed)
+    for _ in range(15):
+        zs = rng.normal(size=(4, dim_z))
+        for bank in (exact, sketched):
+            bank.predict()
+            bank.update(zs)
+        _assert_dominates(sketched, exact)
+
+
+@settings(max_examples=20, deadline=None)
+@given(
+    dim_z=st.integers(2, 5),
+    dim_sketch=st.integers(1, 2),
+    threshold=st.floats(0.5, 3.0, allow_nan=False, allow_infinity=False),
+    seed=st.integers(0, 2**31 - 1),
+)
+def test_sketch_plus_censor_covariance_dominates_exact(
+    dim_z, dim_sketch, threshold, seed
+):
+    models = [_wide_model(dim_z, 0.8) for _ in range(4)]
+    exact = BatchKalmanFilter(models)
+    approx = BatchKalmanFilter(
+        models, sketch=SketchConfig(dim=dim_sketch), censor_threshold=threshold
+    )
+    rng = np.random.default_rng(seed)
+    for _ in range(15):
+        zs = rng.normal(size=(4, dim_z))
+        for bank in (exact, approx):
+            bank.predict()
+            bank.update(zs)
+        _assert_dominates(approx, exact)
